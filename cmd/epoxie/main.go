@@ -1,0 +1,77 @@
+// Command epoxie instruments a workload binary the way the paper's
+// tool instrumented MIPS object files: it compiles the named Table-1
+// workload, rewrites its object files at link time, and writes both
+// the original and instrumented executables, reporting text growth.
+//
+//	epoxie -workload gcc -o /tmp/out [-orig] [-pixie]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"systrace/internal/epoxie"
+	"systrace/internal/link"
+	m "systrace/internal/mahler"
+	"systrace/internal/obj"
+	"systrace/internal/pixie"
+	"systrace/internal/userland"
+	"systrace/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "gcc", "Table-1 workload to instrument")
+	outDir := flag.String("o", ".", "output directory")
+	orig := flag.Bool("orig", false, "use the original-epoxie emission style (4-6x growth)")
+	pix := flag.Bool("pixie", false, "also produce a pixie-instrumented executable")
+	flag.Parse()
+
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		fail(fmt.Errorf("unknown workload %q", *name))
+	}
+
+	objs := []*obj.File{userland.Crt0(true)}
+	for _, mod := range []*m.Module{spec.Build(), userland.Libc()} {
+		o, err := mod.Compile(m.Options{})
+		fail(err)
+		objs = append(objs, o)
+	}
+	b, err := epoxie.BuildInstrumented(objs, link.Options{
+		Name: spec.Name, Entry: "_start",
+		TextBase: obj.UserTextBase, DataBase: obj.UserDataBase,
+	}, epoxie.Config{Orig: *orig}, epoxie.UserRuntime)
+	fail(err)
+
+	write(*outDir, spec.Name+".exe", b.Orig)
+	write(*outDir, spec.Name+".traced.exe", b.Instr)
+	fmt.Printf("%s: text %d -> %d bytes (%.2fx growth, %d basic blocks)\n",
+		spec.Name, b.Instr.Instr.OrigTextSize, b.Instr.Instr.TextSize,
+		b.Instr.Instr.GrowthFactor(), len(b.Instr.Instr.Blocks))
+
+	if *pix {
+		res, err := pixie.Rewrite(b.Orig, pixie.ModeTrace)
+		fail(err)
+		write(*outDir, spec.Name+".pixie.exe", res.Exe)
+		fmt.Printf("%s: pixie text %d -> %d bytes (%.2fx growth, translation table at 0x%08x)\n",
+			spec.Name, res.Exe.Instr.OrigTextSize, res.Exe.Instr.TextSize,
+			res.Exe.Instr.GrowthFactor(), res.TableVA)
+	}
+}
+
+func write(dir, name string, e *obj.Executable) {
+	f, err := os.Create(filepath.Join(dir, name))
+	fail(err)
+	defer f.Close()
+	fail(e.Encode(f))
+	fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epoxie:", err)
+		os.Exit(1)
+	}
+}

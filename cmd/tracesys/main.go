@@ -1,0 +1,51 @@
+// Command tracesys boots a traced system (kernel + workload), runs it
+// to completion, and reports tracing statistics: trace volume, mode
+// switches, interleaving, idle activity.
+//
+//	tracesys -os mach -workload compress -buf 4194304
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"systrace/internal/experiment"
+	"systrace/internal/kernel"
+	"systrace/internal/machine"
+	"systrace/internal/workload"
+)
+
+func main() {
+	osName := flag.String("os", "ultrix", "ultrix or mach")
+	name := flag.String("workload", "sed", "Table-1 workload")
+	seed := flag.Uint("seed", 1, "page placement seed")
+	flag.Parse()
+
+	flavor := kernel.Ultrix
+	if *osName == "mach" {
+		flavor = kernel.Mach
+	}
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracesys: unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+
+	pred, err := experiment.Predict(spec, flavor, uint32(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesys:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("traced %s on %v:\n", spec.Name, flavor)
+	fmt.Printf("  traced machine instructions: %d\n", pred.TracedInstr)
+	fmt.Printf("  trace words drained:          %d (%d analysis phases)\n", pred.TraceWords, pred.ModeSwtichs)
+	fmt.Printf("  reconstructed references:     %d\n", pred.Events)
+	fmt.Printf("  idle-loop instructions:       %d (x%d = I/O stall estimate)\n", pred.IdleInstr, experiment.IdleScale)
+	fmt.Printf("  simulated TLB misses:         %d\n", pred.UTLBMisses)
+	fmt.Printf("  predicted time: %.4fs = cpu %.4f + mem %.4f + fp %.4f + io %.4f\n",
+		pred.Seconds,
+		machine.Seconds(pred.CPUCycles), machine.Seconds(pred.MemStalls),
+		machine.Seconds(pred.ArithStalls), machine.Seconds(pred.IOStalls))
+	fmt.Printf("  workload result: %d\n", pred.Result)
+}

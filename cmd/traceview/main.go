@@ -1,0 +1,79 @@
+// Command traceview runs a workload under the traced Ultrix-like
+// system and dumps a window of the reconstructed reference stream —
+// the interleaved kernel and user addresses of Figure 1 — plus the
+// parsing library's statistics.
+//
+//	traceview -workload sed -n 40 -skip 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"systrace/internal/kernel"
+	m "systrace/internal/mahler"
+	"systrace/internal/trace"
+	"systrace/internal/userland"
+	"systrace/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "sed", "Table-1 workload")
+	nEvents := flag.Int("n", 48, "events to print")
+	skip := flag.Int("skip", 5000, "events to skip before printing")
+	flag.Parse()
+
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		fail(fmt.Errorf("unknown workload %q", *name))
+	}
+	kexe, err := kernel.Build(kernel.Config{Flavor: kernel.Ultrix, Traced: true})
+	fail(err)
+	prog, err := userland.Build(spec.Name, []*m.Module{spec.Build()}, m.Options{})
+	fail(err)
+	disk, err := kernel.BuildDiskImage(spec.Files)
+	fail(err)
+	cfg := kernel.DefaultBoot(kernel.Ultrix)
+	cfg.DiskImage = disk
+	cfg.TraceBufBytes = 4 << 20
+	cfg.ClockInterval *= 15
+	sys, err := kernel.Boot(kexe, []kernel.BootProc{{Exe: prog.Instr}}, cfg)
+	fail(err)
+
+	p := trace.NewParser(trace.NewSideTable(kexe.Instr.Blocks))
+	p.AddProcess(1, trace.NewSideTable(prog.Instr.Instr.Blocks))
+	printed, seen := 0, 0
+	sys.OnTrace = func(words []uint32) {
+		evs, err := p.Parse(words, nil)
+		fail(err)
+		for _, ev := range evs {
+			seen++
+			if seen <= *skip || printed >= *nEvents {
+				continue
+			}
+			printed++
+			who := fmt.Sprintf("user%-2d", ev.Pid)
+			if ev.Kernel {
+				who = "kernel"
+			}
+			tag := ""
+			if ev.Idle {
+				tag = " idle"
+			}
+			fmt.Printf("%s  %v 0x%08x%s\n", who, ev.Kind, ev.Addr, tag)
+		}
+	}
+	fail(sys.Run(6_000_000_000))
+	fail(p.Finish())
+	fmt.Printf("\n%d events total; %d bb records, %d memory references, %d markers, "+
+		"%d context switches, max nesting %d, %d idle instructions\n",
+		seen, p.Records, p.MemRefs, p.Markers, p.CtxSws, p.MaxDepth, p.IdleInstr)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}

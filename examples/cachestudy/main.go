@@ -1,0 +1,71 @@
+// Cachestudy: the paper's motivating use case — drive cache
+// simulations of several configurations from one long whole-system
+// trace ("the traces must be long enough to make possible the
+// realistic simulation of very large caches", §3.1). One traced run of
+// a workload feeds four cache sizes simultaneously.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"systrace"
+	"systrace/internal/kernel"
+	"systrace/internal/memsys"
+	"systrace/internal/trace"
+	"systrace/internal/workload"
+)
+
+func main() {
+	spec, _ := workload.ByName("gcc")
+	kexe, err := systrace.BuildKernel(systrace.Ultrix, true)
+	check(err)
+	prog, err := systrace.BuildProgram(spec.Name, []*systrace.Module{spec.Build()})
+	check(err)
+	disk, err := systrace.BuildDiskImage(spec.Files)
+	check(err)
+	cfg := systrace.DefaultBoot(systrace.Ultrix)
+	cfg.DiskImage = disk
+	cfg.TraceBufBytes = 4 << 20
+	cfg.ClockInterval *= 15
+	sys, err := systrace.Boot(kexe, []systrace.BootProc{{Exe: prog.Instr}}, cfg)
+	check(err)
+
+	parser := systrace.NewParser(systrace.NewSideTable(kexe))
+	parser.AddProcess(1, systrace.NewSideTable(prog.Instr))
+
+	// Four machine models differing only in cache size, all consuming
+	// the same trace.
+	sizes := []uint32{8 << 10, 16 << 10, 64 << 10, 256 << 10}
+	sims := make([]*memsys.TraceSim, len(sizes))
+	for i, sz := range sizes {
+		mc := memsys.DECstation5000()
+		mc.ICacheSize, mc.DCacheSize = sz, sz
+		sims[i] = memsys.NewTraceSim(mc, memsys.PolicySequential,
+			kernel.DefaultBoot(kernel.Ultrix).RAMBytes>>12, 1)
+	}
+	sys.OnTrace = func(words []uint32) {
+		evs, err := parser.Parse(words, nil)
+		check(err)
+		for _, sim := range sims {
+			sim.Events(evs)
+		}
+	}
+	check(sys.Run(6_000_000_000))
+	check(parser.Finish())
+
+	fmt.Printf("one %s trace (%d references) driving four cache configurations:\n\n",
+		spec.Name, parser.Records+parser.MemRefs)
+	fmt.Printf("%-8s %12s %12s %14s\n", "cache", "i-miss rate", "d-miss rate", "mem stalls")
+	for i, sz := range sizes {
+		fmt.Printf("%5dKB  %11.3f%% %11.3f%% %14d\n", sz>>10,
+			sims[i].IC.MissRate()*100, sims[i].DC.MissRate()*100, sims[i].MemStalls())
+	}
+	_ = trace.EvIFetch
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

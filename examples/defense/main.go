@@ -1,0 +1,110 @@
+// Example defense demonstrates "defensive tracing" (§4.3): the parsing
+// library validates every word of the stream against the static side
+// tables, so single-word corruption in a live system trace — an
+// overwritten basic-block record, a dropped store address — is caught
+// with very high probability rather than silently skewing an analysis.
+//
+// The one corruption that is intrinsically invisible is dropping the
+// one-word record of a basic block with no memory references: every
+// following word still parses, and only the reference counts shift.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"systrace"
+)
+
+func main() {
+	spec, _ := systrace.WorkloadByName("sed")
+	kexe, err := systrace.BuildKernel(systrace.Ultrix, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := systrace.BuildProgram(spec.Name, []*systrace.Module{spec.Build()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	disk, err := systrace.BuildDiskImage(spec.Files)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := systrace.DefaultBoot(systrace.Ultrix)
+	cfg.DiskImage = disk
+	cfg.TraceBufBytes = 4 << 20
+	cfg.ClockInterval *= 15
+	sys, err := systrace.Boot(kexe, []systrace.BootProc{{Exe: prog.Instr}}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Capture the raw stream of one run.
+	var words []uint32
+	sys.OnTrace = func(w []uint32) { words = append(words, w...) }
+	if err := sys.Run(2_000_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d trace words from a traced run of %s\n\n", len(words), spec.Name)
+
+	parse := func(ws []uint32) error {
+		p := systrace.NewParser(systrace.NewSideTable(kexe))
+		p.AddProcess(1, systrace.NewSideTable(prog.Instr))
+		if _, err := p.Parse(ws, nil); err != nil {
+			return err
+		}
+		return p.Finish()
+	}
+	if err := parse(words); err != nil {
+		log.Fatalf("clean stream must parse: %v", err)
+	}
+
+	// Overwrite single words with a data-looking value and count how
+	// many corruptions the parser flags.
+	const trials = 200
+	caught := 0
+	var missExample int
+	for t := 0; t < trials; t++ {
+		i := (t*7919 + 13) % len(words)
+		mut := make([]uint32, len(words))
+		copy(mut, words)
+		mut[i] ^= 0x00000040 // flip one address bit
+		if parse(mut) != nil {
+			caught++
+		} else {
+			missExample = i
+		}
+	}
+	fmt.Printf("overwrite one word (bit flip): %d/%d detected\n", caught, trials)
+	if caught < trials {
+		fmt.Printf("  (an undetected flip, e.g. word %d, landed in a store/load\n"+
+			"   address — it changes WHICH address was traced, which no\n"+
+			"   format check can see; record words are always caught)\n", missExample)
+	}
+
+	// Drop single words.
+	caught = 0
+	for t := 0; t < trials; t++ {
+		i := (t*104729 + 7) % len(words)
+		mut := make([]uint32, 0, len(words)-1)
+		mut = append(mut, words[:i]...)
+		mut = append(mut, words[i+1:]...)
+		if parse(mut) != nil {
+			caught++
+		}
+	}
+	fmt.Printf("drop one word:                 %d/%d detected\n", caught, trials)
+	fmt.Println(`
+what the format can and cannot see (§4.3):
+  - a corrupted basic-block RECORD never looks like a valid record:
+    always caught;
+  - a dropped word is caught when the resulting slip makes a data
+    address land where a record must be (or vice versa), or leaves
+    the final block incomplete — but a drop adjacent to a block with
+    no memory references realigns silently;
+  - flipping a bit inside a load/store ADDRESS changes which address
+    was traced, which no format check can observe.
+hence the paper's wording: detected "with a very high probability",
+not with certainty. TestDefensiveTracing (internal/epoxie) and
+BenchmarkDefensiveTracing measure the rates per corruption class.`)
+}

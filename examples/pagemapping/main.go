@@ -1,0 +1,74 @@
+// Pagemapping: §4.2/§4.4 — "the virtual to physical page map ... can
+// have significant impact on memory system behavior". Replay one
+// tomcatv trace under three page-placement policies in the analysis
+// simulator and compare physically-indexed cache behavior.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"systrace"
+	"systrace/internal/kernel"
+	"systrace/internal/memsys"
+	"systrace/internal/workload"
+)
+
+func main() {
+	spec, _ := workload.ByName("tomcatv")
+	kexe, err := systrace.BuildKernel(systrace.Ultrix, true)
+	check(err)
+	prog, err := systrace.BuildProgram(spec.Name, []*systrace.Module{spec.Build()})
+	check(err)
+	disk, err := systrace.BuildDiskImage(spec.Files)
+	check(err)
+	cfg := systrace.DefaultBoot(systrace.Ultrix)
+	cfg.DiskImage = disk
+	cfg.TraceBufBytes = 4 << 20
+	cfg.ClockInterval *= 15
+	sys, err := systrace.Boot(kexe, []systrace.BootProc{{Exe: prog.Instr}}, cfg)
+	check(err)
+
+	parser := systrace.NewParser(systrace.NewSideTable(kexe))
+	parser.AddProcess(1, systrace.NewSideTable(prog.Instr))
+
+	type entry struct {
+		name   string
+		policy memsys.PagePolicy
+		seed   uint32
+	}
+	entries := []entry{
+		{"sequential", memsys.PolicySequential, 1},
+		{"random(a)", memsys.PolicyRandom, 11},
+		{"random(b)", memsys.PolicyRandom, 77},
+		{"coloring", memsys.PolicyColoring, 1},
+	}
+	sims := make([]*memsys.TraceSim, len(entries))
+	for i, e := range entries {
+		sims[i] = memsys.NewTraceSim(memsys.DECstation5000(), e.policy,
+			kernel.DefaultBoot(kernel.Ultrix).RAMBytes>>12, e.seed)
+	}
+	sys.OnTrace = func(words []uint32) {
+		evs, err := parser.Parse(words, nil)
+		check(err)
+		for _, sim := range sims {
+			sim.Events(evs)
+		}
+	}
+	check(sys.Run(6_000_000_000))
+	check(parser.Finish())
+
+	fmt.Println("tomcatv trace replayed under three page-placement policies:")
+	fmt.Printf("%-12s %12s %12s %14s\n", "policy", "i-miss rate", "d-miss rate", "mem stalls")
+	for i, e := range entries {
+		fmt.Printf("%-12s %11.3f%% %11.3f%% %14d\n", e.name,
+			sims[i].IC.MissRate()*100, sims[i].DC.MissRate()*100, sims[i].MemStalls())
+	}
+	fmt.Println("\nsame trace, different placement: physically-indexed cache behavior shifts (§4.2).")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module systrace
+
+go 1.22

@@ -1,0 +1,338 @@
+// Package asm is a programmatic assembler producing relocatable object
+// files. The traced kernels and the tracing runtime contain routines
+// that are hand-written at this level — exactly the code the paper
+// describes as "part of the tracing system" or "too delicate to be
+// rewritten mechanically" (§3.3): bbtrace, memtrace, exception
+// vectors, the UTLB miss handler, and the context switch path.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+)
+
+// FuncFlags configure how the instrumentation tools treat a function's
+// basic blocks.
+type FuncFlags uint16
+
+const (
+	// NoInstrument: epoxie must not rewrite this function.
+	NoInstrument FuncFlags = 1 << iota
+	// HandTraced: the function records its own trace entries.
+	HandTraced
+	// IdleLoop: the function is the kernel idle loop (counted block).
+	IdleLoop
+	// UTLBHandler: the user-TLB refill handler (never traced; the
+	// simulator synthesizes its activity, paper §4.1).
+	UTLBHandler
+)
+
+type fixup struct {
+	off   uint32 // byte offset of the instruction in text
+	label string
+	kind  obj.RelKind // RelJ26 for jal/j to symbol; branch fixups use kindBranch
+	isBr  bool
+}
+
+type funcSpan struct {
+	name  string
+	start uint32
+	flags FuncFlags
+}
+
+// Assembler accumulates one object file.
+type Assembler struct {
+	name    string
+	text    []isa.Word
+	data    []byte
+	bss     uint32
+	syms    *obj.File // used only for symbol interning
+	labels  map[string]uint32
+	fixups  []fixup
+	relocs  []obj.Reloc
+	drelocs []obj.Reloc
+	funcs   []funcSpan
+	leaders map[uint32]bool
+	err     error
+}
+
+// New returns an assembler for an object file with the given name.
+func New(name string) *Assembler {
+	return &Assembler{
+		name:    name,
+		syms:    &obj.File{Name: name},
+		labels:  map[string]uint32{},
+		leaders: map[uint32]bool{},
+	}
+}
+
+func (a *Assembler) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("asm %s: %s", a.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// PC returns the current text offset in bytes.
+func (a *Assembler) PC() uint32 { return uint32(len(a.text)) * 4 }
+
+// Func starts a new global function. Subsequent instructions belong to
+// it until the next Func call.
+func (a *Assembler) Func(name string, flags FuncFlags) {
+	a.Label(name)
+	a.syms.AddSym(obj.Symbol{Name: name, Section: obj.SecText, Off: a.PC(), Defined: true, Func: true})
+	a.funcs = append(a.funcs, funcSpan{name: name, start: a.PC(), flags: flags})
+}
+
+// Label defines a local label at the current position. Labels are
+// block leaders.
+func (a *Assembler) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.fail("duplicate label %q", name)
+	}
+	a.labels[name] = a.PC()
+	a.leaders[a.PC()] = true
+}
+
+// I emits a raw instruction word.
+func (a *Assembler) I(w isa.Word) { a.text = append(a.text, w) }
+
+// PadTo fills with NOPs up to the given text offset (for fixed-address
+// entry points like exception vectors).
+func (a *Assembler) PadTo(off uint32) {
+	if a.PC() > off {
+		a.fail("PadTo(0x%x): already at 0x%x", off, a.PC())
+		return
+	}
+	for a.PC() < off {
+		a.text = append(a.text, isa.NOP)
+	}
+}
+
+// Is emits several instruction words.
+func (a *Assembler) Is(ws ...isa.Word) { a.text = append(a.text, ws...) }
+
+// Br emits a conditional branch to a local label. The caller supplies
+// the branch with a zero offset; the assembler patches it. The next
+// instruction emitted is the delay slot.
+func (a *Assembler) Br(w isa.Word, label string) {
+	a.fixups = append(a.fixups, fixup{off: a.PC(), label: label, isBr: true})
+	a.text = append(a.text, w)
+}
+
+// JmpSym emits `j sym` (cross-object allowed) with a relocation.
+func (a *Assembler) JmpSym(sym string) {
+	si := a.syms.AddSym(obj.Symbol{Name: sym, Section: obj.SecText})
+	a.relocs = append(a.relocs, obj.Reloc{Off: a.PC(), Kind: obj.RelJ26, Sym: si})
+	a.text = append(a.text, isa.J(0))
+}
+
+// JalSym emits `jal sym` with a relocation.
+func (a *Assembler) JalSym(sym string) {
+	si := a.syms.AddSym(obj.Symbol{Name: sym, Section: obj.SecText})
+	a.relocs = append(a.relocs, obj.Reloc{Off: a.PC(), Kind: obj.RelJ26, Sym: si})
+	a.text = append(a.text, isa.JAL(0))
+}
+
+// Jmp emits `j label` to a local label.
+func (a *Assembler) Jmp(label string) {
+	a.fixups = append(a.fixups, fixup{off: a.PC(), label: label, kind: obj.RelJ26})
+	a.text = append(a.text, isa.J(0))
+}
+
+// LA loads the address of sym+addend into register r using a lui/ori
+// pair with HI16/LO16 relocations (two instructions).
+func (a *Assembler) LA(r int, sym string, addend int32) {
+	si := a.syms.AddSym(obj.Symbol{Name: sym, Section: obj.SecData})
+	a.relocs = append(a.relocs, obj.Reloc{Off: a.PC(), Kind: obj.RelHI16, Sym: si, Addend: addend})
+	a.text = append(a.text, isa.LUI(r, 0))
+	a.relocs = append(a.relocs, obj.Reloc{Off: a.PC(), Kind: obj.RelLO16, Sym: si, Addend: addend})
+	a.text = append(a.text, isa.ADDIU(r, r, 0))
+}
+
+// LI loads a 32-bit constant into register r (one or two
+// instructions).
+func (a *Assembler) LI(r int, v uint32) {
+	if v>>16 == 0 {
+		a.text = append(a.text, isa.ORI(r, isa.RegZero, uint16(v)))
+		return
+	}
+	if int32(v) < 0 && int32(v) >= -32768 {
+		a.text = append(a.text, isa.ADDIU(r, isa.RegZero, uint16(v)))
+		return
+	}
+	a.text = append(a.text, isa.LUI(r, uint16(v>>16)))
+	if v&0xffff != 0 {
+		a.text = append(a.text, isa.ORI(r, r, uint16(v)))
+	}
+}
+
+// Global reserves a zero-initialized data object of the given size in
+// BSS and defines sym at its start. Alignment is 8 bytes.
+func (a *Assembler) Global(sym string, size uint32) {
+	a.bss = (a.bss + 7) &^ 7
+	a.syms.AddSym(obj.Symbol{Name: sym, Section: obj.SecBSS, Off: a.bss, Defined: true})
+	a.bss += size
+}
+
+// DataBytes emits initialized data and defines sym at its start.
+func (a *Assembler) DataBytes(sym string, b []byte) {
+	for len(a.data)%8 != 0 {
+		a.data = append(a.data, 0)
+	}
+	a.syms.AddSym(obj.Symbol{Name: sym, Section: obj.SecData, Off: uint32(len(a.data)), Defined: true})
+	a.data = append(a.data, b...)
+}
+
+// DataWordRaw appends one word of initialized data with no alignment
+// and no symbol (table continuation).
+func (a *Assembler) DataWordRaw(v uint32) {
+	a.data = append(a.data, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// DataAddrRaw appends one relocated address word with no alignment and
+// no symbol (table continuation).
+func (a *Assembler) DataAddrRaw(target string) {
+	si := a.syms.AddSym(obj.Symbol{Name: target, Section: obj.SecText})
+	a.drelocs = append(a.drelocs, obj.Reloc{Off: uint32(len(a.data)), Kind: obj.RelWord, Sym: si})
+	a.data = append(a.data, 0, 0, 0, 0)
+}
+
+// DataWordSym emits a data word holding the address of another symbol.
+func (a *Assembler) DataWordSym(sym string, target string, addend int32) {
+	for len(a.data)%8 != 0 {
+		a.data = append(a.data, 0)
+	}
+	if sym != "" {
+		a.syms.AddSym(obj.Symbol{Name: sym, Section: obj.SecData, Off: uint32(len(a.data)), Defined: true})
+	}
+	si := a.syms.AddSym(obj.Symbol{Name: target, Section: obj.SecText})
+	a.drelocs = append(a.drelocs, obj.Reloc{Off: uint32(len(a.data)), Kind: obj.RelWord, Sym: si})
+	a.data = append(a.data, 0, 0, 0, 0)
+}
+
+// Finish resolves local fixups, derives the basic-block table, and
+// returns the object file.
+func (a *Assembler) Finish() (*obj.File, error) {
+	for _, fx := range a.fixups {
+		target, ok := a.labels[fx.label]
+		if !ok {
+			a.fail("undefined label %q", fx.label)
+			continue
+		}
+		i := fx.off / 4
+		if fx.isBr {
+			// Branch offset is relative to the delay slot.
+			diff := int32(target) - int32(fx.off+4)
+			if diff%4 != 0 || diff/4 > 32767 || diff/4 < -32768 {
+				a.fail("branch to %q out of range (%d bytes)", fx.label, diff)
+				continue
+			}
+			a.text[i] = a.text[i]&0xffff0000 | uint32(uint16(diff/4))
+		} else {
+			// Local jump: leave a self-relative relocation against a
+			// synthetic section-start symbol so the linker patches the
+			// absolute target.
+			si := a.syms.AddSym(obj.Symbol{Name: ".text." + a.name, Section: obj.SecText, Off: 0, Defined: true})
+			a.relocs = append(a.relocs, obj.Reloc{Off: fx.off, Kind: obj.RelJ26, Sym: si, Addend: int32(target)})
+		}
+	}
+	if a.err != nil {
+		return nil, a.err
+	}
+
+	f := &obj.File{
+		Name:       a.name,
+		Text:       a.text,
+		Data:       a.data,
+		BSSSize:    a.bss,
+		Syms:       a.syms.Syms,
+		Relocs:     a.relocs,
+		DataRelocs: a.drelocs,
+	}
+	f.Blocks = a.deriveBlocks()
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustFinish is Finish for hand-written code that is part of the
+// build; errors are toolchain bugs.
+func (a *Assembler) MustFinish() *obj.File {
+	f, err := a.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (a *Assembler) deriveBlocks() []obj.BasicBlock {
+	// Leaders: function starts, labels, and the instruction after a
+	// block terminator (branch/jump plus its delay slot, or
+	// syscall/break).
+	leaders := map[uint32]bool{0: true}
+	for off := range a.leaders {
+		leaders[off] = true
+	}
+	for i := 0; i < len(a.text); i++ {
+		w := a.text[i]
+		if isa.HasDelaySlot(w) {
+			leaders[uint32(i+2)*4] = true
+		} else if isa.EndsBlock(w) {
+			leaders[uint32(i+1)*4] = true
+		}
+	}
+	var offs []uint32
+	for off := range leaders {
+		if off < uint32(len(a.text))*4 {
+			offs = append(offs, off)
+		}
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+
+	flagsAt := func(off uint32) obj.BBFlags {
+		var fl obj.BBFlags
+		for i := len(a.funcs) - 1; i >= 0; i-- {
+			if a.funcs[i].start <= off {
+				ff := a.funcs[i].flags
+				if ff&NoInstrument != 0 {
+					fl |= obj.BBNoInstrument
+				}
+				if ff&HandTraced != 0 {
+					fl |= obj.BBHandTraced
+				}
+				if ff&IdleLoop != 0 {
+					fl |= obj.BBIdleLoop
+				}
+				if ff&UTLBHandler != 0 {
+					fl |= obj.BBUTLBHandler | obj.BBNoInstrument
+				}
+				break
+			}
+		}
+		return fl
+	}
+
+	var blocks []obj.BasicBlock
+	for bi, off := range offs {
+		end := uint32(len(a.text)) * 4
+		if bi+1 < len(offs) {
+			end = offs[bi+1]
+		}
+		if end <= off {
+			continue
+		}
+		b := obj.BasicBlock{Off: off, NInstr: int32((end - off) / 4), Flags: flagsAt(off)}
+		for k := int32(0); k < b.NInstr; k++ {
+			w := a.text[off/4+uint32(k)]
+			if isa.IsMem(w) {
+				b.Mem = append(b.Mem, obj.MemOp{Index: int16(k), Load: isa.IsLoad(w), Size: int8(isa.MemSize(w))})
+			}
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks
+}

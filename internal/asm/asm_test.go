@@ -1,0 +1,153 @@
+package asm_test
+
+import (
+	"testing"
+
+	"systrace/internal/asm"
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+)
+
+func TestBranchFixupsAndBlocks(t *testing.T) {
+	a := asm.New("t")
+	a.Func("f", 0)
+	a.I(isa.ORI(isa.RegT0, 0, 3))
+	a.Label("loop")
+	a.I(isa.ADDIU(isa.RegT0, isa.RegT0, 0xffff)) // t0--
+	a.Br(isa.BNE(isa.RegT0, isa.RegZero, 0), "loop")
+	a.I(isa.NOP)
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The branch at word 2 must target word 1: offset -2.
+	br := f.Text[2]
+	if int16(br&0xffff) != -2 {
+		t.Errorf("branch offset %d want -2", int16(br&0xffff))
+	}
+	// Blocks: [0..1) entry, [1..4) loop+branch+slot, [4..6) jr+slot.
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d want 3: %+v", len(f.Blocks), f.Blocks)
+	}
+	if f.Blocks[1].Off != 4 || f.Blocks[1].NInstr != 3 {
+		t.Errorf("loop block wrong: %+v", f.Blocks[1])
+	}
+}
+
+func TestFuncFlagsPropagate(t *testing.T) {
+	a := asm.New("t")
+	a.Func("normal", 0)
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	a.Func("special", asm.NoInstrument|asm.IdleLoop)
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Blocks[0].Flags != 0 {
+		t.Error("normal function flagged")
+	}
+	if f.Blocks[1].Flags&obj.BBNoInstrument == 0 || f.Blocks[1].Flags&obj.BBIdleLoop == 0 {
+		t.Errorf("special flags = %v", f.Blocks[1].Flags)
+	}
+}
+
+func TestUTLBFlagImpliesNoInstrument(t *testing.T) {
+	a := asm.New("t")
+	a.Func("utlb", asm.UTLBHandler)
+	a.I(isa.JR(isa.RegK1))
+	a.I(isa.RFE())
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Blocks[0].Flags&obj.BBUTLBHandler == 0 || f.Blocks[0].Flags&obj.BBNoInstrument == 0 {
+		t.Errorf("flags = %v", f.Blocks[0].Flags)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	a := asm.New("t")
+	a.Func("f", 0)
+	a.Br(isa.BEQ(0, 0, 0), "nowhere")
+	a.I(isa.NOP)
+	if _, err := a.Finish(); err == nil {
+		t.Error("undefined label accepted")
+	}
+
+	a2 := asm.New("t")
+	a2.Func("f", 0)
+	a2.Label("f") // duplicate (Func defines the label too)
+	a2.I(isa.NOP)
+	if _, err := a2.Finish(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	a := asm.New("t")
+	a.Func("v0", 0)
+	a.I(isa.JR(isa.RegK1))
+	a.I(isa.RFE())
+	a.PadTo(0x80)
+	a.Label("v1")
+	a.I(isa.JR(isa.RegK1))
+	a.I(isa.RFE())
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Text) != 0x80/4+2 {
+		t.Errorf("text len %d", len(f.Text))
+	}
+}
+
+func TestLIWidths(t *testing.T) {
+	cases := []uint32{0, 1, 0xffff, 0x10000, 0x12345678, 0xffffffff, 0xffff8000}
+	for _, v := range cases {
+		a := asm.New("t")
+		a.Func("f", 0)
+		a.LI(isa.RegT0, v)
+		a.I(isa.JR(isa.RegRA))
+		a.I(isa.NOP)
+		f, err := a.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = f
+	}
+}
+
+func TestDataEmission(t *testing.T) {
+	a := asm.New("t")
+	a.Func("f", 0)
+	a.LA(isa.RegT0, "tbl", 0)
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	a.DataBytes("tbl", nil)
+	a.DataAddrRaw("f")
+	a.DataWordRaw(0x1234)
+	a.Global("space", 100)
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.DataRelocs) != 1 {
+		t.Fatalf("data relocs %d", len(f.DataRelocs))
+	}
+	if f.BSSSize < 100 {
+		t.Errorf("bss %d", f.BSSSize)
+	}
+	// LA produced HI16/LO16 text relocs.
+	kinds := map[obj.RelKind]int{}
+	for _, r := range f.Relocs {
+		kinds[r.Kind]++
+	}
+	if kinds[obj.RelHI16] != 1 || kinds[obj.RelLO16] != 1 {
+		t.Errorf("relocs %v", kinds)
+	}
+}

@@ -1,0 +1,157 @@
+package dev_test
+
+import (
+	"testing"
+
+	"systrace/internal/dev"
+)
+
+type fakeIRQ struct{ lines [8]bool }
+
+func (f *fakeIRQ) SetIRQ(line int, on bool) { f.lines[line] = on }
+
+type fakeRAM struct{ b []byte }
+
+func (f *fakeRAM) Bytes() []byte { return f.b }
+
+func TestClockPeriodAndAck(t *testing.T) {
+	irq := &fakeIRQ{}
+	c := dev.NewClock(irq)
+	c.SetInterval(0, 100)
+	c.Advance(50)
+	if irq.lines[dev.IRQClock] {
+		t.Error("fired early")
+	}
+	c.Advance(100)
+	if !irq.lines[dev.IRQClock] {
+		t.Error("did not fire at deadline")
+	}
+	c.Write(100, dev.ClockAck, 1)
+	if irq.lines[dev.IRQClock] {
+		t.Error("ack did not clear")
+	}
+	c.Advance(200)
+	if !irq.lines[dev.IRQClock] || c.Raised != 2 {
+		t.Errorf("periodic refire failed (raised=%d)", c.Raised)
+	}
+	// Interval 0 stops the clock.
+	c.Write(200, dev.ClockAck, 1)
+	c.Write(200, dev.ClockInterval, 0)
+	c.Advance(10_000)
+	if irq.lines[dev.IRQClock] {
+		t.Error("stopped clock fired")
+	}
+}
+
+func TestDiskTransferAndOrdering(t *testing.T) {
+	irq := &fakeIRQ{}
+	ram := &fakeRAM{b: make([]byte, 1<<16)}
+	img := make([]byte, 1<<16)
+	for i := range img {
+		img[i] = byte(i * 7)
+	}
+	d := dev.NewDisk(irq, ram, img, dev.DiskParams{SeekCycles: 100, PerSectorCycle: 10})
+	now := uint64(0)
+	d.Write(now, dev.DiskSector, 2)
+	d.Write(now, dev.DiskAddr, 0x1000)
+	d.Write(now, dev.DiskNSect, 4)
+	d.Write(now, dev.DiskCmd, 1)
+	if !d.Busy() {
+		t.Fatal("not busy after command")
+	}
+	// First op: seek (100) + 4 sectors (40).
+	d.Advance(139)
+	if !d.Busy() {
+		t.Fatal("completed early")
+	}
+	d.Advance(140)
+	if d.Busy() || !irq.lines[dev.IRQDisk] {
+		t.Fatal("did not complete at deadline")
+	}
+	for i := 0; i < 4*dev.SectorSize; i++ {
+		if ram.b[0x1000+i] != img[2*dev.SectorSize+i] {
+			t.Fatalf("dma byte %d wrong", i)
+		}
+	}
+	d.Write(140, dev.DiskAck, 1)
+
+	// Sequential follow-up has no seek; a distant one does.
+	d.Write(140, dev.DiskSector, 6) // sequential after sectors 2..5
+	d.Write(140, dev.DiskAddr, 0x3000)
+	d.Write(140, dev.DiskNSect, 2)
+	d.Write(140, dev.DiskCmd, 1)
+	if next := d.NextEvent(); next != 160 {
+		t.Errorf("sequential op completes at %d, want 160 (no seek)", next)
+	}
+}
+
+func TestDiskWriteBack(t *testing.T) {
+	irq := &fakeIRQ{}
+	ram := &fakeRAM{b: make([]byte, 4096)}
+	for i := range ram.b {
+		ram.b[i] = 0xAB
+	}
+	img := make([]byte, 8192)
+	d := dev.NewDisk(irq, ram, img, dev.DiskParams{SeekCycles: 1, PerSectorCycle: 1})
+	d.Write(0, dev.DiskSector, 0)
+	d.Write(0, dev.DiskAddr, 0)
+	d.Write(0, dev.DiskNSect, 1)
+	d.Write(0, dev.DiskCmd, 2) // write
+	d.Advance(1000)
+	if img[0] != 0xAB || img[dev.SectorSize-1] != 0xAB {
+		t.Error("write DMA did not reach the image")
+	}
+	if d.Writes != 1 {
+		t.Errorf("writes=%d", d.Writes)
+	}
+}
+
+func TestDiskQueueFIFO(t *testing.T) {
+	irq := &fakeIRQ{}
+	ram := &fakeRAM{b: make([]byte, 1<<14)}
+	img := make([]byte, 1<<14)
+	img[0], img[512] = 1, 2
+	d := dev.NewDisk(irq, ram, img, dev.DiskParams{SeekCycles: 10, PerSectorCycle: 10})
+	for i := uint32(0); i < 2; i++ {
+		d.Write(0, dev.DiskSector, i)
+		d.Write(0, dev.DiskAddr, 0x100*i+0x1000)
+		d.Write(0, dev.DiskNSect, 1)
+		d.Write(0, dev.DiskCmd, 1)
+	}
+	d.Advance(100000)
+	if d.Reads != 2 {
+		t.Fatalf("reads=%d", d.Reads)
+	}
+	if ram.b[0x1000] != 1 || ram.b[0x1100] != 2 {
+		t.Error("FIFO order broken")
+	}
+}
+
+func TestConsole(t *testing.T) {
+	c := &dev.Console{}
+	for _, b := range []byte("ok\n") {
+		c.Write(dev.ConsolePutc, uint32(b))
+	}
+	if c.String() != "ok\n" {
+		t.Errorf("console %q", c.String())
+	}
+	c.In = []byte("x")
+	if c.Read(dev.ConsoleGetc) != 'x' || c.Read(dev.ConsoleGetc) != 0xffffffff {
+		t.Error("getc wrong")
+	}
+}
+
+func TestTraceCtlDoorbell(t *testing.T) {
+	var got uint32
+	tc := &dev.TraceCtl{Handler: func(reason uint32) uint64 {
+		got = reason
+		return 4242
+	}}
+	extra := tc.Write(dev.TraceDoorbell, dev.DoorbellBufferFull)
+	if got != dev.DoorbellBufferFull || extra != 4242 {
+		t.Errorf("doorbell got=%d extra=%d", got, extra)
+	}
+	if tc.Read(dev.TraceExtra) != 4242 {
+		t.Error("extra not latched")
+	}
+}

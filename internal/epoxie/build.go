@@ -1,0 +1,81 @@
+package epoxie
+
+import (
+	"fmt"
+
+	"systrace/internal/link"
+	"systrace/internal/obj"
+)
+
+// Build is the result of an instrumented link: the original executable
+// (for direct measurement) and the instrumented one (for tracing),
+// laid out with identical data segments so that the trace's data
+// addresses match the uninstrumented program exactly (§3.2: "the
+// expansion of traced text does not affect the trace addresses
+// generated").
+type Build struct {
+	Orig  *obj.Executable
+	Instr *obj.Executable
+}
+
+// BuildInstrumented links objs twice: once untouched and once through
+// the rewriter with the tracing runtime appended, and attaches the
+// static side table (the "lookup table in the trace parsing library",
+// §3.5) to the instrumented image.
+func BuildInstrumented(objs []*obj.File, lopt link.Options, cfg Config, kind RuntimeKind) (*Build, error) {
+	origExe, origLay, err := link.LinkLayout(objs, lopt)
+	if err != nil {
+		return nil, fmt.Errorf("epoxie: original link: %w", err)
+	}
+
+	var rews []*Rewritten
+	newObjs := make([]*obj.File, 0, len(objs)+1)
+	origWords, newWords := 0, 0
+	for _, f := range objs {
+		rw, err := Rewrite(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rews = append(rews, rw)
+		newObjs = append(newObjs, rw.File)
+		origWords += rw.OrigWords
+		newWords += rw.NewWords
+	}
+	newObjs = append(newObjs, RuntimeObj(kind))
+
+	iopt := lopt
+	iopt.Traced = true
+	instExe, instLay, err := link.LinkLayout(newObjs, iopt)
+	if err != nil {
+		return nil, fmt.Errorf("epoxie: instrumented link: %w", err)
+	}
+	if instExe.DataBase != origExe.DataBase {
+		return nil, fmt.Errorf("epoxie: data base moved (0x%x -> 0x%x)", origExe.DataBase, instExe.DataBase)
+	}
+
+	tool := "epoxie"
+	if cfg.Orig {
+		tool = "epoxie-orig"
+	}
+	ii := &obj.InstrInfo{
+		Tool:         tool,
+		OrigTextSize: uint32(origWords) * 4,
+		TextSize:     uint32(newWords) * 4,
+	}
+	for oi, rw := range rews {
+		for _, m := range rw.Map {
+			if m.RecordOff == NoRecord {
+				continue
+			}
+			ii.Blocks = append(ii.Blocks, obj.InstrBlock{
+				RecordAddr: lopt.TextBase + instLay.TextOff[oi] + m.RecordOff,
+				OrigAddr:   lopt.TextBase + origLay.TextOff[oi] + m.OldOff,
+				NInstr:     m.Orig.NInstr,
+				Flags:      m.Orig.Flags,
+				Mem:        m.Orig.Mem,
+			})
+		}
+	}
+	instExe.Instr = ii
+	return &Build{Orig: origExe, Instr: instExe}, nil
+}

@@ -1,0 +1,422 @@
+// Package epoxie implements the paper's central tool: a link-time
+// object-code rewriter that inserts address-tracing code. Epoxie
+// "rewrites object files at link time. Modifying object code at link
+// time is easier than modifying an executable, because the symbol and
+// relocation tables present in object code allow epoxie to distinguish
+// unambiguously between uses of addresses and uses of coincidentally
+// similar constants. This information also allows all address
+// correction to be done statically, incurring no runtime overhead"
+// (§3.2).
+//
+// Each basic block is preceded by a three-instruction sequence
+//
+//	sw   ra, 124(xreg3)
+//	jal  bbtrace
+//	li   zero, N          ; words of trace this block generates
+//
+// and each memory instruction becomes `jal memtrace` with the memory
+// instruction in the branch delay slot — or, in hazard cases, an
+// effective-address no-op in the slot with the real instruction issued
+// after the call. Three stolen registers (xreg1..xreg3) carry tracing
+// state; uses of them in the original binary are rewritten against
+// shadow values in memory.
+package epoxie
+
+import (
+	"fmt"
+
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+	"systrace/internal/trace"
+)
+
+// Config selects the instrumentation variant.
+type Config struct {
+	// Orig selects the original-epoxie emission style: inline
+	// trace-collection sequences instead of the compact out-of-line
+	// jal forms, expanding text by 4-6x rather than 1.9-2.3x (§3.2
+	// footnote). Used for the text-growth comparison (experiment E7).
+	Orig bool
+}
+
+// Rewritten pairs a rewritten object with the mapping information the
+// linker needs to build the instrumented executable's side table.
+type Rewritten struct {
+	File *obj.File
+	// Map has one entry per original basic block, in order.
+	Map []BlockMap
+	// OrigWords / NewWords measure text growth for this object.
+	OrigWords int
+	NewWords  int
+}
+
+// BlockMap correlates one original block with its rewritten form.
+type BlockMap struct {
+	OldOff    uint32 // block offset in original text
+	NewOff    uint32 // block offset (prologue start) in rewritten text
+	RecordOff uint32 // jal-return offset within rewritten text; ^0 if the block emits no records
+	Orig      obj.BasicBlock
+}
+
+// NoRecord marks blocks that generate no trace records.
+const NoRecord = ^uint32(0)
+
+const (
+	xr1 = isa.XReg1
+	xr2 = isa.XReg2
+	xr3 = isa.XReg3
+)
+
+// rw is the per-object rewriting state.
+type rw struct {
+	cfg Config
+	in  *obj.File
+	out []isa.Word
+	// instrNew maps original instruction byte offset to the new byte
+	// offset of the (possibly rewritten) instruction itself.
+	instrNew map[uint32]uint32
+	// leaderNew maps original block offsets to new block starts.
+	leaderNew map[uint32]uint32
+	maps      []BlockMap
+	newRelocs []obj.Reloc
+	symBB     int // symbol index of bbtrace
+	symMT     int // symbol index of memtrace
+	err       error
+}
+
+// Rewrite instruments one object file. The returned object references
+// the runtime symbols bbtrace and memtrace, which RuntimeObj (or the
+// kernel's variant) provides at link time.
+func Rewrite(f *obj.File, cfg Config) (*Rewritten, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("epoxie: %w", err)
+	}
+	r := &rw{
+		cfg:       cfg,
+		in:        f,
+		instrNew:  make(map[uint32]uint32, len(f.Text)),
+		leaderNew: make(map[uint32]uint32, len(f.Blocks)),
+	}
+
+	// Clone symbol table; intern runtime symbols.
+	nf := &obj.File{
+		Name:    f.Name,
+		Data:    append([]byte(nil), f.Data...),
+		BSSSize: f.BSSSize,
+		Syms:    append([]obj.Symbol(nil), f.Syms...),
+	}
+	r.symBB = nf.AddSym(obj.Symbol{Name: "bbtrace", Section: obj.SecText})
+	r.symMT = nf.AddSym(obj.Symbol{Name: "memtrace", Section: obj.SecText})
+
+	for bi := range f.Blocks {
+		r.block(&f.Blocks[bi], nf)
+		if r.err != nil {
+			return nil, fmt.Errorf("epoxie %s: %w", f.Name, r.err)
+		}
+	}
+
+	// Address correction: remap defined text symbols and, for
+	// relocations against them, addends.
+	oldSymOff := make([]uint32, len(f.Syms))
+	for si := range nf.Syms {
+		s := &nf.Syms[si]
+		if si < len(f.Syms) {
+			oldSymOff[si] = f.Syms[si].Off
+		}
+		if s.Defined && s.Section == obj.SecText && si < len(f.Syms) {
+			s.Off = r.mapOff(oldSymOff[si])
+		}
+	}
+	mapReloc := func(rl obj.Reloc, inText bool) obj.Reloc {
+		if inText {
+			no, ok := r.instrNew[rl.Off]
+			if !ok {
+				r.err = fmt.Errorf("reloc at unmapped offset 0x%x", rl.Off)
+				return rl
+			}
+			rl.Off = no
+		}
+		// Addend remap for intra-object text references.
+		if rl.Sym < len(f.Syms) {
+			s := f.Syms[rl.Sym]
+			if s.Defined && s.Section == obj.SecText {
+				oldTarget := uint32(int64(s.Off) + int64(rl.Addend))
+				rl.Addend = int32(r.mapOff(oldTarget)) - int32(r.mapOff(s.Off))
+			}
+		}
+		return rl
+	}
+	for _, rl := range f.Relocs {
+		nf.Relocs = append(nf.Relocs, mapReloc(rl, true))
+	}
+	for _, rl := range f.DataRelocs {
+		nf.DataRelocs = append(nf.DataRelocs, mapReloc(rl, false))
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("epoxie %s: %w", f.Name, r.err)
+	}
+	nf.Relocs = append(nf.Relocs, r.newRelocs...)
+
+	// Re-encode branches against the new layout.
+	r.fixBranches()
+	if r.err != nil {
+		return nil, fmt.Errorf("epoxie %s: %w", f.Name, r.err)
+	}
+	nf.Text = r.out
+
+	// Rebuild the block table: one block per original block, spanning
+	// its rewritten extent, with memory ops rescanned.
+	for mi := range r.maps {
+		m := &r.maps[mi]
+		end := uint32(len(r.out)) * 4
+		if mi+1 < len(r.maps) {
+			end = r.maps[mi+1].NewOff
+		}
+		nb := obj.BasicBlock{
+			Off:    m.NewOff,
+			NInstr: int32((end - m.NewOff) / 4),
+			Flags:  m.Orig.Flags,
+		}
+		for k := int32(0); k < nb.NInstr; k++ {
+			w := r.out[m.NewOff/4+uint32(k)]
+			if isa.IsMem(w) {
+				nb.Mem = append(nb.Mem, obj.MemOp{Index: int16(k), Load: isa.IsLoad(w), Size: int8(isa.MemSize(w))})
+			}
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	if err := nf.Validate(); err != nil {
+		return nil, fmt.Errorf("epoxie %s: rewritten object invalid: %w", f.Name, err)
+	}
+	return &Rewritten{
+		File:      nf,
+		Map:       r.maps,
+		OrigWords: len(f.Text),
+		NewWords:  len(r.out),
+	}, nil
+}
+
+// mapOff maps an original text offset to its new offset, preferring
+// block starts (branch targets always land on leaders; a block's new
+// start includes its trace prologue).
+func (r *rw) mapOff(old uint32) uint32 {
+	if n, ok := r.leaderNew[old]; ok {
+		return n
+	}
+	if n, ok := r.instrNew[old]; ok {
+		return n
+	}
+	if old == uint32(len(r.in.Text))*4 {
+		return uint32(len(r.out)) * 4 // end-of-text marker
+	}
+	r.err = fmt.Errorf("unmapped text offset 0x%x", old)
+	return 0
+}
+
+func (r *rw) emit(w isa.Word) uint32 {
+	off := uint32(len(r.out)) * 4
+	r.out = append(r.out, w)
+	return off
+}
+
+// fault records a rewriting error.
+func (r *rw) fault(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// block rewrites one basic block.
+func (r *rw) block(b *obj.BasicBlock, nf *obj.File) {
+	newStart := uint32(len(r.out)) * 4
+	m := BlockMap{OldOff: b.Off, NewOff: newStart, RecordOff: NoRecord, Orig: *b}
+	r.leaderNew[b.Off] = newStart
+
+	instrument := b.Flags&(obj.BBNoInstrument|obj.BBHandTraced) == 0
+	if b.Flags&obj.BBHandTraced != 0 {
+		// Hand-traced code records its own entries, keyed by the
+		// (relocated) address of the block start.
+		m.RecordOff = newStart
+	}
+
+	if instrument {
+		if r.cfg.Orig {
+			m.RecordOff = r.emitOrigPrologue(b)
+		} else {
+			// sw ra, 124(xreg3); jal bbtrace; li zero, N
+			r.emit(isa.SW(isa.RegRA, xr3, trace.BookSavedRA))
+			jal := r.emit(isa.JAL(0))
+			r.newRelocs = append(r.newRelocs, obj.Reloc{Off: jal, Kind: obj.RelJ26, Sym: r.symBB})
+			r.emit(isa.LINop(b.TraceWords()))
+			m.RecordOff = jal + 8
+		}
+	}
+
+	// Find the terminator pair: [..., term, slot] when the block ends
+	// with a control transfer.
+	n := int(b.NInstr)
+	words := r.in.Text[b.Off/4 : b.Off/4+uint32(n)]
+	bodyEnd := n
+	hasPair := false
+	if n >= 2 && isa.HasDelaySlot(words[n-2]) {
+		bodyEnd = n - 2
+		hasPair = true
+	}
+
+	for k := 0; k < bodyEnd; k++ {
+		r.instruction(b.Off+uint32(k)*4, words[k], instrument)
+	}
+	if hasPair {
+		r.terminatorPair(b.Off+uint32(bodyEnd)*4, words[n-2], words[n-1], instrument)
+	}
+	r.maps = append(r.maps, m)
+}
+
+// instruction rewrites one non-terminator instruction. Register
+// stealing applies only to instrumented code: uninstrumented blocks
+// (the tracing runtime, delicate handlers) use the xregs on purpose.
+func (r *rw) instruction(oldOff uint32, w isa.Word, instrument bool) {
+	var pre, post []isa.Word
+	main := w
+	if instrument {
+		pre, main, post = r.steal(w)
+	}
+	for _, p := range pre {
+		r.emit(p)
+	}
+	if instrument && isa.IsMem(main) {
+		r.memRef(oldOff, main)
+	} else {
+		r.instrNew[oldOff] = r.emit(main)
+	}
+	for _, p := range post {
+		r.emit(p)
+	}
+	if instrument && isa.Writes(main) == isa.RegRA {
+		// Keep the shadow copy of ra fresh so memtrace's ra dispatch
+		// and block-end restores stay correct.
+		r.emit(isa.SW(isa.RegRA, xr3, trace.BookSavedRA))
+	}
+}
+
+// memRef emits the memtrace call for a memory instruction.
+func (r *rw) memRef(oldOff uint32, w isa.Word) {
+	if r.cfg.Orig {
+		r.instrNew[oldOff] = r.emitOrigMemRef(w)
+		return
+	}
+	i := isa.Decode(w)
+	hazard := readsOrWritesRA(w) || (isa.IsLoad(w) && i.Rt == i.Rs)
+	jal := r.emit(isa.JAL(0))
+	r.newRelocs = append(r.newRelocs, obj.Reloc{Off: jal, Kind: obj.RelJ26, Sym: r.symMT})
+	if hazard {
+		// EA no-op in the slot; real instruction after the call.
+		r.emit(isa.EANop(i.Rs, i.Imm, isa.MemSize(w)))
+	}
+	r.instrNew[oldOff] = r.emit(w)
+}
+
+func readsOrWritesRA(w isa.Word) bool {
+	if isa.Writes(w) == isa.RegRA {
+		return true
+	}
+	for _, rr := range isa.Reads(w) {
+		if rr == isa.RegRA {
+			return true
+		}
+	}
+	return false
+}
+
+// terminatorPair rewrites a control transfer and its delay slot.
+func (r *rw) terminatorPair(termOff uint32, term, slot isa.Word, instrument bool) {
+	if !instrument {
+		r.instrNew[termOff] = r.emit(term)
+		r.instrNew[termOff+4] = r.emit(slot)
+		return
+	}
+	// Steal-rewrite the terminator (pre-loads only; terminators never
+	// write xregs in our code, but jr xreg / beq xreg are possible).
+	tpre, tmain, tpost := r.steal(term)
+	if len(tpost) != 0 {
+		r.fault("terminator at 0x%x writes a stolen register", termOff)
+		return
+	}
+
+	spre, smain, spost := r.steal(slot)
+
+	if instrument && isa.IsMem(smain) {
+		// The slot holds a memory instruction: hoist it (with its
+		// memtrace call) above the terminator when that is safe.
+		if !safeToHoist(tmain, smain) {
+			r.fault("memory instruction in delay slot at 0x%x cannot be hoisted", termOff+4)
+			return
+		}
+		for _, p := range spre {
+			r.emit(p)
+		}
+		r.memRef(termOff+4, smain)
+		for _, p := range spost {
+			r.emit(p)
+		}
+		for _, p := range tpre {
+			r.emit(p)
+		}
+		r.instrNew[termOff] = r.emit(tmain)
+		r.emit(isa.NOP)
+		return
+	}
+
+	if len(spre) != 0 || len(spost) != 0 {
+		// The slot instruction needs stolen-register rewriting: hoist
+		// its pre-loads above the terminator. Safe only if they don't
+		// disturb the terminator's sources (they only touch scratch).
+		for _, p := range spre {
+			r.emit(p)
+		}
+		if len(spost) != 0 {
+			r.fault("delay slot at 0x%x writes a stolen register", termOff+4)
+			return
+		}
+	}
+	for _, p := range tpre {
+		r.emit(p)
+	}
+	r.instrNew[termOff] = r.emit(tmain)
+	r.instrNew[termOff+4] = r.emit(smain)
+}
+
+// safeToHoist reports whether moving the slot's memory instruction
+// above the terminator preserves semantics: the terminator must not
+// read a register the load writes.
+func safeToHoist(term, slot isa.Word) bool {
+	w := isa.Writes(slot)
+	if w < 0 {
+		return true
+	}
+	for _, rr := range isa.Reads(term) {
+		if rr == w {
+			return false
+		}
+	}
+	return true
+}
+
+// fixBranches re-encodes PC-relative branches against the new layout.
+func (r *rw) fixBranches() {
+	for oldOff, newOff := range r.instrNew {
+		w := r.out[newOff/4]
+		if !isa.IsBranch(w) {
+			continue
+		}
+		imm := int32(int16(w))
+		oldTarget := uint32(int64(oldOff) + 4 + int64(imm)*4)
+		newTarget := r.mapOff(oldTarget)
+		diff := (int64(newTarget) - int64(newOff) - 4) / 4
+		if diff > 32767 || diff < -32768 {
+			r.fault("branch at 0x%x out of range after expansion (%d words)", oldOff, diff)
+			return
+		}
+		r.out[newOff/4] = w&0xffff0000 | uint32(uint16(int16(diff)))
+	}
+}

@@ -1,0 +1,183 @@
+package epoxie
+
+import (
+	"fmt"
+
+	"systrace/internal/asm"
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+	"systrace/internal/trace"
+)
+
+// The tracing runtime: bbtrace and memtrace, hand-written assembly
+// that is linked into every instrumented image and never itself
+// instrumented. bbtrace reads the trace-word count from the LINop in
+// its caller's delay slot to check for buffer room, then records the
+// block entry with a single store; memtrace "partially decodes the
+// instruction in the branch delay slot to compute the address of the
+// memory reference" (§3.2) via a 32-way dispatch on the base register.
+//
+// Both routines may use only xreg1, xreg2 and the assembler temporary
+// `at` — except that memtrace must preserve `at`, because register
+// stealing uses `at` as the replacement base register of the traced
+// memory instruction. Both restore ra from the bookkeeping area before
+// returning.
+
+// RuntimeKind selects the buffer-full policy.
+type RuntimeKind int
+
+const (
+	// UserRuntime traps to the kernel (break) when the per-process
+	// buffer fills; the kernel copies it into the in-kernel buffer.
+	UserRuntime RuntimeKind = iota
+	// KernelRuntime cannot trap: it raises the full flag in the
+	// bookkeeping area and keeps writing into the slack region until
+	// the kernel reaches a safe point ("provisions must be made for
+	// critical system operations to complete", §3.3).
+	KernelRuntime
+	// BareRuntime halts the machine on overflow: used by toolchain
+	// tests, which size the buffer generously.
+	BareRuntime
+)
+
+// RuntimeObj builds the runtime object.
+func RuntimeObj(kind RuntimeKind) *obj.File {
+	a := asm.New(fmt.Sprintf("epoxie-rt-%d", int(kind)))
+
+	// ---- bbtrace ----
+	a.Func("bbtrace", asm.NoInstrument)
+	a.I(isa.SW(isa.RegRA, xr3, trace.BookBusy)) // in-flight: kernel must not reset the buffer
+	a.I(isa.LW(xr1, xr3, trace.BookBufPtr))
+	a.I(isa.LW(xr2, isa.RegRA, uint16(0xfffc))) // LINop at ra-4
+	a.I(isa.ANDI(xr2, xr2, 0xffff))             // words of trace for this block
+	a.I(isa.SLL(xr2, xr2, 2))
+	a.I(isa.ADDU(xr2, xr1, xr2)) // required end
+	a.I(isa.LW(isa.RegAT, xr3, trace.BookBufEnd))
+	a.I(isa.SLTU(isa.RegAT, isa.RegAT, xr2)) // end < required?
+	a.Br(isa.BNE(isa.RegAT, isa.RegZero, 0), "bbtrace_full")
+	a.I(isa.NOP)
+	a.Label("bbtrace_store")
+	a.I(isa.SW(isa.RegRA, xr1, 0)) // one store records the entry
+	a.I(isa.ADDIU(xr1, xr1, 4))
+	a.I(isa.SW(xr1, xr3, trace.BookBufPtr))
+	a.I(isa.SW(isa.RegZero, xr3, trace.BookBusy))
+	a.I(isa.OR(xr2, isa.RegRA, isa.RegZero))
+	a.I(isa.LW(isa.RegRA, xr3, trace.BookSavedRA))
+	a.I(isa.JR(xr2))
+	a.I(isa.NOP)
+
+	a.Label("bbtrace_full")
+	switch kind {
+	case UserRuntime:
+		// Trap: the kernel copies the buffer and resets BufPtr. Clear
+		// the busy flag first: this entry *wants* the flush.
+		a.I(isa.SW(isa.RegZero, xr3, trace.BookBusy))
+		a.I(isa.BREAK(trace.BreakTraceFlush))
+		a.Jmp("bbtrace")
+		a.I(isa.NOP)
+	case KernelRuntime:
+		a.I(isa.ORI(isa.RegAT, isa.RegZero, 1))
+		a.I(isa.SW(isa.RegAT, xr3, trace.BookFullFlag))
+		a.Jmp("bbtrace_store") // keep writing into the slack
+		a.I(isa.NOP)
+	case BareRuntime:
+		a.I(isa.BREAK(31)) // overflow is a test-configuration bug
+		a.Jmp("bbtrace")
+		a.I(isa.NOP)
+	}
+
+	// ---- memtrace ----
+	a.Func("memtrace", asm.NoInstrument)
+	a.I(isa.SW(isa.RegRA, xr3, trace.BookBusy)) // in-flight
+	a.I(isa.LW(xr1, isa.RegRA, uint16(0xfffc))) // delay-slot instruction
+	a.I(isa.SLL(xr2, xr1, 16))
+	a.I(isa.SRA(xr2, xr2, 16)) // sign-extended displacement
+	a.I(isa.SW(xr2, xr3, trace.BookImm))
+	a.I(isa.SRL(xr2, xr1, 21))
+	a.I(isa.ANDI(xr2, xr2, 31)) // base register number
+	a.I(isa.SLL(xr2, xr2, 4))   // 16 bytes per dispatch entry
+	a.LA(xr1, "memtrace_table", 0)
+	a.I(isa.ADDU(xr1, xr1, xr2))
+	a.I(isa.JR(xr1))
+	a.I(isa.NOP)
+
+	// Dispatch table: four instructions per base register. Most
+	// entries move the live register; ra and the stolen registers
+	// dispatch to their shadow values.
+	a.Func("memtrace_table", asm.NoInstrument)
+	for reg := 0; reg < 32; reg++ {
+		switch reg {
+		case isa.RegRA:
+			a.I(isa.LW(xr1, xr3, trace.BookSavedRA))
+		case xr1:
+			a.I(isa.LW(xr1, xr3, trace.BookShadow1))
+		case xr2:
+			a.I(isa.LW(xr1, xr3, trace.BookShadow2))
+		case xr3:
+			a.I(isa.LW(xr1, xr3, trace.BookShadow3))
+		default:
+			a.I(isa.OR(xr1, reg, isa.RegZero))
+		}
+		a.Jmp("memtrace_common")
+		a.I(isa.NOP)
+		a.I(isa.NOP)
+	}
+
+	a.Label("memtrace_common")
+	a.I(isa.LW(xr2, xr3, trace.BookImm))
+	a.I(isa.ADDU(xr1, xr1, xr2)) // effective address
+	a.I(isa.LW(xr2, xr3, trace.BookBufPtr))
+	a.I(isa.SW(xr1, xr2, 0)) // one store records the entry
+	a.I(isa.ADDIU(xr2, xr2, 4))
+	a.I(isa.SW(xr2, xr3, trace.BookBufPtr))
+	a.I(isa.SW(isa.RegZero, xr3, trace.BookBusy))
+	a.I(isa.OR(xr2, isa.RegRA, isa.RegZero))
+	a.I(isa.LW(isa.RegRA, xr3, trace.BookSavedRA))
+	a.I(isa.JR(xr2))
+	a.I(isa.NOP)
+
+	return a.MustFinish()
+}
+
+// Original-epoxie emission (Config.Orig). The original tool and pixie
+// used bulkier inline sequences — "all of which expand the text by a
+// factor of 4-6 when used for address tracing. It should be noted that
+// minimal text growth was not a design objective for any of the
+// earlier tools" (§3.2). We model that style: an inline dynamic
+// instruction counter per block and a fully inline trace store per
+// memory reference.
+
+// emitOrigPrologue emits the six-instruction block prologue and
+// returns the record (jal-return) offset.
+func (r *rw) emitOrigPrologue(b *obj.BasicBlock) uint32 {
+	r.emit(isa.SW(isa.RegRA, xr3, trace.BookSavedRA))
+	jal := r.emit(isa.JAL(0))
+	r.newRelocs = append(r.newRelocs, obj.Reloc{Off: jal, Kind: obj.RelJ26, Sym: r.symBB})
+	r.emit(isa.LINop(b.TraceWords()))
+	// Inline dynamic instruction counter.
+	r.emit(isa.LW(isa.RegAT, xr3, trace.BookICount))
+	r.emit(isa.ADDIU(isa.RegAT, isa.RegAT, uint16(b.NInstr)))
+	r.emit(isa.SW(isa.RegAT, xr3, trace.BookICount))
+	return jal + 8
+}
+
+// emitOrigMemRef emits the fully inline trace store (nine extra
+// instructions per reference, including a per-reference bounds check —
+// the original tools did not batch the room check per block the way
+// the modified bbtrace protocol does) and returns the new offset of
+// the original instruction.
+func (r *rw) emitOrigMemRef(w isa.Word) uint32 {
+	i := isa.Decode(w)
+	r.emit(isa.SW(isa.RegAT, xr3, trace.BookTmp)) // preserve at (may be the base)
+	r.emit(isa.ADDIU(isa.RegAT, i.Rs, i.Imm))     // effective address
+	r.emit(isa.LW(xr1, xr3, trace.BookBufPtr))
+	r.emit(isa.LW(xr2, xr3, trace.BookBufEnd))
+	r.emit(isa.SLTU(xr2, xr1, xr2))
+	r.emit(isa.BEQ(xr2, isa.RegZero, 4)) // full: skip the store
+	r.emit(isa.NOP)                      // delay slot
+	r.emit(isa.SW(isa.RegAT, xr1, 0))
+	r.emit(isa.ADDIU(xr1, xr1, 4))
+	r.emit(isa.SW(xr1, xr3, trace.BookBufPtr))
+	r.emit(isa.LW(isa.RegAT, xr3, trace.BookTmp))
+	return r.emit(w)
+}

@@ -1,0 +1,189 @@
+package epoxie
+
+import (
+	"fmt"
+	"systrace/internal/isa"
+	"systrace/internal/trace"
+)
+
+// Register stealing. "Epoxie operates on binaries after compilation,
+// so registers reserved for tracing had to be 'stolen.' ... Uses in
+// the original binary of these stolen registers are replaced with
+// sequences of instructions that use a 'shadow' value for the
+// register, in memory" (§3.2/3.5). The shadow slots live in the
+// bookkeeping area addressed by xreg3; the assembler temporary `at`
+// (never emitted by the compiler) is the primary scratch register, and
+// a second scratch is borrowed — with a save/restore through the
+// bookkeeping scratch slot — when an instruction reads two stolen
+// registers.
+
+func shadowOff(x int) uint16 {
+	switch x {
+	case xr1:
+		return trace.BookShadow1
+	case xr2:
+		return trace.BookShadow2
+	default:
+		return trace.BookShadow3
+	}
+}
+
+func isXReg(r int) bool { return r == xr1 || r == xr2 || r == xr3 }
+
+// steal rewrites one instruction's stolen-register uses. It returns
+// instructions to issue before and after the (possibly re-registered)
+// main instruction.
+func (r *rw) steal(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word) {
+	var err error
+	pre, main, post, err = StealRewrite(w)
+	if err != nil {
+		r.fault("%v", err)
+	}
+	return pre, main, post
+}
+
+// StealRewrite rewrites one instruction's uses of the stolen registers
+// xreg1..xreg3 against their shadow slots. It is shared with pixie,
+// which steals the same registers.
+func StealRewrite(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word, err error) {
+	var stolenReads []int
+	for _, rr := range isa.Reads(w) {
+		if isXReg(rr) {
+			stolenReads = append(stolenReads, rr)
+		}
+	}
+	wr := isa.Writes(w)
+	stolenWrite := wr >= 0 && isXReg(wr)
+	if len(stolenReads) == 0 && !stolenWrite {
+		return nil, w, nil, nil
+	}
+
+	// Scratch assignment: first read -> at; second read -> a borrowed
+	// register (saved and restored through the bookkeeping area).
+	sub := map[int]int{}
+	pre = nil
+	post = nil
+	if len(stolenReads) > 0 {
+		sub[stolenReads[0]] = isa.RegAT
+		pre = append(pre, isa.LW(isa.RegAT, xr3, shadowOff(stolenReads[0])))
+	}
+	if len(stolenReads) > 1 {
+		cand := pickScratch(w)
+		if cand < 0 {
+			return nil, w, nil, fmt.Errorf("no scratch register available for %s", isa.Disassemble(0, w))
+		}
+		sub[stolenReads[1]] = cand
+		pre = append(pre,
+			isa.SW(cand, xr3, trace.BookTmp),
+			isa.LW(cand, xr3, shadowOff(stolenReads[1])))
+		post = append(post, isa.LW(cand, xr3, trace.BookTmp))
+	}
+	if stolenWrite {
+		// The result is computed into at and written back to the
+		// shadow slot. at may simultaneously serve as the replacement
+		// for a read of the same register (reads complete before the
+		// write takes effect within one instruction).
+		sub[wr] = isa.RegAT
+		// Write-back must precede the borrowed-register restore.
+		post = append([]isa.Word{isa.SW(isa.RegAT, xr3, shadowOff(wr))}, post...)
+	}
+	main = substituteRegs(w, sub, wr)
+	return pre, main, post, nil
+}
+
+// pickScratch chooses a register not referenced by w for the second
+// stolen read.
+func pickScratch(w isa.Word) int {
+	used := map[int]bool{isa.RegAT: true}
+	for _, rr := range isa.Reads(w) {
+		used[rr] = true
+	}
+	if wr := isa.Writes(w); wr >= 0 {
+		used[wr] = true
+	}
+	for _, cand := range []int{isa.RegV1, isa.RegT9, isa.RegT8, isa.RegA3} {
+		if !used[cand] {
+			return cand
+		}
+	}
+	return -1
+}
+
+// substituteRegs replaces register fields of w per sub; writeReg
+// identifies the written register (so rt is substituted with the read
+// mapping for stores but the write mapping for loads).
+func substituteRegs(w isa.Word, sub map[int]int, writeReg int) isa.Word {
+	i := isa.Decode(w)
+	mapRead := func(reg int) int {
+		if n, ok := sub[reg]; ok && reg != writeReg {
+			return n
+		}
+		if n, ok := sub[reg]; ok {
+			// Register is both read and written; both map to at.
+			return n
+		}
+		return reg
+	}
+	mapWrite := func(reg int) int {
+		if n, ok := sub[reg]; ok {
+			return n
+		}
+		return reg
+	}
+
+	switch i.Op {
+	case isa.OpSpecial:
+		switch i.Funct {
+		case isa.FnJR:
+			i.Rs = mapRead(i.Rs)
+		case isa.FnJALR:
+			i.Rs = mapRead(i.Rs)
+			i.Rd = mapWrite(i.Rd)
+		case isa.FnSLL, isa.FnSRL, isa.FnSRA:
+			i.Rt = mapRead(i.Rt)
+			i.Rd = mapWrite(i.Rd)
+		case isa.FnMFHI, isa.FnMFLO:
+			i.Rd = mapWrite(i.Rd)
+		case isa.FnMTHI, isa.FnMTLO:
+			i.Rs = mapRead(i.Rs)
+		case isa.FnMULT, isa.FnMULTU, isa.FnDIV, isa.FnDIVU:
+			i.Rs = mapRead(i.Rs)
+			i.Rt = mapRead(i.Rt)
+		default:
+			i.Rs = mapRead(i.Rs)
+			i.Rt = mapRead(i.Rt)
+			i.Rd = mapWrite(i.Rd)
+		}
+	case isa.OpRegImm, isa.OpBLEZ, isa.OpBGTZ:
+		i.Rs = mapRead(i.Rs)
+	case isa.OpBEQ, isa.OpBNE:
+		i.Rs = mapRead(i.Rs)
+		i.Rt = mapRead(i.Rt)
+	case isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU, isa.OpANDI, isa.OpORI, isa.OpXORI:
+		i.Rs = mapRead(i.Rs)
+		i.Rt = mapWrite(i.Rt)
+	case isa.OpLUI:
+		i.Rt = mapWrite(i.Rt)
+	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU:
+		i.Rs = mapRead(i.Rs)
+		i.Rt = mapWrite(i.Rt)
+	case isa.OpSB, isa.OpSH, isa.OpSW:
+		i.Rs = mapRead(i.Rs)
+		i.Rt = mapRead(i.Rt)
+	case isa.OpLWC1, isa.OpSWC1:
+		i.Rs = mapRead(i.Rs)
+	case isa.OpCOP0:
+		if uint32(i.Rs) == isa.Cop0MT {
+			i.Rt = mapRead(i.Rt)
+		} else if uint32(i.Rs) == isa.Cop0MF {
+			i.Rt = mapWrite(i.Rt)
+		}
+	case isa.OpCOP1:
+		if uint32(i.Rs) == isa.Cop1MT {
+			i.Rt = mapRead(i.Rt)
+		} else if uint32(i.Rs) == isa.Cop1MF {
+			i.Rt = mapWrite(i.Rt)
+		}
+	}
+	return i.Encode()
+}

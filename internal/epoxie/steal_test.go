@@ -1,0 +1,124 @@
+package epoxie_test
+
+import (
+	"testing"
+
+	"systrace/internal/asm"
+	"systrace/internal/epoxie"
+	"systrace/internal/isa"
+	"systrace/internal/link"
+	"systrace/internal/obj"
+	"systrace/internal/sim"
+	"systrace/internal/trace"
+)
+
+func TestStealRewriteForms(t *testing.T) {
+	cases := []struct {
+		name string
+		w    isa.Word
+		pre  int // expected pre instructions
+		post int
+	}{
+		{"no xregs", isa.ADDU(isa.RegT0, isa.RegT1, isa.RegT2), 0, 0},
+		{"one read", isa.ADDU(isa.RegT0, isa.XReg1, isa.RegT2), 1, 0},
+		{"two reads", isa.ADDU(isa.RegT0, isa.XReg1, isa.XReg2), 3, 1},
+		{"write", isa.ADDIU(isa.XReg1, isa.RegT0, 4), 0, 1},
+		{"read+write same", isa.ADDIU(isa.XReg1, isa.XReg1, 4), 1, 1},
+		{"read+write different", isa.ADDU(isa.XReg2, isa.XReg1, isa.RegT0), 1, 1},
+		{"branch on xreg", isa.BEQ(isa.XReg1, isa.RegZero, 4), 1, 0},
+		{"store xreg value", isa.SW(isa.XReg1, isa.RegSP, 8), 1, 0},
+		{"load into xreg", isa.LW(isa.XReg3, isa.RegSP, 8), 0, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pre, main, post, err := epoxie.StealRewrite(c.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pre) != c.pre || len(post) != c.post {
+				t.Fatalf("pre=%d post=%d want %d/%d (main %s)",
+					len(pre), len(post), c.pre, c.post, isa.Disassemble(0, main))
+			}
+			// The rewritten main instruction must not reference xregs.
+			for _, r := range isa.Reads(main) {
+				if r == isa.XReg1 || r == isa.XReg2 || r == isa.XReg3 {
+					t.Errorf("main still reads xreg: %s", isa.Disassemble(0, main))
+				}
+			}
+			if w := isa.Writes(main); w == isa.XReg1 || w == isa.XReg2 || w == isa.XReg3 {
+				t.Errorf("main still writes xreg: %s", isa.Disassemble(0, main))
+			}
+		})
+	}
+}
+
+// TestStealSemantics runs hand-written code that uses the stolen
+// registers through instrumentation and checks the shadowed values
+// behave like the real registers.
+func TestStealSemantics(t *testing.T) {
+	a := asm.New("stealprog")
+	a.Func("main", 0)
+	// Use xreg1/xreg2 as ordinary computation registers.
+	a.LI(isa.XReg1, 40)
+	a.LI(isa.XReg2, 2)
+	a.I(isa.ADDU(isa.XReg1, isa.XReg1, isa.XReg2)) // 42
+	a.I(isa.SLL(isa.XReg2, isa.XReg1, 1))          // 84
+	a.I(isa.ADDU(isa.RegV0, isa.XReg1, isa.XReg2)) // 126
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shadow slots must start with the right values; the traced
+	// start stub zeroes nothing, so initialize shadows explicitly by
+	// running the uninstrumented version first as a control.
+	b, err := epoxie.BuildInstrumented(
+		[]*obj.File{sim.TracedStartObj(), f},
+		bareLink("steal"), epoxie.Config{}, epoxie.BareRuntime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := sim.RunResult(b.Orig, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 126 {
+		t.Fatalf("control run got %d", v)
+	}
+	vi, _, err := sim.RunResult(b.Instr, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi != 126 {
+		t.Fatalf("instrumented run got %d (register stealing broke semantics)", vi)
+	}
+}
+
+// TestBusyFlagProtocol: the runtime raises and clears the bookkeeping
+// busy flag around every buffer update.
+func TestBusyFlagProtocol(t *testing.T) {
+	rt := epoxie.RuntimeObj(epoxie.UserRuntime)
+	var sets, clears int
+	for _, w := range rt.Text {
+		i := isa.Decode(w)
+		if i.Op == isa.OpSW && i.Rs == isa.XReg3 && int16(i.Imm) == trace.BookBusy {
+			if i.Rt == isa.RegZero {
+				clears++
+			} else {
+				sets++
+			}
+		}
+	}
+	if sets < 2 || clears < 3 {
+		t.Errorf("busy protocol incomplete: %d sets, %d clears", sets, clears)
+	}
+}
+
+func bareLink(name string) link.Options {
+	return link.Options{
+		Name:     name,
+		TextBase: sim.BareTextBase,
+		DataBase: sim.BareDataBase,
+	}
+}

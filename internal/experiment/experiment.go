@@ -1,0 +1,312 @@
+// Package experiment runs the paper's validation methodology end to
+// end: direct measurement of the uninstrumented system (execution-
+// driven memory model attached to the machine) against trace-driven
+// prediction (epoxie-instrumented system generating a trace consumed
+// by the analysis-side simulator), with pixie supplying the
+// arithmetic-stall term. Every table and figure of the paper has a
+// generator here; see DESIGN.md's per-experiment index.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"systrace/internal/isa"
+	"systrace/internal/kernel"
+	"systrace/internal/machine"
+	m "systrace/internal/mahler"
+	"systrace/internal/memsys"
+	"systrace/internal/obj"
+	"systrace/internal/pixie"
+	"systrace/internal/trace"
+	"systrace/internal/userland"
+	"systrace/internal/workload"
+)
+
+// IdleScale is the time-dilation compensation factor: instrumented
+// code runs about fifteen times slower, so traced idle-loop counts are
+// multiplied by fifteen to estimate I/O stalls and the traced system's
+// clock runs at 1/15th rate (§4.1).
+const IdleScale = 15
+
+// Budget bounds one simulated run.
+const runBudget = 6_000_000_000
+
+// build caching: kernels and programs are deterministic.
+var (
+	cacheMu sync.Mutex
+	kcache  = map[string]*obj.Executable{}
+	pcache  = map[string]*userland.Program{}
+	svcache *userland.Program
+)
+
+func kernelExe(flavor kernel.Flavor, traced bool) (*obj.Executable, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := fmt.Sprintf("%v-%v", flavor, traced)
+	if e, ok := kcache[key]; ok {
+		return e, nil
+	}
+	e, err := kernel.Build(kernel.Config{Flavor: flavor, Traced: traced})
+	if err != nil {
+		return nil, err
+	}
+	kcache[key] = e
+	return e, nil
+}
+
+func program(spec workload.Spec) (*userland.Program, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if p, ok := pcache[spec.Name]; ok {
+		return p, nil
+	}
+	p, err := userland.Build(spec.Name, []*m.Module{spec.Build()}, m.Options{})
+	if err != nil {
+		return nil, err
+	}
+	pcache[spec.Name] = p
+	return p, nil
+}
+
+func server() (*userland.Program, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if svcache != nil {
+		return svcache, nil
+	}
+	p, err := userland.Build("ux", []*m.Module{userland.UXServer()}, m.Options{})
+	if err != nil {
+		return nil, err
+	}
+	svcache = p
+	return p, nil
+}
+
+// boot assembles a system for one workload.
+func boot(spec workload.Spec, flavor kernel.Flavor, traced bool, seed uint32,
+	override *obj.Executable) (*kernel.System, int, error) {
+	kexe, err := kernelExe(flavor, traced)
+	if err != nil {
+		return nil, 0, err
+	}
+	prog, err := program(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	exe := prog.Orig
+	if traced {
+		exe = prog.Instr
+	}
+	if override != nil {
+		exe = override
+	}
+	var procs []kernel.BootProc
+	clientPid := 1
+	if flavor == kernel.Mach {
+		srv, err := server()
+		if err != nil {
+			return nil, 0, err
+		}
+		sexe := srv.Orig
+		if traced {
+			sexe = srv.Instr
+		}
+		procs = append(procs, kernel.BootProc{Exe: sexe, IsServer: true})
+		clientPid = 2
+	}
+	procs = append(procs, kernel.BootProc{Exe: exe})
+	disk, err := kernel.BuildDiskImage(spec.Files)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := kernel.DefaultBoot(flavor)
+	cfg.DiskImage = disk
+	cfg.MapSeed = seed
+	if traced {
+		cfg.TraceBufBytes = trace.DefaultKernelBufBytes
+		cfg.ClockInterval *= IdleScale
+	}
+	sys, err := kernel.Boot(kexe, procs, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sys, clientPid, nil
+}
+
+// Measured is one direct measurement of the uninstrumented system.
+type Measured struct {
+	Name       string
+	Flavor     kernel.Flavor
+	Cycles     uint64
+	Seconds    float64
+	Instr      uint64
+	UTLBMisses uint32
+	Result     uint32
+	Timing     *memsys.Timing
+}
+
+// Measure runs the uninstrumented workload under the execution-driven
+// machine model — the paper's "measurements of execution time made
+// with an accurate timer" plus the hardware TLB miss counter.
+func Measure(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Measured, error) {
+	sys, pid, err := boot(spec, flavor, false, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	tm := memsys.NewTiming(memsys.DECstation5000())
+	sys.M.AttachTiming(tm, tm)
+	if err := sys.Run(runBudget); err != nil {
+		return nil, fmt.Errorf("measure %s/%v: %w", spec.Name, flavor, err)
+	}
+	return &Measured{
+		Name:       spec.Name,
+		Flavor:     flavor,
+		Cycles:     sys.M.Cycles(),
+		Seconds:    machine.Seconds(sys.M.Cycles()),
+		Instr:      sys.M.CPU.Stat.Instret,
+		UTLBMisses: sys.UTLBCount(),
+		Result:     sys.ExitStatus(pid),
+		Timing:     tm,
+	}, nil
+}
+
+// Predicted is one trace-driven prediction.
+type Predicted struct {
+	Name   string
+	Flavor kernel.Flavor
+	// The four components of Table 2's predicted time.
+	CPUCycles   uint64 // one cycle per (non-idle) traced instruction
+	MemStalls   uint64
+	ArithStalls uint64
+	IOStalls    uint64 // idle-loop count scaled by IdleScale
+	Cycles      uint64
+	Seconds     float64
+
+	IdleInstr   uint64
+	TraceWords  uint64
+	Events      uint64
+	UTLBMisses  uint64 // simulated (Table 3 "predicted")
+	ModeSwtichs uint64
+	Result      uint32
+	TracedInstr uint64 // machine instructions of the traced run (dilation)
+	Sim         *memsys.TraceSim
+	Parser      *trace.Parser
+}
+
+// Predict runs the traced system, streams the trace through the
+// parsing library into the trace-driven simulator, runs the pixie
+// count-mode binary for arithmetic stalls, and assembles the predicted
+// execution time from its four components (§5.1).
+func Predict(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Predicted, error) {
+	sys, pid, err := boot(spec, flavor, true, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Side tables: kernel + every traced process image.
+	p := trace.NewParser(trace.NewSideTable(sys.Kernel.Instr.Blocks))
+	for i, bp := range sys.Procs {
+		if bp.Exe.Instr != nil {
+			p.AddProcess(i+1, trace.NewSideTable(bp.Exe.Instr.Blocks))
+		}
+	}
+	policy := memsys.PolicySequential
+	if flavor == kernel.Mach {
+		policy = memsys.PolicyRandom
+	}
+	sim := memsys.NewTraceSim(memsys.DECstation5000(), policy,
+		kernel.DefaultBoot(flavor).RAMBytes>>12, seed)
+
+	var events uint64
+	var perr error
+	buf := make([]trace.Event, 0, 1<<16)
+	sys.OnTrace = func(words []uint32) {
+		if perr != nil {
+			return
+		}
+		var evs []trace.Event
+		evs, perr = p.Parse(words, buf[:0])
+		if perr != nil {
+			return
+		}
+		events += uint64(len(evs))
+		sim.Events(evs)
+	}
+	if err := sys.Run(runBudget); err != nil {
+		return nil, fmt.Errorf("predict %s/%v: %w", spec.Name, flavor, err)
+	}
+	if perr != nil {
+		return nil, fmt.Errorf("predict %s/%v: %w", spec.Name, flavor, perr)
+	}
+
+	arith, err := arithStalls(spec, kernel.Ultrix)
+	if err != nil {
+		return nil, err
+	}
+
+	cpu := sim.Instr - sim.IdleInstr
+	io := sim.IdleInstr * IdleScale
+	total := cpu + sim.MemStalls() + arith + io
+	return &Predicted{
+		Name:        spec.Name,
+		Flavor:      flavor,
+		CPUCycles:   cpu,
+		MemStalls:   sim.MemStalls(),
+		ArithStalls: arith,
+		IOStalls:    io,
+		Cycles:      total,
+		Seconds:     machine.Seconds(total),
+		IdleInstr:   sim.IdleInstr,
+		TraceWords:  sys.DrainedWords,
+		Events:      events,
+		UTLBMisses:  sim.TLB.Misses,
+		ModeSwtichs: sys.Doorbells,
+		Result:      sys.ExitStatus(pid),
+		TracedInstr: sys.M.CPU.Stat.Instret,
+		Sim:         sim,
+		Parser:      p,
+	}, nil
+}
+
+// arithStalls runs the pixie basic-block counting binary and charges
+// each block's floating-point latency by its execution count — "Pixie
+// was used to estimate arithmetic stalls, as the tracing system does
+// not measure these events" (§5.1).
+func arithStalls(spec workload.Spec, flavor kernel.Flavor) (uint64, error) {
+	prog, err := program(spec)
+	if err != nil {
+		return 0, err
+	}
+	res, err := pixie.RewriteWithBook(prog.Orig, pixie.ModeCount, trace.UserTraceVA)
+	if err != nil {
+		return 0, err
+	}
+	sys, _, err := boot(spec, flavor, false, 1, res.Exe)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Run(runBudget); err != nil {
+		return 0, fmt.Errorf("pixie count %s: %w", spec.Name, err)
+	}
+	pid := 1
+	if flavor == kernel.Mach {
+		pid = 2
+	}
+	// Static FP latency per original block, weighted by count.
+	var stalls uint64
+	for bi := range prog.Orig.Blocks {
+		b := &prog.Orig.Blocks[bi]
+		cnt, ok := sys.ReadUserWord(pid, res.CountsVA+uint32(bi)*4)
+		if !ok || cnt == 0 {
+			continue
+		}
+		var lat uint64
+		for k := int32(0); k < b.NInstr; k++ {
+			w := prog.Orig.Text[(b.Addr-prog.Orig.TextBase)/4+uint32(k)]
+			lat += uint64(isa.FPLatency(w))
+		}
+		stalls += uint64(cnt) * lat
+	}
+	return stalls, nil
+}

@@ -1,0 +1,133 @@
+package experiment_test
+
+import (
+	"strings"
+	"testing"
+
+	"systrace/internal/experiment"
+	"systrace/internal/kernel"
+	"systrace/internal/workload"
+)
+
+func specsFor(t *testing.T, names ...string) []workload.Spec {
+	t.Helper()
+	var out []workload.Spec
+	for _, n := range names {
+		s, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("no workload %q", n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestMeasurePredictAgreeOnResult(t *testing.T) {
+	for _, s := range specsFor(t, "sed", "lisp") {
+		meas, err := experiment.Measure(s, kernel.Ultrix, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := experiment.Predict(s, kernel.Ultrix, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meas.Result != pred.Result {
+			t.Errorf("%s: results diverge (%d vs %d)", s.Name, meas.Result, pred.Result)
+		}
+		row := experiment.Row{Name: s.Name, Measured: meas.Seconds, Predicted: pred.Seconds}
+		t.Logf("%s: measured=%.5fs predicted=%.5fs err=%.1f%% (cpu=%d mem=%d arith=%d io=%d) utlb meas=%d pred=%d",
+			s.Name, meas.Seconds, pred.Seconds, row.PercentError(),
+			pred.CPUCycles, pred.MemStalls, pred.ArithStalls, pred.IOStalls,
+			meas.UTLBMisses, pred.UTLBMisses)
+		if e := row.PercentError(); e < -60 || e > 60 {
+			t.Errorf("%s: prediction error %.1f%% is out of any reasonable band", s.Name, e)
+		}
+	}
+}
+
+func TestTable1Inventory(t *testing.T) {
+	rows, err := experiment.Table1(specsFor(t, "gcc", "yacc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 || r.Instr == 0 || r.Description == "" {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestTable2AndFigure3(t *testing.T) {
+	specs := specsFor(t, "gcc", "yacc")[:1] // gcc only: four full system runs
+	rows, err := experiment.Table2(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.UltrixMeasured <= 0 || r.UltrixPredicted <= 0 ||
+		r.MachMeasured <= 0 || r.MachPredicted <= 0 {
+		t.Fatalf("degenerate row %+v", r)
+	}
+	// Mach must not be cheaper than Ultrix for a syscall-using program.
+	if r.MachMeasured < r.UltrixMeasured {
+		t.Errorf("Mach %.4f < Ultrix %.4f for gcc", r.MachMeasured, r.UltrixMeasured)
+	}
+	// Predictions within the paper's error band (±15% generously).
+	fig := experiment.Figure3(rows)
+	for _, fr := range fig {
+		if e := fr.PercentError(); e < -15 || e > 15 {
+			t.Errorf("%s: prediction error %.1f%% outside band", fr.Name, e)
+		}
+	}
+}
+
+func TestBufferSizingMonotonic(t *testing.T) {
+	spec, _ := workload.ByName("sed")
+	rows, err := experiment.BufferSizing(spec, []uint32{256 << 10, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].ModeSwitches < rows[1].ModeSwitches {
+		t.Errorf("smaller buffer must switch at least as often: %d vs %d",
+			rows[0].ModeSwitches, rows[1].ModeSwitches)
+	}
+	if rows[0].InstrPerPhase > rows[1].InstrPerPhase {
+		t.Errorf("instructions per phase must grow with the buffer: %.0f vs %.0f",
+			rows[0].InstrPerPhase, rows[1].InstrPerPhase)
+	}
+}
+
+func TestKernelCPIRatio(t *testing.T) {
+	spec, _ := workload.ByName("sed")
+	res, err := experiment.KernelCPI(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Tunix observation's direction: kernel CPI strictly above
+	// user CPI, by a small multiple (the paper saw ~3x on the Titan).
+	if res.Ratio <= 1.0 || res.Ratio > 5.0 {
+		t.Errorf("kernel/user CPI ratio %.2f out of the paper's shape", res.Ratio)
+	}
+	if res.KernelInstr == 0 || res.UserInstr == 0 {
+		t.Error("mode-attributed instruction counts missing")
+	}
+}
+
+func TestFormatTableAlignment(t *testing.T) {
+	out := experiment.FormatTable(
+		[]string{"a", "long-header", "c"},
+		[][]string{{"1", "2", "3"}, {"wide-cell", "x", "y"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if len(l) > len(lines[0])+2 {
+			t.Errorf("ragged table:\n%s", out)
+		}
+	}
+}

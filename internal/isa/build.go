@@ -1,0 +1,174 @@
+package isa
+
+// Constructors for machine words. These are used by the assembler, the
+// Mahler code generator, and the instrumentation tools. Branch
+// constructors take the immediate word offset (target - delayslot)/4
+// as a signed value; jump constructors take the 26-bit target field.
+
+func rtype(fn uint32, rd, rs, rt int) Word {
+	return Instr{Op: OpSpecial, Funct: fn, Rd: rd, Rs: rs, Rt: rt}.Encode()
+}
+
+func itype(op uint32, rt, rs int, imm uint16) Word {
+	return Instr{Op: op, Rt: rt, Rs: rs, Imm: imm}.Encode()
+}
+
+// NOP is the canonical no-op (sll zero, zero, 0).
+const NOP Word = 0
+
+func ADDU(rd, rs, rt int) Word { return rtype(FnADDU, rd, rs, rt) }
+func SUBU(rd, rs, rt int) Word { return rtype(FnSUBU, rd, rs, rt) }
+func AND(rd, rs, rt int) Word  { return rtype(FnAND, rd, rs, rt) }
+func OR(rd, rs, rt int) Word   { return rtype(FnOR, rd, rs, rt) }
+func XOR(rd, rs, rt int) Word  { return rtype(FnXOR, rd, rs, rt) }
+func NOR(rd, rs, rt int) Word  { return rtype(FnNOR, rd, rs, rt) }
+func SLT(rd, rs, rt int) Word  { return rtype(FnSLT, rd, rs, rt) }
+func SLTU(rd, rs, rt int) Word { return rtype(FnSLTU, rd, rs, rt) }
+
+func SLL(rd, rt int, sh uint32) Word {
+	return Instr{Op: OpSpecial, Funct: FnSLL, Rd: rd, Rt: rt, Shamt: sh & 31}.Encode()
+}
+func SRL(rd, rt int, sh uint32) Word {
+	return Instr{Op: OpSpecial, Funct: FnSRL, Rd: rd, Rt: rt, Shamt: sh & 31}.Encode()
+}
+func SRA(rd, rt int, sh uint32) Word {
+	return Instr{Op: OpSpecial, Funct: FnSRA, Rd: rd, Rt: rt, Shamt: sh & 31}.Encode()
+}
+func SLLV(rd, rt, rs int) Word { return rtype(FnSLLV, rd, rs, rt) }
+func SRLV(rd, rt, rs int) Word { return rtype(FnSRLV, rd, rs, rt) }
+func SRAV(rd, rt, rs int) Word { return rtype(FnSRAV, rd, rs, rt) }
+
+func MULT(rs, rt int) Word  { return rtype(FnMULT, 0, rs, rt) }
+func MULTU(rs, rt int) Word { return rtype(FnMULTU, 0, rs, rt) }
+func DIV(rs, rt int) Word   { return rtype(FnDIV, 0, rs, rt) }
+func DIVU(rs, rt int) Word  { return rtype(FnDIVU, 0, rs, rt) }
+func MFHI(rd int) Word      { return rtype(FnMFHI, rd, 0, 0) }
+func MFLO(rd int) Word      { return rtype(FnMFLO, rd, 0, 0) }
+func MTHI(rs int) Word      { return rtype(FnMTHI, 0, rs, 0) }
+func MTLO(rs int) Word      { return rtype(FnMTLO, 0, rs, 0) }
+
+func JR(rs int) Word       { return rtype(FnJR, 0, rs, 0) }
+func JALR(rd, rs int) Word { return rtype(FnJALR, rd, rs, 0) }
+func SYSCALL() Word        { return Instr{Op: OpSpecial, Funct: FnSYSCALL}.Encode() }
+func BREAK(code uint32) Word {
+	return Instr{Op: OpSpecial, Funct: FnBREAK, Shamt: code & 31}.Encode()
+}
+
+func ADDIU(rt, rs int, imm uint16) Word { return itype(OpADDIU, rt, rs, imm) }
+func SLTI(rt, rs int, imm uint16) Word  { return itype(OpSLTI, rt, rs, imm) }
+func SLTIU(rt, rs int, imm uint16) Word { return itype(OpSLTIU, rt, rs, imm) }
+func ANDI(rt, rs int, imm uint16) Word  { return itype(OpANDI, rt, rs, imm) }
+func ORI(rt, rs int, imm uint16) Word   { return itype(OpORI, rt, rs, imm) }
+func XORI(rt, rs int, imm uint16) Word  { return itype(OpXORI, rt, rs, imm) }
+func LUI(rt int, imm uint16) Word       { return itype(OpLUI, rt, 0, imm) }
+
+func LB(rt, base int, off uint16) Word   { return itype(OpLB, rt, base, off) }
+func LBU(rt, base int, off uint16) Word  { return itype(OpLBU, rt, base, off) }
+func LH(rt, base int, off uint16) Word   { return itype(OpLH, rt, base, off) }
+func LHU(rt, base int, off uint16) Word  { return itype(OpLHU, rt, base, off) }
+func LW(rt, base int, off uint16) Word   { return itype(OpLW, rt, base, off) }
+func SB(rt, base int, off uint16) Word   { return itype(OpSB, rt, base, off) }
+func SH(rt, base int, off uint16) Word   { return itype(OpSH, rt, base, off) }
+func SW(rt, base int, off uint16) Word   { return itype(OpSW, rt, base, off) }
+func LWC1(ft, base int, off uint16) Word { return itype(OpLWC1, ft, base, off) }
+func SWC1(ft, base int, off uint16) Word { return itype(OpSWC1, ft, base, off) }
+
+func BEQ(rs, rt int, off int16) Word { return itype(OpBEQ, rt, rs, uint16(off)) }
+func BNE(rs, rt int, off int16) Word { return itype(OpBNE, rt, rs, uint16(off)) }
+func BLEZ(rs int, off int16) Word    { return itype(OpBLEZ, 0, rs, uint16(off)) }
+func BGTZ(rs int, off int16) Word    { return itype(OpBGTZ, 0, rs, uint16(off)) }
+func BLTZ(rs int, off int16) Word    { return itype(OpRegImm, RtBLTZ, rs, uint16(off)) }
+func BGEZ(rs int, off int16) Word    { return itype(OpRegImm, RtBGEZ, rs, uint16(off)) }
+
+func J(target uint32) Word   { return Instr{Op: OpJ, Target: target}.Encode() }
+func JAL(target uint32) Word { return Instr{Op: OpJAL, Target: target}.Encode() }
+
+// JTarget computes the 26-bit target field for an absolute address.
+func JTarget(addr uint32) uint32 { return addr >> 2 & 0x03ffffff }
+
+// MFC0 moves CP0 register rd into GPR rt.
+func MFC0(rt, rd int) Word {
+	return Instr{Op: OpCOP0, Rs: Cop0MF, Rt: rt, Rd: rd}.Encode()
+}
+
+// MTC0 moves GPR rt into CP0 register rd.
+func MTC0(rt, rd int) Word {
+	return Instr{Op: OpCOP0, Rs: Cop0MT, Rt: rt, Rd: rd}.Encode()
+}
+
+func TLBWR() Word { return Instr{Op: OpCOP0, Rs: Cop0CO, Funct: C0FnTLBWR}.Encode() }
+func TLBWI() Word { return Instr{Op: OpCOP0, Rs: Cop0CO, Funct: C0FnTLBWI}.Encode() }
+func TLBP() Word  { return Instr{Op: OpCOP0, Rs: Cop0CO, Funct: C0FnTLBP}.Encode() }
+func TLBR() Word  { return Instr{Op: OpCOP0, Rs: Cop0CO, Funct: C0FnTLBR}.Encode() }
+func RFE() Word   { return Instr{Op: OpCOP0, Rs: Cop0CO, Funct: C0FnRFE}.Encode() }
+
+// MFC1 moves the low word of FPR fs into GPR rt (as a raw int32).
+func MFC1(rt, fs int) Word {
+	return Instr{Op: OpCOP1, Rs: Cop1MF, Rt: rt, Rd: fs}.Encode()
+}
+
+// MTC1 moves GPR rt into FPR fs (as a raw int32, convert with CVTDW).
+func MTC1(rt, fs int) Word {
+	return Instr{Op: OpCOP1, Rs: Cop1MT, Rt: rt, Rd: fs}.Encode()
+}
+
+func fpop(fn uint32, fd, fs, ft int) Word {
+	// FP encoding reuses rt for ft, rd for fs, shamt for fd.
+	return Instr{Op: OpCOP1, Rs: Cop1Dbl, Rt: ft, Rd: fs, Shamt: uint32(fd), Funct: fn}.Encode()
+}
+
+func FADD(fd, fs, ft int) Word { return fpop(F1ADD, fd, fs, ft) }
+func FSUB(fd, fs, ft int) Word { return fpop(F1SUB, fd, fs, ft) }
+func FMUL(fd, fs, ft int) Word { return fpop(F1MUL, fd, fs, ft) }
+func FDIV(fd, fs, ft int) Word { return fpop(F1DIV, fd, fs, ft) }
+func FSQRT(fd, fs int) Word    { return fpop(F1SQRT, fd, fs, 0) }
+func FMOV(fd, fs int) Word     { return fpop(F1MOV, fd, fs, 0) }
+func FNEG(fd, fs int) Word     { return fpop(F1NEG, fd, fs, 0) }
+func CVTDW(fd, fs int) Word    { return fpop(F1CVTDW, fd, fs, 0) }
+func CVTWD(fd, fs int) Word    { return fpop(F1CVTWD, fd, fs, 0) }
+func FCLT(fs, ft int) Word     { return fpop(F1CLT, 0, fs, ft) }
+func FCLE(fs, ft int) Word     { return fpop(F1CLE, 0, fs, ft) }
+func FCEQ(fs, ft int) Word     { return fpop(F1CEQ, 0, fs, ft) }
+
+func BC1T(off int16) Word {
+	return Instr{Op: OpCOP1, Rs: Cop1BC, Rt: 1, Imm: uint16(off)}.Encode()
+}
+func BC1F(off int16) Word {
+	return Instr{Op: OpCOP1, Rs: Cop1BC, Rt: 0, Imm: uint16(off)}.Encode()
+}
+
+// LINop is the special no-op used by epoxie in the delay slot of
+// `jal bbtrace`: a load-immediate to the read-only register zero whose
+// immediate field holds the number of trace words the basic block
+// generates (paper §3.2, instruction i'+2). bbtrace reads this word
+// back from instruction memory to decide whether there is room in the
+// user trace buffer.
+func LINop(traceWords int) Word { return ORI(RegZero, RegZero, uint16(traceWords)) }
+
+// LINopValue extracts the trace-word count from a LINop, or -1 if w is
+// not one.
+func LINopValue(w Word) int {
+	i := Decode(w)
+	if i.Op == OpORI && i.Rt == RegZero && i.Rs == RegZero {
+		return int(i.Imm)
+	}
+	return -1
+}
+
+// EANop builds the hazard-case delay-slot no-op: a load with the same
+// base register and offset as the displaced memory instruction but
+// targeting register zero, so memtrace computes the right effective
+// address while the real memory instruction issues after the call
+// (paper §3.2). For stores we still use a load form — only base+offset
+// matter to memtrace's partial decode — and the load width matches the
+// original access so the no-op never takes an alignment fault.
+func EANop(base int, off uint16, size int) Word {
+	switch size {
+	case 1:
+		return LB(RegZero, base, off)
+	case 2:
+		return LH(RegZero, base, off)
+	default:
+		return LW(RegZero, base, off)
+	}
+}

@@ -1,0 +1,192 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders the instruction word w, located at address addr,
+// in conventional MIPS assembly syntax. Branch and jump targets are
+// rendered as absolute addresses. The output format matches the
+// paper's Figure 2 listings.
+func Disassemble(addr uint32, w Word) string {
+	i := Decode(w)
+	imm := int32(int16(i.Imm))
+	br := func() uint32 { return addr + 4 + uint32(imm)<<2 }
+	switch i.Op {
+	case OpSpecial:
+		switch i.Funct {
+		case FnSLL:
+			if w == 0 {
+				return "nop"
+			}
+			return fmt.Sprintf("sll    %s,%s,%d", RegName(i.Rd), RegName(i.Rt), i.Shamt)
+		case FnSRL:
+			return fmt.Sprintf("srl    %s,%s,%d", RegName(i.Rd), RegName(i.Rt), i.Shamt)
+		case FnSRA:
+			return fmt.Sprintf("sra    %s,%s,%d", RegName(i.Rd), RegName(i.Rt), i.Shamt)
+		case FnSLLV:
+			return fmt.Sprintf("sllv   %s,%s,%s", RegName(i.Rd), RegName(i.Rt), RegName(i.Rs))
+		case FnSRLV:
+			return fmt.Sprintf("srlv   %s,%s,%s", RegName(i.Rd), RegName(i.Rt), RegName(i.Rs))
+		case FnSRAV:
+			return fmt.Sprintf("srav   %s,%s,%s", RegName(i.Rd), RegName(i.Rt), RegName(i.Rs))
+		case FnJR:
+			return fmt.Sprintf("jr     %s", RegName(i.Rs))
+		case FnJALR:
+			return fmt.Sprintf("jalr   %s,%s", RegName(i.Rd), RegName(i.Rs))
+		case FnSYSCALL:
+			return "syscall"
+		case FnBREAK:
+			return fmt.Sprintf("break  %d", i.Shamt)
+		case FnMFHI:
+			return fmt.Sprintf("mfhi   %s", RegName(i.Rd))
+		case FnMFLO:
+			return fmt.Sprintf("mflo   %s", RegName(i.Rd))
+		case FnMTHI:
+			return fmt.Sprintf("mthi   %s", RegName(i.Rs))
+		case FnMTLO:
+			return fmt.Sprintf("mtlo   %s", RegName(i.Rs))
+		case FnMULT:
+			return fmt.Sprintf("mult   %s,%s", RegName(i.Rs), RegName(i.Rt))
+		case FnMULTU:
+			return fmt.Sprintf("multu  %s,%s", RegName(i.Rs), RegName(i.Rt))
+		case FnDIV:
+			return fmt.Sprintf("div    %s,%s", RegName(i.Rs), RegName(i.Rt))
+		case FnDIVU:
+			return fmt.Sprintf("divu   %s,%s", RegName(i.Rs), RegName(i.Rt))
+		case FnADDU:
+			if i.Rt == 0 {
+				return fmt.Sprintf("move   %s,%s", RegName(i.Rd), RegName(i.Rs))
+			}
+			return fmt.Sprintf("addu   %s,%s,%s", RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+		case FnSUBU:
+			return fmt.Sprintf("subu   %s,%s,%s", RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+		case FnAND:
+			return fmt.Sprintf("and    %s,%s,%s", RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+		case FnOR:
+			return fmt.Sprintf("or     %s,%s,%s", RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+		case FnXOR:
+			return fmt.Sprintf("xor    %s,%s,%s", RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+		case FnNOR:
+			return fmt.Sprintf("nor    %s,%s,%s", RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+		case FnSLT:
+			return fmt.Sprintf("slt    %s,%s,%s", RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+		case FnSLTU:
+			return fmt.Sprintf("sltu   %s,%s,%s", RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+		}
+	case OpRegImm:
+		mn := "bltz"
+		if i.Rt == RtBGEZ {
+			mn = "bgez"
+		}
+		return fmt.Sprintf("%s   %s,0x%x", mn, RegName(i.Rs), br())
+	case OpJ:
+		return fmt.Sprintf("j      0x%x", i.Target<<2)
+	case OpJAL:
+		return fmt.Sprintf("jal    0x%x", i.Target<<2)
+	case OpBEQ:
+		if i.Rs == 0 && i.Rt == 0 {
+			return fmt.Sprintf("b      0x%x", br())
+		}
+		return fmt.Sprintf("beq    %s,%s,0x%x", RegName(i.Rs), RegName(i.Rt), br())
+	case OpBNE:
+		return fmt.Sprintf("bne    %s,%s,0x%x", RegName(i.Rs), RegName(i.Rt), br())
+	case OpBLEZ:
+		return fmt.Sprintf("blez   %s,0x%x", RegName(i.Rs), br())
+	case OpBGTZ:
+		return fmt.Sprintf("bgtz   %s,0x%x", RegName(i.Rs), br())
+	case OpADDIU:
+		if i.Rs == 0 {
+			return fmt.Sprintf("li     %s,%d", RegName(i.Rt), imm)
+		}
+		return fmt.Sprintf("addiu  %s,%s,%d", RegName(i.Rt), RegName(i.Rs), imm)
+	case OpSLTI:
+		return fmt.Sprintf("slti   %s,%s,%d", RegName(i.Rt), RegName(i.Rs), imm)
+	case OpSLTIU:
+		return fmt.Sprintf("sltiu  %s,%s,%d", RegName(i.Rt), RegName(i.Rs), imm)
+	case OpANDI:
+		return fmt.Sprintf("andi   %s,%s,0x%x", RegName(i.Rt), RegName(i.Rs), i.Imm)
+	case OpORI:
+		if i.Rt == 0 && i.Rs == 0 {
+			return fmt.Sprintf("li     zero,%d", i.Imm)
+		}
+		if i.Rs == 0 {
+			return fmt.Sprintf("li     %s,0x%x", RegName(i.Rt), i.Imm)
+		}
+		return fmt.Sprintf("ori    %s,%s,0x%x", RegName(i.Rt), RegName(i.Rs), i.Imm)
+	case OpXORI:
+		return fmt.Sprintf("xori   %s,%s,0x%x", RegName(i.Rt), RegName(i.Rs), i.Imm)
+	case OpLUI:
+		return fmt.Sprintf("lui    %s,0x%x", RegName(i.Rt), i.Imm)
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpSB, OpSH, OpSW, OpLWC1, OpSWC1:
+		mn := map[uint32]string{
+			OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLBU: "lbu", OpLHU: "lhu",
+			OpSB: "sb", OpSH: "sh", OpSW: "sw", OpLWC1: "lwc1", OpSWC1: "swc1",
+		}[i.Op]
+		rt := RegName(i.Rt)
+		if i.Op == OpLWC1 || i.Op == OpSWC1 {
+			rt = fmt.Sprintf("f%d", i.Rt)
+		}
+		return fmt.Sprintf("%-6s %s,%d(%s)", mn, rt, imm, RegName(i.Rs))
+	case OpCOP0:
+		switch uint32(i.Rs) {
+		case Cop0MF:
+			return fmt.Sprintf("mfc0   %s,$%d", RegName(i.Rt), i.Rd)
+		case Cop0MT:
+			return fmt.Sprintf("mtc0   %s,$%d", RegName(i.Rt), i.Rd)
+		case Cop0CO:
+			switch i.Funct {
+			case C0FnTLBR:
+				return "tlbr"
+			case C0FnTLBWI:
+				return "tlbwi"
+			case C0FnTLBWR:
+				return "tlbwr"
+			case C0FnTLBP:
+				return "tlbp"
+			case C0FnRFE:
+				return "rfe"
+			}
+		}
+	case OpCOP1:
+		switch uint32(i.Rs) {
+		case Cop1MF:
+			return fmt.Sprintf("mfc1   %s,f%d", RegName(i.Rt), i.Rd)
+		case Cop1MT:
+			return fmt.Sprintf("mtc1   %s,f%d", RegName(i.Rt), i.Rd)
+		case Cop1BC:
+			mn := "bc1f"
+			if i.Rt == 1 {
+				mn = "bc1t"
+			}
+			return fmt.Sprintf("%s   0x%x", mn, br())
+		case Cop1Dbl:
+			fd, fs, ft := int(i.Shamt), i.Rd, i.Rt
+			switch i.Funct {
+			case F1ADD:
+				return fmt.Sprintf("add.d  f%d,f%d,f%d", fd, fs, ft)
+			case F1SUB:
+				return fmt.Sprintf("sub.d  f%d,f%d,f%d", fd, fs, ft)
+			case F1MUL:
+				return fmt.Sprintf("mul.d  f%d,f%d,f%d", fd, fs, ft)
+			case F1DIV:
+				return fmt.Sprintf("div.d  f%d,f%d,f%d", fd, fs, ft)
+			case F1SQRT:
+				return fmt.Sprintf("sqrt.d f%d,f%d", fd, fs)
+			case F1MOV:
+				return fmt.Sprintf("mov.d  f%d,f%d", fd, fs)
+			case F1NEG:
+				return fmt.Sprintf("neg.d  f%d,f%d", fd, fs)
+			case F1CVTDW:
+				return fmt.Sprintf("cvt.d.w f%d,f%d", fd, fs)
+			case F1CVTWD:
+				return fmt.Sprintf("cvt.w.d f%d,f%d", fd, fs)
+			case F1CLT:
+				return fmt.Sprintf("c.lt.d f%d,f%d", fs, ft)
+			case F1CLE:
+				return fmt.Sprintf("c.le.d f%d,f%d", fs, ft)
+			case F1CEQ:
+				return fmt.Sprintf("c.eq.d f%d,f%d", fs, ft)
+			}
+		}
+	}
+	return fmt.Sprintf(".word  0x%08x", w)
+}

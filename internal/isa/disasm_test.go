@@ -1,0 +1,135 @@
+package isa_test
+
+// Round-trip coverage of the instruction builders through the
+// disassembler: every encoder must produce a word the disassembler
+// names correctly, with the operands in the printed text. This is the
+// toolchain's first line of defense against encode/decode skew.
+
+import (
+	"strings"
+	"testing"
+
+	"systrace/internal/isa"
+)
+
+func TestDisassembleAllBuilders(t *testing.T) {
+	T0, T1, T2 := isa.RegT0, isa.RegT1, isa.RegT2
+	cases := []struct {
+		w    isa.Word
+		want string // mnemonic that must appear
+	}{
+		{isa.ADDU(T2, T0, T1), "addu"},
+		{isa.SUBU(T2, T0, T1), "subu"},
+		{isa.AND(T2, T0, T1), "and"},
+		{isa.OR(T2, T0, T1), "or"},
+		{isa.XOR(T2, T0, T1), "xor"},
+		{isa.NOR(T2, T0, T1), "nor"},
+		{isa.SLT(T2, T0, T1), "slt"},
+		{isa.SLTU(T2, T0, T1), "sltu"},
+		{isa.SLL(T2, T0, 4), "sll"},
+		{isa.SRL(T2, T0, 4), "srl"},
+		{isa.SRA(T2, T0, 4), "sra"},
+		{isa.SLLV(T2, T0, T1), "sllv"},
+		{isa.SRLV(T2, T0, T1), "srlv"},
+		{isa.SRAV(T2, T0, T1), "srav"},
+		{isa.MULT(T0, T1), "mult"},
+		{isa.MULTU(T0, T1), "multu"},
+		{isa.DIV(T0, T1), "div"},
+		{isa.DIVU(T0, T1), "divu"},
+		{isa.MFHI(T2), "mfhi"},
+		{isa.MFLO(T2), "mflo"},
+		{isa.MTHI(T0), "mthi"},
+		{isa.MTLO(T0), "mtlo"},
+		{isa.JR(isa.RegRA), "jr"},
+		{isa.JALR(isa.RegRA, T0), "jalr"},
+		{isa.SYSCALL(), "syscall"},
+		{isa.BREAK(3), "break"},
+		{isa.ADDIU(T2, T0, 8), "addiu"},
+		{isa.SLTI(T2, T0, 8), "slti"},
+		{isa.SLTIU(T2, T0, 8), "sltiu"},
+		{isa.ANDI(T2, T0, 8), "andi"},
+		{isa.ORI(T2, T0, 8), "ori"},
+		{isa.XORI(T2, T0, 8), "xori"},
+		{isa.LUI(T2, 8), "lui"},
+		{isa.LB(T2, T0, 4), "lb"},
+		{isa.LBU(T2, T0, 4), "lbu"},
+		{isa.LH(T2, T0, 4), "lh"},
+		{isa.LHU(T2, T0, 4), "lhu"},
+		{isa.LW(T2, T0, 4), "lw"},
+		{isa.SB(T2, T0, 4), "sb"},
+		{isa.SH(T2, T0, 4), "sh"},
+		{isa.SW(T2, T0, 4), "sw"},
+		{isa.LWC1(2, T0, 8), "lwc1"},
+		{isa.SWC1(2, T0, 8), "swc1"},
+		{isa.BEQ(T0, T1, 2), "beq"},
+		{isa.BNE(T0, T1, 2), "bne"},
+		{isa.BLEZ(T0, 2), "blez"},
+		{isa.BGTZ(T0, 2), "bgtz"},
+		{isa.BLTZ(T0, 2), "bltz"},
+		{isa.BGEZ(T0, 2), "bgez"},
+		{isa.J(0x100), "j"},
+		{isa.JAL(0x100), "jal"},
+		{isa.MFC0(T0, isa.C0EPC), "mfc0"},
+		{isa.MTC0(T0, isa.C0EPC), "mtc0"},
+		{isa.TLBWR(), "tlbwr"},
+		{isa.TLBWI(), "tlbwi"},
+		{isa.TLBP(), "tlbp"},
+		{isa.TLBR(), "tlbr"},
+		{isa.RFE(), "rfe"},
+		{isa.MFC1(T0, 2), "mfc1"},
+		{isa.MTC1(T0, 2), "mtc1"},
+		{isa.FADD(4, 0, 2), "add.d"},
+		{isa.FSUB(4, 0, 2), "sub.d"},
+		{isa.FMUL(4, 0, 2), "mul.d"},
+		{isa.FDIV(4, 0, 2), "div.d"},
+		{isa.FSQRT(4, 0), "sqrt.d"},
+		{isa.FMOV(4, 0), "mov.d"},
+		{isa.FNEG(4, 0), "neg.d"},
+		{isa.CVTDW(4, 0), "cvt.d.w"},
+		{isa.CVTWD(4, 0), "cvt.w.d"},
+		{isa.FCLT(0, 2), "c.lt.d"},
+		{isa.FCLE(0, 2), "c.le.d"},
+		{isa.FCEQ(0, 2), "c.eq.d"},
+		{isa.BC1T(2), "bc1t"},
+		{isa.BC1F(2), "bc1f"},
+		{isa.NOP, "nop"},
+	}
+	for _, c := range cases {
+		got := isa.Disassemble(0x1000, c.w)
+		mnem := strings.Fields(got)[0]
+		if mnem != c.want {
+			t.Errorf("0x%08x: disassembled %q want mnemonic %q", uint32(c.w), got, c.want)
+		}
+	}
+}
+
+func TestDecodeHelpers(t *testing.T) {
+	if isa.SignExt16(0x8000) != 0xffff8000 || isa.SignExt16(0x7fff) != 0x7fff {
+		t.Error("SignExt16 wrong")
+	}
+	if !isa.IsMem(isa.LW(1, 2, 0)) || !isa.IsMem(isa.SB(1, 2, 0)) || isa.IsMem(isa.ADDU(1, 2, 3)) {
+		t.Error("IsMem misclassifies")
+	}
+	sizes := []struct {
+		w isa.Word
+		n int
+	}{
+		{isa.LB(1, 2, 0), 1}, {isa.LBU(1, 2, 0), 1},
+		{isa.LH(1, 2, 0), 2}, {isa.LHU(1, 2, 0), 2},
+		{isa.LW(1, 2, 0), 4}, {isa.SW(1, 2, 0), 4},
+		{isa.SB(1, 2, 0), 1}, {isa.SH(1, 2, 0), 2},
+		{isa.LWC1(2, 2, 0), 8}, {isa.SWC1(2, 2, 0), 8}, // doubles via paired words
+	}
+	for _, c := range sizes {
+		if got := isa.MemSize(c.w); got != c.n {
+			t.Errorf("MemSize(%s) = %d want %d", isa.Disassemble(0, c.w), got, c.n)
+		}
+	}
+	// FP latencies: divide slowest, then sqrt, multiply, add.
+	div := isa.FPLatency(isa.FDIV(4, 0, 2))
+	mul := isa.FPLatency(isa.FMUL(4, 0, 2))
+	add := isa.FPLatency(isa.FADD(4, 0, 2))
+	if !(div > mul && mul >= add && add >= 1) {
+		t.Errorf("FP latency ordering: div=%d mul=%d add=%d", div, mul, add)
+	}
+}

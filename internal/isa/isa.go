@@ -1,0 +1,462 @@
+// Package isa defines the instruction set architecture of the simulated
+// machine: a 32-bit, big-endian, MIPS-I-like RISC with branch delay
+// slots, a software-managed TLB, and the classic four-segment address
+// map (kuseg, kseg0, kseg1, kseg2) of the DECstation 5000/200's R3000.
+//
+// The tracing systems in this repository (epoxie, pixie, the traced
+// kernels) all operate on code expressed in this ISA. The package
+// provides instruction encoding and decoding, register conventions,
+// and a disassembler used to reproduce the paper's Figure 2.
+package isa
+
+import "fmt"
+
+// Word is one machine word: all instructions and trace entries are a
+// single Word, which is what lets a trace entry be recorded with a
+// single store instruction (paper §3.3).
+type Word = uint32
+
+// General-purpose register numbers, MIPS o32 conventions.
+const (
+	RegZero = 0 // hardwired zero
+	RegAT   = 1 // assembler temporary
+	RegV0   = 2 // results
+	RegV1   = 3
+	RegA0   = 4 // arguments
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+	RegT0   = 8 // caller-saved temporaries
+	RegT1   = 9
+	RegT2   = 10
+	RegT3   = 11
+	RegT4   = 12
+	RegT5   = 13
+	RegT6   = 14
+	RegT7   = 15
+	RegS0   = 16 // callee-saved
+	RegS1   = 17
+	RegS2   = 18
+	RegS3   = 19
+	RegS4   = 20
+	RegS5   = 21
+	RegS6   = 22
+	RegS7   = 23
+	RegT8   = 24
+	RegT9   = 25
+	RegK0   = 26 // kernel temporaries
+	RegK1   = 27
+	RegGP   = 28
+	RegSP   = 29
+	RegFP   = 30
+	RegRA   = 31
+)
+
+// The three registers stolen by epoxie for the tracing system
+// (paper §3.2: "referred to symbolically as xreg1, xreg2, and xreg3").
+// xreg3 points at the per-process trace bookkeeping area; xreg1 and
+// xreg2 are scratch inside bbtrace/memtrace. Uses of these registers
+// in the original binary are rewritten to use shadow slots in memory.
+const (
+	XReg1 = RegS6
+	XReg2 = RegS7
+	XReg3 = RegS5
+)
+
+var regNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegName returns the conventional assembly name for register r.
+func RegName(r int) string {
+	if r < 0 || r > 31 {
+		return fmt.Sprintf("r?%d", r)
+	}
+	return regNames[r]
+}
+
+// Primary opcode field values.
+const (
+	OpSpecial = 0
+	OpRegImm  = 1
+	OpJ       = 2
+	OpJAL     = 3
+	OpBEQ     = 4
+	OpBNE     = 5
+	OpBLEZ    = 6
+	OpBGTZ    = 7
+	OpADDIU   = 9
+	OpSLTI    = 10
+	OpSLTIU   = 11
+	OpANDI    = 12
+	OpORI     = 13
+	OpXORI    = 14
+	OpLUI     = 15
+	OpCOP0    = 16
+	OpCOP1    = 17
+	OpLB      = 32
+	OpLH      = 33
+	OpLW      = 35
+	OpLBU     = 36
+	OpLHU     = 37
+	OpSB      = 40
+	OpSH      = 41
+	OpSW      = 43
+	OpLWC1    = 49
+	OpSWC1    = 57
+)
+
+// SPECIAL function field values.
+const (
+	FnSLL     = 0
+	FnSRL     = 2
+	FnSRA     = 3
+	FnSLLV    = 4
+	FnSRLV    = 6
+	FnSRAV    = 7
+	FnJR      = 8
+	FnJALR    = 9
+	FnSYSCALL = 12
+	FnBREAK   = 13
+	FnMFHI    = 16
+	FnMTHI    = 17
+	FnMFLO    = 18
+	FnMTLO    = 19
+	FnMULT    = 24
+	FnMULTU   = 25
+	FnDIV     = 26
+	FnDIVU    = 27
+	FnADDU    = 33
+	FnSUBU    = 35
+	FnAND     = 36
+	FnOR      = 37
+	FnXOR     = 38
+	FnNOR     = 39
+	FnSLT     = 42
+	FnSLTU    = 43
+)
+
+// REGIMM rt field values.
+const (
+	RtBLTZ = 0
+	RtBGEZ = 1
+)
+
+// COP0 rs field values and CO-function values.
+const (
+	Cop0MF = 0  // MFC0
+	Cop0MT = 4  // MTC0
+	Cop0CO = 16 // coprocessor operation, funct selects
+
+	C0FnTLBR  = 1
+	C0FnTLBWI = 2
+	C0FnTLBWR = 6
+	C0FnTLBP  = 8
+	C0FnRFE   = 16
+)
+
+// COP0 register numbers (the subset the kernel uses).
+const (
+	C0Index    = 0
+	C0Random   = 1
+	C0EntryLo  = 2
+	C0Context  = 4
+	C0BadVAddr = 8
+	C0Count    = 9 // free-running cycle counter (read-only convenience)
+	C0EntryHi  = 10
+	C0Status   = 12
+	C0Cause    = 13
+	C0EPC      = 14
+)
+
+// COP1 rs field values (floating point; simplified double-only unit).
+const (
+	Cop1MF  = 0  // MFC1 rt, fs: GPR <- low 32 bits of FPR as int32
+	Cop1MT  = 4  // MTC1 rt, fs: FPR <- GPR (as int32 value)
+	Cop1BC  = 8  // BC1F (rt=0) / BC1T (rt=1)
+	Cop1Dbl = 17 // double-precision arithmetic, funct selects
+)
+
+// COP1 double-format function values.
+const (
+	F1ADD   = 0
+	F1SUB   = 1
+	F1MUL   = 2
+	F1DIV   = 3
+	F1SQRT  = 4
+	F1MOV   = 6
+	F1NEG   = 7
+	F1CVTDW = 32 // FPR(fd) <- double(int32 in FPR(fs))
+	F1CVTWD = 36 // FPR(fd) <- int32(trunc(FPR(fs))) stored as raw word
+	F1CLT   = 60 // set FP condition flag if fs < ft
+	F1CLE   = 62
+	F1CEQ   = 50
+)
+
+// Instr is a decoded instruction. Fields not meaningful for a format
+// are zero. Encode/Decode round-trip exactly.
+type Instr struct {
+	Op     uint32 // primary opcode
+	Rs     int
+	Rt     int
+	Rd     int
+	Shamt  uint32
+	Funct  uint32
+	Imm    uint16 // immediate, raw (sign interpretation is per-op)
+	Target uint32 // 26-bit jump target field
+}
+
+// Decode splits a machine word into instruction fields.
+func Decode(w Word) Instr {
+	return Instr{
+		Op:     w >> 26,
+		Rs:     int(w >> 21 & 31),
+		Rt:     int(w >> 16 & 31),
+		Rd:     int(w >> 11 & 31),
+		Shamt:  w >> 6 & 31,
+		Funct:  w & 63,
+		Imm:    uint16(w),
+		Target: w & 0x03ffffff,
+	}
+}
+
+// Encode packs instruction fields into a machine word according to the
+// instruction's format (selected by Op/Funct).
+func (i Instr) Encode() Word {
+	switch i.Op {
+	case OpJ, OpJAL:
+		return i.Op<<26 | i.Target&0x03ffffff
+	case OpSpecial:
+		return uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Rd)<<11 |
+			i.Shamt<<6 | i.Funct
+	case OpCOP0:
+		if uint32(i.Rs) == Cop0CO {
+			return i.Op<<26 | uint32(i.Rs)<<21 | i.Funct
+		}
+		return i.Op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Rd)<<11
+	case OpCOP1:
+		if uint32(i.Rs) == Cop1Dbl {
+			return i.Op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 |
+				uint32(i.Rd)<<11 | i.Shamt<<6 | i.Funct
+		}
+		if uint32(i.Rs) == Cop1BC {
+			return i.Op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Imm)
+		}
+		return i.Op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Rd)<<11
+	default:
+		return i.Op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Imm)
+	}
+}
+
+// SignExt16 sign-extends a 16-bit immediate to 32 bits.
+func SignExt16(imm uint16) uint32 { return uint32(int32(int16(imm))) }
+
+// IsLoad reports whether w is a load from memory (integer or FP).
+func IsLoad(w Word) bool {
+	switch w >> 26 {
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpLWC1:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether w is a store to memory (integer or FP).
+func IsStore(w Word) bool {
+	switch w >> 26 {
+	case OpSB, OpSH, OpSW, OpSWC1:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether w references memory.
+func IsMem(w Word) bool { return IsLoad(w) || IsStore(w) }
+
+// MemSize returns the access width in bytes of a memory instruction.
+// The FP load/store (lwc1/swc1 encodings) move a full double in one
+// reference on this machine, so they are 8 bytes wide.
+func MemSize(w Word) int {
+	switch w >> 26 {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLWC1, OpSWC1:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// IsBranch reports whether w is a PC-relative conditional branch
+// (including the FP condition branches).
+func IsBranch(w Word) bool {
+	switch w >> 26 {
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ, OpRegImm:
+		return true
+	case OpCOP1:
+		return w>>21&31 == Cop1BC
+	}
+	return false
+}
+
+// IsJump reports whether w is an absolute jump (J/JAL) or register
+// jump (JR/JALR).
+func IsJump(w Word) bool {
+	op := w >> 26
+	if op == OpJ || op == OpJAL {
+		return true
+	}
+	if op == OpSpecial {
+		fn := w & 63
+		return fn == FnJR || fn == FnJALR
+	}
+	return false
+}
+
+// HasDelaySlot reports whether the instruction is followed by a branch
+// delay slot.
+func HasDelaySlot(w Word) bool { return IsBranch(w) || IsJump(w) }
+
+// EndsBlock reports whether w terminates a basic block: any control
+// transfer (together with its delay slot), syscall, or break.
+func EndsBlock(w Word) bool {
+	if HasDelaySlot(w) {
+		return true
+	}
+	if w>>26 == OpSpecial {
+		fn := w & 63
+		return fn == FnSYSCALL || fn == FnBREAK
+	}
+	return false
+}
+
+// Reads returns the general-purpose registers read by w. Register 0 is
+// omitted (reading it is free and rewriting it is never needed).
+func Reads(w Word) []int {
+	i := Decode(w)
+	add := func(dst []int, r int) []int {
+		if r == 0 {
+			return dst
+		}
+		for _, x := range dst {
+			if x == r {
+				return dst
+			}
+		}
+		return append(dst, r)
+	}
+	var rs []int
+	switch i.Op {
+	case OpSpecial:
+		switch i.Funct {
+		case FnSLL, FnSRL, FnSRA:
+			rs = add(rs, i.Rt)
+		case FnJR, FnMTHI, FnMTLO:
+			rs = add(rs, i.Rs)
+		case FnJALR:
+			rs = add(rs, i.Rs)
+		case FnMFHI, FnMFLO, FnSYSCALL, FnBREAK:
+		default:
+			rs = add(rs, i.Rs)
+			rs = add(rs, i.Rt)
+		}
+	case OpRegImm, OpBLEZ, OpBGTZ:
+		rs = add(rs, i.Rs)
+	case OpBEQ, OpBNE:
+		rs = add(rs, i.Rs)
+		rs = add(rs, i.Rt)
+	case OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
+		rs = add(rs, i.Rs)
+	case OpLUI, OpJ, OpJAL:
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpLWC1:
+		rs = add(rs, i.Rs)
+	case OpSB, OpSH, OpSW:
+		rs = add(rs, i.Rs)
+		rs = add(rs, i.Rt)
+	case OpSWC1:
+		rs = add(rs, i.Rs)
+	case OpCOP0:
+		if uint32(i.Rs) == Cop0MT {
+			rs = add(rs, i.Rt)
+		}
+	case OpCOP1:
+		if uint32(i.Rs) == Cop1MT {
+			rs = add(rs, i.Rt)
+		}
+	}
+	return rs
+}
+
+// Writes returns the general-purpose register written by w, or -1.
+func Writes(w Word) int {
+	i := Decode(w)
+	switch i.Op {
+	case OpSpecial:
+		switch i.Funct {
+		case FnJR, FnSYSCALL, FnBREAK, FnMTHI, FnMTLO, FnMULT, FnMULTU, FnDIV, FnDIVU:
+			return -1
+		}
+		if i.Rd == 0 {
+			return -1
+		}
+		return i.Rd
+	case OpJAL:
+		return RegRA
+	case OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI, OpLUI,
+		OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		if i.Rt == 0 {
+			return -1
+		}
+		return i.Rt
+	case OpCOP0:
+		if uint32(i.Rs) == Cop0MF && i.Rt != 0 {
+			return i.Rt
+		}
+	case OpCOP1:
+		if uint32(i.Rs) == Cop1MF && i.Rt != 0 {
+			return i.Rt
+		}
+	}
+	return -1
+}
+
+// IsFPArith reports whether w is a floating-point arithmetic operation
+// (the class pixie's arithmetic-stall estimator charges latency for).
+func IsFPArith(w Word) bool {
+	if w>>26 != OpCOP1 {
+		return false
+	}
+	if w>>21&31 != Cop1Dbl {
+		return false
+	}
+	switch w & 63 {
+	case F1ADD, F1SUB, F1MUL, F1DIV, F1SQRT, F1CVTDW, F1CVTWD:
+		return true
+	}
+	return false
+}
+
+// FPLatency returns the stall cycles beyond one issue cycle charged
+// for a floating-point operation (R3010-like latencies).
+func FPLatency(w Word) int {
+	if w>>26 != OpCOP1 || w>>21&31 != Cop1Dbl {
+		return 0
+	}
+	switch w & 63 {
+	case F1ADD, F1SUB:
+		return 1
+	case F1MUL:
+		return 4
+	case F1DIV:
+		return 18
+	case F1SQRT:
+		return 30
+	case F1CVTDW, F1CVTWD:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,151 @@
+package isa_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systrace/internal/isa"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	words := []isa.Word{
+		isa.ADDU(1, 2, 3), isa.SUBU(31, 29, 1), isa.SLL(4, 5, 31),
+		isa.SRA(4, 5, 1), isa.JR(31), isa.JALR(31, 25), isa.SYSCALL(),
+		isa.BREAK(7), isa.MULT(3, 4), isa.MFLO(2), isa.ADDIU(29, 29, 0xff60),
+		isa.LUI(28, 0x8000), isa.LW(8, 29, 16), isa.SB(9, 8, 0xffff),
+		isa.BEQ(4, 5, -12), isa.BNE(0, 2, 100), isa.BLTZ(7, 3), isa.BGEZ(7, -3),
+		isa.J(0x1000 >> 2), isa.JAL(0x2000 >> 2), isa.MFC0(26, isa.C0EPC),
+		isa.MTC0(27, isa.C0Status), isa.TLBWR(), isa.RFE(),
+		isa.FADD(2, 4, 6), isa.FDIV(30, 28, 26), isa.FSQRT(8, 10),
+		isa.CVTDW(2, 4), isa.MFC1(9, 3), isa.MTC1(9, 3),
+		isa.BC1T(5), isa.BC1F(-5), isa.LWC1(4, 29, 40), isa.SWC1(6, 8, 0),
+	}
+	for _, w := range words {
+		if got := isa.Decode(w).Encode(); got != w {
+			t.Errorf("round trip 0x%08x -> 0x%08x (%s)", w, got, isa.Disassemble(0, w))
+		}
+	}
+}
+
+func TestDecodeEncodeQuick(t *testing.T) {
+	// For arbitrary words of known formats, Decode/Encode must agree.
+	f := func(rs, rt, rd uint8, imm uint16) bool {
+		w := isa.ADDU(int(rd%32), int(rs%32), int(rt%32))
+		w2 := isa.ORI(int(rt%32), int(rs%32), imm)
+		return isa.Decode(w).Encode() == w && isa.Decode(w2).Encode() == w2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	cases := []struct {
+		w     isa.Word
+		reads []int
+		write int
+	}{
+		{isa.ADDU(3, 1, 2), []int{1, 2}, 3},
+		{isa.ADDIU(5, 4, 1), []int{4}, 5},
+		{isa.LW(8, 29, 0), []int{29}, 8},
+		{isa.SW(8, 29, 0), []int{29, 8}, -1},
+		{isa.SLL(2, 3, 4), []int{3}, 2},
+		{isa.JR(31), []int{31}, -1},
+		{isa.JALR(31, 25), []int{25}, 31},
+		{isa.JAL(0), nil, 31},
+		{isa.BEQ(4, 5, 0), []int{4, 5}, -1},
+		{isa.LUI(9, 1), nil, 9},
+		{isa.MFLO(6), nil, 6},
+		{isa.MULT(2, 3), []int{2, 3}, -1},
+		{isa.LWC1(4, 8, 0), []int{8}, -1},
+		{isa.SWC1(4, 8, 0), []int{8}, -1},
+		{isa.MTC0(7, isa.C0EPC), []int{7}, -1},
+		{isa.MFC0(7, isa.C0EPC), nil, 7},
+	}
+	for _, c := range cases {
+		got := isa.Reads(c.w)
+		if len(got) != len(c.reads) {
+			t.Errorf("%s: reads %v want %v", isa.Disassemble(0, c.w), got, c.reads)
+			continue
+		}
+		seen := map[int]bool{}
+		for _, r := range got {
+			seen[r] = true
+		}
+		for _, r := range c.reads {
+			if !seen[r] {
+				t.Errorf("%s: missing read %d", isa.Disassemble(0, c.w), r)
+			}
+		}
+		if w := isa.Writes(c.w); w != c.write {
+			t.Errorf("%s: writes %d want %d", isa.Disassemble(0, c.w), w, c.write)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !isa.IsLoad(isa.LW(1, 2, 0)) || isa.IsLoad(isa.SW(1, 2, 0)) {
+		t.Error("IsLoad misclassifies")
+	}
+	if !isa.IsStore(isa.SB(1, 2, 0)) || isa.IsStore(isa.LB(1, 2, 0)) {
+		t.Error("IsStore misclassifies")
+	}
+	if isa.MemSize(isa.LB(1, 2, 0)) != 1 || isa.MemSize(isa.LH(1, 2, 0)) != 2 ||
+		isa.MemSize(isa.LW(1, 2, 0)) != 4 || isa.MemSize(isa.LWC1(1, 2, 0)) != 8 {
+		t.Error("MemSize wrong")
+	}
+	if !isa.HasDelaySlot(isa.BEQ(1, 2, 0)) || !isa.HasDelaySlot(isa.JR(31)) ||
+		!isa.HasDelaySlot(isa.BC1T(0)) || isa.HasDelaySlot(isa.ADDU(1, 2, 3)) {
+		t.Error("HasDelaySlot misclassifies")
+	}
+	if !isa.EndsBlock(isa.SYSCALL()) || !isa.EndsBlock(isa.BREAK(0)) {
+		t.Error("EndsBlock misses syscall/break")
+	}
+	if !isa.IsFPArith(isa.FMUL(1, 2, 3)) || isa.IsFPArith(isa.LWC1(1, 2, 0)) {
+		t.Error("IsFPArith misclassifies")
+	}
+	if isa.FPLatency(isa.FDIV(1, 2, 3)) <= isa.FPLatency(isa.FADD(1, 2, 3)) {
+		t.Error("FDIV should cost more than FADD")
+	}
+}
+
+func TestLINop(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 1000, 65535} {
+		w := isa.LINop(n)
+		if got := isa.LINopValue(w); got != n {
+			t.Errorf("LINop(%d) -> %d", n, got)
+		}
+		if isa.Writes(w) != -1 {
+			t.Error("LINop must not write a register")
+		}
+	}
+	if isa.LINopValue(isa.ADDU(1, 2, 3)) != -1 {
+		t.Error("non-LINop must report -1")
+	}
+}
+
+func TestEANopAlignment(t *testing.T) {
+	// The EA no-op must match the access width so it never takes an
+	// alignment fault the original instruction would not.
+	if isa.MemSize(isa.EANop(29, 1, 1)) != 1 {
+		t.Error("byte EANop must be a byte load")
+	}
+	if isa.MemSize(isa.EANop(29, 2, 2)) != 2 {
+		t.Error("half EANop must be a half load")
+	}
+	if isa.Writes(isa.EANop(29, 0, 4)) != -1 {
+		t.Error("EANop writes register zero only")
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		w := isa.Word(r.Uint32())
+		s := isa.Disassemble(0x80001000, w)
+		if s == "" {
+			t.Fatalf("empty disassembly for 0x%08x", w)
+		}
+	}
+}

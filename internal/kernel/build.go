@@ -1,0 +1,49 @@
+package kernel
+
+import (
+	"fmt"
+
+	"systrace/internal/epoxie"
+	"systrace/internal/link"
+	m "systrace/internal/mahler"
+	"systrace/internal/obj"
+)
+
+// Build compiles and links a kernel. Traced kernels are instrumented
+// by epoxie with the kernel-variant runtime (which cannot trap on
+// buffer full and instead raises the full flag and writes into the
+// slack region, §3.3).
+func Build(cfg Config) (*obj.Executable, error) {
+	mod := Module(cfg)
+	kobj, err := mod.Compile(m.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("kernel: %w", err)
+	}
+	objs := []*obj.File{VectorsObj(cfg.Traced), kobj}
+	lopt := link.Options{
+		Name:     "vmunix-" + cfg.Flavor.String(),
+		Entry:    "_start",
+		TextBase: KernelTextVA,
+		DataBase: KernelDataVA,
+	}
+	var exe *obj.Executable
+	if cfg.Traced {
+		b, err := epoxie.BuildInstrumented(objs, lopt, epoxie.Config{}, epoxie.KernelRuntime)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: %w", err)
+		}
+		exe = b.Instr
+	} else {
+		exe, err = link.Link(objs, lopt)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: %w", err)
+		}
+	}
+	if exe.TextEnd() > KernelTextVA+0x180000 {
+		return nil, fmt.Errorf("kernel: text too large (ends 0x%x)", exe.TextEnd())
+	}
+	if exe.BSSEnd() > BootInfoVA {
+		return nil, fmt.Errorf("kernel: data+bss too large (ends 0x%x)", exe.BSSEnd())
+	}
+	return exe, nil
+}

@@ -1,0 +1,53 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// BuildDiskImage lays out a ramdisk with the flat directory format the
+// kernels (and the UX server) mount: a superblock, directory entries,
+// then sector-aligned file contents.
+func BuildDiskImage(files map[string][]byte) ([]byte, error) {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		if len(n) >= DirNameLen {
+			return nil, fmt.Errorf("diskimg: name %q too long", n)
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Directory occupies sectors 1..8 (the kernel reads 8 sectors at
+	// boot): capacity (8*512-512)/32 + 16 entries; cap at 64.
+	if len(names) > 64 {
+		return nil, fmt.Errorf("diskimg: %d files (max 64)", len(names))
+	}
+	dataStart := uint32(16) // first data sector, leaving dir room
+	img := make([]byte, int(dataStart)*SectorSize)
+	binary.BigEndian.PutUint32(img[0:], FSMagic)
+	binary.BigEndian.PutUint32(img[4:], uint32(len(names)))
+
+	sector := dataStart
+	for i, n := range names {
+		e := DirEntrySize + i*DirEntrySize
+		copy(img[e:e+DirNameLen], n)
+		binary.BigEndian.PutUint32(img[e+DirNameLen:], sector)
+		binary.BigEndian.PutUint32(img[e+DirNameLen+4:], uint32(len(files[n])))
+		nsect := (uint32(len(files[n])) + SectorSize - 1) / SectorSize
+		// Round file extents to block boundaries so block-granular
+		// cache reads never cross files.
+		nsect = (nsect + BlockSectors - 1) &^ (BlockSectors - 1)
+		sector += nsect
+	}
+	img = append(img, make([]byte, int(sector-dataStart)*SectorSize)...)
+	sector = dataStart
+	for _, n := range names {
+		copy(img[int(sector)*SectorSize:], files[n])
+		nsect := (uint32(len(files[n])) + SectorSize - 1) / SectorSize
+		nsect = (nsect + BlockSectors - 1) &^ (BlockSectors - 1)
+		sector += nsect
+	}
+	return img, nil
+}

@@ -1,0 +1,188 @@
+package kernel
+
+import (
+	m "systrace/internal/mahler"
+)
+
+// buildFileSyscalls provides the monolithic kernel's file system
+// calls. All are restartable: a call that must wait for the disk puts
+// the process to sleep with the trapframe untouched and re-executes
+// from scratch on wakeup, by which time the buffer cache is warm.
+func buildFileSyscalls(k *m.Module, cfg Config) {
+	k.Global("namebuf", 32)
+
+	// fdSlot(fd) — address of the current process's descriptor.
+	f := k.Func("fdSlot", m.TInt)
+	f.Param("fd", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.Add(m.Add(m.Call("curProcAddr"), m.I(PFDBase)),
+			m.Mul(m.V("fd"), m.I(FDStride))))
+	})
+
+	// sysOpen(pathUVA): copy the name in, look it up, allocate a
+	// descriptor.
+	f = k.Func("sysOpen", m.TInt)
+	f.Param("path", m.TInt)
+	f.Locals("idx", "fd", "slot")
+	f.Code(func(b *m.Block) {
+		b.Call("copyin", m.Addr("namebuf", 0), m.V("path"), m.I(DirNameLen))
+		b.Assign("idx", m.Call("dirLookup", m.Addr("namebuf", 0)))
+		b.If(m.Lt(m.V("idx"), m.I(0)), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.For("fd", m.I(3), m.I(NFD), func(b *m.Block) {
+			b.Assign("slot", m.Call("fdSlot", m.V("fd")))
+			b.If(m.Lt(m.LoadW(m.V("slot")), m.I(0)), func(b *m.Block) {
+				b.StoreW(m.V("slot"), m.V("idx"))
+				b.StoreW(m.Add(m.V("slot"), m.I(4)), m.I(0)) // offset
+				b.Return(m.V("fd"))
+			}, nil)
+		})
+		b.Return(m.Neg(m.I(1)))
+	})
+
+	f = k.Func("sysClose", m.TInt)
+	f.Param("fd", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.If(m.Or(m.Lt(m.V("fd"), m.I(3)), m.Ge(m.V("fd"), m.I(NFD))), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.StoreW(m.Call("fdSlot", m.V("fd")), m.Neg(m.I(1)))
+		b.Return(m.I(0))
+	})
+
+	// sysRead(fd, ubuf, n): through the buffer cache with read-ahead.
+	f = k.Func("sysRead", m.TInt)
+	f.Param("fd", m.TInt)
+	f.Param("ubuf", m.TInt)
+	f.Param("n", m.TInt)
+	f.Locals("slot", "idx", "off", "flen", "left", "copied",
+		"abs", "block", "boff", "chunk", "bva", "fbyte", "p")
+	f.Code(func(b *m.Block) {
+		b.If(m.Or(m.Lt(m.V("fd"), m.I(3)), m.Ge(m.V("fd"), m.I(NFD))), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.Assign("slot", m.Call("fdSlot", m.V("fd")))
+		b.Assign("idx", m.LoadW(m.V("slot")))
+		b.If(m.Lt(m.V("idx"), m.I(0)), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.Assign("off", m.LoadW(m.Add(m.V("slot"), m.I(4))))
+		b.Assign("flen", m.Call("fileLen", m.V("idx")))
+		b.If(m.GeU(m.V("off"), m.V("flen")), func(b *m.Block) {
+			b.Return(m.I(0)) // EOF
+		}, nil)
+		b.Assign("left", m.Sub(m.V("flen"), m.V("off")))
+		b.If(m.LtU(m.V("left"), m.V("n")), func(b *m.Block) {
+			b.Assign("n", m.V("left"))
+		}, nil)
+		b.Assign("fbyte", m.Mul(m.Call("fileStart", m.V("idx")), m.I(SectorSize)))
+
+		b.Assign("copied", m.I(0))
+		b.While(m.LtU(m.V("copied"), m.V("n")), func(b *m.Block) {
+			b.Assign("abs", m.Add(m.V("fbyte"), m.Add(m.V("off"), m.V("copied"))))
+			b.Assign("block", m.DivU(m.V("abs"), m.I(BlockBytes)))
+			b.Assign("boff", m.ModU(m.V("abs"), m.I(BlockBytes)))
+			b.Assign("bva", m.Call("bcEnsure", m.V("block")))
+			b.If(m.Eq(m.V("bva"), m.I(0)), func(b *m.Block) {
+				b.Return(m.I(0)) // sleeping; the call restarts
+			}, nil)
+			b.Assign("chunk", m.Sub(m.I(BlockBytes), m.V("boff")))
+			b.If(m.GtU(m.V("chunk"), m.Sub(m.V("n"), m.V("copied"))), func(b *m.Block) {
+				b.Assign("chunk", m.Sub(m.V("n"), m.V("copied")))
+			}, nil)
+			b.Call("copyout", m.Add(m.V("ubuf"), m.V("copied")),
+				m.Add(m.V("bva"), m.V("boff")), m.V("chunk"))
+			b.Assign("copied", m.Add(m.V("copied"), m.V("chunk")))
+		})
+
+		// Read-ahead: when access looks sequential, start the next
+		// block's read without waiting (§5.1: "tracing changes the
+		// behavior of disk read ahead").
+		b.Assign("p", m.Call("curProcAddr"))
+		b.Assign("abs", m.Add(m.V("fbyte"), m.Add(m.V("off"), m.V("n"))))
+		b.Assign("block", m.DivU(m.V("abs"), m.I(BlockBytes)))
+		b.If(m.Eq(m.LoadW(m.Add(m.V("p"), m.I(PLastBlock))), m.V("block")), func(b *m.Block) {
+			// Same block as last time: no new read-ahead.
+		}, func(b *m.Block) {
+			b.If(m.LtU(m.Mul(m.Add(m.V("block"), m.I(1)), m.I(BlockBytes)),
+				m.Add(m.V("fbyte"), m.V("flen"))), func(b *m.Block) {
+				b.Call("bcReadAhead", m.Add(m.V("block"), m.I(1)))
+			}, nil)
+			b.StoreW(m.Add(m.V("p"), m.I(PLastBlock)), m.V("block"))
+		})
+
+		b.StoreW(m.Add(m.V("slot"), m.I(4)), m.Add(m.V("off"), m.V("n")))
+		b.Return(m.V("n"))
+	})
+
+	// sysWrite(fd, ubuf, n): fd 1 is the console; files are written
+	// through the cache with the conservative synchronous policy.
+	f = k.Func("sysWrite", m.TInt)
+	f.Param("fd", m.TInt)
+	f.Param("ubuf", m.TInt)
+	f.Param("n", m.TInt)
+	f.Locals("i", "slot", "idx", "off", "flen", "abs", "block", "boff",
+		"chunk", "bva", "fbyte", "p", "copied")
+	f.Code(func(b *m.Block) {
+		b.If(m.Eq(m.V("fd"), m.I(1)), func(b *m.Block) {
+			b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+				b.StoreW(m.U(consPutc), m.LoadB(m.Add(m.V("ubuf"), m.V("i"))))
+			})
+			b.Return(m.V("n"))
+		}, nil)
+		b.If(m.Or(m.Lt(m.V("fd"), m.I(3)), m.Ge(m.V("fd"), m.I(NFD))), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.Assign("slot", m.Call("fdSlot", m.V("fd")))
+		b.Assign("idx", m.LoadW(m.V("slot")))
+		b.If(m.Lt(m.V("idx"), m.I(0)), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.Assign("p", m.Call("curProcAddr"))
+		// Restart after the synchronous write completed.
+		b.If(m.Eq(m.LoadW(m.Add(m.V("p"), m.I(PDiskPend))), m.I(2)), func(b *m.Block) {
+			b.StoreW(m.Add(m.V("p"), m.I(PDiskPend)), m.I(0))
+			b.Assign("off", m.LoadW(m.Add(m.V("slot"), m.I(4))))
+			b.StoreW(m.Add(m.V("slot"), m.I(4)), m.Add(m.V("off"), m.V("n")))
+			b.Return(m.V("n"))
+		}, nil)
+		b.Assign("off", m.LoadW(m.Add(m.V("slot"), m.I(4))))
+		b.Assign("flen", m.Call("fileLen", m.V("idx")))
+		b.If(m.GtU(m.Add(m.V("off"), m.V("n")), m.V("flen")), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1))) // in-place overwrite only
+		}, nil)
+		b.Assign("fbyte", m.Mul(m.Call("fileStart", m.V("idx")), m.I(SectorSize)))
+
+		b.Assign("copied", m.I(0))
+		b.While(m.LtU(m.V("copied"), m.V("n")), func(b *m.Block) {
+			b.Assign("abs", m.Add(m.V("fbyte"), m.Add(m.V("off"), m.V("copied"))))
+			b.Assign("block", m.DivU(m.V("abs"), m.I(BlockBytes)))
+			b.Assign("boff", m.ModU(m.V("abs"), m.I(BlockBytes)))
+			b.Assign("bva", m.Call("bcEnsure", m.V("block")))
+			b.If(m.Eq(m.V("bva"), m.I(0)), func(b *m.Block) {
+				b.Return(m.I(0)) // restart
+			}, nil)
+			b.Assign("chunk", m.Sub(m.I(BlockBytes), m.V("boff")))
+			b.If(m.GtU(m.V("chunk"), m.Sub(m.V("n"), m.V("copied"))), func(b *m.Block) {
+				b.Assign("chunk", m.Sub(m.V("n"), m.V("copied")))
+			}, nil)
+			b.Call("copyin", m.Add(m.V("bva"), m.V("boff")),
+				m.Add(m.V("ubuf"), m.V("copied")), m.V("chunk"))
+			b.Assign("copied", m.Add(m.V("copied"), m.V("chunk")))
+		})
+
+		// Conservative write policy: push the last block to disk
+		// synchronously before the call completes (§4.4).
+		b.Assign("abs", m.Add(m.V("fbyte"), m.V("off")))
+		b.Assign("block", m.DivU(m.V("abs"), m.I(BlockBytes)))
+		b.Call("dqPush", m.V("block"), m.I(2), m.LoadW(m.Addr("curpid", 0)))
+		b.Call("diskIssue", m.Mul(m.V("block"), m.I(BlockSectors)),
+			m.Call("kv2p", m.Add(m.Addr("bufdata", 0),
+				m.Mul(m.ModU(m.V("block"), m.I(NBuf)), m.I(BlockBytes)))),
+			m.I(BlockSectors), m.I(1))
+		b.StoreW(m.Add(m.V("p"), m.I(PDiskPend)), m.I(1))
+		b.Call("sleepOn", m.U(0x7ffffff1))
+		b.Return(m.I(0))
+	})
+}

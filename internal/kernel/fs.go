@@ -1,0 +1,208 @@
+package kernel
+
+import (
+	m "systrace/internal/mahler"
+)
+
+// The file system and buffer cache of the monolithic kernel: a flat
+// directory on the ramdisk, a direct-mapped block cache, asynchronous
+// reads with read-ahead, and the conservative write-through policy the
+// paper observed to induce "greatly increased I/O delays" in Ultrix
+// (§4.4). The Mach UX server implements the same structure in user
+// space (ux.go).
+func buildFS(k *m.Module, cfg Config) {
+	// dqPush/dqPop mirror the disk controller's command queue so the
+	// interrupt handler knows what completed: (chan, kind, aux).
+	f := k.Func("dqPush", m.TVoid)
+	f.Param("ch", m.TInt)
+	f.Param("kind", m.TInt)
+	f.Param("aux", m.TInt)
+	f.Locals("t")
+	f.Code(func(b *m.Block) {
+		b.Assign("t", m.LoadW(m.Addr("dq_tail", 0)))
+		b.StoreW(m.Add(m.Addr("dq_chan", 0), m.Mul(m.ModU(m.V("t"), m.I(16)), m.I(4))), m.V("ch"))
+		b.StoreW(m.Add(m.Addr("dq_kind", 0), m.Mul(m.ModU(m.V("t"), m.I(16)), m.I(4))), m.V("kind"))
+		b.StoreW(m.Add(m.Addr("dq_aux", 0), m.Mul(m.ModU(m.V("t"), m.I(16)), m.I(4))), m.V("aux"))
+		b.StoreW(m.Addr("dq_tail", 0), m.Add(m.V("t"), m.I(1)))
+	})
+
+	// diskIssue: program the controller. addr is a physical address.
+	f = k.Func("diskIssue", m.TVoid)
+	f.Param("sector", m.TInt)
+	f.Param("phys", m.TInt)
+	f.Param("nsect", m.TInt)
+	f.Param("write", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.StoreW(m.U(diskSector), m.V("sector"))
+		b.StoreW(m.U(diskAddr), m.V("phys"))
+		b.StoreW(m.U(diskNSect), m.V("nsect"))
+		b.If(m.Ne(m.V("write"), m.I(0)), func(b *m.Block) {
+			b.StoreW(m.U(diskCmd), m.I(2))
+		}, func(b *m.Block) {
+			b.StoreW(m.U(diskCmd), m.I(1))
+		})
+	})
+
+	// diskIntr: drain every completed operation. Interrupts coalesce
+	// (a second completion while the first is unacknowledged raises
+	// no extra edge), so the handler compares its queue mirror
+	// against the controller's done counter instead of assuming one
+	// completion per interrupt.
+	f = k.Func("diskIntr", m.TVoid)
+	f.Locals("h", "ch", "kind", "aux", "done")
+	f.Code(func(b *m.Block) {
+		b.StoreW(m.U(diskAck), m.I(1))
+		b.Assign("done", m.LoadW(m.U(diskDone)))
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("h", m.LoadW(m.Addr("dq_head", 0)))
+			b.If(m.Eq(m.V("h"), m.LoadW(m.Addr("dq_tail", 0))), func(b *m.Block) {
+				b.Break() // mirror empty
+			}, nil)
+			b.If(m.GeU(m.V("h"), m.V("done")), func(b *m.Block) {
+				b.Break() // remaining operations still in flight
+			}, nil)
+			b.Assign("ch", m.LoadW(m.Add(m.Addr("dq_chan", 0), m.Mul(m.ModU(m.V("h"), m.I(16)), m.I(4)))))
+			b.Assign("kind", m.LoadW(m.Add(m.Addr("dq_kind", 0), m.Mul(m.ModU(m.V("h"), m.I(16)), m.I(4)))))
+			b.Assign("aux", m.LoadW(m.Add(m.Addr("dq_aux", 0), m.Mul(m.ModU(m.V("h"), m.I(16)), m.I(4)))))
+			b.StoreW(m.Addr("dq_head", 0), m.Add(m.V("h"), m.I(1)))
+			b.If(m.Eq(m.V("kind"), m.I(0)), func(b *m.Block) {
+				// Buffer-cache read: aux is the buffer index.
+				b.StoreW(m.Add(m.Addr("bufstate", 0), m.Mul(m.V("aux"), m.I(4))), m.I(1))
+				b.Call("wakeup", m.V("ch"))
+			}, func(b *m.Block) {
+				// Raw transfer / synchronous write for a process.
+				b.Call("diskDone", m.V("aux"))
+			})
+		})
+	})
+
+	// diskDone: complete a per-process raw/synchronous operation.
+	f = k.Func("diskDone", m.TVoid)
+	f.Param("pid", m.TInt)
+	f.Locals("p")
+	f.Code(func(b *m.Block) {
+		b.Assign("p", procAddr(m.V("pid")))
+		b.StoreW(m.Add(m.V("p"), m.I(PDiskPend)), m.I(2))
+		b.Call("wakePid", m.V("pid"))
+	})
+
+	// bootReadDir: polled read of the directory at boot (interrupts
+	// are not running yet). Reads 8 sectors into dircache.
+	f = k.Func("bootReadDir", m.TVoid)
+	f.Locals("hdr")
+	f.Code(func(b *m.Block) {
+		// Sector 0..8 -> dircache area via its physical address.
+		b.Call("diskIssue", m.I(0), m.Call("kv2p", m.Addr("dircache", 0)), m.I(8), m.I(0))
+		b.While(m.Ne(m.And(m.LoadW(m.U(diskStatus)), m.I(1)), m.I(0)), func(b *m.Block) {
+		})
+		b.StoreW(m.U(diskAck), m.I(1))
+		b.Assign("hdr", m.LoadW(m.Addr("dircache", 0)))
+		b.If(m.Ne(m.V("hdr"), m.U(FSMagic)), func(b *m.Block) {
+			b.StoreW(m.U(haltReg), m.I(0x7003)) // panic: bad fs magic
+		}, nil)
+		b.StoreW(m.Addr("nfiles", 0), m.LoadW(m.Addr("dircache", 4)))
+	})
+
+	// kv2p: kseg0 virtual to physical.
+	f = k.Func("kv2p", m.TInt)
+	f.Param("va", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.And(m.V("va"), m.U(0x1fffffff)))
+	})
+
+	// dirLookup(nameAddr): scan the directory; the name (kernel VA)
+	// is at most DirNameLen bytes, NUL-terminated. Returns the entry
+	// index or -1. Directory entries start 32 bytes into dircache
+	// (after the superblock header).
+	f = k.Func("dirLookup", m.TInt)
+	f.Param("name", m.TInt)
+	f.Locals("i", "e", "j", "a", "c1", "c2", "ok")
+	f.Code(func(b *m.Block) {
+		b.For("i", m.I(0), m.LoadW(m.Addr("nfiles", 0)), func(b *m.Block) {
+			b.Assign("e", m.Add(m.Addr("dircache", DirEntrySize), m.Mul(m.V("i"), m.I(DirEntrySize))))
+			b.Assign("ok", m.I(1))
+			b.Assign("j", m.I(0))
+			b.While(m.Lt(m.V("j"), m.I(DirNameLen)), func(b *m.Block) {
+				b.Assign("c1", m.LoadB(m.Add(m.V("e"), m.V("j"))))
+				b.Assign("c2", m.LoadB(m.Add(m.V("name"), m.V("j"))))
+				b.If(m.Ne(m.V("c1"), m.V("c2")), func(b *m.Block) {
+					b.Assign("ok", m.I(0))
+					b.Break()
+				}, nil)
+				b.If(m.Eq(m.V("c1"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+				b.Assign("j", m.Add(m.V("j"), m.I(1)))
+			})
+			b.If(m.Ne(m.V("ok"), m.I(0)), func(b *m.Block) {
+				b.Return(m.V("i"))
+			}, nil)
+		})
+		b.Return(m.Neg(m.I(1)))
+	})
+
+	// fileStart/fileLen accessors over directory entries.
+	f = k.Func("fileStart", m.TInt)
+	f.Param("idx", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.LoadW(m.Add(m.Addr("dircache", DirEntrySize+DirNameLen),
+			m.Mul(m.V("idx"), m.I(DirEntrySize)))))
+	})
+	f = k.Func("fileLen", m.TInt)
+	f.Param("idx", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.LoadW(m.Add(m.Addr("dircache", DirEntrySize+DirNameLen+4),
+			m.Mul(m.V("idx"), m.I(DirEntrySize)))))
+	})
+
+	// bcEnsure(block): make disk block resident; returns the kernel
+	// VA of its data, or 0 after scheduling a read (the caller's
+	// system call restarts). Direct-mapped by block number.
+	f = k.Func("bcEnsure", m.TInt)
+	f.Param("block", m.TInt)
+	f.Locals("idx", "st", "tag")
+	f.Code(func(b *m.Block) {
+		b.Assign("idx", m.ModU(m.V("block"), m.I(NBuf)))
+		b.Assign("tag", m.LoadW(m.Add(m.Addr("buftag", 0), m.Mul(m.V("idx"), m.I(4)))))
+		b.Assign("st", m.LoadW(m.Add(m.Addr("bufstate", 0), m.Mul(m.V("idx"), m.I(4)))))
+		b.If(m.And(m.Eq(m.V("tag"), m.V("block")), m.Eq(m.V("st"), m.I(1))), func(b *m.Block) {
+			b.Return(m.Add(m.Addr("bufdata", 0), m.Mul(m.V("idx"), m.I(BlockBytes))))
+		}, nil)
+		b.If(m.Eq(m.V("st"), m.I(2)), func(b *m.Block) {
+			// Slot busy (this block or a colliding one): wait for the
+			// in-flight read, then restart.
+			b.Call("sleepOn", m.V("tag"))
+			b.Return(m.I(0))
+		}, nil)
+		b.StoreW(m.Add(m.Addr("buftag", 0), m.Mul(m.V("idx"), m.I(4))), m.V("block"))
+		b.StoreW(m.Add(m.Addr("bufstate", 0), m.Mul(m.V("idx"), m.I(4))), m.I(2))
+		b.Call("dqPush", m.V("block"), m.I(0), m.V("idx"))
+		b.Call("diskIssue", m.Mul(m.V("block"), m.I(BlockSectors)),
+			m.Call("kv2p", m.Add(m.Addr("bufdata", 0), m.Mul(m.V("idx"), m.I(BlockBytes)))),
+			m.I(BlockSectors), m.I(0))
+		b.Call("sleepOn", m.V("block"))
+		b.Return(m.I(0))
+	})
+
+	// bcReadAhead(block): start an asynchronous read if the block is
+	// absent and its slot is free — the read-ahead whose interaction
+	// with tracing skews the compress prediction (§5.1).
+	f = k.Func("bcReadAhead", m.TVoid)
+	f.Param("block", m.TInt)
+	f.Locals("idx", "st", "tag")
+	f.Code(func(b *m.Block) {
+		b.Assign("idx", m.ModU(m.V("block"), m.I(NBuf)))
+		b.Assign("tag", m.LoadW(m.Add(m.Addr("buftag", 0), m.Mul(m.V("idx"), m.I(4)))))
+		b.Assign("st", m.LoadW(m.Add(m.Addr("bufstate", 0), m.Mul(m.V("idx"), m.I(4)))))
+		b.If(m.And(m.Eq(m.V("tag"), m.V("block")), m.Ne(m.V("st"), m.I(0))), func(b *m.Block) {
+			b.Return(nil) // present or already on its way
+		}, nil)
+		b.If(m.Eq(m.V("st"), m.I(2)), func(b *m.Block) {
+			b.Return(nil) // slot busy with another block
+		}, nil)
+		b.StoreW(m.Add(m.Addr("buftag", 0), m.Mul(m.V("idx"), m.I(4))), m.V("block"))
+		b.StoreW(m.Add(m.Addr("bufstate", 0), m.Mul(m.V("idx"), m.I(4))), m.I(2))
+		b.Call("dqPush", m.V("block"), m.I(0), m.V("idx"))
+		b.Call("diskIssue", m.Mul(m.V("block"), m.I(BlockSectors)),
+			m.Call("kv2p", m.Add(m.Addr("bufdata", 0), m.Mul(m.V("idx"), m.I(BlockBytes)))),
+			m.I(BlockSectors), m.I(0))
+	})
+}

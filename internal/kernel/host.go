@@ -1,0 +1,212 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"systrace/internal/cpu"
+	"systrace/internal/machine"
+	"systrace/internal/obj"
+)
+
+// BootProc describes one process to start at boot.
+type BootProc struct {
+	Exe      *obj.Executable
+	IsServer bool
+}
+
+// BootConfig configures a system instance.
+type BootConfig struct {
+	Flavor          Flavor
+	RAMBytes        uint32
+	TraceBufBytes   uint32 // 0 = tracing disabled (untraced kernel)
+	ClockInterval   uint32 // cycles between clock interrupts
+	PagePolicy      uint32 // 0 sequential, 1 random (frame placement)
+	MapSeed         uint32
+	TLBDropin       bool
+	DiskImage       []byte
+	AnalysisPerWord uint64 // analysis-phase cycles charged per trace word
+}
+
+// DefaultBoot returns a standard configuration for the flavor: Ultrix
+// places pages sequentially and pre-drops TLB entries; Mach places
+// pages randomly (its documented repeatability hazard, §5.1) and uses
+// tlb_map_random-style drop-ins.
+func DefaultBoot(f Flavor) BootConfig {
+	cfg := BootConfig{
+		Flavor:          f,
+		RAMBytes:        64 << 20,
+		ClockInterval:   20_000, // scheduler tick, scaled with the workloads
+		TLBDropin:       true,
+		MapSeed:         12345,
+		AnalysisPerWord: 8,
+	}
+	if f == Mach {
+		cfg.PagePolicy = 1
+	}
+	return cfg
+}
+
+// System is a booted machine: kernel plus processes, with the
+// host-side analysis program attached to the trace doorbell.
+type System struct {
+	M      *machine.Machine
+	Kernel *obj.Executable
+	Procs  []BootProc
+	Cfg    BootConfig
+
+	// OnTrace receives each drained batch of raw trace words (the
+	// analysis program of Figure 1).
+	OnTrace func(words []uint32)
+
+	DrainedWords uint64
+	Doorbells    uint64
+
+	kbookPA uint32
+	tbufPA  uint32
+	utlbPA  uint32
+	symPA   map[string]uint32
+}
+
+// Boot loads the kernel and user images and prepares the machine.
+func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System, error) {
+	if len(procs) == 0 || len(procs) > MaxProcs {
+		return nil, fmt.Errorf("kernel: %d boot processes (1..%d allowed)", len(procs), MaxProcs)
+	}
+	mach := machine.New(cfg.RAMBytes, cfg.DiskImage)
+	if err := mach.LoadKernel(kernelExe); err != nil {
+		return nil, err
+	}
+	s := &System{M: mach, Kernel: kernelExe, Procs: procs, Cfg: cfg, symPA: map[string]uint32{}}
+	s.kbookPA = kernelExe.MustSymbol("kbook") - cpu.KSeg0Base
+	s.utlbPA = kernelExe.MustSymbol("utlb_scratch") - cpu.KSeg0Base
+	s.tbufPA = TraceBufVA - cpu.KSeg0Base
+
+	ram := mach.RAM.Bytes()
+	put := func(pa uint32, v uint32) { binary.BigEndian.PutUint32(ram[pa:], v) }
+
+	// Boot images: user segments copied to page-aligned physical
+	// memory after the trace buffer.
+	alloc := s.tbufPA + cfg.TraceBufBytes
+	alloc = (alloc + 4095) &^ 4095
+	biPA := uint32(BootInfoVA - cpu.KSeg0Base)
+	put(biPA+BiMagic, BootMagic)
+	put(biPA+BiRAMBytes, cfg.RAMBytes)
+	if cfg.TraceBufBytes > 0 {
+		put(biPA+BiTraceBufPhys, s.tbufPA)
+		put(biPA+BiTraceBufBytes, cfg.TraceBufBytes)
+	}
+	put(biPA+BiClockInterval, cfg.ClockInterval)
+	put(biPA+BiFlavor, uint32(cfg.Flavor))
+	put(biPA+BiPagePolicy, cfg.PagePolicy)
+	put(biPA+BiMapSeed, cfg.MapSeed)
+	if cfg.TLBDropin {
+		put(biPA+BiTLBDropin, 1)
+	}
+	put(biPA+BiNProcs, uint32(len(procs)))
+
+	copySeg := func(pa uint32, data []byte) uint32 {
+		copy(ram[pa:], data)
+		return (pa + uint32(len(data)) + 4095) &^ 4095
+	}
+	for i, p := range procs {
+		e := p.Exe
+		rec := biPA + BiProcBase + uint32(i)*BiProcStride
+		textBytes := make([]byte, len(e.Text)*4)
+		for wi, w := range e.Text {
+			binary.BigEndian.PutUint32(textBytes[wi*4:], w)
+		}
+		textPA := alloc
+		alloc = copySeg(textPA, textBytes)
+		dataPA := alloc
+		alloc = copySeg(dataPA, e.Data)
+		put(rec+BiProcEntry, e.Entry)
+		put(rec+BiProcTextVA, e.TextBase)
+		put(rec+BiProcTextPhys, textPA)
+		put(rec+BiProcTextBytes, uint32(len(textBytes)))
+		put(rec+BiProcDataVA, e.DataBase)
+		put(rec+BiProcDataPhys, dataPA)
+		put(rec+BiProcDataBytes, uint32(len(e.Data)))
+		put(rec+BiProcBSSVA, e.BSSBase)
+		put(rec+BiProcBSSBytes, e.BSSSize+65536) // slack for sbrk-free heaps
+		if e.Traced {
+			put(rec+BiProcTraced, 1)
+		}
+		if p.IsServer {
+			put(rec+BiProcIsServer, 1)
+		}
+	}
+	put(biPA+BiFramePool, alloc)
+
+	// The analysis program: drain the in-kernel buffer when the
+	// kernel rings the doorbell.
+	mach.TraceCtl.Handler = func(reason uint32) uint64 {
+		s.Doorbells++
+		end := binary.BigEndian.Uint32(ram[s.kbookPA:]) // BufPtr (kseg0 VA)
+		start := TraceBufVA
+		if end < uint32(start) || end > uint32(start)+cfg.TraceBufBytes {
+			return 0
+		}
+		n := (end - uint32(start)) / 4
+		words := make([]uint32, n)
+		for i := uint32(0); i < n; i++ {
+			words[i] = binary.BigEndian.Uint32(ram[s.tbufPA+i*4:])
+		}
+		s.DrainedWords += uint64(n)
+		if s.OnTrace != nil {
+			s.OnTrace(words)
+		}
+		return uint64(n) * cfg.AnalysisPerWord
+	}
+	return s, nil
+}
+
+// Run executes until the machine halts or the instruction budget is
+// exhausted.
+func (s *System) Run(maxInstr uint64) error {
+	return s.M.Run(maxInstr)
+}
+
+// UTLBCount reads the kernel's user-TLB miss counter (the
+// "kernel with a user TLB miss counter" of §5.2).
+func (s *System) UTLBCount() uint32 {
+	return binary.BigEndian.Uint32(s.M.RAM.Bytes()[s.utlbPA:])
+}
+
+// ReadKernelWord reads a kernel global by symbol name.
+func (s *System) ReadKernelWord(sym string) uint32 {
+	pa, ok := s.symPA[sym]
+	if !ok {
+		pa = s.Kernel.MustSymbol(sym) - cpu.KSeg0Base
+		s.symPA[sym] = pa
+	}
+	return binary.BigEndian.Uint32(s.M.RAM.Bytes()[pa:])
+}
+
+// Console returns console output so far.
+func (s *System) Console() string { return s.M.Console.String() }
+
+// ExitStatus returns the exit status of process pid (the a0 slot of
+// its final trapframe).
+func (s *System) ExitStatus(pid int) uint32 {
+	pa := s.Kernel.MustSymbol("procs") - cpu.KSeg0Base +
+		uint32(pid-1)*ProcStride + PSave + TFRegs + 3*4
+	return binary.BigEndian.Uint32(s.M.RAM.Bytes()[pa:])
+}
+
+// ReadUserWord reads a word of a process's memory by walking the
+// kernel's page tables from the host side.
+func (s *System) ReadUserWord(pid int, va uint32) (uint32, bool) {
+	km := s.Kernel.MustSymbol("kseg2map") - cpu.KSeg0Base
+	ram := s.M.RAM.Bytes()
+	off := uint32(pid)<<PTSpanShift + (va>>12)<<2
+	pt := binary.BigEndian.Uint32(ram[km+(off>>12)*4:])
+	if pt&cpu.EloV == 0 {
+		return 0, false
+	}
+	pte := binary.BigEndian.Uint32(ram[pt&cpu.EloPFN|off&0xfff:])
+	if pte&cpu.EloV == 0 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(ram[pte&cpu.EloPFN|va&0xfff:]), true
+}

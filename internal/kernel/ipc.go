@@ -1,0 +1,188 @@
+package kernel
+
+import (
+	"systrace/internal/asm"
+	"systrace/internal/isa"
+	m "systrace/internal/mahler"
+	"systrace/internal/trace"
+)
+
+const serverChan = 0x7ffffff2
+
+// buildIPC provides the Mach flavor's message path: client file
+// syscalls become requests to the UX server; the server receives,
+// serves from its user-space cache, and replies with a kernel
+// cross-address-space copy. "Higher-level services [are] implemented
+// in a user-level UNIX server" (§3.6) — which is why the Mach system
+// shows far more user-level activity (and user TLB misses, Table 3)
+// than Ultrix for the same workload.
+func buildIPC(k *m.Module, cfg Config) {
+	k.Global("msgtmp", 48)
+
+	f := k.Func("ipcEnqueue", m.TVoid)
+	f.Param("num", m.TInt)
+	f.Param("a0", m.TInt)
+	f.Param("a1", m.TInt)
+	f.Param("a2", m.TInt)
+	f.Locals("p", "sp")
+	f.Code(func(b *m.Block) {
+		b.Assign("p", m.Call("curProcAddr"))
+		b.StoreW(m.Add(m.V("p"), m.I(PMsgOp)), m.V("num"))
+		b.StoreW(m.Add(m.V("p"), m.I(PMsgA1)), m.V("a0"))
+		b.StoreW(m.Add(m.V("p"), m.I(PMsgA2)), m.V("a1"))
+		b.StoreW(m.Add(m.V("p"), m.I(PMsgA3)), m.V("a2"))
+		b.If(m.Eq(m.V("num"), m.I(SysOpen)), func(b *m.Block) {
+			b.Call("copyin", m.Add(m.V("p"), m.I(PMsgPath)), m.V("a0"), m.I(DirNameLen))
+		}, nil)
+		b.StoreW(m.V("p"), m.I(stWaitReply))
+		b.StoreW(m.Addr("nrunnable", 0), m.Sub(m.LoadW(m.Addr("nrunnable", 0)), m.I(1)))
+		// Wake the server if it is waiting for requests.
+		b.Assign("sp", procAddr(m.LoadW(m.Addr("serverpid", 0))))
+		b.If(m.And(m.Eq(m.LoadW(m.V("sp")), m.I(stSleeping)),
+			m.Eq(m.LoadW(m.Add(m.V("sp"), m.I(PSleepChan))), m.U(serverChan))),
+			func(b *m.Block) {
+				b.StoreW(m.V("sp"), m.I(stRunnable))
+				b.StoreW(m.Addr("nrunnable", 0), m.Add(m.LoadW(m.Addr("nrunnable", 0)), m.I(1)))
+			}, nil)
+		// The reply delivers the result; do not complete the syscall.
+		b.StoreW(m.Addr("restartsys", 0), m.I(1))
+	})
+
+	// ipcRecv(bufUVA): deliver the oldest pending request into the
+	// server's buffer: [pid, op, a1, a2, a3, path(24)] = 44 bytes.
+	f = k.Func("ipcRecv", m.TInt)
+	f.Param("ubuf", m.TInt)
+	f.Locals("i", "c", "j")
+	f.Code(func(b *m.Block) {
+		b.For("i", m.I(0), m.I(MaxProcs), func(b *m.Block) {
+			b.Assign("c", procAddr(m.Add(m.V("i"), m.I(1))))
+			b.If(m.Eq(m.LoadW(m.V("c")), m.I(stWaitReply)), func(b *m.Block) {
+				b.StoreW(m.Addr("msgtmp", 0), m.Add(m.V("i"), m.I(1)))
+				b.StoreW(m.Addr("msgtmp", 4), m.LoadW(m.Add(m.V("c"), m.I(PMsgOp))))
+				b.StoreW(m.Addr("msgtmp", 8), m.LoadW(m.Add(m.V("c"), m.I(PMsgA1))))
+				b.StoreW(m.Addr("msgtmp", 12), m.LoadW(m.Add(m.V("c"), m.I(PMsgA2))))
+				b.StoreW(m.Addr("msgtmp", 16), m.LoadW(m.Add(m.V("c"), m.I(PMsgA3))))
+				b.For("j", m.I(0), m.I(DirNameLen), func(b *m.Block) {
+					b.StoreB(m.Add(m.Addr("msgtmp", 20), m.V("j")),
+						m.LoadB(m.Add(m.Add(m.V("c"), m.I(PMsgPath)), m.V("j"))))
+				})
+				b.Call("copyout", m.V("ubuf"), m.Addr("msgtmp", 0), m.I(44))
+				b.StoreW(m.V("c"), m.I(stWaitService))
+				b.Return(m.Add(m.V("i"), m.I(1)))
+			}, nil)
+		})
+		b.Call("sleepOn", m.U(serverChan))
+		b.Return(m.I(0))
+	})
+
+	// ipcReply(clientPid, val, srcUVA, len): optional data transfer
+	// into the client's original buffer argument, then resume it.
+	f = k.Func("ipcReply", m.TInt)
+	f.Param("cpid", m.TInt)
+	f.Param("val", m.TInt)
+	f.Param("src", m.TInt)
+	f.Param("len", m.TInt)
+	f.Locals("c", "sv")
+	f.Code(func(b *m.Block) {
+		b.Assign("c", procAddr(m.V("cpid")))
+		b.If(m.Ne(m.LoadW(m.V("c")), m.I(stWaitService)), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.If(m.GtU(m.V("len"), m.I(0)), func(b *m.Block) {
+			b.StoreW(m.Addr("xfersrc", 0), m.LoadW(m.Addr("curpid", 0)))
+			b.Call("crossCopy", m.V("cpid"),
+				m.LoadW(m.Add(m.V("c"), m.I(PMsgA2))), m.V("src"), m.V("len"))
+		}, nil)
+		b.Assign("sv", m.Add(m.V("c"), m.I(PSave)))
+		b.StoreW(m.Add(m.V("sv"), m.I(TFRegs+(isa.RegV0-1)*4)), m.V("val"))
+		b.StoreW(m.Add(m.V("sv"), m.I(TFEPC)),
+			m.Add(m.LoadW(m.Add(m.V("sv"), m.I(TFEPC))), m.I(4)))
+		b.StoreW(m.Add(m.V("c"), m.I(PMsgOp)), m.Neg(m.I(1)))
+		b.StoreW(m.V("c"), m.I(stRunnable))
+		b.StoreW(m.Addr("nrunnable", 0), m.Add(m.LoadW(m.Addr("nrunnable", 0)), m.I(1)))
+		b.Return(m.I(0))
+	})
+
+	// ipcFetch(clientPid, dstUVA, srcUVA, len): the server pulls data
+	// out of a client's space (Mach vm_read) for write requests.
+	f = k.Func("ipcFetch", m.TInt)
+	f.Param("cpid", m.TInt)
+	f.Param("dst", m.TInt)
+	f.Param("src", m.TInt)
+	f.Param("len", m.TInt)
+	f.Locals("c")
+	f.Code(func(b *m.Block) {
+		b.Assign("c", procAddr(m.V("cpid")))
+		b.If(m.Ne(m.LoadW(m.V("c")), m.I(stWaitService)), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.StoreW(m.Addr("xfersrc", 0), m.V("cpid"))
+		b.Call("crossCopy", m.LoadW(m.Addr("curpid", 0)), m.V("dst"), m.V("src"), m.V("len"))
+		b.Return(m.V("len"))
+	})
+}
+
+func buildTraceCtl(k *m.Module, cfg Config) {
+	// traceMark appends a control word to the in-kernel buffer. It is
+	// part of the tracing system itself and must not be instrumented
+	// (§3.3: uninstrumented code in the traced kernel) — otherwise
+	// its own stores would be memtraced into the buffer it manages.
+	f := k.Func("traceMark", m.TVoid)
+	f.Flags = asm.NoInstrument
+	f.Param("w", m.TInt)
+	f.Locals("ptr")
+	f.Code(func(b *m.Block) {
+		b.If(m.Eq(m.LoadW(m.Addr("traceon", 0)), m.I(0)), func(b *m.Block) {
+			b.Return(nil)
+		}, nil)
+		b.Assign("ptr", m.LoadW(m.Addr("kbook", 0)))
+		b.StoreW(m.V("ptr"), m.V("w"))
+		b.StoreW(m.Addr("kbook", 0), m.Add(m.V("ptr"), m.I(4)))
+	})
+
+	// runAnalysis: the generation -> analysis mode switch (§3.1,
+	// §4.3). The kernel marks the boundary, rings the doorbell (the
+	// analysis program consumes the buffer and simulated time
+	// passes), then services any I/O that completed during analysis
+	// with tracing off — that activity's trace is the mode-switch
+	// "dirt" and is deliberately discarded.
+	f = k.Func("runAnalysis", m.TVoid)
+	f.Flags = asm.NoInstrument // trace-control subsystem: never traced
+	f.Locals("spin")
+	f.Code(func(b *m.Block) {
+		b.Call("traceMark", m.U(0xfff40000)) // MarkModeSw
+		b.StoreW(m.Addr("modesw", 0), m.Add(m.LoadW(m.Addr("modesw", 0)), m.I(1)))
+		b.StoreW(m.Addr("traceon", 0), m.I(0))
+		b.StoreW(m.U(traceBell), m.I(1)) // DoorbellBufferFull
+		b.StoreW(m.Addr("kbook", 0), m.LoadW(m.Addr("tbufstart", 0)))
+		b.StoreW(m.Addr("kbook", 16), m.I(0)) // FullFlag
+		// Let pending completions drain untraced.
+		b.MTC0(isa.C0Status, m.Or(m.MFC0(isa.C0Status), m.I(1)))
+		b.Assign("spin", m.I(0))
+		b.While(m.Lt(m.V("spin"), m.I(64)), func(b *m.Block) {
+			b.Assign("spin", m.Add(m.V("spin"), m.I(1)))
+		})
+		b.MTC0(isa.C0Status, m.And(m.MFC0(isa.C0Status), m.Not(m.I(1))))
+		// Discard the untraced interval's words.
+		b.StoreW(m.Addr("kbook", 0), m.LoadW(m.Addr("tbufstart", 0)))
+		b.StoreW(m.Addr("traceon", 0), m.I(1))
+	})
+
+	// traceCheck: a mid-handler trace safe point. The slack region
+	// past the soft limit (§3.3) absorbs one bounded burst — a full
+	// per-process buffer flush plus one handler's own trace — but a
+	// long copy loop inside a single syscall is not bounded by the
+	// handler structure, so the bulk-copy paths poll here once per
+	// chunk and switch to analysis mode before the slack runs out.
+	f = k.Func("traceCheck", m.TVoid)
+	f.Flags = asm.NoInstrument
+	f.Code(func(b *m.Block) {
+		b.If(m.Eq(m.LoadW(m.Addr("traceon", 0)), m.I(0)), func(b *m.Block) {
+			b.Return(nil)
+		}, nil)
+		b.If(m.GeU(m.LoadW(m.Addr("kbook", trace.BookBufPtr)),
+			m.LoadW(m.Addr("kbook", trace.BookBufEnd))), func(b *m.Block) {
+			b.Call("runAnalysis")
+		}, nil)
+	})
+}

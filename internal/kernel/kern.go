@@ -1,0 +1,328 @@
+package kernel
+
+import (
+	"systrace/internal/cpu"
+	"systrace/internal/dev"
+	"systrace/internal/isa"
+	m "systrace/internal/mahler"
+	"systrace/internal/trace"
+)
+
+// Config selects kernel build options.
+type Config struct {
+	Flavor Flavor
+	// Traced builds the kernel with the tracing subsystem: the asm
+	// entry paths maintain trace state and the whole kernel is meant
+	// to be epoxie-instrumented after compilation.
+	Traced bool
+}
+
+// Device register virtual addresses (kseg1).
+const (
+	devBase    = cpu.KSeg1Base + dev.DevBase
+	clockAck   = devBase + dev.ClockBase + dev.ClockAck
+	clockIntvl = devBase + dev.ClockBase + dev.ClockInterval
+	consPutc   = devBase + dev.ConsoleBase + dev.ConsolePutc
+	diskSector = devBase + dev.DiskBase + dev.DiskSector
+	diskAddr   = devBase + dev.DiskBase + dev.DiskAddr
+	diskNSect  = devBase + dev.DiskBase + dev.DiskNSect
+	diskCmd    = devBase + dev.DiskBase + dev.DiskCmd
+	diskStatus = devBase + dev.DiskBase + dev.DiskStatus
+	diskAck    = devBase + dev.DiskBase + dev.DiskAck
+	diskDone   = devBase + dev.DiskBase + dev.DiskDone
+	traceBell  = devBase + dev.TraceCtlBase + dev.TraceDoorbell
+	haltReg    = devBase + dev.TraceCtlBase + 0x8
+)
+
+// Process states.
+const (
+	stFree = iota
+	stRunnable
+	stSleeping
+	stZombie
+	stWaitReply   // Mach client awaiting server reply
+	stWaitService // Mach client whose request the server holds
+)
+
+// PTE bits (match cpu EntryLo).
+const (
+	pteV = cpu.EloV
+	pteD = cpu.EloD
+	pteG = cpu.EloG
+)
+
+// Status image for fabricated user trapframes: interrupt mask for
+// clock+disk, previous-mode user with interrupts enabled.
+const userStatus = 0x300 | cpu.StIEp | cpu.StKUp
+
+// Module builds the kernel IR. The hand-written vectors object
+// provides _start, kentry, kexit_user and the trace helpers; this
+// module provides everything else.
+func Module(cfg Config) *m.Module {
+	k := m.NewModule("kern-" + cfg.Flavor.String())
+	declGlobals(k)
+	k.Extern("kexit_user", m.TVoid)
+	k.Extern("idle_pause", m.TVoid)
+
+	buildHelpers(k, cfg)
+	buildVM(k, cfg)
+	buildSched(k, cfg)
+	buildFS(k, cfg)
+	buildSyscalls(k, cfg)
+	buildTraceCtl(k, cfg)
+	buildTrap(k, cfg)
+	buildMain(k, cfg)
+	return k
+}
+
+func declGlobals(k *m.Module) {
+	k.Global("utlb_scratch", 16) // miss counter, at save, sp save
+	k.Global("cursave", 4)
+	k.Global("curentryhi", 4)
+	k.Global("curpid", 4)
+	k.Global("curproc", 4)
+	k.Global("curtraced", 4)
+	k.Global("traceon", 4)
+	k.Global("kbook", trace.BookSize)
+	k.Global("tbufstart", 4) // in-kernel buffer base (kseg0 VA)
+	k.Global("nrunnable", 4)
+	k.Global("needresched", 4)
+	k.Global("restartsys", 4)
+	k.Global("rrindex", 4)
+	k.Global("nextframe", 4)
+	k.Global("wiredrr", 4)
+	k.Global("ramend", 4)
+	k.Global("flavor", 4)
+	k.Global("pagepolicy", 4)
+	k.Global("mapseed", 4)
+	k.Global("tlbdropin", 4)
+	k.Global("nprocs", 4)
+	k.Global("nlive", 4)
+	k.Global("ticks", 4)
+	k.Global("modesw", 4) // generation->analysis transitions
+	k.Global("procs", MaxProcs*ProcStride)
+	k.Global("kseg2map", 32768*4)
+	// Buffer cache (Ultrix) / raw-op bookkeeping.
+	k.Global("buftag", NBuf*4)
+	k.Global("bufstate", NBuf*4) // 0 empty, 1 valid, 2 reading, 3 writing
+	k.Global("bufdata", NBuf*BlockBytes)
+	k.Global("dircache", 64*DirEntrySize)
+	k.Global("nfiles", 4)
+	// Disk issue queue mirror: (chan, kind, pid/bufidx) triplets.
+	k.Global("dq_chan", 16*4)
+	k.Global("dq_kind", 16*4) // 0 bc-read, 1 raw (pid in dq_aux), 2 bc-write
+	k.Global("dq_aux", 16*4)
+	k.Global("dq_head", 4)
+	k.Global("dq_tail", 4)
+	// Mach server state.
+	k.Global("serverpid", 4)
+}
+
+// procAddr yields the address of proc slot pid (1-based).
+func procAddr(pid m.Expr) m.Expr {
+	return m.Add(m.Addr("procs", 0), m.Mul(m.Sub(pid, m.I(1)), m.I(ProcStride)))
+}
+
+func buildHelpers(k *m.Module, cfg Config) {
+	// allocFrame returns the physical address of a fresh zeroed frame.
+	// Under the random page-mapping policy (Mach's, §4.2/§4.4) the
+	// frame's cache color is randomized, which is what makes run
+	// times vary with the placement seed on physically-indexed
+	// caches.
+	f := k.Func("allocFrame", m.TInt)
+	f.Locals("f")
+	f.Code(func(b *m.Block) {
+		b.Assign("f", m.LoadW(m.Addr("nextframe", 0)))
+		b.If(m.Eq(m.LoadW(m.Addr("pagepolicy", 0)), m.I(1)), func(b *m.Block) {
+			b.Assign("f", m.Add(m.V("f"),
+				m.Shl(m.And(m.Call("krand"), m.I(15)), m.I(12))))
+		}, nil)
+		b.If(m.GeU(m.V("f"), m.LoadW(m.Addr("ramend", 0))), func(b *m.Block) {
+			b.StoreW(m.U(haltReg), m.I(0x7002)) // panic: out of memory
+		}, nil)
+		b.StoreW(m.Addr("nextframe", 0), m.Add(m.V("f"), m.I(4096)))
+		b.Return(m.V("f"))
+	})
+
+	// setSpace(asid): point EntryHi and Context at an address space.
+	f = k.Func("setSpace", m.TVoid)
+	f.Param("asid", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.MTC0(isa.C0EntryHi, m.Shl(m.V("asid"), m.I(cpu.ASIDShift)))
+		b.MTC0(isa.C0Context, m.Add(m.U(PTBase), m.Shl(m.V("asid"), m.I(PTSpanShift))))
+	})
+
+	// putc/puts for kernel diagnostics.
+	f = k.Func("kputc", m.TVoid)
+	f.Param("c", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.StoreW(m.U(consPutc), m.V("c"))
+	})
+
+	// rand: xorshift over mapseed (page placement, tlb_map_random).
+	f = k.Func("krand", m.TInt)
+	f.Locals("s")
+	f.Code(func(b *m.Block) {
+		b.Assign("s", m.LoadW(m.Addr("mapseed", 0)))
+		b.Assign("s", m.Xor(m.V("s"), m.Shl(m.V("s"), m.I(13))))
+		b.Assign("s", m.Xor(m.V("s"), m.Shr(m.V("s"), m.I(17))))
+		b.Assign("s", m.Xor(m.V("s"), m.Shl(m.V("s"), m.I(5))))
+		b.StoreW(m.Addr("mapseed", 0), m.V("s"))
+		b.Return(m.V("s"))
+	})
+}
+
+func buildVM(k *m.Module, cfg Config) {
+	// pteAddr(asid, va) — the kseg2 linear page-table slot.
+	f := k.Func("pteAddr", m.TInt)
+	f.Param("asid", m.TInt)
+	f.Param("va", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.Add(m.U(PTBase),
+			m.Add(m.Shl(m.V("asid"), m.I(PTSpanShift)),
+				m.Shl(m.Shr(m.V("va"), m.I(12)), m.I(2)))))
+	})
+
+	// mapPage installs a PTE (the store itself may take a KTLB miss
+	// that allocates the page-table page on demand).
+	f = k.Func("mapPage", m.TVoid)
+	f.Param("asid", m.TInt)
+	f.Param("va", m.TInt)
+	f.Param("phys", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.StoreW(m.Call("pteAddr", m.V("asid"), m.V("va")),
+			m.Or(m.And(m.V("phys"), m.U(0xfffff000)), m.I(pteV|pteD)))
+	})
+
+	// allocMap allocates and maps n pages at va for asid.
+	f = k.Func("allocMap", m.TVoid)
+	f.Param("asid", m.TInt)
+	f.Param("va", m.TInt)
+	f.Param("n", m.TInt)
+	f.Locals("i")
+	f.Code(func(b *m.Block) {
+		b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+			b.Call("mapPage", m.V("asid"),
+				m.Add(m.V("va"), m.Mul(m.V("i"), m.I(4096))),
+				m.Call("allocFrame"))
+		})
+	})
+
+	// mapRange maps existing physical memory (boot images).
+	f = k.Func("mapRange", m.TVoid)
+	f.Param("asid", m.TInt)
+	f.Param("va", m.TInt)
+	f.Param("phys", m.TInt)
+	f.Param("bytes", m.TInt)
+	f.Locals("off")
+	f.Code(func(b *m.Block) {
+		b.Assign("off", m.I(0))
+		b.While(m.LtU(m.V("off"), m.V("bytes")), func(b *m.Block) {
+			b.Call("mapPage", m.V("asid"),
+				m.Add(m.V("va"), m.V("off")),
+				m.Add(m.V("phys"), m.V("off")))
+			b.Assign("off", m.Add(m.V("off"), m.I(4096)))
+		})
+	})
+
+	// tlbDrop writes a TLB entry directly — Ultrix tlbdropin() /
+	// Mach tlb_map_random() (§5.2). The entry is written at a random
+	// index, and EntryHi/Context are restored afterwards.
+	f = k.Func("tlbDrop", m.TVoid)
+	f.Param("asid", m.TInt)
+	f.Param("va", m.TInt)
+	f.Locals("pte")
+	f.Code(func(b *m.Block) {
+		b.Assign("pte", m.LoadW(m.Call("pteAddr", m.V("asid"), m.V("va"))))
+		b.If(m.Eq(m.And(m.V("pte"), m.I(pteV)), m.I(0)), func(b *m.Block) {
+			b.Return(nil) // nothing to drop in
+		}, nil)
+		b.MTC0(isa.C0EntryHi, m.Or(m.And(m.V("va"), m.U(0xfffff000)),
+			m.Shl(m.V("asid"), m.I(cpu.ASIDShift))))
+		b.MTC0(isa.C0EntryLo, m.V("pte"))
+		// Overwrite a stale mapping if one exists, else random.
+		b.TLBOp(isa.C0FnTLBP)
+		b.If(m.Eq(m.And(m.MFC0(isa.C0Index), m.U(0x80000000)), m.I(0)), func(b *m.Block) {
+			b.TLBOp(isa.C0FnTLBWI)
+		}, func(b *m.Block) {
+			b.TLBOp(isa.C0FnTLBWR)
+		})
+		b.Call("setSpace", m.LoadW(m.Addr("curpid", 0)))
+	})
+
+	// doKTLB services a kseg2 (page-table) miss through the general
+	// exception path — "handled through the general exception
+	// mechanism, which is much slower" (§4.1) — and restarts the UTLB
+	// refill handler's victim if the miss was a double fault.
+	f = k.Func("doKTLB", m.TVoid)
+	f.Param("tf", m.TInt)
+	f.Locals("bad", "idx", "pte", "epc", "st")
+	f.Code(func(b *m.Block) {
+		b.Assign("bad", m.LoadW(m.Add(m.V("tf"), m.I(TFBadVA))))
+		b.Assign("idx", m.Shr(m.Sub(m.V("bad"), m.U(PTBase)), m.I(12)))
+		b.Assign("pte", m.LoadW(m.Add(m.Addr("kseg2map", 0), m.Mul(m.V("idx"), m.I(4)))))
+		b.If(m.Eq(m.V("pte"), m.I(0)), func(b *m.Block) {
+			b.Assign("pte", m.Or(m.Call("allocFrame"), m.I(pteV|pteD|pteG)))
+			b.StoreW(m.Add(m.Addr("kseg2map", 0), m.Mul(m.V("idx"), m.I(4))), m.V("pte"))
+		}, nil)
+		b.MTC0(isa.C0EntryHi, m.And(m.V("bad"), m.U(0xfffff000)))
+		b.MTC0(isa.C0EntryLo, m.V("pte"))
+		// Page-table mappings live in the wired TLB slots (1..7):
+		// random replacement from the UTLB refill handler can never
+		// evict them, so a refill's page-table load always makes
+		// progress (otherwise a deterministic refill loop can evict
+		// its own page-table entry forever).
+		b.TLBOp(isa.C0FnTLBP)
+		b.If(m.Eq(m.And(m.MFC0(isa.C0Index), m.U(0x80000000)), m.I(0)), func(b *m.Block) {
+			b.TLBOp(isa.C0FnTLBWI)
+		}, func(b *m.Block) {
+			b.MTC0(isa.C0Index, m.Add(m.I(1), m.ModU(m.LoadW(m.Addr("wiredrr", 0)), m.I(7))))
+			b.StoreW(m.Addr("wiredrr", 0), m.Add(m.LoadW(m.Addr("wiredrr", 0)), m.I(1)))
+			b.TLBOp(isa.C0FnTLBWI)
+		})
+		b.Call("setSpace", m.LoadW(m.Addr("curpid", 0)))
+		// Double fault from inside the UTLB refill handler: restart
+		// the original user instruction (saved in k1's slot) and pop
+		// the extra KU/IE level out of the saved status.
+		b.Assign("epc", m.LoadW(m.Add(m.V("tf"), m.I(TFEPC))))
+		b.If(m.LtU(m.V("epc"), m.U(KernelTextVA+0x80)), func(b *m.Block) {
+			b.StoreW(m.Add(m.V("tf"), m.I(TFEPC)),
+				m.LoadW(m.Add(m.V("tf"), m.I(TFRegs+(isa.RegK1-1)*4))))
+			b.Assign("st", m.LoadW(m.Add(m.V("tf"), m.I(TFStatus))))
+			b.StoreW(m.Add(m.V("tf"), m.I(TFStatus)),
+				m.Or(m.And(m.V("st"), m.Not(m.I(0x3f))),
+					m.And(m.Shr(m.V("st"), m.I(2)), m.I(0xf))))
+		}, nil)
+	})
+
+	// doUserFault: invalid-PTE fault on a kuseg address. Under Mach
+	// this is how per-process trace pages appear: "the Mach 3.0
+	// system identifies traced programs by detecting references to
+	// the per-process trace pages" (§3.6). Anything else is fatal.
+	f = k.Func("doUserFault", m.TVoid)
+	f.Param("tf", m.TInt)
+	f.Locals("bad", "pid")
+	f.Code(func(b *m.Block) {
+		b.Assign("bad", m.LoadW(m.Add(m.V("tf"), m.I(TFBadVA))))
+		b.Assign("pid", m.LoadW(m.Addr("curpid", 0)))
+		isTracePage := m.And(
+			m.GeU(m.V("bad"), m.U(trace.UserTraceVA)),
+			m.LtU(m.V("bad"), m.U(trace.UserTraceVA+trace.BookSize+trace.UserBufBytes)))
+		b.If(isTracePage, func(b *m.Block) {
+			b.Call("mapPage", m.V("pid"),
+				m.And(m.V("bad"), m.U(0xfffff000)),
+				m.Call("allocFrame"))
+			b.StoreW(m.Add(m.Call("curProcAddr"), m.I(PTraced)), m.I(1))
+			b.StoreW(m.Addr("curtraced", 0), m.I(1))
+			// tlb_map_random-style explicit drop-in.
+			b.Call("tlbDrop", m.V("pid"), m.And(m.V("bad"), m.U(0xfffff000)))
+			b.Return(nil)
+		}, nil)
+		b.StoreW(m.U(haltReg), m.I(0x7004)) // panic: unexpected user fault
+	})
+
+	f = k.Func("curProcAddr", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.LoadW(m.Addr("curproc", 0)))
+	})
+}

@@ -1,0 +1,186 @@
+package kernel
+
+import (
+	"systrace/internal/asm"
+	"systrace/internal/isa"
+	m "systrace/internal/mahler"
+	"systrace/internal/trace"
+)
+
+func buildSched(k *m.Module, cfg Config) {
+	// setCur makes pid the current process: save-area pointer,
+	// address space, trace attribution. With tlbdropin enabled the
+	// kernel pre-drops the resumption point and stack page into the
+	// TLB, avoiding user misses the simulator will still predict
+	// (§5.2's acknowledged error source).
+	f := k.Func("setCur", m.TVoid)
+	f.Param("pid", m.TInt)
+	f.Locals("p", "epc")
+	f.Code(func(b *m.Block) {
+		b.Assign("p", procAddr(m.V("pid")))
+		b.StoreW(m.Addr("curproc", 0), m.V("p"))
+		b.StoreW(m.Addr("curpid", 0), m.V("pid"))
+		b.StoreW(m.Addr("cursave", 0), m.Add(m.V("p"), m.I(PSave)))
+		b.StoreW(m.Addr("curentryhi", 0), m.Shl(m.V("pid"), m.I(6)))
+		b.StoreW(m.Addr("curtraced", 0), m.LoadW(m.Add(m.V("p"), m.I(PTraced))))
+		b.Call("setSpace", m.V("pid"))
+		b.If(m.Ne(m.LoadW(m.Addr("tlbdropin", 0)), m.I(0)), func(b *m.Block) {
+			b.Assign("epc", m.LoadW(m.Add(m.V("p"), m.I(PSave+TFEPC))))
+			b.Call("tlbDrop", m.V("pid"), m.V("epc"))
+			b.Call("tlbDrop", m.V("pid"),
+				m.LoadW(m.Add(m.V("p"), m.I(PSave+TFRegs+(isa.RegSP-1)*4))))
+		}, nil)
+	})
+
+	// idle: the counted idle loop (§3.5: "An example application of
+	// these counters is measuring activity in the idle-loop"; §4.1:
+	// idle-loop instruction counts estimate I/O delays). Interrupts
+	// are enabled while spinning; device handlers run as nested
+	// exceptions and make processes runnable again.
+	// Interrupts are enabled only inside idle_pause (hand-written,
+	// untraced): the instrumented loop itself always runs with
+	// interrupts off, so device interrupts can never interleave with
+	// an in-flight trace-buffer update.
+	// anyRunnable scans the process table; the scheduler gates on
+	// this rather than a maintained counter (the counter remains as a
+	// statistic, but a scan cannot go stale).
+	f = k.Func("anyRunnable", m.TInt)
+	f.Locals("i")
+	f.Code(func(b *m.Block) {
+		b.For("i", m.I(0), m.I(MaxProcs), func(b *m.Block) {
+			b.If(m.Eq(m.LoadW(procAddr(m.Add(m.V("i"), m.I(1)))), m.I(stRunnable)), func(b *m.Block) {
+				b.Return(m.I(1))
+			}, nil)
+		})
+		b.Return(m.I(0))
+	})
+
+	f = k.Func("idle", m.TVoid)
+	f.Flags = asm.IdleLoop
+	f.Code(func(b *m.Block) {
+		b.While(m.Eq(m.Call("anyRunnable"), m.I(0)), func(b *m.Block) {
+			b.Call("idle_pause")
+		})
+	})
+
+	// schedPick: round-robin over runnable processes; idles when
+	// nothing can run.
+	f = k.Func("schedPick", m.TVoid)
+	f.Locals("i", "idx", "p", "found")
+	f.Code(func(b *m.Block) {
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("found", m.I(0))
+			b.For("i", m.I(0), m.I(MaxProcs), func(b *m.Block) {
+				b.If(m.Ne(m.V("found"), m.I(0)), func(b *m.Block) { b.Continue() }, nil)
+				b.Assign("idx", m.ModU(m.Add(m.LoadW(m.Addr("rrindex", 0)), m.V("i")), m.I(MaxProcs)))
+				b.Assign("p", procAddr(m.Add(m.V("idx"), m.I(1))))
+				b.If(m.Eq(m.LoadW(m.V("p")), m.I(stRunnable)), func(b *m.Block) {
+					b.StoreW(m.Addr("rrindex", 0), m.Add(m.V("idx"), m.I(1)))
+					b.StoreW(m.Add(m.V("p"), m.I(PQuantum)), m.I(Quantum))
+					b.Call("setCur", m.Add(m.V("idx"), m.I(1)))
+					b.Assign("found", m.I(1))
+				}, nil)
+			})
+			b.If(m.Ne(m.V("found"), m.I(0)), func(b *m.Block) {
+				b.Return(nil)
+			}, nil)
+			b.Call("idle")
+		})
+	})
+
+	// sleepOn: put the current process to sleep on a channel and
+	// arrange for the in-progress system call to restart when woken
+	// (restartable syscalls avoid per-process kernel stacks).
+	f = k.Func("sleepOn", m.TVoid)
+	f.Param("chan", m.TInt)
+	f.Locals("p")
+	f.Code(func(b *m.Block) {
+		b.Assign("p", m.Call("curProcAddr"))
+		b.If(m.Eq(m.LoadW(m.V("p")), m.I(stRunnable)), func(b *m.Block) {
+			b.StoreW(m.Addr("nrunnable", 0),
+				m.Sub(m.LoadW(m.Addr("nrunnable", 0)), m.I(1)))
+		}, nil)
+		b.StoreW(m.V("p"), m.I(stSleeping))
+		b.StoreW(m.Add(m.V("p"), m.I(PSleepChan)), m.V("chan"))
+		b.StoreW(m.Addr("restartsys", 0), m.I(1))
+	})
+
+	// wakeup: make every process sleeping on chan runnable.
+	f = k.Func("wakeup", m.TVoid)
+	f.Param("chan", m.TInt)
+	f.Locals("i", "p")
+	f.Code(func(b *m.Block) {
+		b.For("i", m.I(0), m.I(MaxProcs), func(b *m.Block) {
+			b.Assign("p", procAddr(m.Add(m.V("i"), m.I(1))))
+			b.If(m.And(m.Eq(m.LoadW(m.V("p")), m.I(stSleeping)),
+				m.Eq(m.LoadW(m.Add(m.V("p"), m.I(PSleepChan))), m.V("chan"))),
+				func(b *m.Block) {
+					b.StoreW(m.V("p"), m.I(stRunnable))
+					b.StoreW(m.Addr("nrunnable", 0),
+						m.Add(m.LoadW(m.Addr("nrunnable", 0)), m.I(1)))
+				}, nil)
+		})
+	})
+
+	// wakePid: make one specific process runnable (raw disk I/O).
+	f = k.Func("wakePid", m.TVoid)
+	f.Param("pid", m.TInt)
+	f.Locals("p")
+	f.Code(func(b *m.Block) {
+		b.Assign("p", procAddr(m.V("pid")))
+		b.If(m.Eq(m.LoadW(m.V("p")), m.I(stSleeping)), func(b *m.Block) {
+			b.StoreW(m.V("p"), m.I(stRunnable))
+			b.StoreW(m.Addr("nrunnable", 0),
+				m.Add(m.LoadW(m.Addr("nrunnable", 0)), m.I(1)))
+		}, nil)
+	})
+
+	// clockTick: scheduler quantum accounting.
+	f = k.Func("clockTick", m.TVoid)
+	f.Locals("p", "q")
+	f.Code(func(b *m.Block) {
+		b.StoreW(m.Addr("ticks", 0), m.Add(m.LoadW(m.Addr("ticks", 0)), m.I(1)))
+		b.Assign("p", m.Call("curProcAddr"))
+		b.If(m.Eq(m.V("p"), m.I(0)), func(b *m.Block) { b.Return(nil) }, nil)
+		b.If(m.Eq(m.LoadW(m.V("p")), m.I(stRunnable)), func(b *m.Block) {
+			b.Assign("q", m.Sub(m.LoadW(m.Add(m.V("p"), m.I(PQuantum))), m.I(1)))
+			b.StoreW(m.Add(m.V("p"), m.I(PQuantum)), m.V("q"))
+			b.If(m.Le(m.V("q"), m.I(0)), func(b *m.Block) {
+				b.StoreW(m.Addr("needresched", 0), m.I(1))
+			}, nil)
+		}, nil)
+	})
+
+	// procExit: terminate the current process.
+	f = k.Func("procExit", m.TVoid)
+	f.Locals("p")
+	f.Code(func(b *m.Block) {
+		b.Assign("p", m.Call("curProcAddr"))
+		b.StoreW(m.V("p"), m.I(stZombie))
+		b.StoreW(m.Addr("nrunnable", 0),
+			m.Sub(m.LoadW(m.Addr("nrunnable", 0)), m.I(1)))
+		b.StoreW(m.Addr("nlive", 0),
+			m.Sub(m.LoadW(m.Addr("nlive", 0)), m.I(1)))
+		b.Call("traceMark", m.Add(m.U(trace.MarkProcExit), m.LoadW(m.Addr("curpid", 0))))
+		b.If(m.Le(m.LoadW(m.Addr("nlive", 0)), m.I(0)), func(b *m.Block) {
+			b.Call("finalize")
+		}, nil)
+		b.StoreW(m.Addr("restartsys", 0), m.I(1)) // never resumes; don't touch EPC
+	})
+
+	// finalize: drain trace and halt the machine. Part of the trace
+	// control subsystem: never instrumented, so the final drain is not
+	// polluted by its own trace.
+	f = k.Func("finalize", m.TVoid)
+	f.Flags = asm.NoInstrument
+	f.Code(func(b *m.Block) {
+		b.If(m.Ne(m.LoadW(m.Addr("traceon", 0)), m.I(0)), func(b *m.Block) {
+			b.Call("traceMark", m.U(trace.MarkModeSw))
+			b.StoreW(m.Addr("traceon", 0), m.I(0))
+			b.StoreW(m.U(traceBell), m.I(2)) // DoorbellFlush
+		}, nil)
+		b.StoreW(m.U(haltReg), m.I(0))
+		// Not reached: the machine halts on the store above.
+		b.While(m.I(1), func(b *m.Block) {})
+	})
+}

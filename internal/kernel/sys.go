@@ -1,0 +1,333 @@
+package kernel
+
+import (
+	"systrace/internal/isa"
+	m "systrace/internal/mahler"
+)
+
+// Trapframe slot helpers (register values saved by the entry path).
+func tfReg(tf m.Expr, reg int) m.Expr {
+	return m.Add(tf, m.I(int32(TFRegs+(reg-1)*4)))
+}
+
+func buildSyscalls(k *m.Module, cfg Config) {
+	// copyout/copyin move bytes between kernel VAs and the *current*
+	// process's user VAs (the TLB carries the current ASID, so plain
+	// loads and stores reach user memory — and show up in the kernel
+	// trace as kernel references to user addresses).
+	// The loops run in 1 KB chunks with a trace safe-point poll per
+	// chunk: a single large transfer generates several trace words per
+	// byte moved and would otherwise overrun the in-kernel buffer's
+	// slack region before the trap handler's safe point runs.
+	f := k.Func("copyout", m.TVoid)
+	f.Param("uva", m.TInt)
+	f.Param("kva", m.TInt)
+	f.Param("n", m.TInt)
+	f.Locals("i", "lim")
+	f.Code(func(b *m.Block) {
+		b.Assign("i", m.I(0))
+		// Word loop when both are aligned.
+		b.If(m.Eq(m.And(m.Or(m.V("uva"), m.V("kva")), m.I(3)), m.I(0)), func(b *m.Block) {
+			b.While(m.LeU(m.Add(m.V("i"), m.I(4)), m.V("n")), func(b *m.Block) {
+				b.Call("traceCheck")
+				b.Assign("lim", m.Add(m.V("i"), m.I(1024)))
+				b.If(m.LtU(m.V("n"), m.V("lim")), func(b *m.Block) {
+					b.Assign("lim", m.V("n"))
+				}, nil)
+				b.While(m.LeU(m.Add(m.V("i"), m.I(4)), m.V("lim")), func(b *m.Block) {
+					b.StoreW(m.Add(m.V("uva"), m.V("i")), m.LoadW(m.Add(m.V("kva"), m.V("i"))))
+					b.Assign("i", m.Add(m.V("i"), m.I(4)))
+				})
+			})
+		}, nil)
+		b.While(m.LtU(m.V("i"), m.V("n")), func(b *m.Block) {
+			b.Call("traceCheck")
+			b.Assign("lim", m.Add(m.V("i"), m.I(1024)))
+			b.If(m.LtU(m.V("n"), m.V("lim")), func(b *m.Block) {
+				b.Assign("lim", m.V("n"))
+			}, nil)
+			b.While(m.LtU(m.V("i"), m.V("lim")), func(b *m.Block) {
+				b.StoreB(m.Add(m.V("uva"), m.V("i")), m.LoadB(m.Add(m.V("kva"), m.V("i"))))
+				b.Assign("i", m.Add(m.V("i"), m.I(1)))
+			})
+		})
+	})
+
+	f = k.Func("copyin", m.TVoid)
+	f.Param("kva", m.TInt)
+	f.Param("uva", m.TInt)
+	f.Param("n", m.TInt)
+	f.Locals("i", "lim")
+	f.Code(func(b *m.Block) {
+		b.Assign("i", m.I(0))
+		b.If(m.Eq(m.And(m.Or(m.V("uva"), m.V("kva")), m.I(3)), m.I(0)), func(b *m.Block) {
+			b.While(m.LeU(m.Add(m.V("i"), m.I(4)), m.V("n")), func(b *m.Block) {
+				b.Call("traceCheck")
+				b.Assign("lim", m.Add(m.V("i"), m.I(1024)))
+				b.If(m.LtU(m.V("n"), m.V("lim")), func(b *m.Block) {
+					b.Assign("lim", m.V("n"))
+				}, nil)
+				b.While(m.LeU(m.Add(m.V("i"), m.I(4)), m.V("lim")), func(b *m.Block) {
+					b.StoreW(m.Add(m.V("kva"), m.V("i")), m.LoadW(m.Add(m.V("uva"), m.V("i"))))
+					b.Assign("i", m.Add(m.V("i"), m.I(4)))
+				})
+			})
+		}, nil)
+		b.While(m.LtU(m.V("i"), m.V("n")), func(b *m.Block) {
+			b.Call("traceCheck")
+			b.Assign("lim", m.Add(m.V("i"), m.I(1024)))
+			b.If(m.LtU(m.V("n"), m.V("lim")), func(b *m.Block) {
+				b.Assign("lim", m.V("n"))
+			}, nil)
+			b.While(m.LtU(m.V("i"), m.V("lim")), func(b *m.Block) {
+				b.StoreB(m.Add(m.V("kva"), m.V("i")), m.LoadB(m.Add(m.V("uva"), m.V("i"))))
+				b.Assign("i", m.Add(m.V("i"), m.I(1)))
+			})
+		})
+	})
+
+	// crossCopy: Mach's vm_copy path — move bytes between two user
+	// address spaces by switching EntryHi/Context per side. This is
+	// the IPC data path between clients and the UX server.
+	f = k.Func("crossCopy", m.TVoid)
+	f.Param("dstPid", m.TInt)
+	f.Param("dstVA", m.TInt)
+	f.Param("srcVA", m.TInt) // in srcPid passed via global curxfer
+	f.Param("n", m.TInt)
+	f.Locals("i", "w", "srcPid", "lim")
+	f.Code(func(b *m.Block) {
+		b.Assign("srcPid", m.LoadW(m.Addr("xfersrc", 0)))
+		b.Assign("i", m.I(0))
+		// Chunked like copyin/copyout, and more aggressively (256 B):
+		// the per-word space switching makes this the densest trace
+		// producer in either kernel.
+		b.If(m.Eq(m.And(m.Or(m.V("dstVA"), m.V("srcVA")), m.I(3)), m.I(0)), func(b *m.Block) {
+			b.While(m.LeU(m.Add(m.V("i"), m.I(4)), m.V("n")), func(b *m.Block) {
+				b.Call("traceCheck")
+				b.Assign("lim", m.Add(m.V("i"), m.I(256)))
+				b.If(m.LtU(m.V("n"), m.V("lim")), func(b *m.Block) {
+					b.Assign("lim", m.V("n"))
+				}, nil)
+				b.While(m.LeU(m.Add(m.V("i"), m.I(4)), m.V("lim")), func(b *m.Block) {
+					b.Call("setSpace", m.V("srcPid"))
+					b.Assign("w", m.LoadW(m.Add(m.V("srcVA"), m.V("i"))))
+					b.Call("setSpace", m.V("dstPid"))
+					b.StoreW(m.Add(m.V("dstVA"), m.V("i")), m.V("w"))
+					b.Assign("i", m.Add(m.V("i"), m.I(4)))
+				})
+			})
+		}, nil)
+		b.While(m.LtU(m.V("i"), m.V("n")), func(b *m.Block) {
+			b.Call("traceCheck")
+			b.Assign("lim", m.Add(m.V("i"), m.I(256)))
+			b.If(m.LtU(m.V("n"), m.V("lim")), func(b *m.Block) {
+				b.Assign("lim", m.V("n"))
+			}, nil)
+			b.While(m.LtU(m.V("i"), m.V("lim")), func(b *m.Block) {
+				b.Call("setSpace", m.V("srcPid"))
+				b.Assign("w", m.LoadB(m.Add(m.V("srcVA"), m.V("i"))))
+				b.Call("setSpace", m.V("dstPid"))
+				b.StoreB(m.Add(m.V("dstVA"), m.V("i")), m.V("w"))
+				b.Assign("i", m.Add(m.V("i"), m.I(1)))
+			})
+		})
+		b.Call("setSpace", m.LoadW(m.Addr("curpid", 0)))
+	})
+	k.Global("xfersrc", 4)
+
+	buildFileSyscalls(k, cfg)
+	buildIPC(k, cfg)
+
+	// doSyscall: decode and dispatch. Completion advances EPC and
+	// sets v0; a restart (restartsys) leaves the frame untouched so
+	// the syscall re-executes after wakeup.
+	f = k.Func("doSyscall", m.TVoid)
+	f.Param("tf", m.TInt)
+	f.Locals("num", "a0", "a1", "a2", "ret", "p")
+	f.Code(func(b *m.Block) {
+		b.Assign("num", m.LoadW(tfReg(m.V("tf"), isa.RegV0)))
+		b.Assign("a0", m.LoadW(tfReg(m.V("tf"), isa.RegA0)))
+		b.Assign("a1", m.LoadW(tfReg(m.V("tf"), isa.RegA1)))
+		b.Assign("a2", m.LoadW(tfReg(m.V("tf"), isa.RegA2)))
+		b.Assign("ret", m.I(0))
+		b.Assign("p", m.Call("curProcAddr"))
+
+		b.If(m.Eq(m.V("num"), m.I(SysExit)), func(b *m.Block) {
+			b.Call("procExit")
+			b.Return(nil)
+		}, nil)
+
+		// Mach: ordinary processes' file syscalls become IPC to the
+		// UX server; the server's own syscalls stay in-kernel.
+		// Console writes stay in the kernel on both systems.
+		b.If(m.And(m.Eq(m.LoadW(m.Addr("flavor", 0)), m.I(int32(Mach))),
+			m.Eq(m.LoadW(m.Add(m.V("p"), m.I(PIsServer))), m.I(0))), func(b *m.Block) {
+			isFile := m.And(m.GeU(m.V("num"), m.I(SysWrite)), m.LeU(m.V("num"), m.I(SysClose)))
+			console := m.And(m.Eq(m.V("num"), m.I(SysWrite)), m.Eq(m.V("a0"), m.I(1)))
+			b.If(m.And(isFile, m.Eq(console, m.I(0))), func(b *m.Block) {
+				b.Call("ipcEnqueue", m.V("num"), m.V("a0"), m.V("a1"), m.V("a2"))
+				b.Return(nil)
+			}, nil)
+		}, nil)
+
+		b.If(m.Eq(m.V("num"), m.I(SysWrite)), func(b *m.Block) {
+			b.Assign("ret", m.Call("sysWrite", m.V("a0"), m.V("a1"), m.V("a2")))
+		}, func(b *m.Block) {
+			b.If(m.Eq(m.V("num"), m.I(SysRead)), func(b *m.Block) {
+				b.Assign("ret", m.Call("sysRead", m.V("a0"), m.V("a1"), m.V("a2")))
+			}, func(b *m.Block) {
+				b.If(m.Eq(m.V("num"), m.I(SysOpen)), func(b *m.Block) {
+					b.Assign("ret", m.Call("sysOpen", m.V("a0")))
+				}, func(b *m.Block) {
+					b.If(m.Eq(m.V("num"), m.I(SysClose)), func(b *m.Block) {
+						b.Assign("ret", m.Call("sysClose", m.V("a0")))
+					}, func(b *m.Block) {
+						b.Call("doSyscall2", m.V("tf"))
+						b.Return(nil)
+					})
+				})
+			})
+		})
+
+		// Completion unless a helper requested a restart.
+		b.If(m.Eq(m.LoadW(m.Addr("restartsys", 0)), m.I(0)), func(b *m.Block) {
+			b.StoreW(tfReg(m.V("tf"), isa.RegV0), m.V("ret"))
+			b.StoreW(m.Add(m.V("tf"), m.I(TFEPC)),
+				m.Add(m.LoadW(m.Add(m.V("tf"), m.I(TFEPC))), m.I(4)))
+		}, nil)
+	})
+
+	// doSyscall2: the less common calls, split out to keep block
+	// nesting manageable.
+	f = k.Func("doSyscall2", m.TVoid)
+	f.Param("tf", m.TInt)
+	f.Locals("num", "a0", "a1", "a2", "a3", "ret", "p")
+	f.Code(func(b *m.Block) {
+		b.Assign("num", m.LoadW(tfReg(m.V("tf"), isa.RegV0)))
+		b.Assign("a0", m.LoadW(tfReg(m.V("tf"), isa.RegA0)))
+		b.Assign("a1", m.LoadW(tfReg(m.V("tf"), isa.RegA1)))
+		b.Assign("a2", m.LoadW(tfReg(m.V("tf"), isa.RegA2)))
+		b.Assign("a3", m.LoadW(tfReg(m.V("tf"), isa.RegA3)))
+		b.Assign("ret", m.I(0))
+		b.Assign("p", m.Call("curProcAddr"))
+
+		b.If(m.Eq(m.V("num"), m.I(SysBrk)), func(b *m.Block) {
+			b.Assign("ret", m.Call("sysBrk", m.V("a0")))
+		}, func(b *m.Block) {
+			b.If(m.Eq(m.V("num"), m.I(SysGetPID)), func(b *m.Block) {
+				b.Assign("ret", m.LoadW(m.Addr("curpid", 0)))
+			}, func(b *m.Block) {
+				b.If(m.Eq(m.V("num"), m.I(SysYield)), func(b *m.Block) {
+					b.StoreW(m.Addr("needresched", 0), m.I(1))
+				}, func(b *m.Block) {
+					b.If(m.Eq(m.V("num"), m.I(SysMsgRecv)), func(b *m.Block) {
+						b.Assign("ret", m.Call("ipcRecv", m.V("a0")))
+					}, func(b *m.Block) {
+						b.If(m.Eq(m.V("num"), m.I(SysMsgReply)), func(b *m.Block) {
+							b.Assign("ret", m.Call("ipcReply", m.V("a0"), m.V("a1"), m.V("a2"), m.V("a3")))
+						}, func(b *m.Block) {
+							b.If(m.Eq(m.V("num"), m.I(SysDiskRead)), func(b *m.Block) {
+								b.Assign("ret", m.Call("sysDiskIO", m.V("a0"), m.V("a1"), m.V("a2"), m.I(0)))
+							}, func(b *m.Block) {
+								b.If(m.Eq(m.V("num"), m.I(SysDiskWrite)), func(b *m.Block) {
+									b.Assign("ret", m.Call("sysDiskIO", m.V("a0"), m.V("a1"), m.V("a2"), m.I(1)))
+								}, func(b *m.Block) {
+									b.If(m.Eq(m.V("num"), m.I(SysTraceCtl)), func(b *m.Block) {
+										b.Assign("ret", m.Call("sysTraceCtl", m.V("a0")))
+									}, func(b *m.Block) {
+										b.If(m.Eq(m.V("num"), m.I(SysTime)), func(b *m.Block) {
+											b.Assign("ret", m.MFC0(isa.C0Count))
+										}, func(b *m.Block) {
+											b.If(m.Eq(m.V("num"), m.I(SysMsgFetch)), func(b *m.Block) {
+												b.Assign("ret", m.Call("ipcFetch", m.V("a0"), m.V("a1"), m.V("a2"), m.V("a3")))
+											}, func(b *m.Block) {
+												b.Assign("ret", m.Neg(m.I(1)))
+											})
+										})
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+
+		b.If(m.Eq(m.LoadW(m.Addr("restartsys", 0)), m.I(0)), func(b *m.Block) {
+			b.StoreW(tfReg(m.V("tf"), isa.RegV0), m.V("ret"))
+			b.StoreW(m.Add(m.V("tf"), m.I(TFEPC)),
+				m.Add(m.LoadW(m.Add(m.V("tf"), m.I(TFEPC))), m.I(4)))
+		}, nil)
+	})
+
+	// sysBrk: grow the current process's heap by mapping fresh
+	// frames; returns the new break.
+	f = k.Func("sysBrk", m.TInt)
+	f.Param("newbrk", m.TInt)
+	f.Locals("p", "cur")
+	f.Code(func(b *m.Block) {
+		b.Assign("p", m.Call("curProcAddr"))
+		b.Assign("cur", m.LoadW(m.Add(m.V("p"), m.I(PBrk))))
+		b.If(m.LeU(m.V("newbrk"), m.V("cur")), func(b *m.Block) {
+			b.Return(m.V("cur"))
+		}, nil)
+		b.While(m.LtU(m.V("cur"), m.V("newbrk")), func(b *m.Block) {
+			b.Call("mapPage", m.LoadW(m.Addr("curpid", 0)), m.V("cur"), m.Call("allocFrame"))
+			b.Assign("cur", m.Add(m.V("cur"), m.I(4096)))
+		})
+		b.StoreW(m.Add(m.V("p"), m.I(PBrk)), m.V("cur"))
+		b.Return(m.V("cur"))
+	})
+
+	// sysTraceCtl: the user-visible tracing control call (§3.1).
+	f = k.Func("sysTraceCtl", m.TInt)
+	f.Param("op", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.If(m.Eq(m.V("op"), m.I(TraceCtlFlush)), func(b *m.Block) {
+			b.If(m.Ne(m.LoadW(m.Addr("traceon", 0)), m.I(0)), func(b *m.Block) {
+				b.Call("runAnalysis")
+			}, nil)
+		}, func(b *m.Block) {
+			b.If(m.Eq(m.V("op"), m.I(TraceCtlOn)), func(b *m.Block) {
+				b.If(m.Ne(m.LoadW(m.Addr("tbufstart", 0)), m.I(0)), func(b *m.Block) {
+					b.StoreW(m.Addr("traceon", 0), m.I(1))
+				}, nil)
+			}, func(b *m.Block) {
+				b.StoreW(m.Addr("traceon", 0), m.I(0))
+			})
+		})
+		b.Return(m.I(0))
+	})
+
+	// sysDiskIO: the Mach server's device interface — raw sector
+	// transfers into page-aligned user memory, one page per call,
+	// with restart-based waiting.
+	f = k.Func("sysDiskIO", m.TInt)
+	f.Param("sector", m.TInt)
+	f.Param("uva", m.TInt)
+	f.Param("nsect", m.TInt)
+	f.Param("write", m.TInt)
+	f.Locals("p", "pte", "phys", "pid")
+	f.Code(func(b *m.Block) {
+		b.Assign("p", m.Call("curProcAddr"))
+		b.Assign("pid", m.LoadW(m.Addr("curpid", 0)))
+		b.If(m.Eq(m.LoadW(m.Add(m.V("p"), m.I(PDiskPend))), m.I(2)), func(b *m.Block) {
+			b.StoreW(m.Add(m.V("p"), m.I(PDiskPend)), m.I(0))
+			b.Return(m.V("nsect"))
+		}, nil)
+		b.If(m.GtU(m.V("nsect"), m.I(BlockSectors)), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.Assign("pte", m.LoadW(m.Call("pteAddr", m.V("pid"), m.V("uva"))))
+		b.If(m.Eq(m.And(m.V("pte"), m.I(pteV)), m.I(0)), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1))) // target page must be mapped
+		}, nil)
+		b.Assign("phys", m.Or(m.And(m.V("pte"), m.U(0xfffff000)),
+			m.And(m.V("uva"), m.I(0xfff))))
+		b.Call("dqPush", m.V("sector"), m.I(1), m.V("pid"))
+		b.Call("diskIssue", m.V("sector"), m.V("phys"), m.V("nsect"), m.V("write"))
+		b.StoreW(m.Add(m.V("p"), m.I(PDiskPend)), m.I(1))
+		b.Call("sleepOn", m.U(0x7ffffff1)) // private channel; woken by pid
+		b.Return(m.I(0))
+	})
+}

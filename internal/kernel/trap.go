@@ -1,0 +1,213 @@
+package kernel
+
+import (
+	"systrace/internal/cpu"
+	"systrace/internal/isa"
+	m "systrace/internal/mahler"
+	"systrace/internal/trace"
+)
+
+func buildTrap(k *m.Module, cfg Config) {
+	// doInterrupt: acknowledge and service device interrupts.
+	f := k.Func("doInterrupt", m.TVoid)
+	f.Locals("ip")
+	f.Code(func(b *m.Block) {
+		b.Assign("ip", m.MFC0(isa.C0Cause))
+		b.If(m.Ne(m.And(m.V("ip"), m.I(1<<(8+0))), m.I(0)), func(b *m.Block) {
+			b.StoreW(m.U(clockAck), m.I(1))
+			b.Call("clockTick")
+		}, nil)
+		b.If(m.Ne(m.And(m.V("ip"), m.I(1<<(8+1))), m.I(0)), func(b *m.Block) {
+			b.Call("diskIntr")
+		}, nil)
+	})
+
+	// ktrap: the common trap handler, called from the hand-written
+	// entry with fromUser and the trapframe address.
+	f = k.Func("ktrap", m.TVoid)
+	f.Param("fromUser", m.TInt)
+	f.Param("tf", m.TInt)
+	f.Locals("cause", "bad", "w", "code")
+	f.Code(func(b *m.Block) {
+		b.Assign("cause", m.And(m.Shr(m.LoadW(m.Add(m.V("tf"), m.I(TFCause))), m.I(2)), m.I(31)))
+
+		b.If(m.Eq(m.V("cause"), m.I(cpu.ExcInt)), func(b *m.Block) {
+			b.Call("doInterrupt")
+		}, func(b *m.Block) {
+			b.If(m.Eq(m.V("cause"), m.I(cpu.ExcSyscall)), func(b *m.Block) {
+				b.Call("doSyscall", m.V("tf"))
+			}, func(b *m.Block) {
+				b.If(m.Or(m.Eq(m.V("cause"), m.I(cpu.ExcTLBL)), m.Eq(m.V("cause"), m.I(cpu.ExcTLBS))), func(b *m.Block) {
+					b.Assign("bad", m.LoadW(m.Add(m.V("tf"), m.I(TFBadVA))))
+					b.If(m.GeU(m.V("bad"), m.U(PTBase)), func(b *m.Block) {
+						b.Call("doKTLB", m.V("tf"))
+					}, func(b *m.Block) {
+						b.Call("doUserFault", m.V("tf"))
+					})
+				}, func(b *m.Block) {
+					b.If(m.Eq(m.V("cause"), m.I(cpu.ExcBreak)), func(b *m.Block) {
+						// Read the break code from the faulting
+						// instruction's shamt field.
+						b.Assign("w", m.LoadW(m.LoadW(m.Add(m.V("tf"), m.I(TFEPC)))))
+						b.Assign("code", m.And(m.Shr(m.V("w"), m.I(6)), m.I(31)))
+						b.If(m.Eq(m.V("code"), m.I(trace.BreakTraceFlush)), func(b *m.Block) {
+							// The per-process buffer was already
+							// flushed by the hand-written entry path;
+							// just resume past the break.
+							b.StoreW(m.Add(m.V("tf"), m.I(TFEPC)),
+								m.Add(m.LoadW(m.Add(m.V("tf"), m.I(TFEPC))), m.I(4)))
+						}, func(b *m.Block) {
+							// Unexpected break: panic via the halt
+							// register. A plain BREAK here would
+							// re-enter this very handler forever.
+							b.StoreW(m.U(haltReg), m.I(0x7001))
+						})
+					}, func(b *m.Block) {
+						b.StoreW(m.U(haltReg), m.Add(m.I(0x7100), m.V("cause")))
+					})
+				})
+			})
+		})
+
+		// Trace safe point: if the in-kernel buffer has passed its
+		// soft limit, switch to trace-analysis mode (§3.3/§4.3).
+		b.If(m.Ne(m.LoadW(m.Addr("traceon", 0)), m.I(0)), func(b *m.Block) {
+			b.If(m.Or(
+				m.GeU(m.LoadW(m.Addr("kbook", trace.BookBufPtr)),
+					m.LoadW(m.Addr("kbook", trace.BookBufEnd))),
+				m.Ne(m.LoadW(m.Addr("kbook", trace.BookFullFlag)), m.I(0))),
+				func(b *m.Block) {
+					b.Call("runAnalysis")
+				}, nil)
+		}, nil)
+
+		// Scheduling: only when returning to user level.
+		b.If(m.Eq(m.V("fromUser"), m.I(0)), func(b *m.Block) {
+			b.Return(nil)
+		}, nil)
+		b.If(m.Ne(m.LoadW(m.Addr("restartsys", 0)), m.I(0)), func(b *m.Block) {
+			b.StoreW(m.Addr("restartsys", 0), m.I(0))
+		}, nil)
+		b.If(m.Ne(m.LoadW(m.LoadW(m.Addr("curproc", 0))), m.I(stRunnable)), func(b *m.Block) {
+			// Current process slept, blocked on IPC, or exited.
+			b.Call("schedPick")
+		}, func(b *m.Block) {
+			b.If(m.Ne(m.LoadW(m.Addr("needresched", 0)), m.I(0)), func(b *m.Block) {
+				b.StoreW(m.Addr("needresched", 0), m.I(0))
+				b.Call("schedPick")
+			}, nil)
+		})
+	})
+}
+
+func buildMain(k *m.Module, cfg Config) {
+	f := k.Func("kmain", m.TVoid)
+	f.Locals("bi", "i", "rec", "p", "pid", "sv", "np")
+	f.Code(func(b *m.Block) {
+		b.Assign("bi", m.U(BootInfoVA))
+		b.If(m.Ne(m.LoadW(m.V("bi")), m.U(BootMagic)), func(b *m.Block) {
+			b.StoreW(m.U(haltReg), m.I(0x7005)) // panic: bad boot info
+		}, nil)
+		b.StoreW(m.Addr("ramend", 0), m.LoadW(m.Add(m.V("bi"), m.I(BiRAMBytes))))
+		b.StoreW(m.Addr("nextframe", 0), m.LoadW(m.Add(m.V("bi"), m.I(BiFramePool))))
+		b.StoreW(m.Addr("flavor", 0), m.LoadW(m.Add(m.V("bi"), m.I(BiFlavor))))
+		b.StoreW(m.Addr("pagepolicy", 0), m.LoadW(m.Add(m.V("bi"), m.I(BiPagePolicy))))
+		b.StoreW(m.Addr("mapseed", 0), m.Or(m.LoadW(m.Add(m.V("bi"), m.I(BiMapSeed))), m.I(1)))
+		b.StoreW(m.Addr("tlbdropin", 0), m.LoadW(m.Add(m.V("bi"), m.I(BiTLBDropin))))
+		b.StoreW(m.Addr("tbufstart", 0), m.LoadW(m.Addr("kbook", trace.BookBufPtr)))
+		b.If(m.Ne(m.LoadW(m.Add(m.V("bi"), m.I(BiTraceBufPhys))), m.I(0)), func(b *m.Block) {
+			b.StoreW(m.Addr("traceon", 0), m.I(1))
+		}, nil)
+
+		// Mount the file system (monolithic kernel only; the Mach UX
+		// server reads the disk itself).
+		b.If(m.Eq(m.LoadW(m.Addr("flavor", 0)), m.I(int32(Ultrix))), func(b *m.Block) {
+			b.Call("bootReadDir")
+		}, nil)
+
+		// Spawn boot processes.
+		b.Assign("np", m.LoadW(m.Add(m.V("bi"), m.I(BiNProcs))))
+		b.StoreW(m.Addr("nprocs", 0), m.V("np"))
+		b.For("i", m.I(0), m.V("np"), func(b *m.Block) {
+			b.Call("spawnProc", m.V("i"))
+		})
+
+		// Start the clock and dispatch the first process.
+		b.StoreW(m.U(clockIntvl), m.LoadW(m.Add(m.V("bi"), m.I(BiClockInterval))))
+		b.Call("schedPick")
+		b.Call("kexit_user")
+	})
+
+	// spawnProc: build address space and trapframe from boot record i.
+	// "Process creation was modified to initialize tracing data
+	// structures" (§3.1).
+	f = k.Func("spawnProc", m.TVoid)
+	f.Param("i", m.TInt)
+	f.Locals("rec", "p", "pid", "sv", "bssPages", "fd")
+	f.Code(func(b *m.Block) {
+		b.Assign("rec", m.Add(m.U(BootInfoVA+BiProcBase), m.Mul(m.V("i"), m.I(BiProcStride))))
+		b.Assign("pid", m.Add(m.V("i"), m.I(1)))
+		b.Assign("p", procAddr(m.V("pid")))
+		b.StoreW(m.V("p"), m.I(stRunnable))
+		b.StoreW(m.Add(m.V("p"), m.I(PPid)), m.V("pid"))
+		b.StoreW(m.Add(m.V("p"), m.I(PQuantum)), m.I(Quantum))
+		b.StoreW(m.Add(m.V("p"), m.I(PMsgOp)), m.Neg(m.I(1)))
+		b.StoreW(m.Addr("nrunnable", 0), m.Add(m.LoadW(m.Addr("nrunnable", 0)), m.I(1)))
+
+		b.If(m.Ne(m.LoadW(m.Add(m.V("rec"), m.I(BiProcIsServer))), m.I(0)), func(b *m.Block) {
+			b.StoreW(m.Add(m.V("p"), m.I(PIsServer)), m.I(1))
+			b.StoreW(m.Addr("serverpid", 0), m.V("pid"))
+		}, func(b *m.Block) {
+			b.StoreW(m.Addr("nlive", 0), m.Add(m.LoadW(m.Addr("nlive", 0)), m.I(1)))
+		})
+
+		// Map the boot image segments in place.
+		b.Call("mapRange", m.V("pid"),
+			m.LoadW(m.Add(m.V("rec"), m.I(BiProcTextVA))),
+			m.LoadW(m.Add(m.V("rec"), m.I(BiProcTextPhys))),
+			m.LoadW(m.Add(m.V("rec"), m.I(BiProcTextBytes))))
+		b.Call("mapRange", m.V("pid"),
+			m.LoadW(m.Add(m.V("rec"), m.I(BiProcDataVA))),
+			m.LoadW(m.Add(m.V("rec"), m.I(BiProcDataPhys))),
+			m.LoadW(m.Add(m.V("rec"), m.I(BiProcDataBytes))))
+		// BSS and stack get fresh zeroed frames. The head of the BSS
+		// may share its page with the tail of initialized data (whose
+		// frame is already zero there); mapping starts at the next
+		// page boundary.
+		f.Locals("bssVA", "bssEnd", "bssStart")
+		b.Assign("bssVA", m.LoadW(m.Add(m.V("rec"), m.I(BiProcBSSVA))))
+		b.Assign("bssEnd", m.And(m.Add(m.Add(m.V("bssVA"),
+			m.LoadW(m.Add(m.V("rec"), m.I(BiProcBSSBytes)))), m.I(4095)), m.U(0xfffff000)))
+		b.Assign("bssStart", m.And(m.Add(m.V("bssVA"), m.I(4095)), m.U(0xfffff000)))
+		b.Call("allocMap", m.V("pid"), m.V("bssStart"),
+			m.Shr(m.Sub(m.V("bssEnd"), m.V("bssStart")), m.I(12)))
+		b.Call("allocMap", m.V("pid"),
+			m.U(UserStackTop-UserStackPages*4096), m.I(UserStackPages))
+		b.StoreW(m.Add(m.V("p"), m.I(PBrk)), m.V("bssEnd"))
+
+		// Trace pages: the Ultrix kernel checks the traced flag in
+		// the executable image at exec time (§3.6); Mach maps them
+		// lazily on first touch (doUserFault).
+		b.If(m.And(m.Ne(m.LoadW(m.Add(m.V("rec"), m.I(BiProcTraced))), m.I(0)),
+			m.Ne(m.LoadW(m.Addr("traceon", 0)), m.I(0))), func(b *m.Block) {
+			b.StoreW(m.Add(m.V("p"), m.I(PTraced)), m.I(1))
+			b.If(m.Eq(m.LoadW(m.Addr("flavor", 0)), m.I(int32(Ultrix))), func(b *m.Block) {
+				b.Call("allocMap", m.V("pid"), m.U(trace.UserTraceVA),
+					m.I((trace.BookSize+trace.UserBufBytes+4095)/4096))
+			}, nil)
+		}, nil)
+
+		// Fabricated trapframe: entry point, stack, user mode with
+		// interrupts enabled.
+		b.Assign("sv", m.Add(m.V("p"), m.I(PSave)))
+		b.StoreW(m.Add(m.V("sv"), m.I(TFEPC)),
+			m.LoadW(m.Add(m.V("rec"), m.I(BiProcEntry))))
+		b.StoreW(m.Add(m.V("sv"), m.I(TFRegs+(isa.RegSP-1)*4)), m.U(UserStackTop-16))
+		b.StoreW(m.Add(m.V("sv"), m.I(TFStatus)), m.I(userStatus))
+		b.StoreW(m.Add(m.V("sv"), m.I(TFEntryHi)), m.Shl(m.V("pid"), m.I(6)))
+		// Initialize the per-process file descriptor table.
+		b.For("fd", m.I(0), m.I(NFD), func(b *m.Block) {
+			b.StoreW(m.Add(m.Add(m.V("p"), m.I(PFDBase)), m.Mul(m.V("fd"), m.I(FDStride))), m.Neg(m.I(1)))
+		})
+	})
+}

@@ -1,0 +1,365 @@
+package kernel
+
+import (
+	"systrace/internal/asm"
+	"systrace/internal/cpu"
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+	"systrace/internal/trace"
+)
+
+// VectorsObj builds the hand-written assembly object that must be the
+// first object of the kernel link: the UTLB refill handler at text
+// offset 0 (vector 0x80000000), the general exception vector at 0x80,
+// the exception entry/exit paths, and — in traced kernels — the
+// hand-instrumented trace-state maintenance: flushing the current
+// process's trace buffer into the in-kernel buffer on every kernel
+// entry, writing the stream markers, and keeping the nested-exception
+// trace state consistent (§3.3: "the exception handling mechanism in
+// the kernel must be modified to correctly handle trace state").
+func VectorsObj(traced bool) *obj.File {
+	a := asm.New("vectors")
+
+	// ---- UTLB refill handler at offset 0 ----
+	//
+	// The classic nine-instruction refill plus the user-TLB miss
+	// counter the validation kernel carries (§5.2). k1 holds the
+	// faulting EPC from the first instruction so the double-fault
+	// path in the general handler can restart the user instruction;
+	// `at` may be live in user code (register-stealing sequences), so
+	// it is saved through a kernel scratch slot around the counter
+	// update.
+	a.Func("utlb_refill", asm.UTLBHandler)
+	a.I(isa.MFC0(isa.RegK1, isa.C0EPC))
+	a.I(isa.MFC0(isa.RegK0, isa.C0Context))
+	a.I(isa.LW(isa.RegK0, isa.RegK0, 0)) // PTE load; may KTLB-miss (restartable)
+	a.I(isa.MTC0(isa.RegK0, isa.C0EntryLo))
+	a.LA(isa.RegK0, "utlb_scratch", 0)
+	a.I(isa.SW(isa.RegAT, isa.RegK0, 4)) // preserve at
+	a.I(isa.LW(isa.RegAT, isa.RegK0, 0))
+	a.I(isa.ADDIU(isa.RegAT, isa.RegAT, 1))
+	a.I(isa.SW(isa.RegAT, isa.RegK0, 0))
+	a.I(isa.LW(isa.RegAT, isa.RegK0, 4))
+	a.I(isa.TLBWR())
+	a.I(isa.JR(isa.RegK1))
+	a.I(isa.RFE()) // delay slot
+
+	// ---- General exception vector at 0x80 ----
+	a.PadTo(0x80)
+	a.Label("general_vector")
+	a.JmpSym("kentry")
+	a.I(isa.NOP)
+
+	// ---- Kernel boot entry ----
+	a.Func("_start", asm.NoInstrument)
+	a.LI(isa.RegSP, KStackTop)
+	if traced {
+		// Initialize the kernel trace bookkeeping from the boot info
+		// before any instrumented kernel code runs.
+		a.LI(isa.RegT0, BootInfoVA)
+		a.I(isa.LW(isa.RegT1, isa.RegT0, BiTraceBufPhys))
+		a.LI(isa.RegT2, cpu.KSeg0Base)
+		a.I(isa.OR(isa.RegT1, isa.RegT1, isa.RegT2)) // buffer VA
+		a.LA(isa.XReg3, "kbook", 0)
+		a.I(isa.SW(isa.RegT1, isa.XReg3, trace.BookBufPtr))
+		a.I(isa.LW(isa.RegT3, isa.RegT0, BiTraceBufBytes))
+		a.I(isa.ADDU(isa.RegT3, isa.RegT1, isa.RegT3))
+		a.LI(isa.RegT4, trace.KernelBufSlack)
+		a.I(isa.SUBU(isa.RegT3, isa.RegT3, isa.RegT4))
+		a.I(isa.SW(isa.RegT3, isa.XReg3, trace.BookBufEnd))
+		a.I(isa.SW(isa.RegZero, isa.XReg3, trace.BookFullFlag))
+	}
+	a.JalSym("kmain")
+	a.I(isa.NOP)
+	a.I(isa.BREAK(30)) // kmain never returns
+	a.I(isa.NOP)
+
+	// ---- General exception entry ----
+	a.Func("kentry", asm.NoInstrument)
+	a.I(isa.MFC0(isa.RegK0, isa.C0Status))
+	a.I(isa.ANDI(isa.RegK0, isa.RegK0, cpu.StKUp))
+	a.Br(isa.BNE(isa.RegK0, isa.RegZero, 0), "kentry_user")
+	a.I(isa.NOP)
+
+	// From kernel mode. If the fault came from inside the UTLB refill
+	// handler, k1 still holds the faulting user EPC (it must reach
+	// the trapframe unharmed for the restart) and the stack pointer
+	// is still the user's: stash it in a kernel scratch slot and
+	// switch to the kernel stack, which is idle at that point. The
+	// EPC range test uses only k0: shifting out the top bit maps
+	// 0x80000000..0x8000007f onto 0x0..0xfe.
+	a.I(isa.MFC0(isa.RegK0, isa.C0EPC))
+	a.I(isa.SLL(isa.RegK0, isa.RegK0, 1))
+	a.I(isa.SLTIU(isa.RegK0, isa.RegK0, 0x100))
+	a.Br(isa.BEQ(isa.RegK0, isa.RegZero, 0), "kentry_kstack")
+	a.I(isa.NOP)
+	a.LA(isa.RegK0, "utlb_scratch", 0)
+	a.I(isa.SW(isa.RegSP, isa.RegK0, 8)) // preserve user sp
+	a.LI(isa.RegSP, KStackTop-TFSize)
+	saveFrame(a, isa.RegSP) // saves k1 = original user EPC
+	a.LA(isa.RegK0, "utlb_scratch", 0)
+	a.I(isa.LW(isa.RegK0, isa.RegK0, 8))
+	a.I(isa.SW(isa.RegK0, isa.RegSP, TFRegs+(29-1)*4)) // the real (user) sp
+	a.Jmp("kentry_common_kernel")
+	a.I(isa.NOP)
+
+	a.Label("kentry_kstack")
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, uint16(0x10000-TFSize)))
+	saveFrame(a, isa.RegSP)
+	a.I(isa.ADDIU(isa.RegK1, isa.RegSP, TFSize))
+	a.I(isa.SW(isa.RegK1, isa.RegSP, TFRegs+(29-1)*4)) // pre-push sp
+
+	a.Label("kentry_common_kernel")
+	saveCP0(a, isa.RegSP)
+	if traced {
+		// The interrupted context's xreg3 (a user process's trace
+		// bookkeeping, or mid-kernel state) is in the trapframe; the
+		// kernel's own instrumented code needs the kernel bookkeeping.
+		a.LA(isa.XReg3, "kbook", 0)
+		a.JalSym("ktrace_nest_enter")
+		a.I(isa.NOP)
+	}
+	a.I(isa.ORI(isa.RegA0, isa.RegZero, 0)) // fromUser = 0
+	a.I(isa.ORI(isa.RegA1, isa.RegSP, 0))   // trapframe = stack frame
+	a.JalSym("ktrap")
+	a.I(isa.NOP)
+	if traced {
+		a.JalSym("ktrace_nest_exit")
+		a.I(isa.NOP)
+	}
+	// Restore from the stack frame (k1 = frame base survives).
+	a.I(isa.OR(isa.RegK1, isa.RegSP, isa.RegZero))
+	restoreFrame(a, isa.RegK1)
+
+	// From user mode: save into the current process's save area.
+	a.Func("kentry_user", asm.NoInstrument)
+	a.LA(isa.RegK1, "cursave", 0)
+	a.I(isa.LW(isa.RegK1, isa.RegK1, 0))
+	saveFrame(a, isa.RegK1)
+	saveCP0(a, isa.RegK1)
+	a.LI(isa.RegSP, KStackTop)
+	if traced {
+		a.LA(isa.XReg3, "kbook", 0)
+		a.JalSym("ktrace_user_enter")
+		a.I(isa.NOP)
+	}
+	a.I(isa.ORI(isa.RegA0, isa.RegZero, 1)) // fromUser = 1
+	a.LA(isa.RegA1, "cursave", 0)
+	a.I(isa.LW(isa.RegA1, isa.RegA1, 0))
+	a.JalSym("ktrap")
+	a.I(isa.NOP)
+
+	// ---- Return to user (also the boot-time first dispatch) ----
+	a.Func("kexit_user", asm.NoInstrument)
+	if traced {
+		a.JalSym("ktrace_user_exit")
+		a.I(isa.NOP)
+	}
+	a.LA(isa.RegK0, "curentryhi", 0)
+	a.I(isa.LW(isa.RegK0, isa.RegK0, 0))
+	a.I(isa.MTC0(isa.RegK0, isa.C0EntryHi))
+	a.LA(isa.RegK1, "cursave", 0)
+	a.I(isa.LW(isa.RegK1, isa.RegK1, 0))
+	restoreFrame(a, isa.RegK1)
+
+	// idle_pause: the only window where the kernel runs with
+	// interrupts enabled outside trace control. It is uninstrumented,
+	// so an interrupt can never land in the middle of an in-flight
+	// kernel bbtrace/memtrace pointer update.
+	a.Func("idle_pause", asm.NoInstrument)
+	a.I(isa.MFC0(isa.RegT0, isa.C0Status))
+	a.I(isa.ORI(isa.RegT1, isa.RegT0, 1))
+	a.I(isa.MTC0(isa.RegT1, isa.C0Status)) // IEc on
+	for i := 0; i < 6; i++ {
+		a.I(isa.NOP) // pending interrupts land here
+	}
+	a.I(isa.MTC0(isa.RegT0, isa.C0Status)) // IEc back off
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+
+	if traced {
+		emitTraceHelpers(a)
+	}
+	f := a.MustFinish()
+	return f
+}
+
+// saveFrame stores r1..r31 (k-registers included for slot symmetry)
+// into the trapframe at base (which must be k1 or sp and is skipped
+// appropriately: the base register's own slot is stored like the rest;
+// for sp-based frames the caller fixes the sp slot afterwards).
+func saveFrame(a *asm.Assembler, base int) {
+	for r := 1; r <= 31; r++ {
+		if r == base || r == isa.RegK0 {
+			continue
+		}
+		a.I(isa.SW(r, base, uint16(TFRegs+(r-1)*4)))
+	}
+	a.I(isa.MFHI(isa.RegK0))
+	a.I(isa.SW(isa.RegK0, base, TFHi))
+	a.I(isa.MFLO(isa.RegK0))
+	a.I(isa.SW(isa.RegK0, base, TFLo))
+}
+
+// saveCP0 stores EPC/Status/Cause/BadVAddr.
+func saveCP0(a *asm.Assembler, base int) {
+	a.I(isa.MFC0(isa.RegK0, isa.C0EPC))
+	a.I(isa.SW(isa.RegK0, base, TFEPC))
+	a.I(isa.MFC0(isa.RegK0, isa.C0Status))
+	a.I(isa.SW(isa.RegK0, base, TFStatus))
+	a.I(isa.MFC0(isa.RegK0, isa.C0Cause))
+	a.I(isa.SW(isa.RegK0, base, TFCause))
+	a.I(isa.MFC0(isa.RegK0, isa.C0BadVAddr))
+	a.I(isa.SW(isa.RegK0, base, TFBadVA))
+	a.I(isa.MFC0(isa.RegK0, isa.C0EntryHi))
+	a.I(isa.SW(isa.RegK0, base, TFEntryHi))
+}
+
+// restoreFrame reloads the trapframe at k1-held base and returns via
+// rfe. Clobbers k0; k1 must be the base. The interrupted context's
+// address space (EntryHi, and the matching Context page-table base) is
+// restored first, using `at` before the general registers come back.
+func restoreFrame(a *asm.Assembler, base int) {
+	a.I(isa.LW(isa.RegK0, base, TFEntryHi))
+	a.I(isa.MTC0(isa.RegK0, isa.C0EntryHi))
+	a.I(isa.ANDI(isa.RegK0, isa.RegK0, cpu.ASIDMask))
+	a.I(isa.SLL(isa.RegK0, isa.RegK0, PTSpanShift-cpu.ASIDShift))
+	a.I(isa.LUI(isa.RegAT, uint16(PTBase>>16)))
+	a.I(isa.ADDU(isa.RegK0, isa.RegK0, isa.RegAT))
+	a.I(isa.MTC0(isa.RegK0, isa.C0Context))
+	a.I(isa.LW(isa.RegK0, base, TFHi))
+	a.I(isa.MTHI(isa.RegK0))
+	a.I(isa.LW(isa.RegK0, base, TFLo))
+	a.I(isa.MTLO(isa.RegK0))
+	for r := 1; r <= 31; r++ {
+		if r == isa.RegK0 || r == isa.RegK1 {
+			continue
+		}
+		a.I(isa.LW(r, base, uint16(TFRegs+(r-1)*4)))
+	}
+	a.I(isa.LW(isa.RegK0, base, TFStatus))
+	a.I(isa.MTC0(isa.RegK0, isa.C0Status))
+	a.I(isa.LW(isa.RegK0, base, TFEPC))
+	a.I(isa.JR(isa.RegK0))
+	a.I(isa.RFE()) // delay slot
+}
+
+// emitTraceHelpers writes the hand-instrumented trace-state paths of
+// the traced kernel: user-buffer flush plus stream markers. These run
+// with all program registers saved, so they may use a/t registers
+// freely; they never touch k0/k1 across a potentially faulting user
+// access.
+func emitTraceHelpers(a *asm.Assembler) {
+	// ktrace_user_enter: copy the per-process buffer into the
+	// in-kernel buffer ("available trace is copied into the kernel
+	// each time the kernel is activated", §3.1), reset it, and write
+	// the kernel-enter marker.
+	a.Func("ktrace_user_enter", asm.NoInstrument)
+	a.LA(isa.RegT0, "traceon", 0)
+	a.I(isa.LW(isa.RegT0, isa.RegT0, 0))
+	a.Br(isa.BEQ(isa.RegT0, isa.RegZero, 0), "kue_ret")
+	a.I(isa.NOP)
+	a.LA(isa.RegT0, "curtraced", 0)
+	a.I(isa.LW(isa.RegT0, isa.RegT0, 0))
+	a.Br(isa.BEQ(isa.RegT0, isa.RegZero, 0), "kue_ret")
+	a.I(isa.NOP)
+	a.LI(isa.RegA0, trace.UserTraceVA)
+	a.I(isa.LW(isa.RegA1, isa.RegA0, trace.BookBufPtr))
+	a.I(isa.ADDIU(isa.RegA2, isa.RegA0, trace.BookSize))
+	a.LA(isa.RegA3, "kbook", 0)
+	// Guard: the process may not have initialized its bookkeeping yet
+	// (interrupted before crt0 ran); treat out-of-range pointers as an
+	// empty buffer.
+	a.I(isa.SLTU(isa.RegT0, isa.RegA1, isa.RegA2))
+	a.Br(isa.BNE(isa.RegT0, isa.RegZero, 0), "kue_marker")
+	a.I(isa.NOP)
+	a.LI(isa.RegT0, trace.UserTraceVA+trace.BookSize+trace.UserBufBytes)
+	a.I(isa.SLTU(isa.RegT0, isa.RegT0, isa.RegA1))
+	a.Br(isa.BNE(isa.RegT0, isa.RegZero, 0), "kue_marker")
+	a.I(isa.NOP)
+	// If the interrupted context is inside bbtrace/memtrace (busy
+	// flag set), it holds the buffer pointer in a register: resetting
+	// the buffer under it would lose or duplicate entries. Skip this
+	// flush; the next kernel entry takes it.
+	a.I(isa.LW(isa.RegT0, isa.RegA0, trace.BookBusy))
+	a.Br(isa.BNE(isa.RegT0, isa.RegZero, 0), "kue_marker")
+	a.I(isa.NOP)
+	// The user-word load can fault (a page-table KTLB double fault
+	// nests a general exception that itself appends kernel trace), so
+	// the kernel buffer pointer is reloaded *after* every faultable
+	// access and written back in the same fault-free window — keeping
+	// the buffer consistent under arbitrary nesting (§3.3).
+	a.Label("kue_loop")
+	a.Br(isa.BEQ(isa.RegA2, isa.RegA1, 0), "kue_done")
+	a.I(isa.NOP)
+	a.I(isa.LW(isa.RegT2, isa.RegA2, 0)) // user trace word (faultable)
+	a.I(isa.ADDIU(isa.RegA2, isa.RegA2, 4))
+	a.I(isa.LW(isa.RegT1, isa.RegA3, trace.BookBufPtr))
+	a.I(isa.SW(isa.RegT2, isa.RegT1, 0))
+	a.I(isa.ADDIU(isa.RegT1, isa.RegT1, 4))
+	a.Jmp("kue_loop")
+	a.I(isa.SW(isa.RegT1, isa.RegA3, trace.BookBufPtr)) // delay slot
+	a.Label("kue_done")
+	a.I(isa.ADDIU(isa.RegT2, isa.RegA0, trace.BookSize))
+	a.I(isa.SW(isa.RegT2, isa.RegA0, trace.BookBufPtr)) // reset user buffer
+	a.Label("kue_marker")
+	a.I(isa.LW(isa.RegT1, isa.RegA3, trace.BookBufPtr))
+	a.I(isa.LUI(isa.RegT2, uint16(trace.MarkKernEnter>>16)))
+	a.I(isa.SW(isa.RegT2, isa.RegT1, 0))
+	a.I(isa.ADDIU(isa.RegT1, isa.RegT1, 4))
+	a.I(isa.SW(isa.RegT1, isa.RegA3, trace.BookBufPtr))
+	a.Label("kue_ret")
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+
+	// ktrace_user_exit: mark the return to user with the resuming
+	// pid, so the parser attributes the following user records.
+	a.Func("ktrace_user_exit", asm.NoInstrument)
+	a.LA(isa.RegT0, "traceon", 0)
+	a.I(isa.LW(isa.RegT0, isa.RegT0, 0))
+	a.Br(isa.BEQ(isa.RegT0, isa.RegZero, 0), "kux_ret")
+	a.I(isa.NOP)
+	a.LA(isa.RegT1, "curpid", 0)
+	a.I(isa.LW(isa.RegT1, isa.RegT1, 0))
+	a.I(isa.LUI(isa.RegT2, uint16(trace.MarkKernExit>>16)))
+	a.I(isa.OR(isa.RegT2, isa.RegT2, isa.RegT1))
+	emitKbufStore(a, "kux")
+	a.Label("kux_ret")
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+
+	// Nested exception markers keep the parser's block-state stack in
+	// step with the kernel's own nesting (§3.5).
+	a.Func("ktrace_nest_enter", asm.NoInstrument)
+	a.LA(isa.RegT0, "traceon", 0)
+	a.I(isa.LW(isa.RegT0, isa.RegT0, 0))
+	a.Br(isa.BEQ(isa.RegT0, isa.RegZero, 0), "kne_ret")
+	a.I(isa.NOP)
+	a.I(isa.LUI(isa.RegT2, uint16(trace.MarkExcEnter>>16)))
+	emitKbufStore(a, "kne")
+	a.Label("kne_ret")
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+
+	a.Func("ktrace_nest_exit", asm.NoInstrument)
+	a.LA(isa.RegT0, "traceon", 0)
+	a.I(isa.LW(isa.RegT0, isa.RegT0, 0))
+	a.Br(isa.BEQ(isa.RegT0, isa.RegZero, 0), "knx_ret")
+	a.I(isa.NOP)
+	a.I(isa.LUI(isa.RegT2, uint16(trace.MarkExcExit>>16)))
+	emitKbufStore(a, "knx")
+	a.Label("knx_ret")
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+}
+
+// emitKbufStore appends the word in t2 to the in-kernel buffer
+// (clobbers t0, t1).
+func emitKbufStore(a *asm.Assembler, tag string) {
+	a.LA(isa.RegT0, "kbook", 0)
+	a.I(isa.LW(isa.RegT1, isa.RegT0, trace.BookBufPtr))
+	a.I(isa.SW(isa.RegT2, isa.RegT1, 0))
+	a.I(isa.ADDIU(isa.RegT1, isa.RegT1, 4))
+	a.I(isa.SW(isa.RegT1, isa.RegT0, trace.BookBufPtr))
+	_ = tag
+}

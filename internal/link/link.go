@@ -1,0 +1,187 @@
+// Package link combines relocatable object files into executable
+// images. Address correction is entirely static: symbol and relocation
+// tables let the linker (and the epoxie rewriter that runs just before
+// it) patch every address use with no runtime translation (paper
+// §3.2).
+package link
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+)
+
+// Options configure a link.
+type Options struct {
+	Name     string
+	Entry    string // entry symbol; default "_start"
+	TextBase uint32
+	DataBase uint32
+	Traced   bool // set the traced flag in the image (Ultrix-style)
+}
+
+// Layout records where each object's sections landed. Instrumentation
+// uses it to correlate original and rewritten block addresses.
+type Layout struct {
+	TextOff []uint32 // per-object byte offset of its text from TextBase
+	DataOff []uint32
+	BSSOff  []uint32 // from BSSBase
+	BSSBase uint32
+}
+
+// Link resolves symbols and relocations across objs and produces an
+// executable. Objects are laid out in the order given.
+func Link(objs []*obj.File, opt Options) (*obj.Executable, error) {
+	e, _, err := LinkLayout(objs, opt)
+	return e, err
+}
+
+// LinkLayout is Link but also returns the section layout.
+func LinkLayout(objs []*obj.File, opt Options) (*obj.Executable, *Layout, error) {
+	if opt.Entry == "" {
+		opt.Entry = "_start"
+	}
+	lay := &Layout{
+		TextOff: make([]uint32, len(objs)),
+		DataOff: make([]uint32, len(objs)),
+		BSSOff:  make([]uint32, len(objs)),
+	}
+
+	// Pass 1: layout.
+	var textWords, dataBytes, bssBytes uint32
+	for i, f := range objs {
+		if err := f.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("link %s: %w", opt.Name, err)
+		}
+		lay.TextOff[i] = textWords * 4
+		textWords += uint32(len(f.Text))
+		dataBytes = (dataBytes + 7) &^ 7
+		lay.DataOff[i] = dataBytes
+		dataBytes += uint32(len(f.Data))
+		bssBytes = (bssBytes + 7) &^ 7
+		lay.BSSOff[i] = bssBytes
+		bssBytes += f.BSSSize
+	}
+	dataBytes = (dataBytes + 7) &^ 7
+	bssBase := opt.DataBase + dataBytes
+	bssBase = (bssBase + 7) &^ 7
+	lay.BSSBase = bssBase
+
+	// Pass 2: global symbol table.
+	type def struct {
+		addr  uint32
+		owner string
+	}
+	global := map[string]def{}
+	addrOf := func(oi int, s *obj.Symbol) uint32 {
+		switch s.Section {
+		case obj.SecText:
+			return opt.TextBase + lay.TextOff[oi] + s.Off
+		case obj.SecData:
+			return opt.DataBase + lay.DataOff[oi] + s.Off
+		default:
+			return bssBase + lay.BSSOff[oi] + s.Off
+		}
+	}
+	for oi, f := range objs {
+		for si := range f.Syms {
+			s := &f.Syms[si]
+			if !s.Defined {
+				continue
+			}
+			if prev, dup := global[s.Name]; dup {
+				return nil, nil, fmt.Errorf("link %s: symbol %q defined in both %s and %s",
+					opt.Name, s.Name, prev.owner, f.Name)
+			}
+			global[s.Name] = def{addr: addrOf(oi, s), owner: f.Name}
+		}
+	}
+
+	// Pass 3: copy sections and apply relocations.
+	text := make([]isa.Word, textWords)
+	data := make([]byte, dataBytes)
+	var syms []obj.Symbol
+	var blocks []obj.ExeBlock
+	for oi, f := range objs {
+		copy(text[lay.TextOff[oi]/4:], f.Text)
+		copy(data[lay.DataOff[oi]:], f.Data)
+		resolve := func(r obj.Reloc) (uint32, error) {
+			name := f.Syms[r.Sym].Name
+			d, ok := global[name]
+			if !ok {
+				return 0, fmt.Errorf("link %s: undefined symbol %q referenced from %s",
+					opt.Name, name, f.Name)
+			}
+			return uint32(int64(d.addr) + int64(r.Addend)), nil
+		}
+		for _, r := range f.Relocs {
+			v, err := resolve(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			wi := lay.TextOff[oi]/4 + r.Off/4
+			w := text[wi]
+			switch r.Kind {
+			case obj.RelJ26:
+				text[wi] = w&0xfc000000 | v>>2&0x03ffffff
+			case obj.RelHI16:
+				text[wi] = w&0xffff0000 | (v+0x8000)>>16&0xffff
+			case obj.RelLO16:
+				text[wi] = w&0xffff0000 | v&0xffff
+			case obj.RelWord:
+				text[wi] = v
+			default:
+				return nil, nil, fmt.Errorf("link %s: bad text reloc kind %v", opt.Name, r.Kind)
+			}
+		}
+		for _, r := range f.DataRelocs {
+			v, err := resolve(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			if r.Kind != obj.RelWord {
+				return nil, nil, fmt.Errorf("link %s: data reloc kind %v unsupported", opt.Name, r.Kind)
+			}
+			binary.BigEndian.PutUint32(data[lay.DataOff[oi]+r.Off:], v)
+		}
+		for si := range f.Syms {
+			s := f.Syms[si]
+			if !s.Defined {
+				continue
+			}
+			s.Off = addrOf(oi, &f.Syms[si])
+			syms = append(syms, s)
+		}
+		for bi := range f.Blocks {
+			b := &f.Blocks[bi]
+			blocks = append(blocks, obj.ExeBlock{
+				Addr:   opt.TextBase + lay.TextOff[oi] + b.Off,
+				NInstr: b.NInstr,
+				Flags:  b.Flags,
+				Mem:    b.Mem,
+			})
+		}
+	}
+
+	entry, ok := global[opt.Entry]
+	if !ok {
+		return nil, nil, fmt.Errorf("link %s: entry symbol %q undefined", opt.Name, opt.Entry)
+	}
+
+	e := &obj.Executable{
+		Name:     opt.Name,
+		Entry:    entry.addr,
+		TextBase: opt.TextBase,
+		Text:     text,
+		DataBase: opt.DataBase,
+		Data:     data,
+		BSSBase:  bssBase,
+		BSSSize:  (bssBytes + 7) &^ 7,
+		Syms:     syms,
+		Blocks:   blocks,
+		Traced:   opt.Traced,
+	}
+	return e, lay, nil
+}

@@ -1,0 +1,224 @@
+// Package machine composes the simulated DECstation-like computer:
+// CPU, physical memory, and devices, with a cycle-accurate run loop.
+// Machine time (cycles) is instructions retired plus memory-system
+// stall cycles (when an execution-driven memory model is attached)
+// plus the wall time of trace-analysis phases. Devices — most
+// importantly the disk and the interval clock — run on machine time,
+// which is what makes instrumentation-induced time dilation behave as
+// it did on real hardware (paper §4.1).
+package machine
+
+import (
+	"fmt"
+
+	"systrace/internal/cpu"
+	"systrace/internal/dev"
+	"systrace/internal/mem"
+	"systrace/internal/obj"
+)
+
+// Staller reports accumulated memory stall cycles; the execution-driven
+// memory system simulator implements it (along with cpu.Observer).
+type Staller interface {
+	StallCycles() uint64
+}
+
+// ClockHz is the processor frequency: 25 MHz, as on the DECstation
+// 5000/200.
+const ClockHz = 25_000_000
+
+// Halt register: a store here stops the machine (the kernel's final
+// act). The value is the exit status.
+const haltOffset = dev.TraceCtlBase + 0x8
+
+// Machine is one simulated computer.
+type Machine struct {
+	RAM      *mem.RAM
+	CPU      *cpu.CPU
+	Clock    *dev.Clock
+	Console  *dev.Console
+	Disk     *dev.Disk
+	TraceCtl *dev.TraceCtl
+
+	extraCycles uint64 // analysis-phase time
+	stall       Staller
+	nextEvent   uint64
+
+	Halted     bool
+	ExitStatus uint32
+}
+
+// New builds a machine with the given RAM size and disk image.
+func New(ramSize uint32, diskImage []byte) *Machine {
+	m := &Machine{RAM: mem.NewRAM(ramSize)}
+	m.CPU = cpu.New(m, 0)
+	m.Clock = dev.NewClock(m.CPU)
+	m.Console = &dev.Console{}
+	m.Disk = dev.NewDisk(m.CPU, m.RAM, diskImage, dev.DefaultDiskParams)
+	m.TraceCtl = &dev.TraceCtl{}
+	m.nextEvent = ^uint64(0)
+	return m
+}
+
+// AttachTiming connects an execution-driven memory model: obs sees
+// every reference; stall contributes to machine time.
+func (m *Machine) AttachTiming(obs cpu.Observer, stall Staller) {
+	m.CPU.Obs = obs
+	m.stall = stall
+}
+
+// Cycles returns current machine time.
+func (m *Machine) Cycles() uint64 {
+	c := m.CPU.Stat.Instret + m.extraCycles
+	if m.stall != nil {
+		c += m.stall.StallCycles()
+	}
+	return c
+}
+
+// ExtraCycles returns time consumed by analysis phases.
+func (m *Machine) ExtraCycles() uint64 { return m.extraCycles }
+
+// AddExtraCycles advances machine time without executing instructions
+// (used by the analysis doorbell).
+func (m *Machine) AddExtraCycles(c uint64) { m.extraCycles += c }
+
+func (m *Machine) isDev(p uint32) bool {
+	return p >= dev.DevBase && p < dev.DevBase+dev.DevSize
+}
+
+// Read implements cpu.Bus.
+func (m *Machine) Read(p uint32, size int) (uint32, bool) {
+	if m.isDev(p) {
+		off := p - dev.DevBase
+		switch {
+		case off < dev.ConsoleBase:
+			return m.Clock.Read(off - dev.ClockBase), true
+		case off < dev.DiskBase:
+			return m.Console.Read(off - dev.ConsoleBase), true
+		case off < dev.TraceCtlBase:
+			return m.Disk.Read(off - dev.DiskBase), true
+		default:
+			return m.TraceCtl.Read(off - dev.TraceCtlBase), true
+		}
+	}
+	return m.RAM.Read(p, size)
+}
+
+// Write implements cpu.Bus.
+func (m *Machine) Write(p uint32, size int, v uint32) bool {
+	if m.isDev(p) {
+		off := p - dev.DevBase
+		now := m.Cycles()
+		switch {
+		case off == haltOffset:
+			m.Halted = true
+			m.ExitStatus = v
+			m.CPU.Halted = true
+		case off < dev.ConsoleBase:
+			m.Clock.Write(now, off-dev.ClockBase, v)
+		case off < dev.DiskBase:
+			m.Console.Write(off-dev.ConsoleBase, v)
+		case off < dev.TraceCtlBase:
+			m.Disk.Write(now, off-dev.DiskBase, v)
+		default:
+			extra := m.TraceCtl.Write(off-dev.TraceCtlBase, v)
+			m.extraCycles += extra
+		}
+		m.refreshNextEvent()
+		return true
+	}
+	return m.RAM.Write(p, size, v)
+}
+
+// FetchWord implements cpu.Bus.
+func (m *Machine) FetchWord(p uint32) (uint32, bool) {
+	if m.isDev(p) {
+		return 0, false
+	}
+	return m.RAM.Read(p, 4)
+}
+
+// RAMPage implements cpu.Bus.
+func (m *Machine) RAMPage(p uint32) []byte {
+	if m.isDev(p) {
+		return nil
+	}
+	return m.RAM.Page(p)
+}
+
+func (m *Machine) refreshNextEvent() {
+	n := m.Clock.NextEvent()
+	if d := m.Disk.NextEvent(); d < n {
+		n = d
+	}
+	m.nextEvent = n
+}
+
+// Run executes until the machine halts or maxInstr instructions have
+// retired. It returns an error for simulator-level faults (a bug in
+// guest code generation, never normal operation).
+func (m *Machine) Run(maxInstr uint64) error {
+	c := m.CPU
+	limit := c.Stat.Instret + maxInstr
+	m.refreshNextEvent()
+	for !m.Halted && !c.Halted && c.Stat.Instret < limit {
+		// Step in small bursts between device events to keep the
+		// per-instruction overhead low.
+		burst := uint64(64)
+		now := m.Cycles()
+		if m.nextEvent > now && m.nextEvent-now < burst {
+			burst = m.nextEvent - now
+		}
+		if burst == 0 {
+			burst = 1
+		}
+		if c.Stat.Instret+burst > limit {
+			burst = limit - c.Stat.Instret
+		}
+		for i := uint64(0); i < burst; i++ {
+			if !c.Step() {
+				break
+			}
+		}
+		if c.FaultMsg != "" {
+			return fmt.Errorf("machine fault at pc=0x%08x: %s", c.PC, c.FaultMsg)
+		}
+		if now = m.Cycles(); now >= m.nextEvent {
+			m.Clock.Advance(now)
+			m.Disk.Advance(now)
+			m.refreshNextEvent()
+		}
+	}
+	if !m.Halted && !c.Halted && c.Stat.Instret >= limit {
+		return fmt.Errorf("machine: instruction budget %d exhausted at pc=0x%08x (livelock?)",
+			maxInstr, c.PC)
+	}
+	return nil
+}
+
+// LoadKernel copies a kernel executable (linked for kseg0) into
+// physical memory and points the CPU at its entry.
+func (m *Machine) LoadKernel(k *obj.Executable) error {
+	if k.TextBase < cpu.KSeg0Base || k.TextBase >= cpu.KSeg1Base {
+		return fmt.Errorf("machine: kernel text base 0x%x not in kseg0", k.TextBase)
+	}
+	text := make([]byte, len(k.Text)*4)
+	for i, w := range k.Text {
+		text[i*4] = byte(w >> 24)
+		text[i*4+1] = byte(w >> 16)
+		text[i*4+2] = byte(w >> 8)
+		text[i*4+3] = byte(w)
+	}
+	if err := m.RAM.WriteBytes(k.TextBase-cpu.KSeg0Base, text); err != nil {
+		return err
+	}
+	if err := m.RAM.WriteBytes(k.DataBase-cpu.KSeg0Base, k.Data); err != nil {
+		return err
+	}
+	m.CPU.PC = k.Entry
+	return nil
+}
+
+// Seconds converts machine cycles to simulated seconds at ClockHz.
+func Seconds(cycles uint64) float64 { return float64(cycles) / ClockHz }

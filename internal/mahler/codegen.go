@@ -1,0 +1,296 @@
+package mahler
+
+import (
+	"fmt"
+
+	"systrace/internal/asm"
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+)
+
+// Options configure compilation.
+type Options struct {
+	// PinLocals pins up to this many integer locals per function into
+	// callee-saved registers s0..s7. The default (8) means compiled
+	// code uses s5/s6/s7 — the registers epoxie must steal — so the
+	// register-stealing machinery of the Ultrix/Mach tracing systems
+	// is exercised by every real binary. The Tunix-style alternative
+	// reserves them in the compiler: set PinLocals <= 5 (see
+	// ReserveXRegs).
+	PinLocals int
+	// ReserveXRegs keeps the compiler away from xreg1..xreg3, the
+	// Titan/Tunix approach ("the compiler reserved five of the 64 user
+	// registers for use by the tracing system", §3.4).
+	ReserveXRegs bool
+}
+
+// Scratch register pools.
+var intScratch = []int{isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3,
+	isa.RegT4, isa.RegT5, isa.RegT6, isa.RegT7, isa.RegV1}
+
+var fltScratch = []int{4, 5, 6, 7, 8, 9, 10, 11}
+
+var pinRegs = []int{isa.RegS0, isa.RegS1, isa.RegS2, isa.RegS3,
+	isa.RegS4, isa.RegS5, isa.RegS6, isa.RegS7}
+
+// Frame layout constants (offsets from sp).
+const (
+	frIntSpill = 0   // 9 words of scratch spill
+	frFltSpill = 40  // 8 doubles of scratch spill
+	frArgInt   = 104 // 4 outgoing int args + indirect-call target
+	frArgFlt   = 128 // 4 outgoing float args
+	frLocals   = 160
+)
+
+// Compile lowers the module to an object file.
+func (m *Module) Compile(opt Options) (f *obj.File, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(compileError); ok {
+				err = fmt.Errorf("mahler %s: %s", m.Name, string(ce))
+				return
+			}
+			panic(r)
+		}
+	}()
+	if opt.PinLocals == 0 {
+		opt.PinLocals = 8
+	}
+	maxPin := len(pinRegs)
+	if opt.ReserveXRegs {
+		maxPin = 5 // s5..s7 are xreg1..xreg3
+	}
+	if opt.PinLocals > maxPin {
+		opt.PinLocals = maxPin
+	}
+
+	sigs := map[string]Type{}
+	for n, t := range m.externs {
+		sigs[n] = t
+	}
+	for _, fn := range m.funcs {
+		if _, dup := sigs[fn.Name]; dup {
+			return nil, fmt.Errorf("mahler %s: duplicate function %q", m.Name, fn.Name)
+		}
+		sigs[fn.Name] = fn.Ret
+	}
+
+	a := asm.New(m.Name)
+	pool := newFPool(m.Name)
+	for _, fn := range m.funcs {
+		c := &cg{a: a, f: fn, sigs: sigs, opt: opt, pool: pool}
+		c.compileFn()
+	}
+	if len(pool.vals) > 0 {
+		a.DataBytes(pool.sym, pool.bytes())
+	}
+	for _, g := range m.globals {
+		a.Global(g.name, g.size)
+	}
+	for _, d := range m.datas {
+		if d.addrSyms == nil {
+			a.DataBytes(d.name, d.bytes)
+			continue
+		}
+		// Address table: align and name once, then emit contiguous
+		// words so relocations land at 4-byte strides.
+		a.DataBytes(d.name, nil)
+		for off := 0; off < len(d.bytes); off += 4 {
+			if sym, ok := d.addrSyms[off]; ok {
+				a.DataAddrRaw(sym)
+			} else {
+				b := d.bytes[off : off+4]
+				a.DataWordRaw(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+			}
+		}
+	}
+	return a.Finish()
+}
+
+type compileError string
+
+func cerr(format string, args ...any) {
+	panic(compileError(fmt.Sprintf(format, args...)))
+}
+
+// cg is per-function code generation state.
+type cg struct {
+	a      *asm.Assembler
+	f      *Fn
+	sigs   map[string]Type
+	opt    Options
+	pool   *fpool
+	itop   int // int scratch stack depth
+	ftop   int
+	nlabel int
+	loops  []loopLabels
+	frame  int32
+	saved  []int // s-regs saved in prologue
+	epi    string
+}
+
+type loopLabels struct{ cont, brk string }
+
+func (c *cg) label() string {
+	c.nlabel++
+	return fmt.Sprintf("%s.L%d", c.f.Name, c.nlabel)
+}
+
+// layout assigns frame offsets and pinned registers.
+func (c *cg) layout() {
+	off := int32(frLocals)
+	pinned := 0
+	for _, v := range c.f.params {
+		if v.typ == TFloat {
+			off = (off + 7) &^ 7
+			v.frame = off
+			off += 8
+		} else {
+			v.frame = off
+			off += 4
+		}
+	}
+	for _, v := range c.f.locals {
+		if v.typ == TInt && pinned < c.opt.PinLocals {
+			v.sreg = pinRegs[pinned]
+			pinned++
+			continue
+		}
+		if v.typ == TFloat {
+			off = (off + 7) &^ 7
+			v.frame = off
+			off += 8
+		} else {
+			v.frame = off
+			off += 4
+		}
+	}
+	for i := 0; i < pinned; i++ {
+		c.saved = append(c.saved, pinRegs[i])
+	}
+	off = (off + 3) &^ 3
+	off += int32(len(c.saved)) * 4 // saved s-regs
+	off += 4                       // ra
+	c.frame = (off + 7) &^ 7
+	// Record where saved regs and ra live (computed in prologue).
+}
+
+func (c *cg) savedOff(i int) uint16 { return uint16(c.frame - 4 - int32(len(c.saved)-i)*4) }
+func (c *cg) raOff() uint16         { return uint16(c.frame - 4) }
+
+func (c *cg) compileFn() {
+	c.layout()
+	var ff asm.FuncFlags = c.f.Flags
+	c.a.Func(c.f.Name, ff)
+	c.epi = c.label()
+
+	// Prologue.
+	c.a.I(isa.ADDIU(isa.RegSP, isa.RegSP, uint16(-c.frame)))
+	c.a.I(isa.SW(isa.RegRA, isa.RegSP, c.raOff()))
+	for i, s := range c.saved {
+		c.a.I(isa.SW(s, isa.RegSP, c.savedOff(i)))
+	}
+	for i, v := range c.f.params {
+		if v.typ == TFloat {
+			c.a.I(isa.SWC1(12+i, isa.RegSP, uint16(v.frame)))
+		} else {
+			c.a.I(isa.SW(isa.RegA0+i, isa.RegSP, uint16(v.frame)))
+		}
+	}
+
+	c.stmts(c.f.body.stmts)
+
+	// Epilogue.
+	c.a.Label(c.epi)
+	for i, s := range c.saved {
+		c.a.I(isa.LW(s, isa.RegSP, c.savedOff(i)))
+	}
+	c.a.I(isa.LW(isa.RegRA, isa.RegSP, c.raOff()))
+	c.a.I(isa.JR(isa.RegRA))
+	c.a.I(isa.ADDIU(isa.RegSP, isa.RegSP, uint16(c.frame)))
+}
+
+func (c *cg) stmts(ss []Stmt) {
+	for _, s := range ss {
+		c.stmt(s)
+		if c.itop != 0 || c.ftop != 0 {
+			cerr("%s: scratch leak after statement %T (int=%d flt=%d)", c.f.Name, s, c.itop, c.ftop)
+		}
+	}
+}
+
+// pushI allocates the next int scratch register.
+func (c *cg) pushI() int {
+	if c.itop >= len(intScratch) {
+		cerr("%s: integer expression too deep (use a temporary local)", c.f.Name)
+	}
+	r := intScratch[c.itop]
+	c.itop++
+	return r
+}
+
+func (c *cg) pushF() int {
+	if c.ftop >= len(fltScratch) {
+		cerr("%s: float expression too deep (use a temporary local)", c.f.Name)
+	}
+	r := fltScratch[c.ftop]
+	c.ftop++
+	return r
+}
+
+// val is an evaluated expression: a register, possibly owning a
+// scratch slot.
+type val struct {
+	reg   int
+	owned bool
+}
+
+func (c *cg) release(v val) {
+	if v.owned {
+		c.itop--
+	}
+}
+
+func (c *cg) releaseF(v val) {
+	if v.owned {
+		c.ftop--
+	}
+}
+
+// resolve turns a vref into a typed localRef.
+func (c *cg) resolve(e Expr) Expr {
+	if r, ok := e.(vref); ok {
+		v := c.f.lookup(r.name)
+		if v == nil {
+			cerr("%s: reference to undeclared local %q", c.f.Name, r.name)
+		}
+		if v.typ != r.typ {
+			cerr("%s: %v reference to %v local %q", c.f.Name, r.typ, v.typ, r.name)
+		}
+		return localRef{name: r.name, typ: v.typ}
+	}
+	return e
+}
+
+// constVal returns (value, true) if e is an integer constant.
+func constVal(e Expr) (int32, bool) {
+	if k, ok := e.(constExpr); ok {
+		return k.v, true
+	}
+	return 0, false
+}
+
+func fitsSigned16(v int32) bool   { return v >= -32768 && v <= 32767 }
+func fitsUnsigned16(v int32) bool { return v >= 0 && v <= 0xffff }
+
+func log2(v int32) int {
+	if v <= 0 || v&(v-1) != 0 {
+		return -1
+	}
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

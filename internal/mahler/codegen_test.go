@@ -1,0 +1,377 @@
+package mahler_test
+
+import (
+	"math"
+	"testing"
+
+	m "systrace/internal/mahler"
+	"systrace/internal/sim"
+)
+
+// run compiles a module whose main returns an int and executes it.
+func run(t *testing.T, mod *m.Module) uint32 {
+	t.Helper()
+	o, err := mod.Compile(m.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	e, err := sim.BuildBare(mod.Name, o)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	v, _, err := sim.RunResult(e, 50_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+// intMain builds a module with a single main returning expr-built v.
+func intMain(name string, build func(f *m.Fn)) *m.Module {
+	mod := m.NewModule(name)
+	f := mod.Func("main", m.TInt)
+	build(f)
+	return mod
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		e    func() m.Expr
+		want uint32
+	}{
+		{"add", func() m.Expr { return m.Add(m.I(40), m.I(2)) }, 42},
+		{"sub", func() m.Expr { return m.Sub(m.I(10), m.I(52)) }, uint32(0xffffffd6)},
+		{"mul", func() m.Expr { return m.Mul(m.I(-7), m.I(6)) }, uint32(0xffffffd6)},
+		{"mulpow2", func() m.Expr { return m.Mul(m.I(11), m.I(8)) }, 88},
+		{"div", func() m.Expr { return m.Div(m.I(-100), m.I(7)) }, uint32(0xfffffff2)}, // -14
+		{"divu", func() m.Expr { return m.DivU(m.U(0x80000000), m.I(2)) }, 0x40000000},
+		{"mod", func() m.Expr { return m.Mod(m.I(100), m.I(7)) }, 2},
+		{"modu_pow2", func() m.Expr { return m.ModU(m.I(1023), m.I(256)) }, 255},
+		{"and", func() m.Expr { return m.And(m.I(0xff0), m.I(0x0ff)) }, 0x0f0},
+		{"or", func() m.Expr { return m.Or(m.I(0xf00), m.I(0x00f)) }, 0xf0f},
+		{"xor", func() m.Expr { return m.Xor(m.I(0xff), m.I(0x0f)) }, 0xf0},
+		{"shl", func() m.Expr { return m.Shl(m.I(1), m.I(20)) }, 1 << 20},
+		{"shr", func() m.Expr { return m.Shr(m.U(0x80000000), m.I(4)) }, 0x08000000},
+		{"sar", func() m.Expr { return m.Sar(m.I(-32), m.I(3)) }, uint32(0xfffffffc)},
+		{"shl_var", func() m.Expr { return m.Shl(m.I(3), m.Add(m.I(1), m.I(1))) }, 12},
+		{"neg", func() m.Expr { return m.Neg(m.I(5)) }, uint32(0xfffffffb)},
+		{"not", func() m.Expr { return m.Not(m.I(0)) }, 0xffffffff},
+		{"bigconst", func() m.Expr { return m.Add(m.U(0x12340000), m.I(0x5678)) }, 0x12345678},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := run(t, intMain("t_"+tc.name, func(f *m.Fn) {
+				f.Code(func(b *m.Block) { b.Return(tc.e()) })
+			}))
+			if got != tc.want {
+				t.Errorf("got 0x%x want 0x%x", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		name string
+		e    m.Expr
+		want uint32
+	}{
+		{"eq_t", m.Eq(m.I(3), m.I(3)), 1},
+		{"eq_f", m.Eq(m.I(3), m.I(4)), 0},
+		{"eq0", m.Eq(m.Sub(m.I(2), m.I(2)), m.I(0)), 1},
+		{"ne", m.Ne(m.I(3), m.I(4)), 1},
+		{"ne0", m.Ne(m.I(7), m.I(0)), 1},
+		{"lt_t", m.Lt(m.I(-1), m.I(0)), 1},
+		{"lt_f", m.Lt(m.I(0), m.I(-1)), 0},
+		{"ltu", m.LtU(m.I(0), m.I(-1)), 1}, // 0 < 0xffffffff unsigned
+		{"le", m.Le(m.I(5), m.I(5)), 1},
+		{"gt", m.Gt(m.I(6), m.I(5)), 1},
+		{"ge_imm", m.Ge(m.I(5), m.I(5)), 1},
+		{"geu", m.GeU(m.I(-1), m.I(1)), 1},
+		{"leu", m.LeU(m.I(1), m.I(1)), 1},
+		{"gtu", m.GtU(m.I(-1), m.I(1)), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := run(t, intMain("c_"+tc.name, func(f *m.Fn) {
+				f.Code(func(b *m.Block) { b.Return(tc.e) })
+			}))
+			if got != tc.want {
+				t.Errorf("got %d want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLocalsAndLoops(t *testing.T) {
+	// Sum 1..100 with enough locals that some are pinned to s-regs
+	// (including the xregs s5..s7) and some spill to the frame.
+	got := run(t, intMain("loops", func(f *m.Fn) {
+		f.Locals("a", "b", "c", "d", "e", "g", "h", "i", "j", "k", "sum")
+		f.Code(func(b *m.Block) {
+			b.Assign("sum", m.I(0))
+			b.For("i", m.I(1), m.I(101), func(b *m.Block) {
+				b.Assign("sum", m.Add(m.V("sum"), m.V("i")))
+			})
+			b.Return(m.V("sum"))
+		})
+	}))
+	if got != 5050 {
+		t.Errorf("sum 1..100 = %d, want 5050", got)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	// Count odd numbers below 20, stopping at 15.
+	got := run(t, intMain("brkcont", func(f *m.Fn) {
+		f.Locals("i", "n")
+		f.Code(func(b *m.Block) {
+			b.Assign("i", m.I(0))
+			b.Assign("n", m.I(0))
+			b.While(m.Lt(m.V("i"), m.I(20)), func(b *m.Block) {
+				b.Assign("i", m.Add(m.V("i"), m.I(1)))
+				b.If(m.Eq(m.And(m.V("i"), m.I(1)), m.I(0)), func(b *m.Block) {
+					b.Continue()
+				}, nil)
+				b.If(m.Eq(m.V("i"), m.I(15)), func(b *m.Block) {
+					b.Break()
+				}, nil)
+				b.Assign("n", m.Add(m.V("n"), m.I(1)))
+			})
+			b.Return(m.V("n")) // odds 1,3,...,13 → 7
+		})
+	}))
+	if got != 7 {
+		t.Errorf("got %d want 7", got)
+	}
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	mod := m.NewModule("fib")
+	fib := mod.Func("fib", m.TInt)
+	fib.Param("n", m.TInt)
+	fib.Code(func(b *m.Block) {
+		b.If(m.Lt(m.V("n"), m.I(2)), func(b *m.Block) {
+			b.Return(m.V("n"))
+		}, nil)
+		b.Return(m.Add(
+			m.Call("fib", m.Sub(m.V("n"), m.I(1))),
+			m.Call("fib", m.Sub(m.V("n"), m.I(2))),
+		))
+	})
+	main := mod.Func("main", m.TInt)
+	main.Code(func(b *m.Block) { b.Return(m.Call("fib", m.I(15))) })
+	if got := run(t, mod); got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestGlobalsAndMemory(t *testing.T) {
+	mod := m.NewModule("mem")
+	mod.Global("arr", 40) // 10 words
+	mod.Data("greet", []byte("hello"))
+	main := mod.Func("main", m.TInt)
+	main.Locals("i", "sum")
+	main.Code(func(b *m.Block) {
+		b.For("i", m.I(0), m.I(10), func(b *m.Block) {
+			b.StoreW(m.Add(m.Addr("arr", 0), m.Mul(m.V("i"), m.I(4))),
+				m.Mul(m.V("i"), m.V("i")))
+		})
+		b.Assign("sum", m.I(0))
+		b.For("i", m.I(0), m.I(10), func(b *m.Block) {
+			b.Assign("sum", m.Add(m.V("sum"),
+				m.LoadW(m.Add(m.Addr("arr", 0), m.Mul(m.V("i"), m.I(4))))))
+		})
+		// Add the first byte of "hello" ('h' = 104).
+		b.Assign("sum", m.Add(m.V("sum"), m.LoadB(m.Addr("greet", 0))))
+		b.Return(m.V("sum")) // 285 + 104
+	})
+	if got := run(t, mod); got != 389 {
+		t.Errorf("got %d want 389", got)
+	}
+}
+
+func TestSubWordMemory(t *testing.T) {
+	mod := m.NewModule("subword")
+	mod.Global("buf", 16)
+	main := mod.Func("main", m.TInt)
+	main.Locals("v")
+	main.Code(func(b *m.Block) {
+		b.StoreB(m.Addr("buf", 0), m.I(0x80)) // sign bit set
+		b.Store(m.Addr("buf", 2), 2, m.I(0x8001))
+		// lbu + lb + lhu + lh
+		b.Assign("v", m.Add(
+			m.Add(m.LoadB(m.Addr("buf", 0)), m.Load(m.Addr("buf", 0), 1, true)),
+			m.Add(m.Load(m.Addr("buf", 2), 2, false), m.Load(m.Addr("buf", 2), 2, true)),
+		))
+		// 0x80 + (-128) + 0x8001 + (-32767) = 0 + 2 = wait:
+		// 128 - 128 + 32769 - 32767 = 2
+		b.Return(m.V("v"))
+	})
+	if got := run(t, mod); got != 2 {
+		t.Errorf("got %d want 2", got)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	mod := m.NewModule("float")
+	mod.Global("fbuf", 32)
+	norm := mod.Func("norm", m.TFloat)
+	norm.Param("x", m.TFloat)
+	norm.Param("y", m.TFloat)
+	norm.Code(func(b *m.Block) {
+		b.Return(m.Sqrt(m.FAdd(
+			m.FMul(m.FV("x"), m.FV("x")),
+			m.FMul(m.FV("y"), m.FV("y")))))
+	})
+	main := mod.Func("main", m.TInt)
+	main.FLocals("a", "r")
+	main.Locals("out")
+	main.Code(func(b *m.Block) {
+		b.Assign("a", m.F(3.0))
+		b.StoreF(m.Addr("fbuf", 8), m.F(4.0))
+		b.Assign("r", m.CallF("norm", m.FV("a"), m.LoadF(m.Addr("fbuf", 8))))
+		// r should be 5.0
+		b.If(m.FLt(m.FV("r"), m.F(4.99)), func(b *m.Block) {
+			b.Return(m.I(-1))
+		}, nil)
+		b.If(m.FGt(m.FV("r"), m.F(5.01)), func(b *m.Block) {
+			b.Return(m.I(-2))
+		}, nil)
+		// Integer conversion round trip: trunc(r * 100) = 500.
+		b.Assign("out", m.ToInt(m.FMul(m.FV("r"), m.F(100.0))))
+		b.Return(m.V("out"))
+	})
+	if got := run(t, mod); got != 500 {
+		t.Errorf("got %d want 500", got)
+	}
+}
+
+func TestToFloatConversion(t *testing.T) {
+	mod := m.NewModule("cvt")
+	main := mod.Func("main", m.TInt)
+	main.FLocals("f")
+	main.Code(func(b *m.Block) {
+		b.Assign("f", m.FDiv(m.ToFloat(m.I(-355)), m.ToFloat(m.I(113))))
+		// f ≈ -3.14159...; trunc(f * -1000) = 3141
+		b.Return(m.ToInt(m.FMul(m.FV("f"), m.F(-1000))))
+	})
+	if got := run(t, mod); got != 3141 {
+		t.Errorf("got %d want 3141", got)
+	}
+	_ = math.Pi
+}
+
+func TestFunctionPointers(t *testing.T) {
+	mod := m.NewModule("fptr")
+	inc := mod.Func("inc", m.TInt)
+	inc.Param("x", m.TInt)
+	inc.Code(func(b *m.Block) { b.Return(m.Add(m.V("x"), m.I(1))) })
+	dbl := mod.Func("dbl", m.TInt)
+	dbl.Param("x", m.TInt)
+	dbl.Code(func(b *m.Block) { b.Return(m.Mul(m.V("x"), m.I(2))) })
+	mod.DataAddrs("ops", []string{"inc", "dbl"})
+	main := mod.Func("main", m.TInt)
+	main.Locals("a", "b")
+	main.Code(func(b *m.Block) {
+		// Call through the table: ops[0](10) + ops[1](10) = 11 + 20.
+		b.Assign("a", m.CallVia(m.LoadW(m.Addr("ops", 0)), m.I(10)))
+		b.Assign("b", m.CallVia(m.LoadW(m.Addr("ops", 4)), m.I(10)))
+		b.Return(m.Add(m.V("a"), m.V("b")))
+	})
+	if got := run(t, mod); got != 31 {
+		t.Errorf("got %d want 31", got)
+	}
+}
+
+func TestCallSpillsScratch(t *testing.T) {
+	// A call nested inside a live expression must not clobber the
+	// partial results held in scratch registers.
+	mod := m.NewModule("spill")
+	clob := mod.Func("clobber", m.TInt)
+	clob.Locals("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10")
+	clob.Code(func(b *m.Block) {
+		// Lots of arithmetic to dirty every scratch register.
+		b.Assign("t0", m.I(111))
+		b.Assign("t10", m.Add(m.Add(m.Add(m.V("t0"), m.I(1)), m.Add(m.V("t0"), m.I(2))),
+			m.Add(m.Add(m.V("t0"), m.I(3)), m.Add(m.V("t0"), m.I(4)))))
+		b.Return(m.I(7))
+	})
+	main := mod.Func("main", m.TInt)
+	main.Code(func(b *m.Block) {
+		// 100 + clobber() * 2 + 1 = 115, with 100 live across the call.
+		b.Return(m.Add(m.I(100), m.Add(m.Mul(m.Call("clobber"), m.I(2)), m.I(1))))
+	})
+	if got := run(t, mod); got != 115 {
+		t.Errorf("got %d want 115", got)
+	}
+}
+
+func TestMultiModuleLink(t *testing.T) {
+	lib := m.NewModule("lib")
+	sq := lib.Func("square", m.TInt)
+	sq.Param("x", m.TInt)
+	sq.Code(func(b *m.Block) { b.Return(m.Mul(m.V("x"), m.V("x"))) })
+
+	app := m.NewModule("app")
+	app.Extern("square", m.TInt)
+	main := app.Func("main", m.TInt)
+	main.Code(func(b *m.Block) { b.Return(m.Call("square", m.I(12))) })
+
+	lo, err := lib.Compile(m.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, err := app.Compile(m.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.BuildBare("multi", ao, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := sim.RunResult(e, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 144 {
+		t.Errorf("square(12) = %d, want 144", v)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	t.Run("undeclared local", func(t *testing.T) {
+		mod := m.NewModule("bad1")
+		f := mod.Func("main", m.TInt)
+		f.Code(func(b *m.Block) { b.Return(m.V("nope")) })
+		if _, err := mod.Compile(m.Options{}); err == nil {
+			t.Error("expected error for undeclared local")
+		}
+	})
+	t.Run("undeclared function", func(t *testing.T) {
+		mod := m.NewModule("bad2")
+		f := mod.Func("main", m.TInt)
+		f.Code(func(b *m.Block) { b.Return(m.Call("nothere")) })
+		if _, err := mod.Compile(m.Options{}); err == nil {
+			t.Error("expected error for undeclared function")
+		}
+	})
+	t.Run("type mismatch", func(t *testing.T) {
+		mod := m.NewModule("bad3")
+		f := mod.Func("main", m.TInt)
+		f.Locals("x")
+		f.Code(func(b *m.Block) { b.Return(m.FV("x")) })
+		if _, err := mod.Compile(m.Options{}); err == nil {
+			t.Error("expected error for float ref to int local")
+		}
+	})
+	t.Run("break outside loop", func(t *testing.T) {
+		mod := m.NewModule("bad4")
+		f := mod.Func("main", m.TInt)
+		f.Code(func(b *m.Block) { b.Break() })
+		if _, err := mod.Compile(m.Options{}); err == nil {
+			t.Error("expected error for break outside loop")
+		}
+	})
+}

@@ -1,0 +1,425 @@
+package mahler
+
+import (
+	"encoding/binary"
+	"math"
+
+	"systrace/internal/isa"
+)
+
+// fpool interns float constants into a per-module data pool.
+type fpool struct {
+	sym  string
+	vals []float64
+	idx  map[float64]int32
+}
+
+func newFPool(mod string) *fpool {
+	return &fpool{sym: "__fconst." + mod, idx: map[float64]int32{}}
+}
+
+func (p *fpool) intern(v float64) int32 {
+	if off, ok := p.idx[v]; ok {
+		return off
+	}
+	off := int32(len(p.vals) * 8)
+	p.idx[v] = off
+	p.vals = append(p.vals, v)
+	return off
+}
+
+func (p *fpool) bytes() []byte {
+	b := make([]byte, len(p.vals)*8)
+	for i, v := range p.vals {
+		binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+// evalAddr evaluates an address expression, folding a trailing
+// constant into the 16-bit displacement field.
+func (c *cg) evalAddr(e Expr) (val, uint16) {
+	e = c.resolve(e)
+	if b, ok := e.(binOp); ok && b.op == BAdd {
+		if k, isK := constVal(b.b); isK && fitsSigned16(k) {
+			return c.eval(b.a), uint16(k)
+		}
+	}
+	if b, ok := e.(binOp); ok && b.op == BSub {
+		if k, isK := constVal(b.b); isK && fitsSigned16(-k) {
+			return c.eval(b.a), uint16(-k)
+		}
+	}
+	return c.eval(e), 0
+}
+
+// eval evaluates an integer expression into a register.
+func (c *cg) eval(e Expr) val {
+	e = c.resolve(e)
+	switch x := e.(type) {
+	case constExpr:
+		r := c.pushI()
+		c.a.LI(r, uint32(x.v))
+		return val{r, true}
+	case localRef:
+		v := c.f.lookup(x.name)
+		if v.typ != TInt {
+			cerr("%s: int use of float local %q", c.f.Name, x.name)
+		}
+		if v.sreg >= 0 {
+			return val{v.sreg, false}
+		}
+		r := c.pushI()
+		c.a.I(isa.LW(r, isa.RegSP, uint16(v.frame)))
+		return val{r, true}
+	case addrOf:
+		r := c.pushI()
+		c.a.LA(r, x.sym, x.off)
+		return val{r, true}
+	case funcAddr:
+		r := c.pushI()
+		c.a.LA(r, x.sym, 0)
+		return val{r, true}
+	case loadExpr:
+		base, off := c.evalAddr(x.addr)
+		c.release(base)
+		r := c.pushI()
+		switch {
+		case x.size == 1 && x.signed:
+			c.a.I(isa.LB(r, base.reg, off))
+		case x.size == 1:
+			c.a.I(isa.LBU(r, base.reg, off))
+		case x.size == 2 && x.signed:
+			c.a.I(isa.LH(r, base.reg, off))
+		case x.size == 2:
+			c.a.I(isa.LHU(r, base.reg, off))
+		case x.size == 4:
+			c.a.I(isa.LW(r, base.reg, off))
+		default:
+			cerr("%s: bad load size %d", c.f.Name, x.size)
+		}
+		return val{r, true}
+	case binOp:
+		return c.evalBin(x)
+	case unOp:
+		switch x.op {
+		case UNeg:
+			a := c.eval(x.a)
+			rd, out := c.binResult(a, val{})
+			c.a.I(isa.SUBU(rd, isa.RegZero, a.reg))
+			return out
+		case UNot:
+			a := c.eval(x.a)
+			rd, out := c.binResult(a, val{})
+			c.a.I(isa.NOR(rd, a.reg, isa.RegZero))
+			return out
+		}
+		cerr("%s: float unary op in int context", c.f.Name)
+	case cvtOp:
+		if x.toFloat {
+			cerr("%s: ToFloat used in int context", c.f.Name)
+		}
+		f := c.evalF(x.a)
+		c.releaseF(f)
+		r := c.pushI()
+		c.a.I(isa.MFC1(r, f.reg))
+		return val{r, true}
+	case fcmpOp:
+		return c.evalFCmp(x)
+	case callExpr:
+		return c.call(callSite{name: x.name, args: x.args}, TInt)
+	case callPtr:
+		return c.call(callSite{target: x.target, args: x.args}, TInt)
+	case syscallExpr:
+		return c.call(callSite{sysnum: x.num + 1, args: x.args}, TInt)
+	case mfc0:
+		r := c.pushI()
+		c.a.I(isa.MFC0(r, x.reg))
+		return val{r, true}
+	case fconst, loadF, fbinOp:
+		cerr("%s: float expression in int context", c.f.Name)
+	}
+	cerr("%s: unhandled expression %T", c.f.Name, e)
+	return val{}
+}
+
+// binResult frees operand slots and picks a destination register
+// following the scratch stack discipline. Pass zero vals for missing
+// operands.
+func (c *cg) binResult(a, b val) (int, val) {
+	switch {
+	case a.owned && b.owned:
+		c.itop--
+		return a.reg, val{a.reg, true}
+	case a.owned:
+		return a.reg, a
+	case b.owned:
+		return b.reg, b
+	default:
+		r := c.pushI()
+		return r, val{r, true}
+	}
+}
+
+func (c *cg) evalBin(x binOp) val {
+	// Immediate forms.
+	if k, ok := constVal(c.resolve(x.b)); ok {
+		if r, done := c.evalBinImm(x.op, x.a, k); done {
+			return r
+		}
+	}
+	a := c.eval(x.a)
+	b := c.eval(x.b)
+	rd, out := c.binResult(a, b)
+	A, B := a.reg, b.reg
+	switch x.op {
+	case BAdd:
+		c.a.I(isa.ADDU(rd, A, B))
+	case BSub:
+		c.a.I(isa.SUBU(rd, A, B))
+	case BMul:
+		c.a.Is(isa.MULT(A, B), isa.MFLO(rd))
+	case BDiv:
+		c.a.Is(isa.DIV(A, B), isa.MFLO(rd))
+	case BDivU:
+		c.a.Is(isa.DIVU(A, B), isa.MFLO(rd))
+	case BMod:
+		c.a.Is(isa.DIV(A, B), isa.MFHI(rd))
+	case BModU:
+		c.a.Is(isa.DIVU(A, B), isa.MFHI(rd))
+	case BAnd:
+		c.a.I(isa.AND(rd, A, B))
+	case BOr:
+		c.a.I(isa.OR(rd, A, B))
+	case BXor:
+		c.a.I(isa.XOR(rd, A, B))
+	case BShl:
+		c.a.I(isa.SLLV(rd, A, B))
+	case BShr:
+		c.a.I(isa.SRLV(rd, A, B))
+	case BSar:
+		c.a.I(isa.SRAV(rd, A, B))
+	case BEq:
+		c.a.Is(isa.SUBU(rd, A, B), isa.SLTIU(rd, rd, 1))
+	case BNe:
+		c.a.Is(isa.SUBU(rd, A, B), isa.SLTU(rd, isa.RegZero, rd))
+	case BLt:
+		c.a.I(isa.SLT(rd, A, B))
+	case BLe:
+		c.a.Is(isa.SLT(rd, B, A), isa.XORI(rd, rd, 1))
+	case BGt:
+		c.a.I(isa.SLT(rd, B, A))
+	case BGe:
+		c.a.Is(isa.SLT(rd, A, B), isa.XORI(rd, rd, 1))
+	case BLtU:
+		c.a.I(isa.SLTU(rd, A, B))
+	case BLeU:
+		c.a.Is(isa.SLTU(rd, B, A), isa.XORI(rd, rd, 1))
+	case BGtU:
+		c.a.I(isa.SLTU(rd, B, A))
+	case BGeU:
+		c.a.Is(isa.SLTU(rd, A, B), isa.XORI(rd, rd, 1))
+	default:
+		cerr("%s: bad binary op %d", c.f.Name, x.op)
+	}
+	return out
+}
+
+// evalBinImm emits immediate forms where profitable. Returns done =
+// false to fall back to the register form.
+func (c *cg) evalBinImm(op BinKind, ae Expr, k int32) (val, bool) {
+	emit1 := func(f func(rd, rs int) isa.Word) val {
+		a := c.eval(ae)
+		rd, out := c.binResult(a, val{})
+		c.a.I(f(rd, a.reg))
+		return out
+	}
+	switch op {
+	case BAdd:
+		if fitsSigned16(k) {
+			return emit1(func(rd, rs int) isa.Word { return isa.ADDIU(rd, rs, uint16(k)) }), true
+		}
+	case BSub:
+		if fitsSigned16(-k) {
+			return emit1(func(rd, rs int) isa.Word { return isa.ADDIU(rd, rs, uint16(-k)) }), true
+		}
+	case BAnd:
+		if fitsUnsigned16(k) {
+			return emit1(func(rd, rs int) isa.Word { return isa.ANDI(rd, rs, uint16(k)) }), true
+		}
+	case BOr:
+		if fitsUnsigned16(k) {
+			return emit1(func(rd, rs int) isa.Word { return isa.ORI(rd, rs, uint16(k)) }), true
+		}
+	case BXor:
+		if fitsUnsigned16(k) {
+			return emit1(func(rd, rs int) isa.Word { return isa.XORI(rd, rs, uint16(k)) }), true
+		}
+	case BShl:
+		if k >= 0 && k < 32 {
+			return emit1(func(rd, rs int) isa.Word { return isa.SLL(rd, rs, uint32(k)) }), true
+		}
+	case BShr:
+		if k >= 0 && k < 32 {
+			return emit1(func(rd, rs int) isa.Word { return isa.SRL(rd, rs, uint32(k)) }), true
+		}
+	case BSar:
+		if k >= 0 && k < 32 {
+			return emit1(func(rd, rs int) isa.Word { return isa.SRA(rd, rs, uint32(k)) }), true
+		}
+	case BMul:
+		if sh := log2(k); sh >= 0 {
+			return emit1(func(rd, rs int) isa.Word { return isa.SLL(rd, rs, uint32(sh)) }), true
+		}
+	case BDivU:
+		if sh := log2(k); sh >= 0 {
+			return emit1(func(rd, rs int) isa.Word { return isa.SRL(rd, rs, uint32(sh)) }), true
+		}
+	case BModU:
+		if k > 0 && k&(k-1) == 0 && fitsUnsigned16(k-1) {
+			return emit1(func(rd, rs int) isa.Word { return isa.ANDI(rd, rs, uint16(k-1)) }), true
+		}
+	case BLt:
+		if fitsSigned16(k) {
+			return emit1(func(rd, rs int) isa.Word { return isa.SLTI(rd, rs, uint16(k)) }), true
+		}
+	case BLtU:
+		if fitsSigned16(k) {
+			return emit1(func(rd, rs int) isa.Word { return isa.SLTIU(rd, rs, uint16(k)) }), true
+		}
+	case BGe:
+		if fitsSigned16(k) {
+			a := c.eval(ae)
+			rd, out := c.binResult(a, val{})
+			c.a.Is(isa.SLTI(rd, a.reg, uint16(k)), isa.XORI(rd, rd, 1))
+			return out, true
+		}
+	case BEq:
+		if k == 0 {
+			return emit1(func(rd, rs int) isa.Word { return isa.SLTIU(rd, rs, 1) }), true
+		}
+	case BNe:
+		if k == 0 {
+			a := c.eval(ae)
+			rd, out := c.binResult(a, val{})
+			c.a.I(isa.SLTU(rd, isa.RegZero, a.reg))
+			return out, true
+		}
+	}
+	return val{}, false
+}
+
+// evalF evaluates a float expression into an FP register.
+func (c *cg) evalF(e Expr) val {
+	e = c.resolve(e)
+	switch x := e.(type) {
+	case fconst:
+		off := c.pool.intern(x.v)
+		ra := c.pushI()
+		c.a.LA(ra, c.pool.sym, off)
+		c.itop--
+		fr := c.pushF()
+		c.a.I(isa.LWC1(fr, ra, 0))
+		return val{fr, true}
+	case localRef:
+		v := c.f.lookup(x.name)
+		if v.typ != TFloat {
+			cerr("%s: float use of int local %q", c.f.Name, x.name)
+		}
+		fr := c.pushF()
+		c.a.I(isa.LWC1(fr, isa.RegSP, uint16(v.frame)))
+		return val{fr, true}
+	case loadF:
+		base, off := c.evalAddr(x.addr)
+		c.release(base)
+		fr := c.pushF()
+		c.a.I(isa.LWC1(fr, base.reg, off))
+		return val{fr, true}
+	case fbinOp:
+		a := c.evalF(x.a)
+		b := c.evalF(x.b)
+		fd, out := c.fbinResult(a, b)
+		switch x.op {
+		case BAdd:
+			c.a.I(isa.FADD(fd, a.reg, b.reg))
+		case BSub:
+			c.a.I(isa.FSUB(fd, a.reg, b.reg))
+		case BMul:
+			c.a.I(isa.FMUL(fd, a.reg, b.reg))
+		case BDiv:
+			c.a.I(isa.FDIV(fd, a.reg, b.reg))
+		default:
+			cerr("%s: bad float op %d", c.f.Name, x.op)
+		}
+		return out
+	case unOp:
+		switch x.op {
+		case UFNeg:
+			a := c.evalF(x.a)
+			fd, out := c.fbinResult(a, val{})
+			c.a.I(isa.FNEG(fd, a.reg))
+			return out
+		case USqrt:
+			a := c.evalF(x.a)
+			fd, out := c.fbinResult(a, val{})
+			c.a.I(isa.FSQRT(fd, a.reg))
+			return out
+		}
+		cerr("%s: int unary op in float context", c.f.Name)
+	case cvtOp:
+		if !x.toFloat {
+			cerr("%s: ToInt used in float context", c.f.Name)
+		}
+		r := c.eval(x.a)
+		c.release(r)
+		fr := c.pushF()
+		c.a.I(isa.MTC1(r.reg, fr))
+		return val{fr, true}
+	case callExpr:
+		return c.call(callSite{name: x.name, args: x.args}, TFloat)
+	case callPtr:
+		return c.call(callSite{target: x.target, args: x.args}, TFloat)
+	}
+	cerr("%s: unhandled float expression %T", c.f.Name, e)
+	return val{}
+}
+
+func (c *cg) fbinResult(a, b val) (int, val) {
+	switch {
+	case a.owned && b.owned:
+		c.ftop--
+		return a.reg, val{a.reg, true}
+	case a.owned:
+		return a.reg, a
+	case b.owned:
+		return b.reg, b
+	default:
+		r := c.pushF()
+		return r, val{r, true}
+	}
+}
+
+func (c *cg) evalFCmp(x fcmpOp) val {
+	a := c.evalF(x.a)
+	b := c.evalF(x.b)
+	c.releaseF(b)
+	c.releaseF(a)
+	switch x.op {
+	case BEq:
+		c.a.I(isa.FCEQ(a.reg, b.reg))
+	case BLt:
+		c.a.I(isa.FCLT(a.reg, b.reg))
+	case BLe:
+		c.a.I(isa.FCLE(a.reg, b.reg))
+	default:
+		cerr("%s: bad float comparison %d", c.f.Name, x.op)
+	}
+	rd := c.pushI()
+	done := c.label()
+	c.a.I(isa.ORI(rd, isa.RegZero, 1))
+	c.a.Br(isa.BC1T(0), done)
+	c.a.I(isa.NOP)
+	c.a.I(isa.ADDU(rd, isa.RegZero, isa.RegZero))
+	c.a.Label(done)
+	return val{rd, true}
+}

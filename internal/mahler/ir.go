@@ -1,0 +1,563 @@
+// Package mahler implements the intermediate language and compiler of
+// the toolchain. The paper's Titan compilers "used a common
+// intermediate language, Mahler, which defined a Mahler abstract
+// machine" (§3.4); object modules carry the supplementary information
+// (symbols, relocations, basic-block tables) that makes link-time code
+// modification possible. Our Mahler is a small typed IR with a
+// programmatic builder; the workloads and the traced kernels are
+// written in it and compiled to object files that epoxie can rewrite.
+package mahler
+
+import (
+	"fmt"
+
+	"systrace/internal/asm"
+)
+
+// Type is an IR value type.
+type Type int
+
+const (
+	TInt   Type = iota // 32-bit word (signedness is per-operator)
+	TFloat             // 64-bit IEEE double
+	TVoid              // function returns nothing
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TVoid:
+		return "void"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Expr is an expression tree node.
+type Expr interface{ exprType() Type }
+
+type (
+	constExpr struct{ v int32 }
+	fconst    struct{ v float64 }
+	localRef  struct {
+		name string
+		typ  Type
+	}
+	addrOf struct {
+		sym string
+		off int32
+	}
+	funcAddr struct{ sym string }
+	loadExpr struct {
+		addr   Expr
+		size   int
+		signed bool
+	}
+	loadF struct{ addr Expr }
+	binOp struct {
+		op   BinKind
+		a, b Expr
+	}
+	fbinOp struct {
+		op   BinKind
+		a, b Expr
+	}
+	fcmpOp struct {
+		op   BinKind
+		a, b Expr
+	}
+	unOp struct {
+		op BinKind // UNeg, UNot, UFNeg, USqrt
+		a  Expr
+	}
+	cvtOp struct {
+		toFloat bool
+		a       Expr
+	}
+	callExpr struct {
+		name string
+		args []Expr
+		typ  Type
+	}
+	callPtr struct {
+		target Expr
+		args   []Expr
+		typ    Type
+	}
+	syscallExpr struct {
+		num  int
+		args []Expr
+	}
+	mfc0 struct{ reg int }
+)
+
+// BinKind enumerates binary and unary operators.
+type BinKind int
+
+const (
+	BAdd BinKind = iota
+	BSub
+	BMul
+	BDiv  // signed divide
+	BDivU // unsigned divide
+	BMod  // signed remainder
+	BModU
+	BAnd
+	BOr
+	BXor
+	BShl
+	BShr // logical
+	BSar // arithmetic
+	BEq
+	BNe
+	BLt // signed
+	BLe
+	BGt
+	BGe
+	BLtU
+	BLeU
+	BGtU
+	BGeU
+	UNeg
+	UNot
+	UFNeg
+	USqrt
+)
+
+func (constExpr) exprType() Type  { return TInt }
+func (fconst) exprType() Type     { return TFloat }
+func (l localRef) exprType() Type { return l.typ }
+func (addrOf) exprType() Type     { return TInt }
+func (funcAddr) exprType() Type   { return TInt }
+func (loadExpr) exprType() Type   { return TInt }
+func (loadF) exprType() Type      { return TFloat }
+func (binOp) exprType() Type      { return TInt }
+func (fbinOp) exprType() Type     { return TFloat }
+func (fcmpOp) exprType() Type     { return TInt }
+func (u unOp) exprType() Type {
+	if u.op == UFNeg || u.op == USqrt {
+		return TFloat
+	}
+	return TInt
+}
+func (c cvtOp) exprType() Type {
+	if c.toFloat {
+		return TFloat
+	}
+	return TInt
+}
+func (c callExpr) exprType() Type  { return c.typ }
+func (c callPtr) exprType() Type   { return c.typ }
+func (syscallExpr) exprType() Type { return TInt }
+func (mfc0) exprType() Type        { return TInt }
+
+// I is an integer constant.
+func I(v int32) Expr { return constExpr{v} }
+
+// U is an unsigned integer constant (addresses, bit patterns).
+func U(v uint32) Expr { return constExpr{int32(v)} }
+
+// F is a floating-point constant.
+func F(v float64) Expr { return fconst{v} }
+
+// Addr is the address of global sym plus a byte offset.
+func Addr(sym string, off int32) Expr { return addrOf{sym, off} }
+
+// FuncAddr is the address of a function (for indirect calls); the
+// constant is relocated, which exercises epoxie's static address
+// correction through code *and* data.
+func FuncAddr(sym string) Expr { return funcAddr{sym} }
+
+// Load reads size bytes (1, 2, or 4) at addr; signed selects sign
+// extension for sub-word loads.
+func Load(addr Expr, size int, signed bool) Expr {
+	return loadExpr{addr: addr, size: size, signed: signed}
+}
+
+// LoadW reads a 32-bit word.
+func LoadW(addr Expr) Expr { return loadExpr{addr: addr, size: 4} }
+
+// LoadB reads an unsigned byte.
+func LoadB(addr Expr) Expr { return loadExpr{addr: addr, size: 1} }
+
+// LoadF reads a 64-bit double.
+func LoadF(addr Expr) Expr { return loadF{addr} }
+
+func bin(op BinKind, a, b Expr) Expr {
+	if a.exprType() != TInt || b.exprType() != TInt {
+		panic(fmt.Sprintf("mahler: integer operator %d applied to %v/%v", op, a.exprType(), b.exprType()))
+	}
+	return binOp{op, a, b}
+}
+
+func fbin(op BinKind, a, b Expr) Expr {
+	if a.exprType() != TFloat || b.exprType() != TFloat {
+		panic(fmt.Sprintf("mahler: float operator %d applied to %v/%v", op, a.exprType(), b.exprType()))
+	}
+	return fbinOp{op, a, b}
+}
+
+// Integer arithmetic.
+func Add(a, b Expr) Expr  { return bin(BAdd, a, b) }
+func Sub(a, b Expr) Expr  { return bin(BSub, a, b) }
+func Mul(a, b Expr) Expr  { return bin(BMul, a, b) }
+func Div(a, b Expr) Expr  { return bin(BDiv, a, b) }
+func DivU(a, b Expr) Expr { return bin(BDivU, a, b) }
+func Mod(a, b Expr) Expr  { return bin(BMod, a, b) }
+func ModU(a, b Expr) Expr { return bin(BModU, a, b) }
+func And(a, b Expr) Expr  { return bin(BAnd, a, b) }
+func Or(a, b Expr) Expr   { return bin(BOr, a, b) }
+func Xor(a, b Expr) Expr  { return bin(BXor, a, b) }
+func Shl(a, b Expr) Expr  { return bin(BShl, a, b) }
+func Shr(a, b Expr) Expr  { return bin(BShr, a, b) }
+func Sar(a, b Expr) Expr  { return bin(BSar, a, b) }
+func Neg(a Expr) Expr     { return unOp{UNeg, a} }
+func Not(a Expr) Expr     { return unOp{UNot, a} }
+
+// Integer comparisons (result is 0 or 1).
+func Eq(a, b Expr) Expr  { return bin(BEq, a, b) }
+func Ne(a, b Expr) Expr  { return bin(BNe, a, b) }
+func Lt(a, b Expr) Expr  { return bin(BLt, a, b) }
+func Le(a, b Expr) Expr  { return bin(BLe, a, b) }
+func Gt(a, b Expr) Expr  { return bin(BGt, a, b) }
+func Ge(a, b Expr) Expr  { return bin(BGe, a, b) }
+func LtU(a, b Expr) Expr { return bin(BLtU, a, b) }
+func LeU(a, b Expr) Expr { return bin(BLeU, a, b) }
+func GtU(a, b Expr) Expr { return bin(BGtU, a, b) }
+func GeU(a, b Expr) Expr { return bin(BGeU, a, b) }
+
+// Floating point.
+func FAdd(a, b Expr) Expr { return fbin(BAdd, a, b) }
+func FSub(a, b Expr) Expr { return fbin(BSub, a, b) }
+func FMul(a, b Expr) Expr { return fbin(BMul, a, b) }
+func FDiv(a, b Expr) Expr { return fbin(BDiv, a, b) }
+func FNeg(a Expr) Expr    { return unOp{UFNeg, a} }
+func Sqrt(a Expr) Expr    { return unOp{USqrt, a} }
+func FEq(a, b Expr) Expr  { return fcmpOp{BEq, a, b} }
+func FLt(a, b Expr) Expr  { return fcmpOp{BLt, a, b} }
+func FLe(a, b Expr) Expr  { return fcmpOp{BLe, a, b} }
+func FGt(a, b Expr) Expr  { return fcmpOp{BLt, b, a} }
+func FGe(a, b Expr) Expr  { return fcmpOp{BLe, b, a} }
+
+// ToFloat converts an integer to a double.
+func ToFloat(a Expr) Expr { return cvtOp{toFloat: true, a: a} }
+
+// ToInt truncates a double to an integer.
+func ToInt(a Expr) Expr { return cvtOp{toFloat: false, a: a} }
+
+// Call invokes a function in an expression position.
+func Call(name string, args ...Expr) Expr {
+	return callExpr{name: name, args: args, typ: TInt}
+}
+
+// CallF invokes a float-returning function.
+func CallF(name string, args ...Expr) Expr {
+	return callExpr{name: name, args: args, typ: TFloat}
+}
+
+// CallVia invokes through a function pointer.
+func CallVia(target Expr, args ...Expr) Expr {
+	return callPtr{target: target, args: args, typ: TInt}
+}
+
+// Syscall issues a system call; the result is v0.
+func Syscall(num int, args ...Expr) Expr {
+	if len(args) > 4 {
+		panic("mahler: syscall takes at most 4 arguments")
+	}
+	return syscallExpr{num: num, args: args}
+}
+
+// MFC0 reads a CP0 register (kernel code only).
+func MFC0(reg int) Expr { return mfc0{reg} }
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+type (
+	assignStmt struct {
+		name string
+		e    Expr
+	}
+	storeStmt struct {
+		addr Expr
+		e    Expr
+		size int
+	}
+	storeFStmt struct {
+		addr Expr
+		e    Expr
+	}
+	ifStmt struct {
+		cond      Expr
+		then, els []Stmt
+	}
+	whileStmt struct {
+		cond Expr
+		body []Stmt
+	}
+	breakStmt    struct{}
+	continueStmt struct{}
+	returnStmt   struct{ e Expr } // nil for void
+	exprStmt     struct{ e Expr }
+	mtc0Stmt     struct {
+		reg int
+		e   Expr
+	}
+	cop0Stmt struct{ fn uint32 } // tlbwr/tlbwi/tlbp/tlbr
+	haltStmt struct{}            // for tests: break instruction
+)
+
+func (assignStmt) stmt()   {}
+func (storeStmt) stmt()    {}
+func (storeFStmt) stmt()   {}
+func (ifStmt) stmt()       {}
+func (whileStmt) stmt()    {}
+func (breakStmt) stmt()    {}
+func (continueStmt) stmt() {}
+func (returnStmt) stmt()   {}
+func (exprStmt) stmt()     {}
+func (mtc0Stmt) stmt()     {}
+func (cop0Stmt) stmt()     {}
+func (haltStmt) stmt()     {}
+
+// Block accumulates statements.
+type Block struct {
+	fn    *Fn
+	stmts []Stmt
+}
+
+func (b *Block) add(s Stmt) { b.stmts = append(b.stmts, s) }
+
+// Assign sets local name (declared via Local/Param) to e.
+func (b *Block) Assign(name string, e Expr) {
+	v := b.fn.lookup(name)
+	if v == nil {
+		panic(fmt.Sprintf("mahler %s: assign to undeclared local %q", b.fn.Name, name))
+	}
+	if v.typ != e.exprType() {
+		panic(fmt.Sprintf("mahler %s: assign %v expression to %v local %q",
+			b.fn.Name, e.exprType(), v.typ, name))
+	}
+	b.add(assignStmt{name, e})
+}
+
+// Store writes the low size bytes (1, 2, or 4) of e to addr.
+func (b *Block) Store(addr Expr, size int, e Expr) { b.add(storeStmt{addr, e, size}) }
+
+// StoreW writes a word.
+func (b *Block) StoreW(addr Expr, e Expr) { b.add(storeStmt{addr, e, 4}) }
+
+// StoreB writes a byte.
+func (b *Block) StoreB(addr Expr, e Expr) { b.add(storeStmt{addr, e, 1}) }
+
+// StoreF writes a 64-bit double.
+func (b *Block) StoreF(addr Expr, e Expr) { b.add(storeFStmt{addr, e}) }
+
+// If emits a conditional; els may be nil.
+func (b *Block) If(cond Expr, then func(*Block), els func(*Block)) {
+	tb := &Block{fn: b.fn}
+	then(tb)
+	var es []Stmt
+	if els != nil {
+		eb := &Block{fn: b.fn}
+		els(eb)
+		es = eb.stmts
+	}
+	b.add(ifStmt{cond, tb.stmts, es})
+}
+
+// While emits a loop.
+func (b *Block) While(cond Expr, body func(*Block)) {
+	lb := &Block{fn: b.fn}
+	body(lb)
+	b.add(whileStmt{cond, lb.stmts})
+}
+
+// For emits `for v = from; v < to; v++`. The increment happens at the
+// top of the loop so Continue observes it.
+func (b *Block) For(v string, from, to Expr, body func(*Block)) {
+	b.Assign(v, Sub(from, I(1)))
+	b.While(I(1), func(lb *Block) {
+		lb.Assign(v, Add(V(v), I(1)))
+		lb.If(Eq(Lt(V(v), to), I(0)), func(ib *Block) { ib.Break() }, nil)
+		body(lb)
+	})
+}
+
+// Break exits the innermost loop.
+func (b *Block) Break() { b.add(breakStmt{}) }
+
+// Continue restarts the innermost loop.
+func (b *Block) Continue() { b.add(continueStmt{}) }
+
+// Return returns e (nil for void functions).
+func (b *Block) Return(e Expr) { b.add(returnStmt{e}) }
+
+// Do evaluates e for its side effects (calls, syscalls).
+func (b *Block) Do(e Expr) { b.add(exprStmt{e}) }
+
+// Call invokes a function as a statement.
+func (b *Block) Call(name string, args ...Expr) { b.Do(Call(name, args...)) }
+
+// MTC0 writes a CP0 register (kernel code only).
+func (b *Block) MTC0(reg int, e Expr) { b.add(mtc0Stmt{reg, e}) }
+
+// TLBOp emits a TLB coprocessor operation (isa.C0FnTLBWR etc.).
+func (b *Block) TLBOp(fn uint32) { b.add(cop0Stmt{fn}) }
+
+// Halt emits a break instruction (used only in tests).
+func (b *Block) Halt() { b.add(haltStmt{}) }
+
+type vref struct {
+	name string
+	typ  Type
+}
+
+func (v vref) exprType() Type { return v.typ }
+
+// V references an integer local or parameter by name; the reference is
+// resolved (and type-checked) at compile time.
+func V(name string) Expr { return vref{name, TInt} }
+
+// FV references a float local or parameter by name.
+func FV(name string) Expr { return vref{name, TFloat} }
+
+type localVar struct {
+	name  string
+	typ   Type
+	frame int32 // frame offset (valid after layout)
+	sreg  int   // pinned callee-saved register, or -1
+	param int   // parameter index, or -1
+}
+
+// Fn is a function under construction.
+type Fn struct {
+	Name   string
+	Ret    Type
+	Flags  asm.FuncFlags
+	params []*localVar
+	locals []*localVar
+	byName map[string]*localVar
+	body   *Block
+	mod    *Module
+}
+
+func (f *Fn) lookup(name string) *localVar { return f.byName[name] }
+
+// Param declares a parameter (call order matters; max 4).
+func (f *Fn) Param(name string, t Type) {
+	if len(f.params) >= 4 {
+		panic(fmt.Sprintf("mahler %s: more than 4 parameters", f.Name))
+	}
+	v := &localVar{name: name, typ: t, sreg: -1, param: len(f.params)}
+	f.params = append(f.params, v)
+	f.register(v)
+}
+
+// Local declares a local variable.
+func (f *Fn) Local(name string, t Type) {
+	v := &localVar{name: name, typ: t, sreg: -1, param: -1}
+	f.locals = append(f.locals, v)
+	f.register(v)
+}
+
+// Locals declares several integer locals.
+func (f *Fn) Locals(names ...string) {
+	for _, n := range names {
+		f.Local(n, TInt)
+	}
+}
+
+// FLocals declares several float locals.
+func (f *Fn) FLocals(names ...string) {
+	for _, n := range names {
+		f.Local(n, TFloat)
+	}
+}
+
+func (f *Fn) register(v *localVar) {
+	if _, dup := f.byName[v.name]; dup {
+		panic(fmt.Sprintf("mahler %s: duplicate local %q", f.Name, v.name))
+	}
+	f.byName[v.name] = v
+}
+
+// Body returns the top-level block.
+func (f *Fn) Body() *Block { return f.body }
+
+// Code is shorthand: declare the body with a closure.
+func (f *Fn) Code(build func(*Block)) { build(f.body) }
+
+type dataItem struct {
+	name  string
+	bytes []byte
+	// addrSyms maps word offsets to symbol names (relocated words).
+	addrSyms map[int]string
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Name    string
+	funcs   []*Fn
+	globals []struct {
+		name string
+		size uint32
+	}
+	datas   []dataItem
+	externs map[string]Type // functions provided by other objects
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, externs: map[string]Type{}}
+}
+
+// Func declares a function returning ret.
+func (m *Module) Func(name string, ret Type) *Fn {
+	f := &Fn{Name: name, Ret: ret, byName: map[string]*localVar{}, mod: m}
+	f.body = &Block{fn: f}
+	m.funcs = append(m.funcs, f)
+	return f
+}
+
+// Extern declares a function defined in another object (hand-written
+// assembly, or another module) so calls type-check.
+func (m *Module) Extern(name string, ret Type) { m.externs[name] = ret }
+
+// Global reserves size bytes of zeroed storage.
+func (m *Module) Global(name string, size uint32) {
+	m.globals = append(m.globals, struct {
+		name string
+		size uint32
+	}{name, size})
+}
+
+// Data emits initialized bytes.
+func (m *Module) Data(name string, b []byte) {
+	m.datas = append(m.datas, dataItem{name: name, bytes: b})
+}
+
+// DataWords emits initialized words.
+func (m *Module) DataWords(name string, ws []uint32) {
+	b := make([]byte, len(ws)*4)
+	for i, w := range ws {
+		b[i*4] = byte(w >> 24)
+		b[i*4+1] = byte(w >> 16)
+		b[i*4+2] = byte(w >> 8)
+		b[i*4+3] = byte(w)
+	}
+	m.Data(name, b)
+}
+
+// DataAddrs emits a table of function/global addresses (each entry is
+// relocated).
+func (m *Module) DataAddrs(name string, syms []string) {
+	d := dataItem{name: name, bytes: make([]byte, len(syms)*4), addrSyms: map[int]string{}}
+	for i, s := range syms {
+		d.addrSyms[i*4] = s
+	}
+	m.datas = append(m.datas, d)
+}

@@ -1,0 +1,91 @@
+// Package mem provides the physical memory of the simulated machine.
+// Traces are collected "on a machine with a large physical memory,
+// such that pageouts do not occur" (paper §4.1): the machines built
+// here are configured the same way, so the kernels never page.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RAM is byte-addressable big-endian physical memory.
+type RAM struct {
+	b []byte
+}
+
+// NewRAM allocates size bytes of zeroed memory (rounded up to 4 KB).
+func NewRAM(size uint32) *RAM {
+	size = (size + 4095) &^ 4095
+	return &RAM{b: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (r *RAM) Size() uint32 { return uint32(len(r.b)) }
+
+// Bytes exposes the backing store (host-side loaders and the analysis
+// program's buffer extraction use it; guest access goes through the
+// bus).
+func (r *RAM) Bytes() []byte { return r.b }
+
+// Page returns the 4 KB frame containing p, or nil if out of range.
+func (r *RAM) Page(p uint32) []byte {
+	base := p &^ 4095
+	if base+4096 > uint32(len(r.b)) {
+		return nil
+	}
+	return r.b[base : base+4096]
+}
+
+// Read returns the value of the size-byte field at p.
+func (r *RAM) Read(p uint32, size int) (uint32, bool) {
+	if p+uint32(size) > uint32(len(r.b)) {
+		return 0, false
+	}
+	switch size {
+	case 1:
+		return uint32(r.b[p]), true
+	case 2:
+		return uint32(binary.BigEndian.Uint16(r.b[p:])), true
+	case 4:
+		return binary.BigEndian.Uint32(r.b[p:]), true
+	}
+	return 0, false
+}
+
+// Write stores v into the size-byte field at p.
+func (r *RAM) Write(p uint32, size int, v uint32) bool {
+	if p+uint32(size) > uint32(len(r.b)) {
+		return false
+	}
+	switch size {
+	case 1:
+		r.b[p] = byte(v)
+	case 2:
+		binary.BigEndian.PutUint16(r.b[p:], uint16(v))
+	case 4:
+		binary.BigEndian.PutUint32(r.b[p:], v)
+	default:
+		return false
+	}
+	return true
+}
+
+// WriteBytes copies raw bytes into physical memory (host-side loader).
+func (r *RAM) WriteBytes(p uint32, data []byte) error {
+	if int(p)+len(data) > len(r.b) {
+		return fmt.Errorf("mem: image of %d bytes at 0x%x exceeds %d-byte RAM",
+			len(data), p, len(r.b))
+	}
+	copy(r.b[p:], data)
+	return nil
+}
+
+// ReadWord is a convenience 4-byte read for host-side consumers.
+func (r *RAM) ReadWord(p uint32) uint32 {
+	v, _ := r.Read(p, 4)
+	return v
+}
+
+// WriteWord is a convenience 4-byte write for host-side producers.
+func (r *RAM) WriteWord(p uint32, v uint32) { r.Write(p, 4, v) }

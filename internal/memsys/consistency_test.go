@@ -1,0 +1,83 @@
+package memsys_test
+
+import (
+	"testing"
+
+	"systrace/internal/cpu"
+	"systrace/internal/memsys"
+	"systrace/internal/trace"
+)
+
+// eventTap records the reference stream while also driving the
+// execution-driven model, so the two sides see identical inputs.
+type eventTap struct {
+	tm  *memsys.Timing
+	evs []trace.Event
+}
+
+func (o *eventTap) Fetch(va, pa uint32, k, c bool) {
+	o.tm.Fetch(va, pa, k, c)
+	if c {
+		o.evs = append(o.evs, trace.Event{Kind: trace.EvIFetch, Addr: va, Size: 4, Kernel: k})
+	}
+}
+func (o *eventTap) Load(va, pa uint32, s int, k, c bool) {
+	o.tm.Load(va, pa, s, k, c)
+	if c {
+		o.evs = append(o.evs, trace.Event{Kind: trace.EvLoad, Addr: va, Size: int8(s), Kernel: k})
+	}
+}
+func (o *eventTap) Store(va, pa uint32, s int, k, c bool) {
+	o.tm.Store(va, pa, s, k, c)
+	if c {
+		o.evs = append(o.evs, trace.Event{Kind: trace.EvStore, Addr: va, Size: int8(s), Kernel: k})
+	}
+}
+func (o *eventTap) Exception(code int, vector uint32) {}
+func (o *eventTap) FPOp(l int)                        {}
+
+// TestExecutionVsTraceDrivenConsistency: for a kseg0-only reference
+// stream (identity translation, no TLB), the trace-driven cache models
+// must produce exactly the miss counts the execution-driven models
+// saw.
+func TestExecutionVsTraceDrivenConsistency(t *testing.T) {
+	cfg := memsys.DECstation5000()
+	cfg.ExceptionEntryCycles = 0
+	tap := &eventTap{tm: memsys.NewTiming(cfg)}
+
+	// Synthesize a deterministic kseg0 access pattern with loops,
+	// strides, and conflicts.
+	var pc uint32 = cpu.KSeg0Base + 0x1000
+	for rep := 0; rep < 3; rep++ {
+		for i := uint32(0); i < 3000; i++ {
+			va := pc + i*4%8192
+			tap.Fetch(va, va-cpu.KSeg0Base, true, true)
+			if i%3 == 0 {
+				d := cpu.KSeg0Base + 0x200000 + i*64%(128<<10)
+				tap.Load(d, d-cpu.KSeg0Base, 4, true, true)
+			}
+			if i%7 == 0 {
+				d := cpu.KSeg0Base + 0x300000 + i*32%(64<<10)
+				tap.Store(d, d-cpu.KSeg0Base, 4, true, true)
+			}
+		}
+	}
+
+	sim := memsys.NewTraceSim(cfg, memsys.PolicySequential, 16384, 1)
+	sim.Events(tap.evs)
+
+	if sim.IC.Misses != tap.tm.IC.Misses {
+		t.Errorf("i-cache misses diverge: trace-driven %d, execution-driven %d",
+			sim.IC.Misses, tap.tm.IC.Misses)
+	}
+	if sim.DC.Misses != tap.tm.DC.Misses {
+		t.Errorf("d-cache misses diverge: trace-driven %d, execution-driven %d",
+			sim.DC.Misses, tap.tm.DC.Misses)
+	}
+	if sim.WB.Writes != tap.tm.WB.Writes {
+		t.Errorf("write counts diverge: %d vs %d", sim.WB.Writes, tap.tm.WB.Writes)
+	}
+	if sim.TLB.Misses != 0 {
+		t.Errorf("kseg0 references must not touch the TLB (misses=%d)", sim.TLB.Misses)
+	}
+}

@@ -1,0 +1,290 @@
+// Package memsys models the DECstation 5000/200 memory system: 64 KB
+// direct-mapped instruction and data caches, a write-through data path
+// with a six-entry write buffer, a 64-entry software-managed TLB with
+// random replacement, and the R3010-like floating-point latencies. The
+// same models serve both sides of the paper's validation: an
+// execution-driven instance attached to the CPU measures the
+// "real" machine, and a trace-driven instance consumes parsed traces
+// to produce the predictions of Tables 2 and 3.
+package memsys
+
+import "systrace/internal/cpu"
+
+// Config describes the machine model. Penalties are in CPU cycles.
+type Config struct {
+	ICacheSize uint32
+	DCacheSize uint32
+	LineSize   uint32
+	// ReadMissPenalty is charged per I- or D-cache read miss.
+	ReadMissPenalty int
+	// UncachedPenalty is charged per uncached (kseg1) reference.
+	UncachedPenalty int
+	// WriteBufferDepth entries drain one per WriteRetireCycles.
+	WriteBufferDepth  int
+	WriteRetireCycles int
+	// ExceptionEntryCycles models pipeline drain on exception entry;
+	// the trace-driven simulator deliberately does NOT include it
+	// (§5.1: "the simulator does not account for cycles required to
+	// enter and exit exception handlers").
+	ExceptionEntryCycles int
+	// ModelFPOverlap lets floating-point latency overlap write-buffer
+	// drain, as the real pipeline does; the trace-driven predictor
+	// does not model this either (§5.1, the liv error).
+	ModelFPOverlap bool
+}
+
+// DECstation5000 is the validated machine model.
+func DECstation5000() Config {
+	return Config{
+		ICacheSize:           64 << 10,
+		DCacheSize:           64 << 10,
+		LineSize:             16,
+		ReadMissPenalty:      15,
+		UncachedPenalty:      15,
+		WriteBufferDepth:     6,
+		WriteRetireCycles:    5,
+		ExceptionEntryCycles: 10,
+		ModelFPOverlap:       true,
+	}
+}
+
+// Cache is a direct-mapped, physically indexed cache.
+type Cache struct {
+	tags      []uint32
+	lineShift uint32
+	mask      uint32
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a direct-mapped cache of size bytes with the given
+// line size (both powers of two).
+func NewCache(size, line uint32) *Cache {
+	nlines := size / line
+	c := &Cache{tags: make([]uint32, nlines), mask: nlines - 1}
+	for l := line; l > 1; l >>= 1 {
+		c.lineShift++
+	}
+	for i := range c.tags {
+		c.tags[i] = ^uint32(0)
+	}
+	return c
+}
+
+// Access looks up pa; on a miss the line is filled. Reports hit.
+func (c *Cache) Access(pa uint32) bool {
+	c.Accesses++
+	lineAddr := pa >> c.lineShift
+	idx := lineAddr & c.mask
+	if c.tags[idx] == lineAddr {
+		return true
+	}
+	c.tags[idx] = lineAddr
+	c.Misses++
+	return false
+}
+
+// Probe looks up pa without filling.
+func (c *Cache) Probe(pa uint32) bool {
+	lineAddr := pa >> c.lineShift
+	return c.tags[lineAddr&c.mask] == lineAddr
+}
+
+// Update refreshes a line only if present (write-through,
+// no-write-allocate stores).
+func (c *Cache) Update(pa uint32) bool { return c.Probe(pa) }
+
+// Flush invalidates everything.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = ^uint32(0)
+	}
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// WriteBuffer models the write-through path: entries retire at a fixed
+// rate; a store arriving with the buffer full stalls the CPU until a
+// slot frees.
+type WriteBuffer struct {
+	depth  int
+	retire uint64
+	// doneAt holds completion cycles of in-flight writes (FIFO).
+	doneAt []uint64
+	last   uint64
+
+	Writes      uint64
+	StallCycles uint64
+}
+
+// NewWriteBuffer builds a buffer of the given depth and per-entry
+// retire time.
+func NewWriteBuffer(depth, retireCycles int) *WriteBuffer {
+	return &WriteBuffer{depth: depth, retire: uint64(retireCycles)}
+}
+
+// Write records a store issued at cycle now and returns the stall.
+func (w *WriteBuffer) Write(now uint64) (stall uint64) {
+	w.Writes++
+	// Drain retired entries.
+	for len(w.doneAt) > 0 && w.doneAt[0] <= now {
+		w.doneAt = w.doneAt[1:]
+	}
+	if len(w.doneAt) >= w.depth {
+		stall = w.doneAt[0] - now
+		now = w.doneAt[0]
+		w.doneAt = w.doneAt[1:]
+		w.StallCycles += stall
+	}
+	start := now
+	if w.last > start {
+		start = w.last
+	}
+	w.last = start + w.retire
+	w.doneAt = append(w.doneAt, w.last)
+	return stall
+}
+
+// PendingCycles estimates how many cycles of drain work remain at now
+// (used for FP overlap modeling).
+func (w *WriteBuffer) PendingCycles(now uint64) uint64 {
+	if w.last <= now {
+		return 0
+	}
+	return w.last - now
+}
+
+// rng is a deterministic xorshift32.
+type rng struct{ s uint32 }
+
+func newRNG(seed uint32) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b9
+	}
+	return &rng{seed}
+}
+
+func (r *rng) next() uint32 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 17
+	r.s ^= r.s << 5
+	return r.s
+}
+
+// TLBSim models the 64-entry fully associative TLB with random
+// replacement among the unwired entries, as the trace-driven simulator
+// must ("we simulate the TLB, and use misses in the simulator to
+// synthesize the activity of the UTLB miss handler", §4.1). The
+// simulator "does not know about" explicit kernel TLB writes, so "all
+// TLB fills are caused by TLB misses" (§5.2) — the acknowledged source
+// of Table 3's prediction error.
+type TLBSim struct {
+	entries [cpu.NTLB]uint64 // (asid<<32 | vpn), ^0 = invalid
+	r       *rng
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLBSim builds a TLB simulator with a deterministic replacement
+// stream.
+func NewTLBSim(seed uint32) *TLBSim {
+	t := &TLBSim{r: newRNG(seed)}
+	for i := range t.entries {
+		t.entries[i] = ^uint64(0)
+	}
+	return t
+}
+
+// Access looks up (asid, va); on a miss a random unwired entry is
+// replaced. Reports hit.
+func (t *TLBSim) Access(asid uint32, va uint32) bool {
+	t.Accesses++
+	key := uint64(asid)<<32 | uint64(va>>cpu.PageShift)
+	for i := range t.entries {
+		if t.entries[i] == key {
+			return true
+		}
+	}
+	t.Misses++
+	idx := cpu.TLBWired + int(t.r.next()%(cpu.NTLB-cpu.TLBWired))
+	t.entries[idx] = key
+	return false
+}
+
+// Flush invalidates all entries (context-switch-free ASIDs make this
+// rare; provided for completeness).
+func (t *TLBSim) Flush() {
+	for i := range t.entries {
+		t.entries[i] = ^uint64(0)
+	}
+}
+
+// PagePolicy selects virtual-to-physical page placement, which "can
+// have significant impact on memory system behavior" (§4.2) because
+// the caches are physically indexed.
+type PagePolicy int
+
+const (
+	// PolicySequential allocates frames in first-touch order
+	// (Ultrix-like).
+	PolicySequential PagePolicy = iota
+	// PolicyRandom picks random frames (Mach 3.0's random page
+	// mapping, the repeatability hazard of §5.1).
+	PolicyRandom
+	// PolicyColoring picks frames whose cache color matches the
+	// virtual page (Kessler/Hill-style page coloring).
+	PolicyColoring
+)
+
+// PageMap implements a placement policy over a frame pool.
+type PageMap struct {
+	policy PagePolicy
+	nframe uint32
+	colors uint32
+	r      *rng
+	next   uint32
+	m      map[uint64]uint32
+}
+
+// NewPageMap builds a map over nframe frames; colors is the number of
+// page colors in the cache (cacheSize/pageSize) for PolicyColoring.
+func NewPageMap(policy PagePolicy, nframe, colors uint32, seed uint32) *PageMap {
+	return &PageMap{
+		policy: policy,
+		nframe: nframe,
+		colors: colors,
+		r:      newRNG(seed),
+		m:      map[uint64]uint32{},
+	}
+}
+
+// Frame returns the physical frame for (asid, vpage), assigning one on
+// first touch.
+func (p *PageMap) Frame(asid uint32, vpage uint32) uint32 {
+	key := uint64(asid)<<32 | uint64(vpage)
+	if f, ok := p.m[key]; ok {
+		return f
+	}
+	var f uint32
+	switch p.policy {
+	case PolicySequential:
+		f = p.next % p.nframe
+		p.next++
+	case PolicyRandom:
+		f = p.r.next() % p.nframe
+	case PolicyColoring:
+		want := vpage % p.colors
+		f = (p.r.next()%(p.nframe/p.colors))*p.colors + want
+		f %= p.nframe
+	}
+	p.m[key] = f
+	return f
+}

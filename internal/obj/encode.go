@@ -1,0 +1,385 @@
+package obj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"systrace/internal/isa"
+)
+
+// On-disk formats. Both object files and executables use a simple
+// big-endian format (matching the machine's byte order) with a magic
+// word and version byte, so the cmd tools can round-trip them.
+
+var (
+	objMagic = [4]byte{'S', 'O', 'B', 'J'}
+	exeMagic = [4]byte{'S', 'E', 'X', 'E'}
+)
+
+const formatVersion = 1
+
+type writer struct {
+	w   io.Writer
+	err error
+}
+
+func (w *writer) u8(v uint8) {
+	if w.err == nil {
+		_, w.err = w.w.Write([]byte{v})
+	}
+}
+
+func (w *writer) u16(v uint16) {
+	if w.err == nil {
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], v)
+		_, w.err = w.w.Write(b[:])
+	}
+}
+
+func (w *writer) u32(v uint32) {
+	if w.err == nil {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		_, w.err = w.w.Write(b[:])
+	}
+}
+
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+
+func (w *writer) words(ws []isa.Word) {
+	w.u32(uint32(len(ws)))
+	if w.err != nil {
+		return
+	}
+	buf := make([]byte, 4*len(ws))
+	for i, x := range ws {
+		binary.BigEndian.PutUint32(buf[i*4:], x)
+	}
+	_, w.err = w.w.Write(buf)
+}
+
+type reader struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	r.err = err
+	return b
+}
+
+func (r *reader) u16() uint16 {
+	var b [2]byte
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, b[:])
+	}
+	return binary.BigEndian.Uint16(b[:])
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, b[:])
+	}
+	return binary.BigEndian.Uint32(b[:])
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int64(n) > int64(r.r.Len()) {
+		r.err = fmt.Errorf("obj: truncated: %d-byte field with %d bytes left", n, r.r.Len())
+		return nil
+	}
+	b := make([]byte, n)
+	_, r.err = io.ReadFull(r.r, b)
+	return b
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) words() []isa.Word {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int64(n)*4 > int64(r.r.Len()) {
+		r.err = fmt.Errorf("obj: truncated: %d-word field with %d bytes left", n, r.r.Len())
+		return nil
+	}
+	ws := make([]isa.Word, n)
+	buf := make([]byte, 4*n)
+	if _, r.err = io.ReadFull(r.r, buf); r.err != nil {
+		return nil
+	}
+	for i := range ws {
+		ws[i] = binary.BigEndian.Uint32(buf[i*4:])
+	}
+	return ws
+}
+
+func writeRelocs(w *writer, rs []Reloc) {
+	w.u32(uint32(len(rs)))
+	for _, r := range rs {
+		w.u32(r.Off)
+		w.u8(uint8(r.Kind))
+		w.u32(uint32(r.Sym))
+		w.u32(uint32(r.Addend))
+	}
+}
+
+func readRelocs(r *reader) []Reloc {
+	n := r.u32()
+	if r.err != nil || n > 1<<24 {
+		return nil
+	}
+	rs := make([]Reloc, n)
+	for i := range rs {
+		rs[i].Off = r.u32()
+		rs[i].Kind = RelKind(r.u8())
+		rs[i].Sym = int(r.u32())
+		rs[i].Addend = int32(r.u32())
+	}
+	return rs
+}
+
+func writeSyms(w *writer, ss []Symbol) {
+	w.u32(uint32(len(ss)))
+	for _, s := range ss {
+		w.str(s.Name)
+		w.u8(uint8(s.Section))
+		w.u32(s.Off)
+		flags := uint8(0)
+		if s.Defined {
+			flags |= 1
+		}
+		if s.Func {
+			flags |= 2
+		}
+		w.u8(flags)
+	}
+}
+
+func readSyms(r *reader) []Symbol {
+	n := r.u32()
+	if r.err != nil || n > 1<<24 {
+		return nil
+	}
+	ss := make([]Symbol, n)
+	for i := range ss {
+		ss[i].Name = r.str()
+		ss[i].Section = SectionID(r.u8())
+		ss[i].Off = r.u32()
+		f := r.u8()
+		ss[i].Defined = f&1 != 0
+		ss[i].Func = f&2 != 0
+	}
+	return ss
+}
+
+func writeMemOps(w *writer, ms []MemOp) {
+	w.u16(uint16(len(ms)))
+	for _, m := range ms {
+		w.u16(uint16(m.Index))
+		if m.Load {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.u8(uint8(m.Size))
+	}
+}
+
+func readMemOps(r *reader) []MemOp {
+	n := r.u16()
+	if r.err != nil {
+		return nil
+	}
+	ms := make([]MemOp, n)
+	for i := range ms {
+		ms[i].Index = int16(r.u16())
+		ms[i].Load = r.u8() != 0
+		ms[i].Size = int8(r.u8())
+	}
+	return ms
+}
+
+// Encode serializes the object file.
+func (f *File) Encode(out io.Writer) error {
+	w := &writer{w: out}
+	if _, err := out.Write(objMagic[:]); err != nil {
+		return err
+	}
+	w.u8(formatVersion)
+	w.str(f.Name)
+	w.words(f.Text)
+	w.bytes(f.Data)
+	w.u32(f.BSSSize)
+	writeSyms(w, f.Syms)
+	writeRelocs(w, f.Relocs)
+	writeRelocs(w, f.DataRelocs)
+	w.u32(uint32(len(f.Blocks)))
+	for i := range f.Blocks {
+		b := &f.Blocks[i]
+		w.u32(b.Off)
+		w.u32(uint32(b.NInstr))
+		w.u16(uint16(b.Flags))
+		writeMemOps(w, b.Mem)
+	}
+	return w.err
+}
+
+// ReadFile deserializes an object file.
+func ReadFile(data []byte) (*File, error) {
+	if len(data) < 5 || !bytes.Equal(data[:4], objMagic[:]) {
+		return nil, fmt.Errorf("obj: bad magic")
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("obj: version %d, want %d", data[4], formatVersion)
+	}
+	r := &reader{r: bytes.NewReader(data[5:])}
+	f := &File{}
+	f.Name = r.str()
+	f.Text = r.words()
+	f.Data = r.bytes()
+	f.BSSSize = r.u32()
+	f.Syms = readSyms(r)
+	f.Relocs = readRelocs(r)
+	f.DataRelocs = readRelocs(r)
+	n := r.u32()
+	if r.err == nil && n <= 1<<24 {
+		f.Blocks = make([]BasicBlock, n)
+		for i := range f.Blocks {
+			b := &f.Blocks[i]
+			b.Off = r.u32()
+			b.NInstr = int32(r.u32())
+			b.Flags = BBFlags(r.u16())
+			b.Mem = readMemOps(r)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return f, nil
+}
+
+// Encode serializes the executable.
+func (e *Executable) Encode(out io.Writer) error {
+	w := &writer{w: out}
+	if _, err := out.Write(exeMagic[:]); err != nil {
+		return err
+	}
+	w.u8(formatVersion)
+	w.str(e.Name)
+	w.u32(e.Entry)
+	w.u32(e.TextBase)
+	w.words(e.Text)
+	w.u32(e.DataBase)
+	w.bytes(e.Data)
+	w.u32(e.BSSBase)
+	w.u32(e.BSSSize)
+	writeSyms(w, e.Syms)
+	if e.Traced {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(e.Blocks)))
+	for i := range e.Blocks {
+		b := &e.Blocks[i]
+		w.u32(b.Addr)
+		w.u32(uint32(b.NInstr))
+		w.u16(uint16(b.Flags))
+		writeMemOps(w, b.Mem)
+	}
+	if e.Instr == nil {
+		w.u8(0)
+	} else {
+		w.u8(1)
+		w.str(e.Instr.Tool)
+		w.u32(e.Instr.OrigTextSize)
+		w.u32(e.Instr.TextSize)
+		w.u32(uint32(len(e.Instr.Blocks)))
+		for i := range e.Instr.Blocks {
+			b := &e.Instr.Blocks[i]
+			w.u32(b.RecordAddr)
+			w.u32(b.OrigAddr)
+			w.u32(uint32(b.NInstr))
+			w.u16(uint16(b.Flags))
+			writeMemOps(w, b.Mem)
+		}
+	}
+	return w.err
+}
+
+// ReadExecutable deserializes an executable image.
+func ReadExecutable(data []byte) (*Executable, error) {
+	if len(data) < 5 || !bytes.Equal(data[:4], exeMagic[:]) {
+		return nil, fmt.Errorf("exe: bad magic")
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("exe: version %d, want %d", data[4], formatVersion)
+	}
+	r := &reader{r: bytes.NewReader(data[5:])}
+	e := &Executable{}
+	e.Name = r.str()
+	e.Entry = r.u32()
+	e.TextBase = r.u32()
+	e.Text = r.words()
+	e.DataBase = r.u32()
+	e.Data = r.bytes()
+	e.BSSBase = r.u32()
+	e.BSSSize = r.u32()
+	e.Syms = readSyms(r)
+	e.Traced = r.u8() != 0
+	n := r.u32()
+	if r.err == nil && n <= 1<<24 {
+		e.Blocks = make([]ExeBlock, n)
+		for i := range e.Blocks {
+			b := &e.Blocks[i]
+			b.Addr = r.u32()
+			b.NInstr = int32(r.u32())
+			b.Flags = BBFlags(r.u16())
+			b.Mem = readMemOps(r)
+		}
+	}
+	if r.u8() != 0 {
+		ii := &InstrInfo{}
+		ii.Tool = r.str()
+		ii.OrigTextSize = r.u32()
+		ii.TextSize = r.u32()
+		m := r.u32()
+		if r.err == nil && m <= 1<<24 {
+			ii.Blocks = make([]InstrBlock, m)
+			for i := range ii.Blocks {
+				b := &ii.Blocks[i]
+				b.RecordAddr = r.u32()
+				b.OrigAddr = r.u32()
+				b.NInstr = int32(r.u32())
+				b.Flags = BBFlags(r.u16())
+				b.Mem = readMemOps(r)
+			}
+		}
+		e.Instr = ii
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return e, nil
+}

@@ -1,0 +1,179 @@
+package obj_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+)
+
+func sampleFile() *obj.File {
+	f := &obj.File{
+		Name: "sample",
+		Text: []isa.Word{
+			isa.ADDIU(29, 29, 0xffe0),
+			isa.SW(31, 29, 28),
+			isa.JAL(0),
+			isa.NOP,
+			isa.LW(31, 29, 28),
+			isa.JR(31),
+			isa.ADDIU(29, 29, 32),
+		},
+		Data:    []byte("hello data"),
+		BSSSize: 64,
+	}
+	f.AddSym(obj.Symbol{Name: "fn", Section: obj.SecText, Off: 0, Defined: true, Func: true})
+	f.AddSym(obj.Symbol{Name: "callee", Section: obj.SecText})
+	f.Relocs = append(f.Relocs, obj.Reloc{Off: 8, Kind: obj.RelJ26, Sym: 1})
+	f.Blocks = []obj.BasicBlock{
+		{Off: 0, NInstr: 4, Mem: []obj.MemOp{{Index: 1, Load: false, Size: 4}}},
+		{Off: 16, NInstr: 3, Mem: []obj.MemOp{{Index: 0, Load: true, Size: 4}}},
+	}
+	return f
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f := sampleFile()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := obj.ReadFile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != f.Name || len(g.Text) != len(f.Text) || string(g.Data) != string(f.Data) ||
+		g.BSSSize != f.BSSSize || len(g.Syms) != len(f.Syms) ||
+		len(g.Relocs) != len(f.Relocs) || len(g.Blocks) != len(f.Blocks) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, f)
+	}
+	for i := range f.Text {
+		if g.Text[i] != f.Text[i] {
+			t.Fatalf("text[%d] differs", i)
+		}
+	}
+	if g.Blocks[0].Mem[0] != f.Blocks[0].Mem[0] {
+		t.Fatal("memop differs")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadTables(t *testing.T) {
+	f := sampleFile()
+	f.Blocks[1].Off = 20 // gap
+	if f.Validate() == nil {
+		t.Error("gap in block table accepted")
+	}
+	f = sampleFile()
+	f.Blocks[0].Mem = nil // memop count mismatch
+	if f.Validate() == nil {
+		t.Error("missing memop accepted")
+	}
+	f = sampleFile()
+	f.Relocs[0].Off = 1000
+	if f.Validate() == nil {
+		t.Error("out-of-range reloc accepted")
+	}
+}
+
+func TestCorruptDeserialization(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Truncations at every length must error, not panic.
+	for n := 0; n < len(whole); n += 3 {
+		if _, err := obj.ReadFile(whole[:n]); err == nil && n < len(whole)-1 {
+			// Some prefixes may decode if trailing sections are empty;
+			// only the magic/short cases are required to fail.
+			if n < 5 {
+				t.Errorf("truncation at %d accepted", n)
+			}
+		}
+	}
+	// Arbitrary bytes must never panic.
+	f2 := func(b []byte) bool {
+		_, _ = obj.ReadFile(b)
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecutableRoundTrip(t *testing.T) {
+	e := &obj.Executable{
+		Name:     "prog",
+		Entry:    0x400000,
+		TextBase: 0x400000,
+		Text:     []isa.Word{isa.NOP, isa.BREAK(0)},
+		DataBase: 0x10000000,
+		Data:     []byte{1, 2, 3, 4},
+		BSSBase:  0x10000008,
+		BSSSize:  32,
+		Traced:   true,
+		Syms:     []obj.Symbol{{Name: "main", Section: obj.SecText, Off: 0x400000, Defined: true, Func: true}},
+		Blocks:   []obj.ExeBlock{{Addr: 0x400000, NInstr: 2}},
+		Instr: &obj.InstrInfo{
+			Tool:         "epoxie",
+			OrigTextSize: 8,
+			TextSize:     16,
+			Blocks: []obj.InstrBlock{
+				{RecordAddr: 0x40000c, OrigAddr: 0x400000, NInstr: 2,
+					Mem: []obj.MemOp{{Index: 0, Load: true, Size: 4}}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := e.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := obj.ReadExecutable(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != e.Name || g.Entry != e.Entry || !g.Traced || g.Instr == nil ||
+		g.Instr.Tool != "epoxie" || len(g.Instr.Blocks) != 1 ||
+		g.Instr.Blocks[0].RecordAddr != 0x40000c {
+		t.Fatalf("round trip mismatch: %+v", g)
+	}
+	if g.Instr.GrowthFactor() != 2.0 {
+		t.Errorf("growth = %v", g.Instr.GrowthFactor())
+	}
+}
+
+func TestBlockForAndFuncName(t *testing.T) {
+	e := &obj.Executable{
+		TextBase: 0x400000,
+		Text:     make([]isa.Word, 8),
+		Syms: []obj.Symbol{
+			{Name: "a", Off: 0x400000, Defined: true, Func: true},
+			{Name: "b", Off: 0x400010, Defined: true, Func: true},
+		},
+		Blocks: []obj.ExeBlock{
+			{Addr: 0x400000, NInstr: 4},
+			{Addr: 0x400010, NInstr: 4},
+		},
+	}
+	if b := e.BlockFor(0x400008); b == nil || b.Addr != 0x400000 {
+		t.Error("BlockFor middle address failed")
+	}
+	if b := e.BlockFor(0x400010); b == nil || b.Addr != 0x400010 {
+		t.Error("BlockFor boundary failed")
+	}
+	if e.BlockFor(0x400020) != nil {
+		t.Error("BlockFor past end should be nil")
+	}
+	if e.FuncName(0x400014) != "b" || e.FuncName(0x400004) != "a" {
+		t.Error("FuncName wrong")
+	}
+}

@@ -1,0 +1,52 @@
+package sim_test
+
+import (
+	"testing"
+
+	m "systrace/internal/mahler"
+	"systrace/internal/sim"
+)
+
+func TestRunResultAndReaders(t *testing.T) {
+	mod := m.NewModule("tiny")
+	mod.Data("msg", []byte{0xde, 0xad, 0xbe, 0xef})
+	f := mod.Func("main", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.LoadW(m.Addr("msg", 0)))
+	})
+	o, err := mod.Compile(m.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.BuildBare("tiny", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, mach, err := sim.RunResult(e, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef {
+		t.Fatalf("result 0x%x", v)
+	}
+	msg := e.MustSymbol("msg")
+	if got := sim.ReadWord(mach, msg); got != 0xdeadbeef {
+		t.Errorf("ReadWord 0x%x", got)
+	}
+	if got := sim.ReadBytes(mach, msg, 4); got[0] != 0xde || got[3] != 0xef {
+		t.Errorf("ReadBytes %x", got)
+	}
+}
+
+func TestBuildBareRejectsMissingMain(t *testing.T) {
+	mod := m.NewModule("nomain")
+	f := mod.Func("helper", m.TInt)
+	f.Code(func(b *m.Block) { b.Return(m.I(0)) })
+	o, err := mod.Compile(m.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.BuildBare("nomain", o); err == nil {
+		t.Error("link without main succeeded")
+	}
+}

@@ -1,0 +1,96 @@
+// Package trace defines the trace format of the tracing systems and
+// implements the trace parsing library.
+//
+// A trace entry for a basic block or memory reference is a single
+// machine word, so "a single machine instruction records a complete
+// trace entry ... trace entries remain contiguous, with no locks or
+// other protection mechanisms required" (paper §3.3). Basic-block
+// entries hold the record address inside the *instrumented* text (the
+// return address of `jal bbtrace`); the parsing library maps them back
+// to the original, uninstrumented addresses through the static side
+// table the instrumenter emits (paper §3.2/3.5). Memory-reference
+// entries hold raw effective addresses; the bb side table says how
+// many follow each block record and where they interleave with the
+// instruction stream.
+//
+// The kernel writes single-word control markers into the in-kernel
+// buffer at context switches, exception entries/exits, and
+// generation/analysis mode transitions. Markers live in a reserved
+// address range no kernel mapping uses.
+package trace
+
+// Bookkeeping area layout. Each traced entity (user process, kernel)
+// has a 128-byte bookkeeping area pointed to by xreg3. Offset 124 for
+// the saved return address matches the paper's Figure 2
+// (`sw ra,124(xreg3)`).
+const (
+	BookBufPtr   = 0  // next free word in the trace buffer
+	BookBufEnd   = 4  // first word past the usable buffer
+	BookTmp      = 8  // register-stealing scratch save
+	BookImm      = 12 // memtrace immediate save
+	BookFullFlag = 16 // kernel variant: buffer passed the soft limit
+	BookICount   = 20 // original-epoxie mode: dynamic instruction count
+	// BookBusy is nonzero while bbtrace/memtrace hold the buffer
+	// pointer in a register: the kernel must not flush-and-reset the
+	// buffer under them (it skips the flush until the next entry).
+	BookBusy    = 36
+	BookShadow1 = 24  // shadow slot for xreg1
+	BookShadow2 = 28  // shadow slot for xreg2
+	BookShadow3 = 32  // shadow slot for xreg3
+	BookSavedRA = 124 // original ra during an instrumented block
+	BookSize    = 128
+)
+
+// Markers. A marker is one word in 0xfff00000..0xffffffff; no address
+// space maps pages there. The low 16 bits carry an argument (a pid for
+// context switches).
+const (
+	MarkerBase = 0xfff00000
+	MarkerMask = 0xfff00000
+
+	MarkCtxSw     = 0xfff10000 // arg: incoming pid; user context switch
+	MarkExcEnter  = 0xfff20000 // kernel exception entry (nestable)
+	MarkExcExit   = 0xfff30000 // matching rfe
+	MarkModeSw    = 0xfff40000 // trace-generation -> analysis boundary
+	MarkProcExit  = 0xfff50000 // arg: pid
+	MarkKernEnter = 0xfff60000 // begin kernel-mode trace (from user)
+	MarkKernExit  = 0xfff70000 // return to user mode, arg: pid
+)
+
+// BreakTraceFlush is the break code bbtrace uses to trap into the
+// kernel when the per-process trace buffer is full.
+const BreakTraceFlush = 2
+
+// IsMarker reports whether w is a control marker.
+func IsMarker(w uint32) bool { return w&MarkerMask == MarkerBase && w >= MarkCtxSw }
+
+// MarkerKind returns the marker type bits.
+func MarkerKind(w uint32) uint32 { return w & 0xffff0000 }
+
+// MarkerArg returns the marker argument.
+func MarkerArg(w uint32) uint32 { return w & 0xffff }
+
+// Standard trace buffer geometry used by the traced kernels. The
+// paper's systems used a 64 MB in-kernel buffer permitting ~32 M
+// instructions of continuous execution (§4.3); our default is scaled
+// with the workloads but configurable up to the paper's size.
+const (
+	// DefaultKernelBufBytes is the in-kernel buffer size.
+	DefaultKernelBufBytes = 4 << 20
+	// KernelBufSlack is reserved headroom past the soft limit: kernel
+	// trace keeps flowing between the moment the buffer "fills" and
+	// the next safe point where analysis can run ("provisions must be
+	// made for critical system operations to complete before tracing
+	// is suspended", §3.3). The worst burst a safe point must absorb
+	// is one full per-process buffer flush (UserBufBytes, copied on
+	// kernel entry before the trap handler's safe point) plus the
+	// trace of one handler's own execution; bulk-copy loops poll
+	// traceCheck per chunk so the handler part stays bounded.
+	KernelBufSlack = UserBufBytes + 64<<10
+	// UserBufBytes is the per-process trace buffer ("per-process
+	// trace pages").
+	UserBufBytes = 64 << 10
+	// UserTraceVA is the fixed user virtual address of the per-process
+	// trace region: bookkeeping area, then the buffer.
+	UserTraceVA = 0x70000000
+)

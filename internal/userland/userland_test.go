@@ -1,0 +1,67 @@
+package userland_test
+
+import (
+	"testing"
+
+	m "systrace/internal/mahler"
+	"systrace/internal/userland"
+)
+
+func TestCrt0VariantsSameSize(t *testing.T) {
+	a := userland.Crt0(true)
+	b := userland.Crt0(false)
+	if len(a.Text) != len(b.Text) {
+		t.Fatalf("crt0 sizes differ: traced %d, untraced %d words — "+
+			"original/instrumented layout correspondence would break",
+			len(a.Text), len(b.Text))
+	}
+}
+
+func TestBuildProducesMatchedPair(t *testing.T) {
+	mod := m.NewModule("tiny")
+	userland.DeclareLibc(mod)
+	f := mod.Func("main", m.TInt)
+	f.Code(func(b *m.Block) { b.Return(m.I(9)) })
+	p, err := userland.Build("tiny", []*m.Module{mod}, m.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Orig.DataBase != p.Instr.DataBase {
+		t.Error("data bases differ between original and instrumented")
+	}
+	if p.Orig.Traced {
+		t.Error("original image must not carry the traced flag")
+	}
+	if !p.Instr.Traced || p.Instr.Instr == nil {
+		t.Error("instrumented image must carry the flag and side table")
+	}
+	// Every record in the side table must map into original text.
+	for _, b := range p.Instr.Instr.Blocks {
+		if b.OrigAddr < p.Orig.TextBase || b.OrigAddr >= p.Orig.TextEnd() {
+			t.Fatalf("side table block orig 0x%x outside original text", b.OrigAddr)
+		}
+		if b.RecordAddr < p.Instr.TextBase || b.RecordAddr >= p.Instr.TextEnd() {
+			t.Fatalf("record 0x%x outside instrumented text", b.RecordAddr)
+		}
+	}
+}
+
+func TestLibcCompiles(t *testing.T) {
+	lib := userland.Libc()
+	o, err := lib.Compile(m.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range []string{"sys_read", "sys_write", "memcpy", "strlen", "puts"} {
+		if o.SymIndex(sym) < 0 {
+			t.Errorf("libc missing %s", sym)
+		}
+	}
+}
+
+func TestUXServerCompiles(t *testing.T) {
+	srv := userland.UXServer()
+	if _, err := srv.Compile(m.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

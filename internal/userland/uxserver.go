@@ -1,0 +1,239 @@
+package userland
+
+import (
+	"systrace/internal/kernel"
+	m "systrace/internal/mahler"
+)
+
+// Server geometry: a user-space buffer cache and per-client descriptor
+// tables. Everything lives in the server's BSS, so serving a client's
+// read exercises large user working sets — the mechanism behind Mach's
+// much higher user-TLB miss counts for I/O-light workloads (Table 3).
+const (
+	svNBuf   = 32
+	svStage  = 8192
+	maxReadN = 4096 // per-call read/write cap the server imposes
+)
+
+// UXServer builds the user-level UNIX server of the Mach flavor: an
+// ordinary (traced) user program that loops on msg_recv, serving file
+// requests from its own cache via the kernel's device interface.
+func UXServer() *m.Module {
+	mod := m.NewModule("ux")
+	DeclareLibc(mod)
+
+	mod.Global("svdirraw", 8192+4096) // page-alignable directory buffer
+	mod.Global("svbufraw", (svNBuf+1)*4096)
+	mod.Global("svtags", svNBuf*4)   // block tags (0 = empty; tag = block+1)
+	mod.Global("svstage", svStage+8) // reply staging
+	mod.Global("svfds", kernel.MaxProcs*kernel.NFD*8)
+	mod.Global("svmsg", 64)
+	mod.Global("svdirbase", 4)
+	mod.Global("svbufbase", 4)
+
+	alignUp := func(e m.Expr) m.Expr {
+		return m.And(m.Add(e, m.I(4095)), m.U(0xfffff000))
+	}
+
+	// svInit: read the directory through the raw device interface.
+	f := mod.Func("svInit", m.TInt)
+	f.Locals("d", "bbase")
+	f.Code(func(b *m.Block) {
+		b.Assign("d", alignUp(m.Addr("svdirraw", 0)))
+		b.StoreW(m.Addr("svdirbase", 0), m.V("d"))
+		b.Assign("bbase", alignUp(m.Addr("svbufraw", 0)))
+		b.StoreW(m.Addr("svbufbase", 0), m.V("bbase"))
+		b.Do(m.Call("disk_read", m.I(0), m.V("d"), m.I(8)))
+		b.If(m.Ne(m.LoadW(m.V("d")), m.U(kernel.FSMagic)), func(b *m.Block) {
+			b.Return(m.Neg(m.I(1)))
+		}, nil)
+		b.Return(m.LoadW(m.Add(m.V("d"), m.I(4)))) // nfiles
+	})
+
+	// svDirEntry(i) -> entry address.
+	f = mod.Func("svDirEntry", m.TInt)
+	f.Param("i", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.Add(m.Add(m.LoadW(m.Addr("svdirbase", 0)), m.I(kernel.DirEntrySize)),
+			m.Mul(m.V("i"), m.I(kernel.DirEntrySize))))
+	})
+
+	// svLookup(nameAddr, nfiles) -> file index or -1.
+	f = mod.Func("svLookup", m.TInt)
+	f.Param("name", m.TInt)
+	f.Param("nf", m.TInt)
+	f.Locals("i", "e", "j", "c1", "c2", "ok")
+	f.Code(func(b *m.Block) {
+		b.For("i", m.I(0), m.V("nf"), func(b *m.Block) {
+			b.Assign("e", m.Call("svDirEntry", m.V("i")))
+			b.Assign("ok", m.I(1))
+			b.Assign("j", m.I(0))
+			b.While(m.Lt(m.V("j"), m.I(kernel.DirNameLen)), func(b *m.Block) {
+				b.Assign("c1", m.LoadB(m.Add(m.V("e"), m.V("j"))))
+				b.Assign("c2", m.LoadB(m.Add(m.V("name"), m.V("j"))))
+				b.If(m.Ne(m.V("c1"), m.V("c2")), func(b *m.Block) {
+					b.Assign("ok", m.I(0))
+					b.Break()
+				}, nil)
+				b.If(m.Eq(m.V("c1"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+				b.Assign("j", m.Add(m.V("j"), m.I(1)))
+			})
+			b.If(m.Ne(m.V("ok"), m.I(0)), func(b *m.Block) { b.Return(m.V("i")) }, nil)
+		})
+		b.Return(m.Neg(m.I(1)))
+	})
+
+	// svEnsure(block) -> VA of cached block data (blocking disk read
+	// on miss; the kernel's restart machinery makes disk_read appear
+	// synchronous here).
+	f = mod.Func("svEnsure", m.TInt)
+	f.Param("block", m.TInt)
+	f.Locals("idx", "va")
+	f.Code(func(b *m.Block) {
+		b.Assign("idx", m.ModU(m.V("block"), m.I(svNBuf)))
+		b.Assign("va", m.Add(m.LoadW(m.Addr("svbufbase", 0)), m.Mul(m.V("idx"), m.I(4096))))
+		b.If(m.Eq(m.LoadW(m.Add(m.Addr("svtags", 0), m.Mul(m.V("idx"), m.I(4)))),
+			m.Add(m.V("block"), m.I(1))), func(b *m.Block) {
+			b.Return(m.V("va"))
+		}, nil)
+		b.Do(m.Call("disk_read", m.Mul(m.V("block"), m.I(kernel.BlockSectors)),
+			m.V("va"), m.I(kernel.BlockSectors)))
+		b.StoreW(m.Add(m.Addr("svtags", 0), m.Mul(m.V("idx"), m.I(4))),
+			m.Add(m.V("block"), m.I(1)))
+		b.Return(m.V("va"))
+	})
+
+	// svFd(cpid, fd) -> descriptor slot (fileIdx, offset).
+	f = mod.Func("svFd", m.TInt)
+	f.Param("cpid", m.TInt)
+	f.Param("fd", m.TInt)
+	f.Code(func(b *m.Block) {
+		b.Return(m.Add(m.Addr("svfds", 0),
+			m.Mul(m.Add(m.Mul(m.Sub(m.V("cpid"), m.I(1)), m.I(kernel.NFD)), m.V("fd")), m.I(8))))
+	})
+
+	// main: the service loop.
+	f = mod.Func("main", m.TInt)
+	f.Locals("nf", "cpid", "op", "fd", "ubuf", "n", "idx", "slot", "off",
+		"flen", "fstart", "copied", "abs", "block", "boff", "chunk", "bva", "stage")
+	f.Code(func(b *m.Block) {
+		b.Assign("nf", m.Call("svInit"))
+		b.If(m.Lt(m.V("nf"), m.I(0)), func(b *m.Block) { b.Return(m.I(1)) }, nil)
+		b.Assign("stage", m.And(m.Add(m.Addr("svstage", 0), m.I(7)), m.U(0xfffffff8)))
+
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("cpid", m.Call("msg_recv", m.Addr("svmsg", 0)))
+			b.If(m.Le(m.V("cpid"), m.I(0)), func(b *m.Block) { b.Continue() }, nil)
+			b.Assign("op", m.LoadW(m.Addr("svmsg", 4)))
+			b.Assign("fd", m.LoadW(m.Addr("svmsg", 8)))
+			b.Assign("ubuf", m.LoadW(m.Addr("svmsg", 12)))
+			b.Assign("n", m.LoadW(m.Addr("svmsg", 16)))
+
+			// open
+			b.If(m.Eq(m.V("op"), m.I(kernel.SysOpen)), func(b *m.Block) {
+				b.Assign("idx", m.Call("svLookup", m.Addr("svmsg", 20), m.V("nf")))
+				b.If(m.Lt(m.V("idx"), m.I(0)), func(b *m.Block) {
+					b.Do(m.Call("msg_reply", m.V("cpid"), m.Neg(m.I(1)), m.I(0), m.I(0)))
+					b.Continue()
+				}, nil)
+				b.For("fd", m.I(3), m.I(kernel.NFD), func(b *m.Block) {
+					b.Assign("slot", m.Call("svFd", m.V("cpid"), m.V("fd")))
+					b.If(m.Eq(m.LoadW(m.V("slot")), m.I(0)), func(b *m.Block) {
+						b.StoreW(m.V("slot"), m.Add(m.V("idx"), m.I(1)))
+						b.StoreW(m.Add(m.V("slot"), m.I(4)), m.I(0))
+						b.Do(m.Call("msg_reply", m.V("cpid"), m.V("fd"), m.I(0), m.I(0)))
+						b.Assign("fd", m.I(kernel.NFD+100)) // served
+					}, nil)
+				})
+				b.If(m.Eq(m.V("fd"), m.I(kernel.NFD)), func(b *m.Block) {
+					b.Do(m.Call("msg_reply", m.V("cpid"), m.Neg(m.I(1)), m.I(0), m.I(0)))
+				}, nil)
+				b.Continue()
+			}, nil)
+
+			// close
+			b.If(m.Eq(m.V("op"), m.I(kernel.SysClose)), func(b *m.Block) {
+				b.Assign("slot", m.Call("svFd", m.V("cpid"), m.V("fd")))
+				b.StoreW(m.V("slot"), m.I(0))
+				b.Do(m.Call("msg_reply", m.V("cpid"), m.I(0), m.I(0), m.I(0)))
+				b.Continue()
+			}, nil)
+
+			// read/write share setup.
+			b.Assign("slot", m.Call("svFd", m.V("cpid"), m.V("fd")))
+			b.Assign("idx", m.Sub(m.LoadW(m.V("slot")), m.I(1)))
+			b.If(m.Lt(m.V("idx"), m.I(0)), func(b *m.Block) {
+				b.Do(m.Call("msg_reply", m.V("cpid"), m.Neg(m.I(1)), m.I(0), m.I(0)))
+				b.Continue()
+			}, nil)
+			b.Assign("off", m.LoadW(m.Add(m.V("slot"), m.I(4))))
+			b.Assign("fstart", m.Mul(m.LoadW(m.Add(m.Call("svDirEntry", m.V("idx")),
+				m.I(kernel.DirNameLen))), m.I(kernel.SectorSize)))
+			b.Assign("flen", m.LoadW(m.Add(m.Call("svDirEntry", m.V("idx")),
+				m.I(kernel.DirNameLen+4))))
+			b.If(m.GtU(m.V("n"), m.I(maxReadN)), func(b *m.Block) {
+				b.Assign("n", m.I(maxReadN))
+			}, nil)
+
+			b.If(m.Eq(m.V("op"), m.I(kernel.SysRead)), func(b *m.Block) {
+				b.If(m.GeU(m.V("off"), m.V("flen")), func(b *m.Block) {
+					b.Do(m.Call("msg_reply", m.V("cpid"), m.I(0), m.I(0), m.I(0)))
+					b.Continue()
+				}, nil)
+				b.If(m.GtU(m.V("n"), m.Sub(m.V("flen"), m.V("off"))), func(b *m.Block) {
+					b.Assign("n", m.Sub(m.V("flen"), m.V("off")))
+				}, nil)
+				b.Assign("copied", m.I(0))
+				b.While(m.LtU(m.V("copied"), m.V("n")), func(b *m.Block) {
+					b.Assign("abs", m.Add(m.V("fstart"), m.Add(m.V("off"), m.V("copied"))))
+					b.Assign("block", m.DivU(m.V("abs"), m.I(4096)))
+					b.Assign("boff", m.ModU(m.V("abs"), m.I(4096)))
+					b.Assign("bva", m.Call("svEnsure", m.V("block")))
+					b.Assign("chunk", m.Sub(m.I(4096), m.V("boff")))
+					b.If(m.GtU(m.V("chunk"), m.Sub(m.V("n"), m.V("copied"))), func(b *m.Block) {
+						b.Assign("chunk", m.Sub(m.V("n"), m.V("copied")))
+					}, nil)
+					b.Do(m.Call("memcpy", m.Add(m.V("stage"), m.V("copied")),
+						m.Add(m.V("bva"), m.V("boff")), m.V("chunk")))
+					b.Assign("copied", m.Add(m.V("copied"), m.V("chunk")))
+				})
+				b.StoreW(m.Add(m.V("slot"), m.I(4)), m.Add(m.V("off"), m.V("n")))
+				b.Do(m.Call("msg_reply", m.V("cpid"), m.V("n"), m.V("stage"), m.V("n")))
+				b.Continue()
+			}, nil)
+
+			// write: pull the client's bytes, update the cache, and
+			// push the affected block back through the device.
+			b.If(m.Eq(m.V("op"), m.I(kernel.SysWrite)), func(b *m.Block) {
+				b.If(m.GtU(m.Add(m.V("off"), m.V("n")), m.V("flen")), func(b *m.Block) {
+					b.Do(m.Call("msg_reply", m.V("cpid"), m.Neg(m.I(1)), m.I(0), m.I(0)))
+					b.Continue()
+				}, nil)
+				b.Do(m.Syscall(kernel.SysMsgFetch, m.V("cpid"), m.V("stage"), m.V("ubuf"), m.V("n")))
+				b.Assign("copied", m.I(0))
+				b.While(m.LtU(m.V("copied"), m.V("n")), func(b *m.Block) {
+					b.Assign("abs", m.Add(m.V("fstart"), m.Add(m.V("off"), m.V("copied"))))
+					b.Assign("block", m.DivU(m.V("abs"), m.I(4096)))
+					b.Assign("boff", m.ModU(m.V("abs"), m.I(4096)))
+					b.Assign("bva", m.Call("svEnsure", m.V("block")))
+					b.Assign("chunk", m.Sub(m.I(4096), m.V("boff")))
+					b.If(m.GtU(m.V("chunk"), m.Sub(m.V("n"), m.V("copied"))), func(b *m.Block) {
+						b.Assign("chunk", m.Sub(m.V("n"), m.V("copied")))
+					}, nil)
+					b.Do(m.Call("memcpy", m.Add(m.V("bva"), m.V("boff")),
+						m.Add(m.V("stage"), m.V("copied")), m.V("chunk")))
+					b.Do(m.Call("disk_write", m.Mul(m.V("block"), m.I(kernel.BlockSectors)),
+						m.V("bva"), m.I(kernel.BlockSectors)))
+					b.Assign("copied", m.Add(m.V("copied"), m.V("chunk")))
+				})
+				b.StoreW(m.Add(m.V("slot"), m.I(4)), m.Add(m.V("off"), m.V("n")))
+				b.Do(m.Call("msg_reply", m.V("cpid"), m.V("n"), m.I(0), m.I(0)))
+				b.Continue()
+			}, nil)
+
+			b.Do(m.Call("msg_reply", m.V("cpid"), m.Neg(m.I(1)), m.I(0), m.I(0)))
+		})
+		b.Return(m.I(0))
+	})
+	return mod
+}

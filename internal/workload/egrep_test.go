@@ -1,0 +1,20 @@
+package workload_test
+
+import (
+	"testing"
+
+	"systrace/internal/kernel"
+	"systrace/internal/workload"
+)
+
+func TestEgrepEverywhere(t *testing.T) {
+	spec, _ := workload.ByName("egrep")
+	u := run(t, spec, kernel.Ultrix, false)
+	ut := run(t, spec, kernel.Ultrix, true)
+	mm := run(t, spec, kernel.Mach, false)
+	mt := run(t, spec, kernel.Mach, true)
+	t.Logf("ultrix=%d ultrix-traced=%d mach=%d mach-traced=%d", u, ut, mm, mt)
+	if u != ut || u != mm || u != mt {
+		t.Fail()
+	}
+}

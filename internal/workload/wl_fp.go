@@ -1,0 +1,246 @@
+package workload
+
+import m "systrace/internal/mahler"
+
+// fppppModule: quantum-chemistry-like kernel: two-electron integral
+// accumulation over a 20x20 basis — dense triple loops dominated by
+// multiply/add chains with very long basic blocks, as in fpppp.
+func fppppModule() *m.Module {
+	mod := newModule("fpppp")
+	const nb = 20
+	mod.Global("fock", nb*nb*8)
+	mod.Global("dens", nb*nb*8)
+	at := func(arr string, i, j m.Expr) m.Expr {
+		return m.Add(m.Addr(arr, 0), m.Mul(m.Add(m.Mul(i, m.I(nb)), j), m.I(8)))
+	}
+	f := mod.Func("main", m.TInt)
+	f.Locals("i", "j", "k", "iter")
+	f.FLocals("g", "acc", "x")
+	f.Code(func(b *m.Block) {
+		// Initialize the density matrix.
+		b.For("i", m.I(0), m.I(nb), func(b *m.Block) {
+			b.For("j", m.I(0), m.I(nb), func(b *m.Block) {
+				b.StoreF(at("dens", m.V("i"), m.V("j")),
+					m.FDiv(m.F(1.0), m.ToFloat(m.Add(m.Add(m.V("i"), m.V("j")), m.I(1)))))
+			})
+		})
+		b.For("iter", m.I(0), m.I(6), func(b *m.Block) {
+			b.For("i", m.I(0), m.I(nb), func(b *m.Block) {
+				b.For("j", m.I(0), m.I(nb), func(b *m.Block) {
+					b.Assign("acc", m.F(0))
+					b.For("k", m.I(0), m.I(nb), func(b *m.Block) {
+						// Synthetic integral g(i,j,k) with division and
+						// square root in the pipeline, like ERI code.
+						b.Assign("g", m.FDiv(m.F(1.0),
+							m.Sqrt(m.ToFloat(m.Add(m.Add(m.Mul(m.V("i"), m.V("i")),
+								m.Mul(m.V("j"), m.V("k"))), m.I(1))))))
+						b.Assign("acc", m.FAdd(m.FV("acc"),
+							m.FMul(m.FV("g"), m.LoadF(at("dens", m.V("j"), m.V("k"))))))
+					})
+					b.StoreF(at("fock", m.V("i"), m.V("j")), m.FV("acc"))
+				})
+			})
+			// Fold fock back into dens (damped).
+			b.For("i", m.I(0), m.I(nb), func(b *m.Block) {
+				b.For("j", m.I(0), m.I(nb), func(b *m.Block) {
+					b.Assign("x", m.FAdd(
+						m.FMul(m.F(0.7), m.LoadF(at("dens", m.V("i"), m.V("j")))),
+						m.FMul(m.F(0.3), m.LoadF(at("fock", m.V("i"), m.V("j"))))))
+					b.StoreF(at("dens", m.V("i"), m.V("j")), m.FV("x"))
+				})
+			})
+		})
+		// Checksum: trunc(1000 * sum of diagonal).
+		b.Assign("x", m.F(0))
+		b.For("i", m.I(0), m.I(nb), func(b *m.Block) {
+			b.Assign("x", m.FAdd(m.FV("x"), m.LoadF(at("dens", m.V("i"), m.V("i")))))
+		})
+		b.Return(m.ToInt(m.FMul(m.FV("x"), m.F(1000))))
+	})
+	return mod
+}
+
+// doducModule: Monte-Carlo time evolution: a deterministic generator
+// drives floating-point state updates with data-dependent branching,
+// seeded from the input file.
+func doducModule() *m.Module {
+	mod := newModule("doduc")
+	mod.Data("path", []byte("doduc.in\x00"))
+	mod.Global("buf", chunk)
+	mod.Global("hist", 64*4)
+	f := mod.Func("main", m.TInt)
+	f.Locals("fd", "n", "i", "seed", "trial", "bin")
+	f.FLocals("e", "u", "flux")
+	f.Code(func(b *m.Block) {
+		// Seed from the input bytes.
+		b.Assign("fd", m.Call("sys_open", m.Addr("path", 0)))
+		b.If(m.Lt(m.V("fd"), m.I(0)), func(b *m.Block) { b.Return(m.Neg(m.I(1))) }, nil)
+		b.Assign("seed", m.I(1))
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("n", m.Call("sys_read", m.V("fd"), m.Addr("buf", 0), m.I(chunk)))
+			b.If(m.Le(m.V("n"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+			b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+				b.Assign("seed", m.Add(m.Mul(m.V("seed"), m.I(33)),
+					m.LoadB(m.Add(m.Addr("buf", 0), m.V("i")))))
+			})
+		})
+		b.Call("sys_close", m.V("fd"))
+
+		b.Assign("flux", m.F(0))
+		b.For("trial", m.I(0), m.I(30000), func(b *m.Block) {
+			// xorshift
+			b.Assign("seed", m.Xor(m.V("seed"), m.Shl(m.V("seed"), m.I(13))))
+			b.Assign("seed", m.Xor(m.V("seed"), m.Shr(m.V("seed"), m.I(17))))
+			b.Assign("seed", m.Xor(m.V("seed"), m.Shl(m.V("seed"), m.I(5))))
+			b.Assign("u", m.FDiv(m.ToFloat(m.And(m.V("seed"), m.U(0x7fffff))), m.F(8388608.0)))
+			// Particle energy update with branchy physics.
+			b.Assign("e", m.FMul(m.FV("u"), m.F(10.0)))
+			b.If(m.FLt(m.FV("u"), m.F(0.3)), func(b *m.Block) {
+				b.Assign("e", m.FMul(m.FV("e"), m.FV("e"))) // scatter
+			}, func(b *m.Block) {
+				b.If(m.FLt(m.FV("u"), m.F(0.6)), func(b *m.Block) {
+					b.Assign("e", m.Sqrt(m.FAdd(m.FV("e"), m.F(1.0)))) // capture
+				}, func(b *m.Block) {
+					b.Assign("e", m.FDiv(m.F(100.0), m.FAdd(m.FV("e"), m.F(0.5)))) // fission
+				})
+			})
+			b.Assign("flux", m.FAdd(m.FV("flux"), m.FV("e")))
+			b.Assign("bin", m.ToInt(m.FMul(m.FV("u"), m.F(64))))
+			b.If(m.GeU(m.V("bin"), m.I(64)), func(b *m.Block) { b.Assign("bin", m.I(63)) }, nil)
+			b.StoreW(m.Add(m.Addr("hist", 0), m.Mul(m.V("bin"), m.I(4))),
+				m.Add(m.LoadW(m.Add(m.Addr("hist", 0), m.Mul(m.V("bin"), m.I(4)))), m.I(1)))
+		})
+		b.Return(m.ToInt(m.FV("flux")))
+	})
+	return mod
+}
+
+// livModule: Livermore-loop kernels with store-heavy inner loops. The
+// paper singles liv out for "the worst write-buffer behavior of all
+// the workloads" combined with significant floating point, producing
+// the unmodeled FP/write-buffer overlap error (§5.1).
+func livModule() *m.Module {
+	mod := newModule("liv")
+	const n = 1600
+	mod.Global("xv", (n+16)*8)
+	mod.Global("yv", (n+16)*8)
+	mod.Global("zv", (n+16)*8)
+	el := func(arr string, i m.Expr) m.Expr {
+		return m.Add(m.Addr(arr, 0), m.Mul(i, m.I(8)))
+	}
+	f := mod.Func("main", m.TInt)
+	f.Locals("k", "pass")
+	f.FLocals("q", "r", "t", "s")
+	f.Code(func(b *m.Block) {
+		b.For("k", m.I(0), m.I(n+16), func(b *m.Block) {
+			b.StoreF(el("zv", m.V("k")), m.FDiv(m.ToFloat(m.Add(m.V("k"), m.I(1))), m.F(float64(n))))
+			b.StoreF(el("yv", m.V("k")), m.F(0.0001))
+		})
+		b.Assign("q", m.F(0.5))
+		b.Assign("r", m.F(0.2))
+		b.Assign("t", m.F(0.1))
+		b.For("pass", m.I(0), m.I(10), func(b *m.Block) {
+			// Kernel 1: hydro fragment (one store per iteration).
+			b.For("k", m.I(0), m.I(n), func(b *m.Block) {
+				b.StoreF(el("xv", m.V("k")),
+					m.FAdd(m.FV("q"), m.FMul(m.LoadF(el("yv", m.V("k"))),
+						m.FAdd(m.FMul(m.FV("r"), m.LoadF(el("zv", m.Add(m.V("k"), m.I(10))))),
+							m.FMul(m.FV("t"), m.LoadF(el("zv", m.Add(m.V("k"), m.I(11)))))))))
+			})
+			// Kernel 5: tri-diagonal elimination (dependent stores).
+			b.For("k", m.I(1), m.I(n), func(b *m.Block) {
+				b.StoreF(el("xv", m.V("k")),
+					m.FMul(m.LoadF(el("zv", m.V("k"))),
+						m.FSub(m.LoadF(el("yv", m.V("k"))), m.LoadF(el("xv", m.Sub(m.V("k"), m.I(1)))))))
+			})
+			// Kernel 3: inner product (no stores; FP latency exposed).
+			b.Assign("s", m.F(0))
+			b.For("k", m.I(0), m.I(n), func(b *m.Block) {
+				b.Assign("s", m.FAdd(m.FV("s"),
+					m.FMul(m.LoadF(el("zv", m.V("k"))), m.LoadF(el("xv", m.V("k"))))))
+			})
+			// Kernel 12: first difference (pure store stream).
+			b.For("k", m.I(0), m.I(n), func(b *m.Block) {
+				b.StoreF(el("yv", m.V("k")),
+					m.FSub(m.LoadF(el("zv", m.Add(m.V("k"), m.I(1)))), m.LoadF(el("zv", m.V("k")))))
+			})
+		})
+		b.Return(m.ToInt(m.FMul(m.FV("s"), m.F(100))))
+	})
+	return mod
+}
+
+// tomcatvModule: mesh generation over NxN coordinate arrays: the
+// working set (four 56x56 double arrays, ~100 KB) exceeds the cache,
+// making run time sensitive to page placement — the §4.4 observation
+// that system page mapping policy can swing tomcatv's time by over 10%
+// while system activity is only ~1%.
+func tomcatvModule() *m.Module {
+	mod := newModule("tomcatv")
+	const n = 56
+	for _, a := range []string{"mx", "my", "rx", "ry"} {
+		mod.Global(a, n*n*8)
+	}
+	at := func(arr string, i, j m.Expr) m.Expr {
+		return m.Add(m.Addr(arr, 0), m.Mul(m.Add(m.Mul(i, m.I(n)), j), m.I(8)))
+	}
+	f := mod.Func("main", m.TInt)
+	f.Locals("i", "j", "iter")
+	f.FLocals("xx", "yy", "res")
+	f.Code(func(b *m.Block) {
+		// Initial algebraic mesh.
+		b.For("i", m.I(0), m.I(n), func(b *m.Block) {
+			b.For("j", m.I(0), m.I(n), func(b *m.Block) {
+				b.StoreF(at("mx", m.V("i"), m.V("j")), m.ToFloat(m.V("i")))
+				b.StoreF(at("my", m.V("i"), m.V("j")),
+					m.FMul(m.ToFloat(m.V("j")), m.FAdd(m.F(1.0),
+						m.FDiv(m.ToFloat(m.V("i")), m.F(float64(n))))))
+			})
+		})
+		b.For("iter", m.I(0), m.I(8), func(b *m.Block) {
+			// Residuals from the 5-point stencil.
+			b.For("i", m.I(1), m.I(n-1), func(b *m.Block) {
+				b.For("j", m.I(1), m.I(n-1), func(b *m.Block) {
+					b.Assign("xx", m.FSub(
+						m.FMul(m.F(0.25), m.FAdd(
+							m.FAdd(m.LoadF(at("mx", m.Sub(m.V("i"), m.I(1)), m.V("j"))),
+								m.LoadF(at("mx", m.Add(m.V("i"), m.I(1)), m.V("j")))),
+							m.FAdd(m.LoadF(at("mx", m.V("i"), m.Sub(m.V("j"), m.I(1)))),
+								m.LoadF(at("mx", m.V("i"), m.Add(m.V("j"), m.I(1))))))),
+						m.LoadF(at("mx", m.V("i"), m.V("j")))))
+					b.Assign("yy", m.FSub(
+						m.FMul(m.F(0.25), m.FAdd(
+							m.FAdd(m.LoadF(at("my", m.Sub(m.V("i"), m.I(1)), m.V("j"))),
+								m.LoadF(at("my", m.Add(m.V("i"), m.I(1)), m.V("j")))),
+							m.FAdd(m.LoadF(at("my", m.V("i"), m.Sub(m.V("j"), m.I(1)))),
+								m.LoadF(at("my", m.V("i"), m.Add(m.V("j"), m.I(1))))))),
+						m.LoadF(at("my", m.V("i"), m.V("j")))))
+					b.StoreF(at("rx", m.V("i"), m.V("j")), m.FV("xx"))
+					b.StoreF(at("ry", m.V("i"), m.V("j")), m.FV("yy"))
+				})
+			})
+			// Relax.
+			b.For("i", m.I(1), m.I(n-1), func(b *m.Block) {
+				b.For("j", m.I(1), m.I(n-1), func(b *m.Block) {
+					b.StoreF(at("mx", m.V("i"), m.V("j")),
+						m.FAdd(m.LoadF(at("mx", m.V("i"), m.V("j"))),
+							m.FMul(m.F(0.9), m.LoadF(at("rx", m.V("i"), m.V("j"))))))
+					b.StoreF(at("my", m.V("i"), m.V("j")),
+						m.FAdd(m.LoadF(at("my", m.V("i"), m.V("j"))),
+							m.FMul(m.F(0.9), m.LoadF(at("ry", m.V("i"), m.V("j"))))))
+				})
+			})
+		})
+		// Mesh checksum (the residual itself converges toward zero).
+		b.Assign("res", m.F(0))
+		b.For("i", m.I(1), m.I(n-1), func(b *m.Block) {
+			b.For("j", m.I(1), m.I(n-1), func(b *m.Block) {
+				b.Assign("res", m.FAdd(m.FV("res"),
+					m.FAdd(m.LoadF(at("mx", m.V("i"), m.V("j"))),
+						m.LoadF(at("my", m.V("i"), m.V("j"))))))
+			})
+		})
+		b.Return(m.ToInt(m.FDiv(m.FV("res"), m.F(10))))
+	})
+	return mod
+}

@@ -1,0 +1,523 @@
+package workload
+
+import (
+	m "systrace/internal/mahler"
+)
+
+// Shared I/O idiom: open a file, process it in chunks through a global
+// buffer, close. Reads are capped at 2048 bytes per call (within the
+// UX server's per-message limit).
+const chunk = 2048
+
+// sedModule: the stream editor run three times over its input:
+// replaces every occurrence of "abc" with "xyz" and writes the edited
+// stream to standard output.
+func sedModule() *m.Module {
+	mod := newModule("sed")
+	mod.Data("path", []byte("sed.in\x00"))
+	mod.Global("buf", chunk)
+	f := mod.Func("main", m.TInt)
+	f.Locals("pass", "fd", "n", "i", "c", "subs", "state")
+	f.Code(func(b *m.Block) {
+		b.Assign("subs", m.I(0))
+		b.For("pass", m.I(0), m.I(3), func(b *m.Block) {
+			b.Assign("fd", m.Call("sys_open", m.Addr("path", 0)))
+			b.If(m.Lt(m.V("fd"), m.I(0)), func(b *m.Block) { b.Return(m.Neg(m.I(1))) }, nil)
+			b.Assign("state", m.I(0))
+			b.While(m.I(1), func(b *m.Block) {
+				b.Assign("n", m.Call("sys_read", m.V("fd"), m.Addr("buf", 0), m.I(chunk)))
+				b.If(m.Le(m.V("n"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+				// Pattern machine for "abc" -> "xyz" (in place).
+				b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+					b.Assign("c", m.LoadB(m.Add(m.Addr("buf", 0), m.V("i"))))
+					b.If(m.Eq(m.V("c"), m.I('a')), func(b *m.Block) {
+						b.Assign("state", m.I(1))
+					}, func(b *m.Block) {
+						b.If(m.And(m.Eq(m.V("c"), m.I('b')), m.Eq(m.V("state"), m.I(1))), func(b *m.Block) {
+							b.Assign("state", m.I(2))
+						}, func(b *m.Block) {
+							b.If(m.And(m.Eq(m.V("c"), m.I('c')), m.Eq(m.V("state"), m.I(2))), func(b *m.Block) {
+								// Rewrite the three bytes.
+								b.StoreB(m.Add(m.Addr("buf", 0), m.Sub(m.V("i"), m.I(2))), m.I('x'))
+								b.StoreB(m.Add(m.Addr("buf", 0), m.Sub(m.V("i"), m.I(1))), m.I('y'))
+								b.StoreB(m.Add(m.Addr("buf", 0), m.V("i")), m.I('z'))
+								b.Assign("subs", m.Add(m.V("subs"), m.I(1)))
+								b.Assign("state", m.I(0))
+							}, func(b *m.Block) {
+								b.Assign("state", m.I(0))
+							})
+						})
+					})
+				})
+				b.Call("sys_write", m.I(1), m.Addr("buf", 0), m.V("n"))
+			})
+			b.Call("sys_close", m.V("fd"))
+		})
+		b.Return(m.V("subs"))
+	})
+	return mod
+}
+
+// egrepModule: pattern search run three times: counts lines containing
+// the pattern "cache".
+func egrepModule() *m.Module {
+	mod := newModule("egrep")
+	mod.Data("path", []byte("egrep.in\x00"))
+	mod.Global("buf", chunk)
+	f := mod.Func("main", m.TInt)
+	f.Locals("pass", "fd", "n", "i", "c", "st", "hitline", "lines")
+	f.Code(func(b *m.Block) {
+		b.Assign("lines", m.I(0))
+		pat := "cache"
+		b.For("pass", m.I(0), m.I(3), func(b *m.Block) {
+			b.Assign("fd", m.Call("sys_open", m.Addr("path", 0)))
+			b.If(m.Lt(m.V("fd"), m.I(0)), func(b *m.Block) { b.Return(m.Neg(m.I(1))) }, nil)
+			b.Assign("st", m.I(0))
+			b.Assign("hitline", m.I(0))
+			b.While(m.I(1), func(b *m.Block) {
+				b.Assign("n", m.Call("sys_read", m.V("fd"), m.Addr("buf", 0), m.I(chunk)))
+				b.If(m.Le(m.V("n"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+				b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+					b.Assign("c", m.LoadB(m.Add(m.Addr("buf", 0), m.V("i"))))
+					b.If(m.Eq(m.V("c"), m.I('\n')), func(b *m.Block) {
+						b.Assign("lines", m.Add(m.V("lines"), m.V("hitline")))
+						b.Assign("hitline", m.I(0))
+						b.Assign("st", m.I(0))
+						b.Continue()
+					}, nil)
+					// DFA over the pattern.
+					for si := 0; si < len(pat); si++ {
+						siC := si
+						b.If(m.And(m.Eq(m.V("st"), m.I(int32(siC))), m.Eq(m.V("c"), m.I(int32(pat[siC])))), func(b *m.Block) {
+							b.Assign("st", m.I(int32(siC+1)))
+							if siC == len(pat)-1 {
+								b.Assign("hitline", m.I(1))
+								b.Assign("st", m.I(0))
+							}
+							b.Continue()
+						}, nil)
+					}
+					b.Assign("st", m.I(0))
+					b.If(m.Eq(m.V("c"), m.I(int32(pat[0]))), func(b *m.Block) {
+						b.Assign("st", m.I(1))
+					}, nil)
+				})
+			})
+			b.Call("sys_close", m.V("fd"))
+		})
+		b.Return(m.V("lines"))
+	})
+	return mod
+}
+
+// yaccModule: parser-generator-like table construction: reads the
+// grammar, builds a 26x26 derivation matrix, and closes it to a
+// fixpoint (transitive closure, the heart of LR set construction).
+func yaccModule() *m.Module {
+	mod := newModule("yacc")
+	mod.Data("path", []byte("yacc.in\x00"))
+	mod.Global("buf", chunk)
+	mod.Global("deriv", 26*26*4)
+	f := mod.Func("main", m.TInt)
+	f.Locals("fd", "n", "i", "c", "lhs", "changed", "a", "bb", "cc", "prods", "sum")
+	idx := func(i, j m.Expr) m.Expr {
+		return m.Add(m.Addr("deriv", 0), m.Mul(m.Add(m.Mul(i, m.I(26)), j), m.I(4)))
+	}
+	f.Code(func(b *m.Block) {
+		b.Assign("fd", m.Call("sys_open", m.Addr("path", 0)))
+		b.If(m.Lt(m.V("fd"), m.I(0)), func(b *m.Block) { b.Return(m.Neg(m.I(1))) }, nil)
+		b.Assign("lhs", m.I(0))
+		b.Assign("prods", m.I(0))
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("n", m.Call("sys_read", m.V("fd"), m.Addr("buf", 0), m.I(chunk)))
+			b.If(m.Le(m.V("n"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+			b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+				b.Assign("c", m.LoadB(m.Add(m.Addr("buf", 0), m.V("i"))))
+				b.If(m.And(m.Ge(m.V("c"), m.I('A')), m.Le(m.V("c"), m.I('Z'))), func(b *m.Block) {
+					b.If(m.Eq(m.V("lhs"), m.I(0)), func(b *m.Block) {
+						b.Assign("lhs", m.Sub(m.V("c"), m.I('A'-1)))
+						b.Assign("prods", m.Add(m.V("prods"), m.I(1)))
+					}, func(b *m.Block) {
+						b.StoreW(idx(m.Sub(m.V("lhs"), m.I(1)), m.Sub(m.V("c"), m.I('A'))), m.I(1))
+					})
+				}, nil)
+				b.If(m.Eq(m.V("c"), m.I(';')), func(b *m.Block) {
+					b.Assign("lhs", m.I(0))
+				}, nil)
+			})
+		})
+		b.Call("sys_close", m.V("fd"))
+		// Transitive closure to a fixpoint.
+		b.Assign("changed", m.I(1))
+		b.While(m.Ne(m.V("changed"), m.I(0)), func(b *m.Block) {
+			b.Assign("changed", m.I(0))
+			b.For("a", m.I(0), m.I(26), func(b *m.Block) {
+				b.For("bb", m.I(0), m.I(26), func(b *m.Block) {
+					b.If(m.Eq(m.LoadW(idx(m.V("a"), m.V("bb"))), m.I(0)), func(b *m.Block) {
+						b.Continue()
+					}, nil)
+					b.For("cc", m.I(0), m.I(26), func(b *m.Block) {
+						b.If(m.And(m.Ne(m.LoadW(idx(m.V("bb"), m.V("cc"))), m.I(0)),
+							m.Eq(m.LoadW(idx(m.V("a"), m.V("cc"))), m.I(0))), func(b *m.Block) {
+							b.StoreW(idx(m.V("a"), m.V("cc")), m.I(1))
+							b.Assign("changed", m.I(1))
+						}, nil)
+					})
+				})
+			})
+		})
+		b.Assign("sum", m.I(0))
+		b.For("i", m.I(0), m.I(26*26), func(b *m.Block) {
+			b.Assign("sum", m.Add(m.V("sum"),
+				m.LoadW(m.Add(m.Addr("deriv", 0), m.Mul(m.V("i"), m.I(4))))))
+		})
+		b.Return(m.Add(m.Mul(m.V("sum"), m.I(1000)), m.Mod(m.V("prods"), m.I(1000))))
+	})
+	return mod
+}
+
+// gccModule: compiler-like front end: tokenize the source, intern
+// identifiers in an open-addressing symbol table, and "emit" one byte
+// of code per token into an output buffer.
+func gccModule() *m.Module {
+	mod := newModule("gcc")
+	mod.Data("path", []byte("gcc.in\x00"))
+	mod.Global("buf", chunk)
+	mod.Global("symtab", 512*8) // hash, count
+	mod.Global("emit", 32768)
+	f := mod.Func("main", m.TInt)
+	f.Locals("fd", "n", "i", "c", "h", "slot", "probes", "toks", "syms", "out", "inId")
+	f.Code(func(b *m.Block) {
+		b.Assign("fd", m.Call("sys_open", m.Addr("path", 0)))
+		b.If(m.Lt(m.V("fd"), m.I(0)), func(b *m.Block) { b.Return(m.Neg(m.I(1))) }, nil)
+		b.Assign("toks", m.I(0))
+		b.Assign("syms", m.I(0))
+		b.Assign("out", m.I(0))
+		b.Assign("h", m.I(5381))
+		b.Assign("inId", m.I(0))
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("n", m.Call("sys_read", m.V("fd"), m.Addr("buf", 0), m.I(chunk)))
+			b.If(m.Le(m.V("n"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+			b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+				b.Assign("c", m.LoadB(m.Add(m.Addr("buf", 0), m.V("i"))))
+				isAlpha := m.And(m.Ge(m.V("c"), m.I('a')), m.Le(m.V("c"), m.I('z')))
+				b.If(isAlpha, func(b *m.Block) {
+					b.Assign("h", m.Add(m.Mul(m.V("h"), m.I(33)), m.V("c")))
+					b.Assign("inId", m.I(1))
+				}, func(b *m.Block) {
+					b.If(m.Ne(m.V("inId"), m.I(0)), func(b *m.Block) {
+						// End of identifier: intern it.
+						b.Assign("toks", m.Add(m.V("toks"), m.I(1)))
+						b.Assign("slot", m.ModU(m.V("h"), m.I(512)))
+						b.Assign("probes", m.I(0))
+						b.While(m.Lt(m.V("probes"), m.I(512)), func(b *m.Block) {
+							slotAddr := m.Add(m.Addr("symtab", 0), m.Mul(m.V("slot"), m.I(8)))
+							b.If(m.Eq(m.LoadW(slotAddr), m.I(0)), func(b *m.Block) {
+								b.StoreW(slotAddr, m.V("h"))
+								b.StoreW(m.Add(slotAddr, m.I(4)), m.I(1))
+								b.Assign("syms", m.Add(m.V("syms"), m.I(1)))
+								b.Break()
+							}, func(b *m.Block) {
+								b.If(m.Eq(m.LoadW(slotAddr), m.V("h")), func(b *m.Block) {
+									b.StoreW(m.Add(slotAddr, m.I(4)),
+										m.Add(m.LoadW(m.Add(slotAddr, m.I(4))), m.I(1)))
+									b.Break()
+								}, nil)
+							})
+							b.Assign("slot", m.ModU(m.Add(m.V("slot"), m.I(1)), m.I(512)))
+							b.Assign("probes", m.Add(m.V("probes"), m.I(1)))
+						})
+						// Emit a code byte.
+						b.StoreB(m.Add(m.Addr("emit", 0), m.ModU(m.V("out"), m.I(32768))), m.V("h"))
+						b.Assign("out", m.Add(m.V("out"), m.I(1)))
+						b.Assign("h", m.I(5381))
+						b.Assign("inId", m.I(0))
+					}, nil)
+					b.If(m.GtU(m.V("c"), m.I(' ')), func(b *m.Block) {
+						b.Assign("toks", m.Add(m.V("toks"), m.I(1)))
+					}, nil)
+				})
+			})
+		})
+		b.Call("sys_close", m.V("fd"))
+		b.Return(m.Add(m.Mul(m.V("syms"), m.I(100000)), m.V("toks")))
+	})
+	return mod
+}
+
+// compressModule: real LZW: compress the input file into a code
+// stream, write the codes to the output file (the paper's compress
+// both reads and writes), then decompress and verify.
+func compressModule() *m.Module {
+	mod := newModule("compress")
+	mod.Data("path", []byte("compress.in\x00"))
+	mod.Data("opath", []byte("compress.out\x00"))
+	mod.Global("buf", chunk)
+	mod.Global("prefix", 4096*4)
+	mod.Global("suffix", 4096*4)
+	mod.Global("hashtab", 8192*4) // (w,c) -> code+1, open addressing
+	mod.Global("codes", 131072*2) // output code stream (halfwords)
+	f := mod.Func("main", m.TInt)
+	f.Locals("fd", "n", "i", "c", "w", "next", "code", "found", "j", "h", "ncodes", "verify", "ofd", "wr")
+	f.Code(func(b *m.Block) {
+		// Dictionary: codes 0..255 are literals; (w,c) pairs are found
+		// through a hash table with linear probing, as in compress.
+		b.Assign("next", m.I(256))
+		b.Assign("ncodes", m.I(0))
+		b.Assign("w", m.Neg(m.I(1)))
+		b.Assign("fd", m.Call("sys_open", m.Addr("path", 0)))
+		b.If(m.Lt(m.V("fd"), m.I(0)), func(b *m.Block) { b.Return(m.Neg(m.I(1))) }, nil)
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("n", m.Call("sys_read", m.V("fd"), m.Addr("buf", 0), m.I(chunk)))
+			b.If(m.Le(m.V("n"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+			b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+				b.Assign("c", m.LoadB(m.Add(m.Addr("buf", 0), m.V("i"))))
+				b.If(m.Lt(m.V("w"), m.I(0)), func(b *m.Block) {
+					b.Assign("w", m.V("c"))
+					b.Continue()
+				}, nil)
+				// Find (w, c) through the hash table.
+				b.Assign("found", m.Neg(m.I(1)))
+				b.Assign("h", m.ModU(m.Xor(m.Shl(m.V("w"), m.I(8)), m.V("c")), m.I(8192)))
+				b.While(m.I(1), func(b *m.Block) {
+					slot := m.Add(m.Addr("hashtab", 0), m.Mul(m.V("h"), m.I(4)))
+					b.Assign("j", m.LoadW(slot))
+					b.If(m.Eq(m.V("j"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+					b.Assign("j", m.Sub(m.V("j"), m.I(1)))
+					b.If(m.And(
+						m.Eq(m.LoadW(m.Add(m.Addr("prefix", 0), m.Mul(m.V("j"), m.I(4)))), m.V("w")),
+						m.Eq(m.LoadW(m.Add(m.Addr("suffix", 0), m.Mul(m.V("j"), m.I(4)))), m.V("c"))),
+						func(b *m.Block) {
+							b.Assign("found", m.V("j"))
+							b.Break()
+						}, nil)
+					b.Assign("h", m.ModU(m.Add(m.V("h"), m.I(1)), m.I(8192)))
+				})
+				b.If(m.Ge(m.V("found"), m.I(0)), func(b *m.Block) {
+					b.Assign("w", m.V("found"))
+				}, func(b *m.Block) {
+					// Emit w; add (w, c) at the probe's empty slot.
+					b.Store(m.Add(m.Addr("codes", 0), m.Mul(m.V("ncodes"), m.I(2))), 2, m.V("w"))
+					b.Assign("ncodes", m.Add(m.V("ncodes"), m.I(1)))
+					b.If(m.Lt(m.V("next"), m.I(4096)), func(b *m.Block) {
+						b.StoreW(m.Add(m.Addr("prefix", 0), m.Mul(m.V("next"), m.I(4))), m.V("w"))
+						b.StoreW(m.Add(m.Addr("suffix", 0), m.Mul(m.V("next"), m.I(4))), m.V("c"))
+						b.StoreW(m.Add(m.Addr("hashtab", 0), m.Mul(m.V("h"), m.I(4))),
+							m.Add(m.V("next"), m.I(1)))
+						b.Assign("next", m.Add(m.V("next"), m.I(1)))
+					}, nil)
+					b.Assign("w", m.V("c"))
+				})
+			})
+		})
+		b.If(m.Ge(m.V("w"), m.I(0)), func(b *m.Block) {
+			b.Store(m.Add(m.Addr("codes", 0), m.Mul(m.V("ncodes"), m.I(2))), 2, m.V("w"))
+			b.Assign("ncodes", m.Add(m.V("ncodes"), m.I(1)))
+		}, nil)
+		b.Call("sys_close", m.V("fd"))
+
+		// Write the code stream to the output file in 2 KB chunks.
+		b.Assign("ofd", m.Call("sys_open", m.Addr("opath", 0)))
+		b.If(m.Ge(m.V("ofd"), m.I(0)), func(b *m.Block) {
+			b.Assign("wr", m.I(0))
+			b.While(m.LtU(m.V("wr"), m.Mul(m.V("ncodes"), m.I(2))), func(b *m.Block) {
+				b.Assign("n", m.Sub(m.Mul(m.V("ncodes"), m.I(2)), m.V("wr")))
+				b.If(m.GtU(m.V("n"), m.I(chunk)), func(b *m.Block) { b.Assign("n", m.I(chunk)) }, nil)
+				b.Call("sys_write", m.V("ofd"), m.Add(m.Addr("codes", 0), m.V("wr")), m.V("n"))
+				b.Assign("wr", m.Add(m.V("wr"), m.V("n")))
+			})
+			b.Call("sys_close", m.V("ofd"))
+		}, nil)
+
+		// Decompress and checksum (verifies the round trip without a
+		// second 100K buffer: sum the expanded bytes).
+		b.Assign("verify", m.I(0))
+		b.For("i", m.I(0), m.V("ncodes"), func(b *m.Block) {
+			b.Assign("code", m.Load(m.Add(m.Addr("codes", 0), m.Mul(m.V("i"), m.I(2))), 2, false))
+			b.While(m.Ge(m.V("code"), m.I(256)), func(b *m.Block) {
+				b.Assign("verify", m.Add(m.V("verify"),
+					m.LoadW(m.Add(m.Addr("suffix", 0), m.Mul(m.V("code"), m.I(4))))))
+				b.Assign("code", m.LoadW(m.Add(m.Addr("prefix", 0), m.Mul(m.V("code"), m.I(4)))))
+			})
+			b.Assign("verify", m.Add(m.V("verify"), m.V("code")))
+		})
+		b.Return(m.V("verify"))
+	})
+	return mod
+}
+
+// espressoModule: boolean minimization: reads PLA cubes as bitmask
+// pairs and does a pairwise cover/merge reduction pass.
+func espressoModule() *m.Module {
+	mod := newModule("espresso")
+	mod.Data("path", []byte("espresso.in\x00"))
+	mod.Global("buf", chunk)
+	mod.Global("mask1", 700*4) // care mask
+	mod.Global("val1", 700*4)  // values
+	f := mod.Func("main", m.TInt)
+	f.Locals("fd", "n", "i", "c", "nc", "bm", "bv", "pos", "a", "bb", "covered", "kept")
+	f.Code(func(b *m.Block) {
+		b.Assign("fd", m.Call("sys_open", m.Addr("path", 0)))
+		b.If(m.Lt(m.V("fd"), m.I(0)), func(b *m.Block) { b.Return(m.Neg(m.I(1))) }, nil)
+		b.Assign("nc", m.I(0))
+		b.Assign("bm", m.I(0))
+		b.Assign("bv", m.I(0))
+		b.Assign("pos", m.I(0))
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("n", m.Call("sys_read", m.V("fd"), m.Addr("buf", 0), m.I(chunk)))
+			b.If(m.Le(m.V("n"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+			b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+				b.Assign("c", m.LoadB(m.Add(m.Addr("buf", 0), m.V("i"))))
+				b.If(m.Eq(m.V("c"), m.I('\n')), func(b *m.Block) {
+					b.If(m.Lt(m.V("nc"), m.I(700)), func(b *m.Block) {
+						b.StoreW(m.Add(m.Addr("mask1", 0), m.Mul(m.V("nc"), m.I(4))), m.V("bm"))
+						b.StoreW(m.Add(m.Addr("val1", 0), m.Mul(m.V("nc"), m.I(4))), m.V("bv"))
+						b.Assign("nc", m.Add(m.V("nc"), m.I(1)))
+					}, nil)
+					b.Assign("bm", m.I(0))
+					b.Assign("bv", m.I(0))
+					b.Assign("pos", m.I(0))
+					b.Continue()
+				}, nil)
+				b.If(m.Eq(m.V("c"), m.I('0')), func(b *m.Block) {
+					b.Assign("bm", m.Or(m.V("bm"), m.Shl(m.I(1), m.V("pos"))))
+				}, func(b *m.Block) {
+					b.If(m.Eq(m.V("c"), m.I('1')), func(b *m.Block) {
+						b.Assign("bm", m.Or(m.V("bm"), m.Shl(m.I(1), m.V("pos"))))
+						b.Assign("bv", m.Or(m.V("bv"), m.Shl(m.I(1), m.V("pos"))))
+					}, nil)
+				})
+				b.Assign("pos", m.And(m.Add(m.V("pos"), m.I(1)), m.I(31)))
+			})
+		})
+		b.Call("sys_close", m.V("fd"))
+		// Pairwise covering: cube a is covered by cube b when b's care
+		// set is a subset of a's and they agree there.
+		b.Assign("kept", m.I(0))
+		b.For("a", m.I(0), m.V("nc"), func(b *m.Block) {
+			b.Assign("covered", m.I(0))
+			b.For("bb", m.I(0), m.V("nc"), func(b *m.Block) {
+				b.If(m.Eq(m.V("a"), m.V("bb")), func(b *m.Block) { b.Continue() }, nil)
+				ma := m.LoadW(m.Add(m.Addr("mask1", 0), m.Mul(m.V("a"), m.I(4))))
+				mb := m.LoadW(m.Add(m.Addr("mask1", 0), m.Mul(m.V("bb"), m.I(4))))
+				va := m.LoadW(m.Add(m.Addr("val1", 0), m.Mul(m.V("a"), m.I(4))))
+				vb := m.LoadW(m.Add(m.Addr("val1", 0), m.Mul(m.V("bb"), m.I(4))))
+				cond := m.And(
+					m.Eq(m.And(mb, m.Not(ma)), m.I(0)),
+					m.Eq(m.And(m.Xor(va, vb), mb), m.I(0)))
+				b.If(m.And(cond, m.LtU(m.V("bb"), m.V("a"))), func(b *m.Block) {
+					b.Assign("covered", m.I(1))
+					b.Break()
+				}, nil)
+			})
+			b.If(m.Eq(m.V("covered"), m.I(0)), func(b *m.Block) {
+				b.Assign("kept", m.Add(m.V("kept"), m.I(1)))
+			}, nil)
+		})
+		b.Return(m.Add(m.Mul(m.V("kept"), m.I(10000)), m.V("nc")))
+	})
+	return mod
+}
+
+// lispModule: the 8-queens problem, solved recursively (LISP-style
+// deep recursion, no I/O).
+func lispModule() *m.Module {
+	mod := newModule("lisp")
+	mod.Global("cols", 16*4)
+	q := mod.Func("queens", m.TInt)
+	q.Param("row", m.TInt)
+	q.Param("nq", m.TInt)
+	q.Locals("col", "i", "ok", "count", "prev", "d")
+	q.Code(func(b *m.Block) {
+		b.If(m.Eq(m.V("row"), m.V("nq")), func(b *m.Block) { b.Return(m.I(1)) }, nil)
+		b.Assign("count", m.I(0))
+		b.For("col", m.I(0), m.V("nq"), func(b *m.Block) {
+			b.Assign("ok", m.I(1))
+			b.For("i", m.I(0), m.V("row"), func(b *m.Block) {
+				b.Assign("prev", m.LoadW(m.Add(m.Addr("cols", 0), m.Mul(m.V("i"), m.I(4)))))
+				b.Assign("d", m.Sub(m.V("row"), m.V("i")))
+				bad := m.Or(m.Eq(m.V("prev"), m.V("col")),
+					m.Or(m.Eq(m.V("prev"), m.Sub(m.V("col"), m.V("d"))),
+						m.Eq(m.V("prev"), m.Add(m.V("col"), m.V("d")))))
+				b.If(bad, func(b *m.Block) {
+					b.Assign("ok", m.I(0))
+					b.Break()
+				}, nil)
+			})
+			b.If(m.Ne(m.V("ok"), m.I(0)), func(b *m.Block) {
+				b.StoreW(m.Add(m.Addr("cols", 0), m.Mul(m.V("row"), m.I(4))), m.V("col"))
+				b.Assign("count", m.Add(m.V("count"),
+					m.Call("queens", m.Add(m.V("row"), m.I(1)), m.V("nq"))))
+			}, nil)
+		})
+		b.Return(m.V("count"))
+	})
+	f := mod.Func("main", m.TInt)
+	f.Locals("total", "r")
+	f.Code(func(b *m.Block) {
+		b.Assign("total", m.I(0))
+		b.For("r", m.I(0), m.I(3), func(b *m.Block) {
+			b.Assign("total", m.Add(m.V("total"), m.Call("queens", m.I(0), m.I(8))))
+		})
+		b.Return(m.V("total")) // 3 * 92
+	})
+	return mod
+}
+
+// eqntottModule: converts boolean equations to truth tables: parses
+// operators from the input and evaluates them under exhaustive
+// variable assignments.
+func eqntottModule() *m.Module {
+	mod := newModule("eqntott")
+	mod.Data("path", []byte("eqntott.in\x00"))
+	mod.Global("buf", chunk)
+	mod.Global("vars", 2048) // variable index per op
+	mod.Global("ops", 2048)  // operator per op
+	f := mod.Func("main", m.TInt)
+	f.Locals("fd", "n", "i", "c", "nops", "asg", "acc", "k", "vv", "op", "trues", "kind")
+	f.Code(func(b *m.Block) {
+		b.Assign("fd", m.Call("sys_open", m.Addr("path", 0)))
+		b.If(m.Lt(m.V("fd"), m.I(0)), func(b *m.Block) { b.Return(m.Neg(m.I(1))) }, nil)
+		b.Assign("nops", m.I(0))
+		b.While(m.I(1), func(b *m.Block) {
+			b.Assign("n", m.Call("sys_read", m.V("fd"), m.Addr("buf", 0), m.I(chunk)))
+			b.If(m.Le(m.V("n"), m.I(0)), func(b *m.Block) { b.Break() }, nil)
+			b.For("i", m.I(0), m.V("n"), func(b *m.Block) {
+				b.If(m.Ge(m.V("nops"), m.I(1024)), func(b *m.Block) { b.Break() }, nil)
+				b.Assign("c", m.LoadB(m.Add(m.Addr("buf", 0), m.V("i"))))
+				b.If(m.And(m.Ge(m.V("c"), m.I('a')), m.Le(m.V("c"), m.I('j'))), func(b *m.Block) {
+					b.StoreB(m.Add(m.Addr("vars", 0), m.V("nops")), m.Sub(m.V("c"), m.I('a')))
+				}, func(b *m.Block) {
+					b.If(m.Or(m.Eq(m.V("c"), m.I('&')),
+						m.Or(m.Eq(m.V("c"), m.I('|')), m.Eq(m.V("c"), m.I('^')))), func(b *m.Block) {
+						b.StoreB(m.Add(m.Addr("ops", 0), m.V("nops")), m.V("c"))
+						b.Assign("nops", m.Add(m.V("nops"), m.I(1)))
+					}, nil)
+				})
+			})
+		})
+		b.Call("sys_close", m.V("fd"))
+		// Truth table over 8 variables (256 rows).
+		b.Assign("trues", m.I(0))
+		b.For("asg", m.I(0), m.I(256), func(b *m.Block) {
+			b.Assign("acc", m.And(m.V("asg"), m.I(1)))
+			b.For("k", m.I(0), m.V("nops"), func(b *m.Block) {
+				b.Assign("vv", m.And(m.Shr(m.V("asg"),
+					m.ModU(m.LoadB(m.Add(m.Addr("vars", 0), m.V("k"))), m.I(8))), m.I(1)))
+				b.Assign("kind", m.LoadB(m.Add(m.Addr("ops", 0), m.V("k"))))
+				b.If(m.Eq(m.V("kind"), m.I('&')), func(b *m.Block) {
+					b.Assign("acc", m.And(m.V("acc"), m.V("vv")))
+				}, func(b *m.Block) {
+					b.If(m.Eq(m.V("kind"), m.I('|')), func(b *m.Block) {
+						b.Assign("acc", m.Or(m.V("acc"), m.V("vv")))
+					}, func(b *m.Block) {
+						b.Assign("acc", m.Xor(m.V("acc"), m.V("vv")))
+					})
+				})
+			})
+			b.Assign("trues", m.Add(m.V("trues"), m.V("acc")))
+		})
+		b.Return(m.Add(m.Mul(m.V("trues"), m.I(10000)), m.V("nops")))
+	})
+	return mod
+}
