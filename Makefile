@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+# check is the tier-1 gate: formatting, vet, build, and the full test
+# suite. CI and pre-commit should run exactly this.
+check:
+	./scripts/check.sh
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem ./...

@@ -46,7 +46,7 @@ func main() {
 		pred, err := experiment.Predict(specs[0], kernel.Ultrix, 1)
 		die(err)
 		fmt.Printf("workload %s: %d trace words drained over %d analysis phases;\n",
-			pred.Name, pred.TraceWords, pred.ModeSwtichs)
+			pred.Name, pred.TraceWords, pred.ModeSwitches)
 		fmt.Printf("  %d reconstructed references (kernel and user interleaved), %d idle-loop instructions\n\n",
 			pred.Events, pred.IdleInstr)
 	}

@@ -1,8 +1,12 @@
 // Command tracesys boots a traced system (kernel + workload), runs it
 // to completion, and reports tracing statistics: trace volume, mode
-// switches, interleaving, idle activity.
+// switches, interleaving, idle activity. With -metrics it also runs
+// the untraced baseline and reports the distortion dashboard, or
+// emits the full telemetry document machine-readably.
 //
 //	tracesys -os mach -workload compress -buf 4194304
+//	tracesys -workload sed -metrics text
+//	tracesys -workload sed -metrics prom > metrics.prom
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"systrace/internal/experiment"
 	"systrace/internal/kernel"
 	"systrace/internal/machine"
+	"systrace/internal/telemetry"
 	"systrace/internal/workload"
 )
 
@@ -20,6 +25,8 @@ func main() {
 	osName := flag.String("os", "ultrix", "ultrix or mach")
 	name := flag.String("workload", "sed", "Table-1 workload")
 	seed := flag.Uint("seed", 1, "page placement seed")
+	metrics := flag.String("metrics", "off",
+		"off, text (report + distortion dashboard), prom, or json (telemetry document only)")
 	flag.Parse()
 
 	flavor := kernel.Ultrix
@@ -31,15 +38,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracesys: unknown workload %q\n", *name)
 		os.Exit(1)
 	}
+	switch *metrics {
+	case "off", "text", "prom", "json":
+	default:
+		// Reject up front: the runs below take real time.
+		fmt.Fprintf(os.Stderr, "tracesys: unknown -metrics mode %q\n", *metrics)
+		os.Exit(2)
+	}
 
-	pred, err := experiment.Predict(spec, flavor, uint32(*seed))
+	if *metrics == "off" {
+		pred, err := experiment.Predict(spec, flavor, uint32(*seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracesys:", err)
+			os.Exit(1)
+		}
+		report(pred)
+		return
+	}
+
+	reg := telemetry.New()
+	d, err := experiment.Distort(spec, flavor, uint32(*seed), reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracesys:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("traced %s on %v:\n", spec.Name, flavor)
+	switch *metrics {
+	case "text":
+		report(d.Pred)
+		fmt.Println()
+		fmt.Print(d.Format())
+	case "prom":
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tracesys:", err)
+			os.Exit(1)
+		}
+	case "json":
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tracesys:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func report(pred *experiment.Predicted) {
+	fmt.Printf("traced %s on %v:\n", pred.Name, pred.Flavor)
 	fmt.Printf("  traced machine instructions: %d\n", pred.TracedInstr)
-	fmt.Printf("  trace words drained:          %d (%d analysis phases)\n", pred.TraceWords, pred.ModeSwtichs)
+	fmt.Printf("  trace words drained:          %d (%d analysis phases)\n", pred.TraceWords, pred.ModeSwitches)
 	fmt.Printf("  reconstructed references:     %d\n", pred.Events)
 	fmt.Printf("  idle-loop instructions:       %d (x%d = I/O stall estimate)\n", pred.IdleInstr, experiment.IdleScale)
 	fmt.Printf("  simulated TLB misses:         %d\n", pred.UTLBMisses)

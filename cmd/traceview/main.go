@@ -26,27 +26,44 @@ func main() {
 
 	spec, ok := workload.ByName(*name)
 	if !ok {
-		fail(fmt.Errorf("unknown workload %q", *name))
+		fail("unknown workload %q", *name)
 	}
 	kexe, err := kernel.Build(kernel.Config{Flavor: kernel.Ultrix, Traced: true})
-	fail(err)
+	if err != nil {
+		fail("building traced kernel for %s: %v", spec.Name, err)
+	}
 	prog, err := userland.Build(spec.Name, []*m.Module{spec.Build()}, m.Options{})
-	fail(err)
+	if err != nil {
+		fail("building workload %s: %v", spec.Name, err)
+	}
 	disk, err := kernel.BuildDiskImage(spec.Files)
-	fail(err)
+	if err != nil {
+		fail("building disk image for %s: %v", spec.Name, err)
+	}
 	cfg := kernel.DefaultBoot(kernel.Ultrix)
 	cfg.DiskImage = disk
 	cfg.TraceBufBytes = 4 << 20
 	cfg.ClockInterval *= 15
 	sys, err := kernel.Boot(kexe, []kernel.BootProc{{Exe: prog.Instr}}, cfg)
-	fail(err)
+	if err != nil {
+		fail("booting traced system for %s: %v", spec.Name, err)
+	}
 
 	p := trace.NewParser(trace.NewSideTable(kexe.Instr.Blocks))
 	p.AddProcess(1, trace.NewSideTable(prog.Instr.Instr.Blocks))
 	printed, seen := 0, 0
+	// Record a mid-stream parse error instead of exiting from inside
+	// the flush callback, so the run's statistics still get reported.
+	var parseErr error
 	sys.OnTrace = func(words []uint32) {
+		if parseErr != nil {
+			return
+		}
 		evs, err := p.Parse(words, nil)
-		fail(err)
+		if err != nil {
+			parseErr = err
+			return
+		}
 		for _, ev := range evs {
 			seen++
 			if seen <= *skip || printed >= *nEvents {
@@ -64,16 +81,21 @@ func main() {
 			fmt.Printf("%s  %v 0x%08x%s\n", who, ev.Kind, ev.Addr, tag)
 		}
 	}
-	fail(sys.Run(6_000_000_000))
-	fail(p.Finish())
+	if err := sys.Run(6_000_000_000); err != nil {
+		fail("running %s: %v", spec.Name, err)
+	}
+	if parseErr != nil {
+		fail("parsing trace of %s: %v", spec.Name, parseErr)
+	}
+	if err := p.Finish(); err != nil {
+		fail("finishing trace of %s: %v", spec.Name, err)
+	}
 	fmt.Printf("\n%d events total; %d bb records, %d memory references, %d markers, "+
 		"%d context switches, max nesting %d, %d idle instructions\n",
 		seen, p.Records, p.MemRefs, p.Markers, p.CtxSws, p.MaxDepth, p.IdleInstr)
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceview:", err)
-		os.Exit(1)
-	}
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceview: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -123,6 +123,41 @@ type CP0 struct {
 	EPC      uint32
 }
 
+// Class buckets retired instructions by kind, derived from the primary
+// opcode: memory instructions (with FP loads/stores counted as memory,
+// not FP), control transfers (JR/JALR live under OpSpecial and are
+// counted as ALU — the approximation is static and documented), FP
+// arithmetic, and system-coprocessor operations.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassFP
+	ClassSystem
+	NClass
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassFP:
+		return "fp"
+	case ClassSystem:
+		return "system"
+	}
+	return "unknown"
+}
+
 // Stats are architectural event counts maintained by the CPU itself.
 type Stats struct {
 	Instret    uint64 // instructions retired
@@ -131,6 +166,8 @@ type Stats struct {
 	Exceptions uint64
 	Interrupts uint64
 	Syscalls   uint64
+	// Classes splits Instret by instruction class.
+	Classes [NClass]uint64
 }
 
 // tlbCache is a one-entry translation fast path per access port.

@@ -175,14 +175,37 @@ func (c *CPU) Step() bool {
 	if !c.exec(w) {
 		// Exception raised (PC already set) or fault.
 		c.Stat.Instret++ // the faulting instruction still issued
+		c.Stat.Classes[opClass[w>>26]]++
 		c.execInSlot = false
 		return !c.Halted
 	}
 	c.Stat.Instret++
+	c.Stat.Classes[opClass[w>>26]]++
 	c.execInSlot = false
 	c.PC = nextPC
 	return !c.Halted
 }
+
+// opClass maps a primary opcode to its instruction class. Unused
+// opcodes default to ClassALU (they raise reserved-instruction
+// exceptions and barely retire).
+var opClass = func() [64]Class {
+	var t [64]Class
+	for _, op := range []uint32{isa.OpRegImm, isa.OpJ, isa.OpJAL,
+		isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ} {
+		t[op] = ClassBranch
+	}
+	for _, op := range []uint32{isa.OpLB, isa.OpLH, isa.OpLW,
+		isa.OpLBU, isa.OpLHU, isa.OpLWC1} {
+		t[op] = ClassLoad
+	}
+	for _, op := range []uint32{isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSWC1} {
+		t[op] = ClassStore
+	}
+	t[isa.OpCOP0] = ClassSystem
+	t[isa.OpCOP1] = ClassFP
+	return t
+}()
 
 // Run executes up to max instructions; returns the number retired.
 func (c *CPU) Run(max uint64) uint64 {

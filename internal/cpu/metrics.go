@@ -1,0 +1,33 @@
+package cpu
+
+import "systrace/internal/telemetry"
+
+// RegisterMetrics registers sampled telemetry series over the CPU's
+// architectural statistics. The counters are read at snapshot time, so
+// the interpreter loop is not touched; labels (e.g. run="traced")
+// distinguish multiple machines sharing one registry.
+func (c *CPU) RegisterMetrics(r *telemetry.Registry, labels ...telemetry.Label) {
+	s := &c.Stat
+	r.Sample("cpu_instructions_retired_total",
+		"machine instructions retired by the interpreter",
+		func() uint64 { return s.Instret }, labels...)
+	for cl := Class(0); cl < NClass; cl++ {
+		cl := cl
+		r.Sample("cpu_instructions_total",
+			"machine instructions retired, split by instruction class",
+			func() uint64 { return s.Classes[cl] },
+			append([]telemetry.Label{telemetry.L("class", cl.String())}, labels...)...)
+	}
+	r.Sample("cpu_utlb_misses_total",
+		"kuseg TLB misses taken through the dedicated refill vector (paper §4.1)",
+		func() uint64 { return s.UTLBMisses }, labels...)
+	r.Sample("cpu_ktlb_misses_total",
+		"kseg2 TLB misses taken through the general exception vector",
+		func() uint64 { return s.KTLBMisses }, labels...)
+	r.Sample("cpu_exceptions_total", "exception entries of any cause",
+		func() uint64 { return s.Exceptions }, labels...)
+	r.Sample("cpu_interrupts_total", "external interrupts taken",
+		func() uint64 { return s.Interrupts }, labels...)
+	r.Sample("cpu_syscalls_total", "syscall instructions executed",
+		func() uint64 { return s.Syscalls }, labels...)
+}

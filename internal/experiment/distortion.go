@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"systrace/internal/kernel"
+	"systrace/internal/telemetry"
+	"systrace/internal/trace"
+	"systrace/internal/workload"
+)
+
+// Distortion is the self-measurement dashboard: how much the tracing
+// system perturbs the machine it observes. The paper quantifies each
+// component — "the system being traced runs about 15 times slower"
+// (§4.1), instrumented text roughly doubles (§3.2), and the trace
+// buffer claims physical memory that shrinks the measured system
+// (§4.3). These factors are what the analysis side must compensate
+// for, so surfacing them next to the raw counters is the whole point
+// of the telemetry layer.
+type Distortion struct {
+	Name   string
+	Flavor kernel.Flavor
+	Seed   uint32
+
+	// TimeDilation is traced machine instructions over untraced
+	// machine instructions for the same work (§4.1's factor of ~15;
+	// this reproduction's software-only pipeline lands lower).
+	TimeDilation float64
+	// MemoryDilation is the traced system's text+buffer footprint
+	// over the untraced text footprint (§3.2 code growth plus §4.3
+	// buffer geometry).
+	MemoryDilation float64
+	// TraceWordsPerInstr is raw trace words emitted per traced-
+	// workload instruction reconstructed by the parser.
+	TraceWordsPerInstr float64
+	// GenerationDutyCycle is the fraction of traced-machine time
+	// spent generating (vs. the interleaved analysis phases, §4.3).
+	GenerationDutyCycle float64
+
+	// Footprint components (bytes) behind MemoryDilation.
+	UntracedTextBytes uint64
+	TracedTextBytes   uint64
+	BufferBytes       uint64
+
+	Meas *Measured
+	Pred *Predicted
+}
+
+// Distort runs the workload both untraced (direct measurement) and
+// traced (trace-driven prediction), computes the distortion factors,
+// and — when reg is non-nil — registers every subsystem's series plus
+// the four dashboard gauges on it.
+func Distort(spec workload.Spec, flavor kernel.Flavor, seed uint32,
+	reg *telemetry.Registry) (*Distortion, error) {
+	meas, err := MeasureT(spec, flavor, seed, reg)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := PredictT(spec, flavor, seed, reg)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Distortion{
+		Name:   spec.Name,
+		Flavor: flavor,
+		Seed:   seed,
+		Meas:   meas,
+		Pred:   pred,
+	}
+	if meas.Instr > 0 {
+		d.TimeDilation = float64(pred.TracedInstr) / float64(meas.Instr)
+	}
+	if pred.Parser != nil && pred.Parser.Fetches > 0 {
+		d.TraceWordsPerInstr = float64(pred.TraceWords) / float64(pred.Parser.Fetches)
+	}
+	if pred.TracedCycles > 0 {
+		d.GenerationDutyCycle =
+			float64(pred.TracedCycles-pred.AnalysisCycles) / float64(pred.TracedCycles)
+	}
+
+	// Footprints from the cached build products: uninstrumented vs.
+	// instrumented text, plus the tracing system's buffers (§4.3:
+	// in-kernel buffer + per-process book and buffer pages).
+	kexe, err := kernelExe(flavor, true)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := program(spec)
+	if err != nil {
+		return nil, err
+	}
+	orig := uint64(kexe.Instr.OrigTextSize) + uint64(prog.Instr.Instr.OrigTextSize)
+	instr := uint64(kexe.Instr.TextSize) + uint64(prog.Instr.Instr.TextSize)
+	nprocs := uint64(1)
+	if flavor == kernel.Mach {
+		srv, err := server()
+		if err != nil {
+			return nil, err
+		}
+		orig += uint64(srv.Instr.Instr.OrigTextSize)
+		instr += uint64(srv.Instr.Instr.TextSize)
+		nprocs = 2
+	}
+	d.UntracedTextBytes = orig
+	d.TracedTextBytes = instr
+	d.BufferBytes = trace.DefaultKernelBufBytes +
+		nprocs*(trace.BookSize+trace.UserBufBytes)
+	if orig > 0 {
+		d.MemoryDilation = float64(instr+d.BufferBytes) / float64(orig)
+	}
+
+	if reg != nil {
+		lab := []telemetry.Label{
+			telemetry.L("workload", spec.Name),
+			telemetry.L("os", flavor.String()),
+		}
+		reg.Gauge("distortion_time_dilation",
+			"traced/untraced instruction ratio (§4.1 slowdown)", lab...).
+			Set(d.TimeDilation)
+		reg.Gauge("distortion_memory_dilation",
+			"traced text+buffers over untraced text (§3.2 growth, §4.3 buffers)", lab...).
+			Set(d.MemoryDilation)
+		reg.Gauge("distortion_trace_words_per_instruction",
+			"raw trace words per reconstructed workload instruction", lab...).
+			Set(d.TraceWordsPerInstr)
+		reg.Gauge("distortion_generation_duty_cycle",
+			"fraction of traced-machine time in generation vs. analysis (§4.3)", lab...).
+			Set(d.GenerationDutyCycle)
+	}
+	return d, nil
+}
+
+// Format renders the human-readable dashboard.
+func (d *Distortion) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distortion dashboard: %s on %v (seed %d)\n",
+		d.Name, d.Flavor, d.Seed)
+	fmt.Fprintf(&b, "  time dilation:        %6.2fx  (%d traced instr / %d untraced instr)\n",
+		d.TimeDilation, d.Pred.TracedInstr, d.Meas.Instr)
+	fmt.Fprintf(&b, "  memory dilation:      %6.2fx  (%d text+buffer bytes / %d text bytes)\n",
+		d.MemoryDilation, d.TracedTextBytes+d.BufferBytes, d.UntracedTextBytes)
+	fmt.Fprintf(&b, "  trace words/instr:    %6.2f   (%d words / %d fetches)\n",
+		d.TraceWordsPerInstr, d.Pred.TraceWords, d.Pred.Parser.Fetches)
+	fmt.Fprintf(&b, "  generation duty:      %6.2f%%  (%d of %d cycles; rest is analysis)\n",
+		d.GenerationDutyCycle*100,
+		d.Pred.TracedCycles-d.Pred.AnalysisCycles, d.Pred.TracedCycles)
+	fmt.Fprintf(&b, "  mode switches:        %d flushes over %d trace words\n",
+		d.Pred.ModeSwitches, d.Pred.TraceWords)
+	return b.String()
+}

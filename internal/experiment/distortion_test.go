@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"systrace/internal/kernel"
+	"systrace/internal/telemetry"
+	"systrace/internal/workload"
+)
+
+// TestDistortSed runs sed traced and untraced and checks the dashboard
+// factors land in paper-consistent ranges: the paper reports ~15x time
+// dilation (§4.1); this software pipeline's flush path is cheaper, so
+// we accept a broad [2, 60] band. Trace volume should be well under
+// one word per instruction (basic-block records amortize fetches) but
+// nonzero.
+func TestDistortSed(t *testing.T) {
+	spec, ok := workload.ByName("sed")
+	if !ok {
+		t.Fatal("sed workload missing")
+	}
+	reg := telemetry.New()
+	d, err := Distort(spec, kernel.Ultrix, 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d.TimeDilation < 2 || d.TimeDilation > 60 {
+		t.Errorf("time dilation %.2f outside paper-consistent [2, 60]", d.TimeDilation)
+	}
+	if d.TraceWordsPerInstr <= 0.01 || d.TraceWordsPerInstr >= 3 {
+		t.Errorf("trace words/instr %.3f outside (0.01, 3)", d.TraceWordsPerInstr)
+	}
+	if d.MemoryDilation <= 1 {
+		t.Errorf("memory dilation %.2f should exceed 1 (buffers + doubled text)", d.MemoryDilation)
+	}
+	if d.GenerationDutyCycle <= 0 || d.GenerationDutyCycle > 1 {
+		t.Errorf("generation duty cycle %.3f outside (0, 1]", d.GenerationDutyCycle)
+	}
+	if d.Pred.ModeSwitches == 0 {
+		t.Error("expected at least one analysis phase (mode switch)")
+	}
+
+	// The registry must carry the full cross-subsystem document.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"cpu_instructions_retired_total",
+		"cpu_utlb_misses_total",
+		"kernel_trace_flushes_total",
+		"kernel_mode_switches_total",
+		"trace_words_parsed_total",
+		"memsys_tlb_misses_total",
+		"distortion_time_dilation",
+		"distortion_memory_dilation",
+		"distortion_trace_words_per_instruction",
+		"distortion_generation_duty_cycle",
+	} {
+		found := false
+		for i := range snap.Metrics {
+			if snap.Metrics[i].Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("snapshot missing series %s", name)
+		}
+	}
+
+	// Both exporters must emit the document without error; the JSON
+	// form must round-trip as valid JSON containing the dashboard.
+	var pb bytes.Buffer
+	if err := snap.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pb.String(), "distortion_time_dilation") {
+		t.Error("prometheus export missing distortion_time_dilation")
+	}
+	var jb bytes.Buffer
+	if err := snap.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var doc telemetry.Snapshot
+	if err := json.Unmarshal(jb.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON export not valid JSON: %v", err)
+	}
+	if len(doc.Metrics) != len(snap.Metrics) {
+		t.Errorf("JSON round-trip lost series: %d != %d", len(doc.Metrics), len(snap.Metrics))
+	}
+
+	// Dashboard text should render every factor.
+	out := d.Format()
+	for _, want := range []string{"time dilation", "memory dilation", "trace words/instr", "generation duty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"systrace/internal/memsys"
 	"systrace/internal/obj"
 	"systrace/internal/pixie"
+	"systrace/internal/telemetry"
 	"systrace/internal/trace"
 	"systrace/internal/userland"
 	"systrace/internal/workload"
@@ -150,12 +151,24 @@ type Measured struct {
 // machine model — the paper's "measurements of execution time made
 // with an accurate timer" plus the hardware TLB miss counter.
 func Measure(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Measured, error) {
+	return MeasureT(spec, flavor, seed, nil)
+}
+
+// MeasureT is Measure with the run's subsystems registered on reg
+// (which may be nil) under a run="untraced" label.
+func MeasureT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
+	reg *telemetry.Registry) (*Measured, error) {
 	sys, pid, err := boot(spec, flavor, false, seed, nil)
 	if err != nil {
 		return nil, err
 	}
 	tm := memsys.NewTiming(memsys.DECstation5000())
 	sys.M.AttachTiming(tm, tm)
+	run := telemetry.L("run", "untraced")
+	sys.M.CPU.RegisterMetrics(reg, run)
+	sys.M.RegisterMetrics(reg, run)
+	sys.AttachTelemetry(reg, run)
+	tm.RegisterMetrics(reg, run)
 	if err := sys.Run(runBudget); err != nil {
 		return nil, fmt.Errorf("measure %s/%v: %w", spec.Name, flavor, err)
 	}
@@ -183,15 +196,19 @@ type Predicted struct {
 	Cycles      uint64
 	Seconds     float64
 
-	IdleInstr   uint64
-	TraceWords  uint64
-	Events      uint64
-	UTLBMisses  uint64 // simulated (Table 3 "predicted")
-	ModeSwtichs uint64
-	Result      uint32
-	TracedInstr uint64 // machine instructions of the traced run (dilation)
-	Sim         *memsys.TraceSim
-	Parser      *trace.Parser
+	IdleInstr    uint64
+	TraceWords   uint64
+	Events       uint64
+	UTLBMisses   uint64 // simulated (Table 3 "predicted")
+	ModeSwitches uint64
+	Result       uint32
+	TracedInstr  uint64 // machine instructions of the traced run (dilation)
+	// TracedCycles is total machine time of the traced run including
+	// analysis phases; AnalysisCycles is the analysis-phase share.
+	TracedCycles   uint64
+	AnalysisCycles uint64
+	Sim            *memsys.TraceSim
+	Parser         *trace.Parser
 }
 
 // Predict runs the traced system, streams the trace through the
@@ -199,6 +216,14 @@ type Predicted struct {
 // count-mode binary for arithmetic stalls, and assembles the predicted
 // execution time from its four components (§5.1).
 func Predict(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Predicted, error) {
+	return PredictT(spec, flavor, seed, nil)
+}
+
+// PredictT is Predict with the run's subsystems — traced machine,
+// kernel trace driver, parser, and analysis-side simulator —
+// registered on reg (which may be nil) under a run="traced" label.
+func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
+	reg *telemetry.Registry) (*Predicted, error) {
 	sys, pid, err := boot(spec, flavor, true, seed, nil)
 	if err != nil {
 		return nil, err
@@ -217,6 +242,13 @@ func Predict(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Predicted,
 	}
 	sim := memsys.NewTraceSim(memsys.DECstation5000(), policy,
 		kernel.DefaultBoot(flavor).RAMBytes>>12, seed)
+
+	run := telemetry.L("run", "traced")
+	sys.M.CPU.RegisterMetrics(reg, run)
+	sys.M.RegisterMetrics(reg, run)
+	sys.AttachTelemetry(reg, run)
+	p.RegisterMetrics(reg, run)
+	sim.RegisterMetrics(reg, run)
 
 	var events uint64
 	var perr error
@@ -249,23 +281,25 @@ func Predict(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Predicted,
 	io := sim.IdleInstr * IdleScale
 	total := cpu + sim.MemStalls() + arith + io
 	return &Predicted{
-		Name:        spec.Name,
-		Flavor:      flavor,
-		CPUCycles:   cpu,
-		MemStalls:   sim.MemStalls(),
-		ArithStalls: arith,
-		IOStalls:    io,
-		Cycles:      total,
-		Seconds:     machine.Seconds(total),
-		IdleInstr:   sim.IdleInstr,
-		TraceWords:  sys.DrainedWords,
-		Events:      events,
-		UTLBMisses:  sim.TLB.Misses,
-		ModeSwtichs: sys.Doorbells,
-		Result:      sys.ExitStatus(pid),
-		TracedInstr: sys.M.CPU.Stat.Instret,
-		Sim:         sim,
-		Parser:      p,
+		Name:           spec.Name,
+		Flavor:         flavor,
+		CPUCycles:      cpu,
+		MemStalls:      sim.MemStalls(),
+		ArithStalls:    arith,
+		IOStalls:       io,
+		Cycles:         total,
+		Seconds:        machine.Seconds(total),
+		IdleInstr:      sim.IdleInstr,
+		TraceWords:     sys.DrainedWords,
+		Events:         events,
+		UTLBMisses:     sim.TLB.Misses,
+		ModeSwitches:   sys.Doorbells,
+		Result:         sys.ExitStatus(pid),
+		TracedInstr:    sys.M.CPU.Stat.Instret,
+		TracedCycles:   sys.M.Cycles(),
+		AnalysisCycles: sys.M.ExtraCycles(),
+		Sim:            sim,
+		Parser:         p,
 	}, nil
 }
 

@@ -3,10 +3,14 @@ package kernel
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 
 	"systrace/internal/cpu"
+	"systrace/internal/dev"
 	"systrace/internal/machine"
 	"systrace/internal/obj"
+	"systrace/internal/telemetry"
+	"systrace/internal/trace"
 )
 
 // BootProc describes one process to start at boot.
@@ -62,10 +66,111 @@ type System struct {
 	DrainedWords uint64
 	Doorbells    uint64
 
+	tel *sysTelemetry
+
 	kbookPA uint32
 	tbufPA  uint32
 	utlbPA  uint32
 	symPA   map[string]uint32
+}
+
+// sysTelemetry holds the pre-registered handles the flush path records
+// into; all handle operations are plain uint64 adds.
+type sysTelemetry struct {
+	reg    *telemetry.Registry
+	labels []telemetry.Label
+
+	flushesFull  *telemetry.Counter
+	flushesFinal *telemetry.Counter
+	flushWords   *telemetry.Histogram
+	markers      map[uint32]*telemetry.Counter // by trace.MarkerKind
+	perPid       map[uint32]*telemetry.Counter // flushes by current pid
+}
+
+// markerNames maps marker kinds to metric label values.
+var markerNames = map[uint32]string{
+	trace.MarkCtxSw:     "ctx_switch",
+	trace.MarkExcEnter:  "exc_enter",
+	trace.MarkExcExit:   "exc_exit",
+	trace.MarkModeSw:    "mode_switch",
+	trace.MarkProcExit:  "proc_exit",
+	trace.MarkKernEnter: "kern_enter",
+	trace.MarkKernExit:  "kern_exit",
+}
+
+// AttachTelemetry registers the kernel-side tracing metrics: flush
+// counts by reason and by pid, flush-size histogram, control-marker
+// mix of the drained stream, and sampled kernel globals (scheduler
+// ticks, generation→analysis mode switches, the §5.2 user-TLB miss
+// counter). Call before Run; a nil registry is a no-op.
+func (s *System) AttachTelemetry(r *telemetry.Registry, labels ...telemetry.Label) {
+	if r == nil {
+		return
+	}
+	t := &sysTelemetry{
+		reg:     r,
+		labels:  labels,
+		markers: map[uint32]*telemetry.Counter{},
+		perPid:  map[uint32]*telemetry.Counter{},
+	}
+	lab := func(extra ...telemetry.Label) []telemetry.Label {
+		return append(extra, labels...)
+	}
+	const flushHelp = "in-kernel trace buffer flushes by doorbell reason"
+	t.flushesFull = r.Counter("kernel_trace_flushes_total", flushHelp,
+		lab(telemetry.L("reason", "buffer_full"))...)
+	t.flushesFinal = r.Counter("kernel_trace_flushes_total", flushHelp,
+		lab(telemetry.L("reason", "final"))...)
+	t.flushWords = r.Histogram("kernel_trace_flush_words",
+		"trace words handed to the analysis program per flush (buffer geometry, §4.3)",
+		labels...)
+	for kind, name := range markerNames {
+		t.markers[kind] = r.Counter("kernel_trace_markers_total",
+			"control markers observed in the drained trace stream, by kind",
+			lab(telemetry.L("kind", name))...)
+	}
+	r.Sample("kernel_trace_drained_words_total",
+		"total trace words drained from the in-kernel buffer",
+		func() uint64 { return s.DrainedWords }, labels...)
+	r.Sample("kernel_trace_doorbells_total",
+		"doorbell rings (generation→analysis mode switches)",
+		func() uint64 { return s.Doorbells }, labels...)
+	r.Sample("kernel_ticks_total", "scheduler clock ticks handled",
+		func() uint64 { return uint64(s.ReadKernelWord("ticks")) }, labels...)
+	r.Sample("kernel_mode_switches_total",
+		"generation→analysis transitions counted by the kernel itself",
+		func() uint64 { return uint64(s.ReadKernelWord("modesw")) }, labels...)
+	r.Sample("kernel_utlb_miss_counter",
+		"the kernel's user-TLB miss counter (Table 3 measured column, §5.2)",
+		func() uint64 { return uint64(s.UTLBCount()) }, labels...)
+	s.tel = t
+}
+
+// record instruments one flush: the hot-path handles were registered
+// up front, so this is counter adds plus one pass over the drained
+// words for the marker mix. The per-pid series is created on first
+// flush for that pid (flushes are rare; this is not the word path).
+func (t *sysTelemetry) record(reason uint32, pid uint32, words []uint32) {
+	if reason == dev.DoorbellFlush {
+		t.flushesFinal.Inc()
+	} else {
+		t.flushesFull.Inc()
+	}
+	t.flushWords.Observe(uint64(len(words)))
+	c, ok := t.perPid[pid]
+	if !ok {
+		c = t.reg.Counter("kernel_trace_flushes_by_pid_total",
+			"in-kernel trace buffer flushes by the pid current at flush time",
+			append([]telemetry.Label{telemetry.L("pid", strconv.FormatUint(uint64(pid), 10))},
+				t.labels...)...)
+		t.perPid[pid] = c
+	}
+	c.Inc()
+	for _, w := range words {
+		if trace.IsMarker(w) {
+			t.markers[trace.MarkerKind(w)].Inc()
+		}
+	}
 }
 
 // Boot loads the kernel and user images and prepares the machine.
@@ -153,6 +258,9 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 			words[i] = binary.BigEndian.Uint32(ram[s.tbufPA+i*4:])
 		}
 		s.DrainedWords += uint64(n)
+		if s.tel != nil {
+			s.tel.record(reason, s.ReadKernelWord("curpid"), words)
+		}
 		if s.OnTrace != nil {
 			s.OnTrace(words)
 		}

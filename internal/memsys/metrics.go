@@ -1,0 +1,94 @@
+package memsys
+
+import "systrace/internal/telemetry"
+
+// registerCacheWB registers the series shared by both model instances:
+// cache hit/miss counts and the write-buffer stall histogram.
+func registerCacheWB(r *telemetry.Registry, ic, dc *Cache, wb *WriteBuffer,
+	labels []telemetry.Label) *telemetry.Histogram {
+	lab := func(extra ...telemetry.Label) []telemetry.Label {
+		return append(extra, labels...)
+	}
+	const accHelp = "cache accesses by cache"
+	const missHelp = "cache misses by cache"
+	r.Sample("memsys_cache_accesses_total", accHelp,
+		func() uint64 { return ic.Accesses }, lab(telemetry.L("cache", "icache"))...)
+	r.Sample("memsys_cache_misses_total", missHelp,
+		func() uint64 { return ic.Misses }, lab(telemetry.L("cache", "icache"))...)
+	r.Sample("memsys_cache_accesses_total", accHelp,
+		func() uint64 { return dc.Accesses }, lab(telemetry.L("cache", "dcache"))...)
+	r.Sample("memsys_cache_misses_total", missHelp,
+		func() uint64 { return dc.Misses }, lab(telemetry.L("cache", "dcache"))...)
+	r.Sample("memsys_wb_writes_total", "stores entering the write buffer",
+		func() uint64 { return wb.Writes }, labels...)
+	return r.Histogram("memsys_wb_stall_cycles",
+		"write-buffer-full stall lengths in cycles (the liv error source, §5.1)",
+		labels...)
+}
+
+// RegisterMetrics registers the execution-driven model's series:
+// cache hit/miss counts, stall cycles by category, kernel/user
+// instruction split, and a write-buffer stall histogram.
+func (t *Timing) RegisterMetrics(r *telemetry.Registry, labels ...telemetry.Label) {
+	if r == nil {
+		return
+	}
+	t.wbStallHist = registerCacheWB(r, t.IC, t.DC, t.WB, labels)
+	lab := func(extra ...telemetry.Label) []telemetry.Label {
+		return append(extra, labels...)
+	}
+	const stallHelp = "memory-system stall cycles by category"
+	for _, sc := range []struct {
+		kind string
+		v    *uint64
+	}{
+		{"icache", &t.ICacheStalls}, {"dcache", &t.DCacheStalls},
+		{"write_buffer", &t.WBStalls}, {"uncached", &t.UncachedStalls},
+		{"fp", &t.FPStalls}, {"exception", &t.ExcStalls},
+	} {
+		v := sc.v
+		r.Sample("memsys_stall_cycles_total", stallHelp,
+			func() uint64 { return *v }, lab(telemetry.L("kind", sc.kind))...)
+	}
+	const instrHelp = "instructions observed by the execution-driven model, by mode"
+	r.Sample("memsys_instructions_total", instrHelp,
+		func() uint64 { return t.KernelInstr }, lab(telemetry.L("mode", "kernel"))...)
+	r.Sample("memsys_instructions_total", instrHelp,
+		func() uint64 { return t.UserInstr }, lab(telemetry.L("mode", "user"))...)
+}
+
+// RegisterMetrics registers the trace-driven simulator's series: cache
+// and TLB hit/miss counts, stall cycles by category, synthesized
+// instruction counts, and a write-buffer stall histogram.
+func (s *TraceSim) RegisterMetrics(r *telemetry.Registry, labels ...telemetry.Label) {
+	if r == nil {
+		return
+	}
+	s.wbStallHist = registerCacheWB(r, s.IC, s.DC, s.WB, labels)
+	lab := func(extra ...telemetry.Label) []telemetry.Label {
+		return append(extra, labels...)
+	}
+	const stallHelp = "memory-system stall cycles by category"
+	for _, sc := range []struct {
+		kind string
+		v    *uint64
+	}{
+		{"icache", &s.ICacheStalls}, {"dcache", &s.DCacheStalls},
+		{"write_buffer", &s.WBStalls}, {"uncached", &s.UncachedStalls},
+	} {
+		v := sc.v
+		r.Sample("memsys_stall_cycles_total", stallHelp,
+			func() uint64 { return *v }, lab(telemetry.L("kind", sc.kind))...)
+	}
+	r.Sample("memsys_tlb_accesses_total", "simulated TLB lookups",
+		func() uint64 { return s.TLB.Accesses }, labels...)
+	r.Sample("memsys_tlb_misses_total",
+		"simulated TLB misses (synthesize the UTLB handler, §4.1; Table 3 predicted)",
+		func() uint64 { return s.TLB.Misses }, labels...)
+	r.Sample("memsys_sim_instructions_total",
+		"instructions replayed by the trace-driven simulator (incl. synthesized handler)",
+		func() uint64 { return s.Instr }, labels...)
+	r.Sample("memsys_sim_idle_instructions_total",
+		"idle-loop instructions replayed (scaled by IdleScale for I/O stalls)",
+		func() uint64 { return s.IdleInstr }, labels...)
+}

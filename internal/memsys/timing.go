@@ -1,6 +1,9 @@
 package memsys
 
-import "systrace/internal/cpu"
+import (
+	"systrace/internal/cpu"
+	"systrace/internal/telemetry"
+)
 
 // Timing is the execution-driven machine model: attached as a
 // cpu.Observer it sees every reference with its real physical address
@@ -31,6 +34,10 @@ type Timing struct {
 	UserInstr    uint64
 	KernelStalls uint64
 	UserStalls   uint64
+
+	// wbStallHist, when registered, observes the length of each
+	// write-buffer stall (nil-safe; plain adds).
+	wbStallHist *telemetry.Histogram
 }
 
 var _ cpu.Observer = (*Timing)(nil)
@@ -105,6 +112,7 @@ func (t *Timing) Store(va, pa uint32, size int, kernel, cached bool) {
 	if s := t.WB.Write(t.now()); s > 0 {
 		t.WBStalls += s
 		t.charge(s, kernel)
+		t.wbStallHist.Observe(s)
 	}
 }
 

@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"systrace/internal/cpu"
+	"systrace/internal/telemetry"
 	"systrace/internal/trace"
 )
 
@@ -39,6 +40,10 @@ type TraceSim struct {
 	// kseg2 (page-table) pages get frames from the same pool under a
 	// reserved ASID.
 	kseg2ASID uint32
+
+	// wbStallHist, when registered, observes the length of each
+	// write-buffer stall (nil-safe; plain adds).
+	wbStallHist *telemetry.Histogram
 }
 
 // NewTraceSim builds the analysis-side simulator. nframe bounds the
@@ -140,7 +145,10 @@ func (s *TraceSim) Event(ev trace.Event) {
 			return
 		}
 		s.DC.Update(pa)
-		s.WBStalls += s.WB.Write(s.now())
+		if st := s.WB.Write(s.now()); st > 0 {
+			s.WBStalls += st
+			s.wbStallHist.Observe(st)
+		}
 	}
 }
 

@@ -1,0 +1,20 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON renders the snapshot as an indented JSON document:
+// {"metrics":[{"name":...,"labels":{...},"kind":...,"value":...},...]}.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON renders the registry's current state; see
+// Snapshot.WriteJSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}

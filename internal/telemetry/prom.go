@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// escapeLabel escapes a Prometheus label value: backslash, double
+// quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a Prometheus HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders {k="v",...} from an exported metric's label map,
+// in sorted key order; extra appends additional pairs (for le).
+func promLabels(m Metric, extra ...Label) string {
+	var ls []Label
+	for k, v := range m.Labels {
+		ls = append(ls, Label{k, v})
+	}
+	for i := 0; i < len(ls); i++ {
+		for j := i + 1; j < len(ls); j++ {
+			if ls[j].Key < ls[i].Key {
+				ls[i], ls[j] = ls[j], ls[i]
+			}
+		}
+	}
+	ls = append(ls, extra...)
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promValue formats a sample value: integral values render without an
+// exponent or trailing zeros.
+func promValue(v float64) string {
+	if v == float64(uint64(v)) && v >= 0 {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name, with
+// one HELP/TYPE header per family.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastFamily {
+			lastFamily = m.Name
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case "histogram":
+			for _, b := range m.Buckets {
+				_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name,
+					promLabels(m, L("le", strconv.FormatUint(b.Le, 10))), b.Count)
+				if err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name,
+				promLabels(m, L("le", "+Inf")), m.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, promLabels(m), m.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m), m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(m), promValue(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry's current state; see
+// Snapshot.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "a counter")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	// Registration is idempotent: same handle comes back.
+	if c2 := r.Counter("c_total", "a counter"); c2 != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	h := r.Histogram("h", "a histogram")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1010 {
+		t.Fatalf("hist count=%d sum=%d, want 6/1010", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	m, ok := snap.Get("h")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// Buckets are cumulative with empty buckets elided:
+	// 0 -> 1, 1 -> 2, 3 -> 4, 7 -> 5, 1023 -> 6.
+	want := []BucketCount{{0, 1}, {1, 2}, {3, 4}, {7, 5}, {1023, 6}}
+	if len(m.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", m.Buckets, want)
+	}
+	for i := range want {
+		if m.Buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, m.Buckets[i], want[i])
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Add(1)
+	c.Inc()
+	r.Gauge("g", "").Set(1)
+	r.Histogram("h", "").Observe(1)
+	r.Sample("s", "", func() uint64 { return 0 })
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	if n := len(r.Snapshot().Metrics); n != 0 {
+		t.Fatalf("nil registry snapshot has %d metrics", n)
+	}
+}
+
+func TestSampledCounter(t *testing.T) {
+	r := New()
+	v := uint64(7)
+	r.Sample("ext_total", "sampled", func() uint64 { return v })
+	v = 42
+	m, ok := r.Snapshot().Get("ext_total")
+	if !ok || m.Value != 42 {
+		t.Fatalf("sampled = %+v ok=%v, want value 42", m, ok)
+	}
+}
+
+// TestHotPathAllocs is the hard guarantee behind instrumenting the
+// interpreter loop: recording into pre-registered handles never
+// allocates.
+func TestHotPathAllocs(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("count mismatch")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench_hist", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+// TestPrometheusGolden pins the text exposition output: family
+// ordering (sorted by name), label ordering (sorted by key), one
+// HELP/TYPE per family, histogram bucket/sum/count lines, and
+// help/label escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("zz_total", "last family", L("b", "2"), L("a", "1")).Add(9)
+	r.Counter("aa_total", `help with \ backslash
+and newline`).Add(1)
+	r.Gauge("mid_gauge", "a gauge", L("q", `quote " slash \`)).Set(1.25)
+	h := r.Histogram("hist_words", "flush sizes")
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(3)
+	r.Counter("aa_total", "help with more", L("k", "v")).Add(5)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total help with \\ backslash\nand newline
+# TYPE aa_total counter
+aa_total 1
+aa_total{k="v"} 5
+# HELP hist_words flush sizes
+# TYPE hist_words histogram
+hist_words_bucket{le="0"} 1
+hist_words_bucket{le="3"} 3
+hist_words_bucket{le="+Inf"} 3
+hist_words_sum 6
+hist_words_count 3
+# HELP mid_gauge a gauge
+# TYPE mid_gauge gauge
+mid_gauge{q="quote \" slash \\"} 1.25
+# HELP zz_total last family
+# TYPE zz_total counter
+zz_total{a="1",b="2"} 9
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "counts", L("run", "traced")).Add(11)
+	r.Histogram("h", "sizes").Observe(100)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Kind   string            `json:"kind"`
+			Value  float64           `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(doc.Metrics))
+	}
+	if doc.Metrics[0].Name != "c_total" || doc.Metrics[0].Value != 11 ||
+		doc.Metrics[0].Labels["run"] != "traced" {
+		t.Fatalf("unexpected first metric: %+v", doc.Metrics[0])
+	}
+	if !strings.Contains(b.String(), `"kind": "histogram"`) {
+		t.Fatal("histogram kind missing from JSON")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := New()
+	r.Counter("x_total", "")
+	r.Gauge("x_total", "")
+}

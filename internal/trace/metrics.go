@@ -1,0 +1,40 @@
+package trace
+
+import "systrace/internal/telemetry"
+
+// RegisterMetrics registers sampled telemetry series over the parser's
+// statistics: raw words consumed, reconstructed events by kind, the
+// control-marker mix, and the mode-switch dirt (failed side-table
+// lookups during resynchronization, §4.3). Values are read at snapshot
+// time; the parsing loop is untouched.
+func (p *Parser) RegisterMetrics(r *telemetry.Registry, labels ...telemetry.Label) {
+	lab := func(extra ...telemetry.Label) []telemetry.Label {
+		return append(extra, labels...)
+	}
+	r.Sample("trace_words_parsed_total", "raw trace words consumed by the parser",
+		func() uint64 { return p.Words }, labels...)
+	r.Sample("trace_records_total", "basic-block records resolved through the side table",
+		func() uint64 { return p.Records }, labels...)
+	const evHelp = "reconstructed reference-stream events by kind"
+	r.Sample("trace_events_total", evHelp,
+		func() uint64 { return p.Fetches }, lab(telemetry.L("kind", "fetch"))...)
+	r.Sample("trace_events_total", evHelp,
+		func() uint64 { return p.MemRefs }, lab(telemetry.L("kind", "memref"))...)
+	r.Sample("trace_markers_total", "control markers consumed",
+		func() uint64 { return p.Markers }, labels...)
+	r.Sample("trace_ctx_switches_total", "context-switch markers",
+		func() uint64 { return p.CtxSws }, labels...)
+	r.Sample("trace_mode_switches_total", "generation→analysis markers",
+		func() uint64 { return p.ModeSws }, labels...)
+	r.Sample("trace_proc_exits_total", "process-exit markers",
+		func() uint64 { return p.ProcExits }, labels...)
+	r.Sample("trace_sidetable_misses_total",
+		"words skipped during mode-switch resync: failed side-table lookups (§4.3 dirt)",
+		func() uint64 { return p.DirtWords }, labels...)
+	r.Sample("trace_idle_instructions_total",
+		"idle-loop instructions reconstructed (the §4.1 I/O-delay estimator)",
+		func() uint64 { return p.IdleInstr }, labels...)
+	r.Sample("trace_max_exception_depth",
+		"deepest nested-exception stack observed while parsing",
+		func() uint64 { return uint64(p.MaxDepth) }, labels...)
+}

@@ -155,11 +155,17 @@ type Parser struct {
 	CountedInst uint64
 
 	// Statistics.
+	Words   uint64 // raw trace words consumed
 	Records uint64
 	MemRefs uint64
+	Fetches uint64 // instruction-fetch events reconstructed
 	Markers uint64
 	ModeSws uint64
 	CtxSws  uint64
+	// DirtWords counts words skipped while resynchronizing after a
+	// mode switch: side-table lookups that failed on the orphan tail
+	// of an interrupted block (the §4.3 "dirt").
+	DirtWords uint64
 	// ProcExits counts MarkProcExit markers; after one, records in
 	// that process's address space are no longer parseable (its side
 	// table is dropped, as the kernel drops its trace pages).
@@ -226,6 +232,7 @@ func (p *Parser) table() *SideTable {
 // phase with the same Parser to preserve pending block state across
 // buffer flush boundaries.
 func (p *Parser) Parse(words []uint32, out []Event) ([]Event, error) {
+	p.Words += uint64(len(words))
 	for i, w := range words {
 		if IsMarker(w) {
 			p.Markers++
@@ -237,6 +244,7 @@ func (p *Parser) Parse(words []uint32, out []Event) ([]Event, error) {
 		if p.resync {
 			t := p.table()
 			if t == nil || t.Lookup(w) == nil {
+				p.DirtWords++
 				continue // still dirt
 			}
 			p.resync = false
@@ -323,6 +331,7 @@ func (p *Parser) event(k EventKind, addr uint32, size int8, s *blockState) Event
 func (p *Parser) emitFetch(out []Event, s *blockState) []Event {
 	ev := p.event(EvIFetch, s.block.OrigAddr+uint32(s.instrAt)*4, 4, s)
 	s.instrAt++
+	p.Fetches++
 	if ev.Idle {
 		p.IdleInstr++
 	}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, tests. Everything must pass
+# before a change lands. Run from the repo root (or via `make check`).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "tier-1 gate: OK"

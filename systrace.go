@@ -41,6 +41,7 @@ import (
 	"systrace/internal/memsys"
 	"systrace/internal/obj"
 	"systrace/internal/pixie"
+	"systrace/internal/telemetry"
 	"systrace/internal/trace"
 	"systrace/internal/userland"
 	"systrace/internal/workload"
@@ -83,6 +84,13 @@ type (
 	Measured = experiment.Measured
 	// Predicted is a trace-driven prediction.
 	Predicted = experiment.Predicted
+	// Distortion is the self-measurement dashboard: how much tracing
+	// perturbs the traced system (§4).
+	Distortion = experiment.Distortion
+	// Registry is the telemetry metrics registry.
+	Registry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a Registry's series.
+	MetricsSnapshot = telemetry.Snapshot
 	// Workload describes one Table-1 program.
 	Workload = workload.Spec
 )
@@ -161,6 +169,18 @@ func Measure(spec Workload, flavor Flavor, seed uint32) (*Measured, error) {
 // paper's prediction side).
 func Predict(spec Workload, flavor Flavor, seed uint32) (*Predicted, error) {
 	return experiment.Predict(spec, flavor, seed)
+}
+
+// NewRegistry builds an empty telemetry registry; pass it to Distort
+// (or the subsystems' RegisterMetrics methods) and export it with
+// WritePrometheus or WriteJSON.
+func NewRegistry() *Registry { return telemetry.New() }
+
+// Distort runs the workload untraced and traced, computes the §4
+// distortion factors, and (when reg is non-nil) registers every
+// subsystem's series plus the dashboard gauges on it.
+func Distort(spec Workload, flavor Flavor, seed uint32, reg *Registry) (*Distortion, error) {
+	return experiment.Distort(spec, flavor, seed, reg)
 }
 
 // Instrument rewrites object files with epoxie and links original and
