@@ -213,8 +213,110 @@ func BenchmarkDefensiveTracing(b *testing.B) {
 	_ = pred
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		detected, total := experiment.CorruptionDetection(spec)
+		detected, total, err := experiment.CorruptionDetection(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(float64(detected)/float64(total)*100, "detect%")
 	}
 	_ = trace.MarkerBase
+}
+
+// suite runs a multi-table slice of the evaluation (the run sets of
+// Table 1/2/3, Figure 3, the dilation study, the error anatomy, and
+// the CPI probe all overlap) through one Runner.
+func suite(b *testing.B, r *experiment.Runner, specs []workload.Spec) {
+	b.Helper()
+	if _, err := r.Table1(specs); err != nil {
+		b.Fatal(err)
+	}
+	t2, err := r.Table2(specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = experiment.Figure3(t2)
+	if _, err := r.Table3(specs); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.TimeDilation(specs); err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	if _, err := r.ErrorSources(names); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.KernelCPI(specs[0]); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSuite measures the orchestrator's effect on the evaluation:
+// "naive" re-creates a Runner per table at one worker (the historical
+// cost, every table re-simulating its own runs), "j1" shares one
+// memoizing Runner serially, "j4" adds a 4-worker pool. Results land
+// in BENCH_runner.json.
+func BenchmarkSuite(b *testing.B) {
+	specs := benchSpecs(b, "sed", "lisp")
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh 1-worker Runner per table: no sharing across
+			// tables, no parallelism — the pre-orchestrator behavior.
+			suiteNaive(b, specs)
+		}
+	})
+	b.Run("j1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := experiment.NewRunner(1)
+			suite(b, r, specs)
+			reportDedup(b, r)
+		}
+	})
+	b.Run("j4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := experiment.NewRunner(4)
+			suite(b, r, specs)
+			reportDedup(b, r)
+		}
+	})
+}
+
+// suiteNaive is the same slice of the evaluation with a fresh
+// single-worker Runner per table: no result sharing, no parallelism —
+// what each package-level table function did before the orchestrator.
+func suiteNaive(b *testing.B, specs []workload.Spec) {
+	b.Helper()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	if _, err := experiment.NewRunner(1).Table1(specs); err != nil {
+		b.Fatal(err)
+	}
+	t2, err := experiment.NewRunner(1).Table2(specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = experiment.Figure3(t2)
+	if _, err := experiment.NewRunner(1).Table3(specs); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiment.NewRunner(1).TimeDilation(specs); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiment.NewRunner(1).ErrorSources(names); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiment.NewRunner(1).KernelCPI(specs[0]); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func reportDedup(b *testing.B, r *experiment.Runner) {
+	b.Helper()
+	s := r.Stats()
+	b.ReportMetric(float64(s.Executed), "runs")
+	b.ReportMetric(float64(s.Deduplicated()), "memoized")
 }

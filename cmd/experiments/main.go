@@ -21,7 +21,13 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run a 4-workload subset")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. table2,figure3)")
+	jobs := flag.Int("j", 0, "max simulations in flight (default GOMAXPROCS)")
 	flag.Parse()
+
+	// One orchestrator for the whole suite: tables that share runs
+	// (table2/table3, table1/dilation/cpi, figure1/dilation, errors)
+	// pay for each unique simulation exactly once.
+	runner := experiment.NewRunner(*jobs)
 
 	specs := workload.All()
 	if *quick {
@@ -43,7 +49,7 @@ func main() {
 
 	if run("figure1") {
 		fmt.Println("== Figure 1: tracing system overview (one traced run) ==")
-		pred, err := experiment.Predict(specs[0], kernel.Ultrix, 1)
+		pred, err := runner.Predict(specs[0], kernel.Ultrix, 1)
 		die(err)
 		fmt.Printf("workload %s: %d trace words drained over %d analysis phases;\n",
 			pred.Name, pred.TraceWords, pred.ModeSwitches)
@@ -59,7 +65,7 @@ func main() {
 
 	if run("table1") {
 		fmt.Println("== Table 1: experimental workloads ==")
-		rows, err := experiment.Table1(specs)
+		rows, err := runner.Table1(specs)
 		die(err)
 		var cells [][]string
 		for _, r := range rows {
@@ -74,7 +80,7 @@ func main() {
 	if run("table2") || run("figure3") {
 		fmt.Println("== Table 2: run times, measured and predicted (seconds) ==")
 		var err error
-		t2, err = experiment.Table2(specs)
+		t2, err = runner.Table2(specs)
 		die(err)
 		var cells [][]string
 		for _, r := range t2 {
@@ -98,7 +104,7 @@ func main() {
 
 	if run("table3") {
 		fmt.Println("== Table 3: TLB misses, measured and predicted ==")
-		rows, err := experiment.Table3(specs)
+		rows, err := runner.Table3(specs)
 		die(err)
 		var cells [][]string
 		for _, r := range rows {
@@ -126,7 +132,7 @@ func main() {
 
 	if run("dilation") {
 		fmt.Println("== E8: time dilation (traced/untraced slowdown) ==")
-		rows, err := experiment.TimeDilation(pick("sed", "lisp"))
+		rows, err := runner.TimeDilation(pick("sed", "lisp"))
 		die(err)
 		for _, r := range rows {
 			fmt.Printf("%-10s untraced %9d instr, traced %10d instr: %.1fx (clock %d -> %d cycles)\n",
@@ -150,7 +156,7 @@ func main() {
 	if run("cpi") {
 		fmt.Println("== E10: kernel vs user CPI (the Tunix observation) ==")
 		spec, _ := workload.ByName("sed")
-		res, err := experiment.KernelCPI(spec)
+		res, err := runner.KernelCPI(spec)
 		die(err)
 		fmt.Printf("kernel CPI %.2f, user CPI %.2f, ratio %.2f (kernel %d / user %d instructions)\n\n",
 			res.KernelCPI, res.UserCPI, res.Ratio, res.KernelInstr, res.UserInstr)
@@ -159,7 +165,7 @@ func main() {
 	if run("variance") {
 		fmt.Println("== E11: page-mapping variance under Mach's random policy ==")
 		spec, _ := workload.ByName("tomcatv")
-		res, err := experiment.PageMappingVariance(spec, []uint32{3, 17, 91, 1234, 5555})
+		res, err := runner.PageMappingVariance(spec, []uint32{3, 17, 91, 1234, 5555})
 		die(err)
 		fmt.Printf("tomcatv times: %v\n", res.Times)
 		fmt.Printf("spread %.1f%% with system activity only %.1f%% of instructions\n\n",
@@ -168,7 +174,7 @@ func main() {
 
 	if run("errors") {
 		fmt.Println("== E12: error anatomy for the paper's outliers ==")
-		rows, err := experiment.ErrorSources([]string{"sed", "compress", "liv"})
+		rows, err := runner.ErrorSources([]string{"sed", "compress", "liv"})
 		die(err)
 		for _, r := range rows {
 			fmt.Printf("%-10s meas %.4fs pred %.4fs err %+5.1f%%  io-est %.4fs  fp-overlap %d cyc  wb-stalls %d cyc\n",
@@ -176,6 +182,20 @@ func main() {
 				r.IOStallsSec, r.FPOverlapCycles, r.WBStallCycles)
 		}
 		fmt.Println()
+	}
+
+	if run("corruption") {
+		fmt.Println("== E13: trace corruption detection (§4.3 redundancy) ==")
+		spec, _ := workload.ByName("sed")
+		detected, total, err := experiment.CorruptionDetection(spec)
+		die(err)
+		fmt.Printf("%d of %d single-word corruptions rejected by the parsing library (%.1f%%)\n\n",
+			detected, total, float64(detected)/float64(total)*100)
+	}
+
+	if s := runner.Stats(); s.Requested > 0 {
+		fmt.Printf("runner: %d runs requested, %d unique simulations executed (%d served from memo), %d workers\n",
+			s.Requested, s.Executed, s.Deduplicated(), s.Workers)
 	}
 }
 

@@ -33,55 +33,60 @@ const IdleScale = 15
 // Budget bounds one simulated run.
 const runBudget = 6_000_000_000
 
-// build caching: kernels and programs are deterministic.
+// Build caching: kernels, programs, and the pixie arithmetic-stall
+// runs are deterministic, so each is produced once and shared
+// read-only by every System booted afterwards. A build takes seconds,
+// so the table lock is never held across one: each cache entry carries
+// its own sync.Once — concurrent callers for the same key wait on the
+// entry while builds for different keys proceed in parallel on the
+// Runner's worker pool.
+type buildEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
 var (
-	cacheMu sync.Mutex
-	kcache  = map[string]*obj.Executable{}
-	pcache  = map[string]*userland.Program{}
-	svcache *userland.Program
+	cacheMu    sync.Mutex // guards the cache maps only, never a build
+	kcache     = map[string]*buildEntry[*obj.Executable]{}
+	pcache     = map[string]*buildEntry[*userland.Program]{}
+	svcache    buildEntry[*userland.Program]
+	arithCache = map[string]*buildEntry[uint64]{}
 )
 
-func kernelExe(flavor kernel.Flavor, traced bool) (*obj.Executable, error) {
+// cacheEntry finds or inserts the entry for key under cacheMu.
+func cacheEntry[T any](m map[string]*buildEntry[T], key string) *buildEntry[T] {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
-	key := fmt.Sprintf("%v-%v", flavor, traced)
-	if e, ok := kcache[key]; ok {
-		return e, nil
+	e, ok := m[key]
+	if !ok {
+		e = &buildEntry[T]{}
+		m[key] = e
 	}
-	e, err := kernel.Build(kernel.Config{Flavor: flavor, Traced: traced})
-	if err != nil {
-		return nil, err
-	}
-	kcache[key] = e
-	return e, nil
+	return e
+}
+
+func kernelExe(flavor kernel.Flavor, traced bool) (*obj.Executable, error) {
+	e := cacheEntry(kcache, fmt.Sprintf("%v-%v", flavor, traced))
+	e.once.Do(func() {
+		e.val, e.err = kernel.Build(kernel.Config{Flavor: flavor, Traced: traced})
+	})
+	return e.val, e.err
 }
 
 func program(spec workload.Spec) (*userland.Program, error) {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if p, ok := pcache[spec.Name]; ok {
-		return p, nil
-	}
-	p, err := userland.Build(spec.Name, []*m.Module{spec.Build()}, m.Options{})
-	if err != nil {
-		return nil, err
-	}
-	pcache[spec.Name] = p
-	return p, nil
+	e := cacheEntry(pcache, spec.Name)
+	e.once.Do(func() {
+		e.val, e.err = userland.Build(spec.Name, []*m.Module{spec.Build()}, m.Options{})
+	})
+	return e.val, e.err
 }
 
 func server() (*userland.Program, error) {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if svcache != nil {
-		return svcache, nil
-	}
-	p, err := userland.Build("ux", []*m.Module{userland.UXServer()}, m.Options{})
-	if err != nil {
-		return nil, err
-	}
-	svcache = p
-	return p, nil
+	svcache.once.Do(func() {
+		svcache.val, svcache.err = userland.Build("ux", []*m.Module{userland.UXServer()}, m.Options{})
+	})
+	return svcache.val, svcache.err
 }
 
 // boot assembles a system for one workload.
@@ -155,20 +160,22 @@ func Measure(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Measured, 
 }
 
 // MeasureT is Measure with the run's subsystems registered on reg
-// (which may be nil) under a run="untraced" label.
+// (which may be nil) under a run="untraced" label plus any extra
+// labels (the Runner adds a run-id dimension here so concurrent runs'
+// series stay distinct).
 func MeasureT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
-	reg *telemetry.Registry) (*Measured, error) {
+	reg *telemetry.Registry, extra ...telemetry.Label) (*Measured, error) {
 	sys, pid, err := boot(spec, flavor, false, seed, nil)
 	if err != nil {
 		return nil, err
 	}
 	tm := memsys.NewTiming(memsys.DECstation5000())
 	sys.M.AttachTiming(tm, tm)
-	run := telemetry.L("run", "untraced")
-	sys.M.CPU.RegisterMetrics(reg, run)
-	sys.M.RegisterMetrics(reg, run)
-	sys.AttachTelemetry(reg, run)
-	tm.RegisterMetrics(reg, run)
+	labels := append([]telemetry.Label{telemetry.L("run", "untraced")}, extra...)
+	sys.M.CPU.RegisterMetrics(reg, labels...)
+	sys.M.RegisterMetrics(reg, labels...)
+	sys.AttachTelemetry(reg, labels...)
+	tm.RegisterMetrics(reg, labels...)
 	if err := sys.Run(runBudget); err != nil {
 		return nil, fmt.Errorf("measure %s/%v: %w", spec.Name, flavor, err)
 	}
@@ -221,9 +228,10 @@ func Predict(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Predicted,
 
 // PredictT is Predict with the run's subsystems — traced machine,
 // kernel trace driver, parser, and analysis-side simulator —
-// registered on reg (which may be nil) under a run="traced" label.
+// registered on reg (which may be nil) under a run="traced" label plus
+// any extra labels (see MeasureT).
 func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
-	reg *telemetry.Registry) (*Predicted, error) {
+	reg *telemetry.Registry, extra ...telemetry.Label) (*Predicted, error) {
 	sys, pid, err := boot(spec, flavor, true, seed, nil)
 	if err != nil {
 		return nil, err
@@ -243,12 +251,12 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	sim := memsys.NewTraceSim(memsys.DECstation5000(), policy,
 		kernel.DefaultBoot(flavor).RAMBytes>>12, seed)
 
-	run := telemetry.L("run", "traced")
-	sys.M.CPU.RegisterMetrics(reg, run)
-	sys.M.RegisterMetrics(reg, run)
-	sys.AttachTelemetry(reg, run)
-	p.RegisterMetrics(reg, run)
-	sim.RegisterMetrics(reg, run)
+	labels := append([]telemetry.Label{telemetry.L("run", "traced")}, extra...)
+	sys.M.CPU.RegisterMetrics(reg, labels...)
+	sys.M.RegisterMetrics(reg, labels...)
+	sys.AttachTelemetry(reg, labels...)
+	p.RegisterMetrics(reg, labels...)
+	sim.RegisterMetrics(reg, labels...)
 
 	var events uint64
 	var perr error
@@ -303,11 +311,23 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	}, nil
 }
 
-// arithStalls runs the pixie basic-block counting binary and charges
-// each block's floating-point latency by its execution count — "Pixie
-// was used to estimate arithmetic stalls, as the tracing system does
-// not measure these events" (§5.1).
+// arithStalls returns the pixie arithmetic-stall estimate for the
+// workload, memoized per (workload, flavor): the count-mode run is
+// deterministic and both systems' predictions charge the same term, so
+// the suite performs it once.
 func arithStalls(spec workload.Spec, flavor kernel.Flavor) (uint64, error) {
+	e := cacheEntry(arithCache, fmt.Sprintf("%s-%v", spec.Name, flavor))
+	e.once.Do(func() {
+		e.val, e.err = runArithStalls(spec, flavor)
+	})
+	return e.val, e.err
+}
+
+// runArithStalls runs the pixie basic-block counting binary and
+// charges each block's floating-point latency by its execution count —
+// "Pixie was used to estimate arithmetic stalls, as the tracing system
+// does not measure these events" (§5.1).
+func runArithStalls(spec workload.Spec, flavor kernel.Flavor) (uint64, error) {
 	prog, err := program(spec)
 	if err != nil {
 		return 0, err

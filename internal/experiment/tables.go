@@ -39,12 +39,26 @@ type Table1Row struct {
 	Instr       uint64
 }
 
+// bothSystems is the paper's system pair, in its column order.
+var bothSystems = []kernel.Flavor{kernel.Mach, kernel.Ultrix}
+
 // Table1 runs the untraced suite on the Ultrix-like system and reports
 // the workload inventory with execution times.
 func Table1(specs []workload.Spec) ([]Table1Row, error) {
+	return NewRunner(0).Table1(specs)
+}
+
+// Table1 generates the workload inventory from the Runner's shared
+// results: the run set is submitted up front, so distinct runs
+// simulate in parallel and anything another table already requested is
+// served from the memo.
+func (r *Runner) Table1(specs []workload.Spec) ([]Table1Row, error) {
+	for _, s := range specs {
+		r.StartMeasure(s, kernel.Ultrix, 1)
+	}
 	var rows []Table1Row
 	for _, s := range specs {
-		meas, err := Measure(s, kernel.Ultrix, 1)
+		meas, err := r.Measure(s, kernel.Ultrix, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -63,15 +77,28 @@ type Table2Row struct {
 // Table2 reproduces the run-time validation: measured and predicted
 // execution times for both systems.
 func Table2(specs []workload.Spec) ([]Table2Row, error) {
+	return NewRunner(0).Table2(specs)
+}
+
+// Table2 generates the run-time validation from the Runner's shared
+// results. Its run set is identical to Table3's, so whichever runs
+// second costs nothing.
+func (r *Runner) Table2(specs []workload.Spec) ([]Table2Row, error) {
+	for _, s := range specs {
+		for _, fl := range bothSystems {
+			r.StartMeasure(s, fl, 1)
+			r.StartPredict(s, fl, 2)
+		}
+	}
 	var rows []Table2Row
 	for _, s := range specs {
 		row := Table2Row{Name: s.Name}
-		for _, fl := range []kernel.Flavor{kernel.Mach, kernel.Ultrix} {
-			meas, err := Measure(s, fl, 1)
+		for _, fl := range bothSystems {
+			meas, err := r.Measure(s, fl, 1)
 			if err != nil {
 				return nil, err
 			}
-			pred, err := Predict(s, fl, 2)
+			pred, err := r.Predict(s, fl, 2)
 			if err != nil {
 				return nil, err
 			}
@@ -110,15 +137,27 @@ type Table3Row struct {
 
 // Table3 reproduces the user-TLB-miss validation.
 func Table3(specs []workload.Spec) ([]Table3Row, error) {
+	return NewRunner(0).Table3(specs)
+}
+
+// Table3 generates the TLB-miss validation from the Runner's shared
+// results; the run set is Table2's, so a suite pays for it once.
+func (r *Runner) Table3(specs []workload.Spec) ([]Table3Row, error) {
+	for _, s := range specs {
+		for _, fl := range bothSystems {
+			r.StartMeasure(s, fl, 1)
+			r.StartPredict(s, fl, 2)
+		}
+	}
 	var rows []Table3Row
 	for _, s := range specs {
 		row := Table3Row{Name: s.Name}
-		for _, fl := range []kernel.Flavor{kernel.Mach, kernel.Ultrix} {
-			meas, err := Measure(s, fl, 1)
+		for _, fl := range bothSystems {
+			meas, err := r.Measure(s, fl, 1)
 			if err != nil {
 				return nil, err
 			}
-			pred, err := Predict(s, fl, 2)
+			pred, err := r.Predict(s, fl, 2)
 			if err != nil {
 				return nil, err
 			}
@@ -210,13 +249,23 @@ type DilationRow struct {
 // "about fifteen times more slowly", and the clock is retuned to
 // match.
 func TimeDilation(specs []workload.Spec) ([]DilationRow, error) {
+	return NewRunner(0).TimeDilation(specs)
+}
+
+// TimeDilation generates the §4.1 dilation rows from the Runner's
+// shared results (the measurements are Table1's).
+func (r *Runner) TimeDilation(specs []workload.Spec) ([]DilationRow, error) {
+	for _, s := range specs {
+		r.StartMeasure(s, kernel.Ultrix, 1)
+		r.StartPredict(s, kernel.Ultrix, 1)
+	}
 	var rows []DilationRow
 	for _, s := range specs {
-		meas, err := Measure(s, kernel.Ultrix, 1)
+		meas, err := r.Measure(s, kernel.Ultrix, 1)
 		if err != nil {
 			return nil, err
 		}
-		pred, err := Predict(s, kernel.Ultrix, 1)
+		pred, err := r.Predict(s, kernel.Ultrix, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -293,28 +342,34 @@ type CPIResult struct {
 
 // KernelCPI measures CPI by mode on a system-call-heavy workload.
 func KernelCPI(spec workload.Spec) (*CPIResult, error) {
-	meas, err := Measure(spec, kernel.Ultrix, 1)
+	return NewRunner(0).KernelCPI(spec)
+}
+
+// KernelCPI derives the CPI-by-mode result from the Runner's shared
+// measurement (the same run Table1 reports).
+func (r *Runner) KernelCPI(spec workload.Spec) (*CPIResult, error) {
+	meas, err := r.Measure(spec, kernel.Ultrix, 1)
 	if err != nil {
 		return nil, err
 	}
 	t := meas.Timing
-	r := &CPIResult{
+	res := &CPIResult{
 		KernelCPI:   t.KernelCPI(),
 		UserCPI:     t.UserCPI(),
 		KernelInstr: t.KernelInstr,
 		UserInstr:   t.UserInstr,
 	}
-	if r.UserCPI > 0 {
-		r.Ratio = r.KernelCPI / r.UserCPI
+	if res.UserCPI > 0 {
+		res.Ratio = res.KernelCPI / res.UserCPI
 	}
-	return r, nil
+	return res, nil
 }
 
 // VarianceResult reports the §4.4 page-mapping repeatability hazard.
 type VarianceResult struct {
 	Times          []float64
 	SpreadPercent  float64 // (max-min)/min * 100
-	SystemFraction float64 // kernel instructions / total
+	SystemFraction float64 // kernel instructions / total, mean over seeds
 }
 
 // PageMappingVariance runs the workload under the Mach-like system
@@ -322,18 +377,31 @@ type VarianceResult struct {
 // virtual-to-physical page selection can cause execution time to vary
 // by over 10%" while system activity is only ~1% (§4.4).
 func PageMappingVariance(spec workload.Spec, seeds []uint32) (*VarianceResult, error) {
+	return NewRunner(0).PageMappingVariance(spec, seeds)
+}
+
+// PageMappingVariance generates the §4.4 variance study from the
+// Runner's shared results; the per-seed runs simulate in parallel.
+func (r *Runner) PageMappingVariance(spec workload.Spec, seeds []uint32) (*VarianceResult, error) {
+	for _, seed := range seeds {
+		r.StartMeasure(spec, kernel.Mach, seed)
+	}
 	res := &VarianceResult{}
 	lo, hi := math.Inf(1), math.Inf(-1)
+	var fracSum float64
 	for _, seed := range seeds {
-		meas, err := Measure(spec, kernel.Mach, seed)
+		meas, err := r.Measure(spec, kernel.Mach, seed)
 		if err != nil {
 			return nil, err
 		}
 		res.Times = append(res.Times, meas.Seconds)
 		lo = math.Min(lo, meas.Seconds)
 		hi = math.Max(hi, meas.Seconds)
-		res.SystemFraction = float64(meas.Timing.KernelInstr) /
+		fracSum += float64(meas.Timing.KernelInstr) /
 			float64(meas.Timing.KernelInstr+meas.Timing.UserInstr)
+	}
+	if len(seeds) > 0 {
+		res.SystemFraction = fracSum / float64(len(seeds))
 	}
 	if lo > 0 {
 		res.SpreadPercent = (hi - lo) / lo * 100
@@ -355,17 +423,30 @@ type ErrorAnatomy struct {
 // ErrorSources explains the error structure for the paper's three
 // outliers (sed, compress, liv).
 func ErrorSources(names []string) ([]ErrorAnatomy, error) {
-	var out []ErrorAnatomy
+	return NewRunner(0).ErrorSources(names)
+}
+
+// ErrorSources generates the §5.1 error anatomy from the Runner's
+// shared results (the same runs Table1 and Table2 report).
+func (r *Runner) ErrorSources(names []string) ([]ErrorAnatomy, error) {
+	specs := make([]workload.Spec, 0, len(names))
 	for _, n := range names {
 		spec, ok := workload.ByName(n)
 		if !ok {
 			return nil, fmt.Errorf("unknown workload %q", n)
 		}
-		meas, err := Measure(spec, kernel.Ultrix, 1)
+		specs = append(specs, spec)
+		r.StartMeasure(spec, kernel.Ultrix, 1)
+		r.StartPredict(spec, kernel.Ultrix, 2)
+	}
+	var out []ErrorAnatomy
+	for _, spec := range specs {
+		n := spec.Name
+		meas, err := r.Measure(spec, kernel.Ultrix, 1)
 		if err != nil {
 			return nil, err
 		}
-		pred, err := Predict(spec, kernel.Ultrix, 2)
+		pred, err := r.Predict(spec, kernel.Ultrix, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -409,10 +490,11 @@ func FormatTable(header []string, rows [][]string) string {
 		b.WriteByte('\n')
 	}
 	line(header)
-	for i := range header {
-		header[i] = strings.Repeat("-", w[i])
+	rule := make([]string, len(header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", w[i])
 	}
-	line(header)
+	line(rule)
 	for _, r := range rows {
 		line(r)
 	}
@@ -442,10 +524,10 @@ func Figure2() string {
 // first drained buffer of a traced run, overwrites each word in turn
 // with a bogus value, and counts how many corruptions the parsing
 // library rejects.
-func CorruptionDetection(spec workload.Spec) (detected, total int) {
+func CorruptionDetection(spec workload.Spec) (detected, total int, err error) {
 	sys, _, err := boot(spec, kernel.Ultrix, true, 1, nil)
 	if err != nil {
-		return 0, 1
+		return 0, 0, fmt.Errorf("corruption study: boot %s: %w", spec.Name, err)
 	}
 	var first []uint32
 	tables := map[int]*trace.SideTable{0: trace.NewSideTable(sys.Kernel.Instr.Blocks)}
@@ -459,7 +541,9 @@ func CorruptionDetection(spec workload.Spec) (detected, total int) {
 			first = append([]uint32(nil), words...)
 		}
 	}
-	_ = sys.Run(runBudget)
+	if err := sys.Run(runBudget); err != nil {
+		return 0, 0, fmt.Errorf("corruption study: run %s: %w", spec.Name, err)
+	}
 	if len(first) > 4096 {
 		first = first[:4096]
 	}
@@ -484,7 +568,7 @@ func CorruptionDetection(spec workload.Spec) (detected, total int) {
 		}
 	}
 	if total == 0 {
-		total = 1
+		return 0, 0, fmt.Errorf("corruption study: %s produced no trace words", spec.Name)
 	}
-	return detected, total
+	return detected, total, nil
 }

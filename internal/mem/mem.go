@@ -31,15 +31,17 @@ func (r *RAM) Bytes() []byte { return r.b }
 // Page returns the 4 KB frame containing p, or nil if out of range.
 func (r *RAM) Page(p uint32) []byte {
 	base := p &^ 4095
-	if base+4096 > uint32(len(r.b)) {
+	if uint64(base)+4096 > uint64(len(r.b)) {
 		return nil
 	}
 	return r.b[base : base+4096]
 }
 
-// Read returns the value of the size-byte field at p.
+// Read returns the value of the size-byte field at p. The bounds check
+// is done in 64 bits: p near the top of the address space must fail
+// cleanly, not wrap.
 func (r *RAM) Read(p uint32, size int) (uint32, bool) {
-	if p+uint32(size) > uint32(len(r.b)) {
+	if size < 0 || uint64(p)+uint64(size) > uint64(len(r.b)) {
 		return 0, false
 	}
 	switch size {
@@ -55,7 +57,7 @@ func (r *RAM) Read(p uint32, size int) (uint32, bool) {
 
 // Write stores v into the size-byte field at p.
 func (r *RAM) Write(p uint32, size int, v uint32) bool {
-	if p+uint32(size) > uint32(len(r.b)) {
+	if size < 0 || uint64(p)+uint64(size) > uint64(len(r.b)) {
 		return false
 	}
 	switch size {

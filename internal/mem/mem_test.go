@@ -88,3 +88,20 @@ func TestQuickRAMWriteRead(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBoundsCheckNoWraparound(t *testing.T) {
+	r := mem.NewRAM(64 * 1024)
+	// Addresses near the top of the 32-bit space must fail cleanly: a
+	// 32-bit p+size bounds check wraps and then panics slicing.
+	for _, p := range []uint32{^uint32(0), ^uint32(0) - 3, 0xfffff000} {
+		if _, ok := r.Read(p, 4); ok {
+			t.Errorf("Read(%#x, 4) succeeded beyond RAM", p)
+		}
+		if r.Write(p, 4, 1) {
+			t.Errorf("Write(%#x, 4) succeeded beyond RAM", p)
+		}
+		if r.Page(p) != nil {
+			t.Errorf("Page(%#x) returned a frame beyond RAM", p)
+		}
+	}
+}

@@ -64,9 +64,13 @@ type SideTable struct {
 func (t *SideTable) SetTextRange(lo, hi uint32) { t.textLo, t.textHi = lo, hi }
 
 // NewSideTable builds a lookup table from an instrumented image's side
-// information.
+// information. An empty blocks slice yields a well-defined empty table
+// (range [0,0], every Lookup misses, Blocks returns nothing).
 func NewSideTable(blocks []obj.InstrBlock) *SideTable {
-	t := &SideTable{byAddr: make(map[uint32]*obj.InstrBlock, len(blocks)), lo: ^uint32(0)}
+	t := &SideTable{byAddr: make(map[uint32]*obj.InstrBlock, len(blocks))}
+	if len(blocks) > 0 {
+		t.lo = ^uint32(0)
+	}
 	for i := range blocks {
 		b := &blocks[i]
 		t.byAddr[b.RecordAddr] = b
@@ -82,6 +86,10 @@ func NewSideTable(blocks []obj.InstrBlock) *SideTable {
 
 // Lookup resolves a record address.
 func (t *SideTable) Lookup(rec uint32) *obj.InstrBlock { return t.byAddr[rec] }
+
+// Range returns the [lo, hi] record-address bounds the redundancy
+// check accepts. An empty table reports [0, 0].
+func (t *SideTable) Range() (lo, hi uint32) { return t.lo, t.hi }
 
 // Blocks returns the table's blocks sorted by original address (for
 // reference-counting tools).

@@ -202,3 +202,21 @@ func TestProcExitEndsAttribution(t *testing.T) {
 		t.Error("record for exited process accepted")
 	}
 }
+
+func TestEmptySideTable(t *testing.T) {
+	for _, blocks := range [][]obj.InstrBlock{nil, {}} {
+		st := trace.NewSideTable(blocks)
+		if lo, hi := st.Range(); lo != 0 || hi != 0 {
+			t.Errorf("empty table Range() = [%#x, %#x], want [0, 0]", lo, hi)
+		}
+		if b := st.Lookup(0); b != nil {
+			t.Errorf("empty table Lookup(0) = %v, want nil", b)
+		}
+		if b := st.Lookup(0x400100); b != nil {
+			t.Errorf("empty table Lookup(0x400100) = %v, want nil", b)
+		}
+		if bs := st.Blocks(); len(bs) != 0 {
+			t.Errorf("empty table Blocks() has %d entries, want 0", len(bs))
+		}
+	}
+}

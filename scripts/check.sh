@@ -21,4 +21,7 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
+echo "== go test -race (experiment runner + telemetry) =="
+go test -race ./internal/experiment/ ./internal/telemetry/
+
 echo "tier-1 gate: OK"
