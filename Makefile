@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check lint fmt vet build test bench
 
-# check is the tier-1 gate: formatting, vet, build, and the full test
-# suite. CI and pre-commit should run exactly this.
-check:
-	./scripts/check.sh
+# check is the tier-1 gate: formatting, vet, build, the full test
+# suite, fuzz smoke, and the lint gate. CI and pre-commit should run
+# exactly this. The lint prerequisite runs first; SKIP_LINT keeps
+# check.sh from running it a second time.
+check: lint
+	SKIP_LINT=1 ./scripts/check.sh
+
+# lint runs the project analyzers (cmd/vet-tracer) and the static
+# instrumentation verifier (cmd/epoxylint) over every workload.
+lint:
+	./scripts/lint.sh
 
 fmt:
 	gofmt -l .

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"systrace/internal/epoxie"
+	"systrace/internal/isa"
+	"systrace/internal/link"
+	m "systrace/internal/mahler"
+	"systrace/internal/obj"
+	"systrace/internal/sim"
+	"systrace/internal/verify"
+)
+
+func buildTestExe(t *testing.T) *obj.Executable {
+	t.Helper()
+	mod := m.NewModule("lintprog")
+	f := mod.Func("main", m.TInt)
+	f.Locals("i", "sum")
+	f.Code(func(bl *m.Block) {
+		bl.Assign("sum", m.I(0))
+		bl.For("i", m.I(0), m.I(8), func(bl *m.Block) {
+			bl.Assign("sum", m.Add(m.V("sum"), m.V("i")))
+		})
+		bl.Return(m.V("sum"))
+	})
+	o, err := mod.Compile(m.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := epoxie.BuildInstrumented([]*obj.File{sim.TracedStartObj(), o}, link.Options{
+		Name: "lintprog", TextBase: sim.BareTextBase, DataBase: sim.BareDataBase,
+	}, epoxie.Config{}, epoxie.BareRuntime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Instr
+}
+
+func writeExe(t *testing.T, e *obj.Executable) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), e.Name+".exe")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCleanFile(t *testing.T) {
+	path := writeExe(t, buildTestExe(t))
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean image; stderr: %s stdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "0 diagnostics") {
+		t.Errorf("summary missing: %s", out.String())
+	}
+}
+
+func TestRunCorruptedFileJSON(t *testing.T) {
+	e := buildTestExe(t)
+	// Knock out the first instrumented block head.
+	for _, b := range e.Blocks {
+		if b.Flags&(obj.BBNoInstrument|obj.BBHandTraced) == 0 {
+			e.Text[(b.Addr-e.TextBase)/4] = isa.NOP
+			break
+		}
+	}
+	path := writeExe(t, e)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on corrupted image, want 1; stderr: %s", code, errb.String())
+	}
+	var reports []struct {
+		Name  string        `json:"name"`
+		Diags []verify.Diag `json:"diags"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || len(reports[0].Diags) == 0 {
+		t.Fatalf("want one report with diagnostics, got %+v", reports)
+	}
+	if reports[0].Diags[0].Rule != verify.RuleBBHead {
+		t.Errorf("rule = %s, want %s", reports[0].Diags[0].Rule, verify.RuleBBHead)
+	}
+}
+
+func TestRunCorpusSingle(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-q", "-workload", "lisp", "-runtime", "bare"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d; stderr: %s stdout: %s", code, errb.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("quiet clean run produced output: %s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown workload, want 2", code)
+	}
+	if code := run([]string{"-runtime", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown runtime, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.exe")}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for missing file, want 2", code)
+	}
+}

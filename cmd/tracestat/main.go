@@ -17,6 +17,7 @@ import (
 	"systrace/internal/experiment"
 	"systrace/internal/kernel"
 	"systrace/internal/telemetry"
+	"systrace/internal/verify"
 	"systrace/internal/workload"
 )
 
@@ -51,6 +52,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Statically verify the instrumented image and publish the per-rule
+	// pass/fail counts next to the distortion gauges. The program comes
+	// out of the experiment build cache, so this never rebuilds it.
+	prog, err := experiment.Program(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	vres, err := verify.Executable(prog.Instr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat: verify:", err)
+		os.Exit(1)
+	}
+	vres.RegisterMetrics(reg, telemetry.L("image", spec.Name))
+
 	switch *format {
 	case "json":
 		doc := struct {
@@ -72,5 +88,13 @@ func main() {
 		}
 	case "text":
 		fmt.Print(d.Format())
+		status := "clean"
+		if !vres.Clean() {
+			status = fmt.Sprintf("%d diagnostics", len(vres.Diags))
+		}
+		fmt.Printf("static verification: %d blocks, %s\n", vres.Blocks, status)
+		for _, diag := range vres.Diags {
+			fmt.Printf("  %s\n", diag)
+		}
 	}
 }

@@ -1,0 +1,61 @@
+// Command vet-tracer runs the project-specific static analyzers
+// (tools/analyzers) over the given directory trees — by default the
+// whole module — and prints findings in the familiar
+// file:line:col: message shape.
+//
+//	vet-tracer               # analyze .
+//	vet-tracer internal cmd  # analyze specific trees
+//	vet-tracer -list         # show registered passes
+//
+// Exit status: 0 with no findings, 1 with findings, 2 on usage or
+// parse errors. Test files (_test.go), testdata, and vendor trees are
+// skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"systrace/tools/analyzers"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vet-tracer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	passes := analyzers.All()
+	if *list {
+		for _, a := range passes {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	roots := fs.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	total := 0
+	for _, root := range roots {
+		findings, err := analyzers.CheckDir(root, passes)
+		if err != nil {
+			fmt.Fprintln(stderr, "vet-tracer:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "vet-tracer: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}

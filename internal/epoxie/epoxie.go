@@ -292,7 +292,7 @@ func (r *rw) instruction(oldOff uint32, w isa.Word, instrument bool) {
 	for _, p := range post {
 		r.emit(p)
 	}
-	if instrument && isa.Writes(main) == isa.RegRA {
+	if instrument && isa.Defs(main) == isa.RegRA {
 		// Keep the shadow copy of ra fresh so memtrace's ra dispatch
 		// and block-end restores stay correct.
 		r.emit(isa.SW(isa.RegRA, xr3, trace.BookSavedRA))
@@ -306,7 +306,7 @@ func (r *rw) memRef(oldOff uint32, w isa.Word) {
 		return
 	}
 	i := isa.Decode(w)
-	hazard := readsOrWritesRA(w) || (isa.IsLoad(w) && i.Rt == i.Rs)
+	hazard := isa.Touches(w, isa.RegRA) || (isa.IsLoad(w) && i.Rt == i.Rs)
 	jal := r.emit(isa.JAL(0))
 	r.newRelocs = append(r.newRelocs, obj.Reloc{Off: jal, Kind: obj.RelJ26, Sym: r.symMT})
 	if hazard {
@@ -314,18 +314,6 @@ func (r *rw) memRef(oldOff uint32, w isa.Word) {
 		r.emit(isa.EANop(i.Rs, i.Imm, isa.MemSize(w)))
 	}
 	r.instrNew[oldOff] = r.emit(w)
-}
-
-func readsOrWritesRA(w isa.Word) bool {
-	if isa.Writes(w) == isa.RegRA {
-		return true
-	}
-	for _, rr := range isa.Reads(w) {
-		if rr == isa.RegRA {
-			return true
-		}
-	}
-	return false
 }
 
 // terminatorPair rewrites a control transfer and its delay slot.
@@ -348,7 +336,7 @@ func (r *rw) terminatorPair(termOff uint32, term, slot isa.Word, instrument bool
 	if instrument && isa.IsMem(smain) {
 		// The slot holds a memory instruction: hoist it (with its
 		// memtrace call) above the terminator when that is safe.
-		if !safeToHoist(tmain, smain) {
+		if !isa.SafeToHoist(tmain, smain) {
 			r.fault("memory instruction in delay slot at 0x%x cannot be hoisted", termOff+4)
 			return
 		}
@@ -384,22 +372,6 @@ func (r *rw) terminatorPair(termOff uint32, term, slot isa.Word, instrument bool
 	}
 	r.instrNew[termOff] = r.emit(tmain)
 	r.instrNew[termOff+4] = r.emit(smain)
-}
-
-// safeToHoist reports whether moving the slot's memory instruction
-// above the terminator preserves semantics: the terminator must not
-// read a register the load writes.
-func safeToHoist(term, slot isa.Word) bool {
-	w := isa.Writes(slot)
-	if w < 0 {
-		return true
-	}
-	for _, rr := range isa.Reads(term) {
-		if rr == w {
-			return false
-		}
-	}
-	return true
 }
 
 // fixBranches re-encodes PC-relative branches against the new layout.

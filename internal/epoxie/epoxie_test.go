@@ -10,6 +10,9 @@ import (
 	"systrace/internal/obj"
 	"systrace/internal/sim"
 	"systrace/internal/trace"
+	"systrace/internal/userland"
+	"systrace/internal/verify"
+	"systrace/internal/workload"
 )
 
 // refObserver reconstructs the reference event stream by watching the
@@ -420,3 +423,50 @@ func TestFigure2(t *testing.T) {
 // NewBareMachine lives in sim; reference it so the import is explicit
 // about what the harness provides.
 var _ = cpu.KSeg0Base
+
+// TestVerifyWorkloadCorpus statically verifies every Table-1 workload
+// under every runtime kind: the instrumentation the simulator would
+// trust at runtime must also satisfy the rewriter's invariants on
+// paper (internal/verify). Each workload is compiled once and relinked
+// per runtime kind.
+func TestVerifyWorkloadCorpus(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind epoxie.RuntimeKind
+	}{
+		{"user", epoxie.UserRuntime},
+		{"kernel", epoxie.KernelRuntime},
+		{"bare", epoxie.BareRuntime},
+	}
+	for _, spec := range workload.All() {
+		objs := []*obj.File{userland.Crt0(true)}
+		for _, mod := range []*m.Module{spec.Build(), userland.Libc()} {
+			o, err := mod.Compile(m.Options{})
+			if err != nil {
+				t.Fatalf("%s: compile: %v", spec.Name, err)
+			}
+			objs = append(objs, o)
+		}
+		for _, k := range kinds {
+			t.Run(spec.Name+"/"+k.name, func(t *testing.T) {
+				b, err := epoxie.BuildInstrumented(objs, link.Options{
+					Name: spec.Name, Entry: "_start",
+					TextBase: obj.UserTextBase, DataBase: obj.UserDataBase,
+				}, epoxie.Config{}, k.kind)
+				if err != nil {
+					t.Fatalf("instrument: %v", err)
+				}
+				res, err := verify.Executable(b.Instr)
+				if err != nil {
+					t.Fatalf("verify: %v", err)
+				}
+				for _, d := range res.Diags {
+					t.Errorf("%s", d)
+				}
+				if res.Blocks == 0 {
+					t.Error("no instrumented blocks verified")
+				}
+			})
+		}
+	}
+}

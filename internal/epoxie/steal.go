@@ -42,17 +42,27 @@ func (r *rw) steal(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word) 
 	return pre, main, post
 }
 
+// scratchCandidates are the registers a StealRewrite may borrow for a
+// second stolen read, in preference order.
+var scratchCandidates = []int{isa.RegV1, isa.RegT9, isa.RegT8, isa.RegA3}
+
+// ScratchRegs returns the registers StealRewrite may borrow (and save
+// through the bookkeeping scratch slot). The static verifier uses this
+// to recognize the stealing idiom: a bookkeeping save/restore of any
+// other register is not part of it.
+func ScratchRegs() []int { return append([]int(nil), scratchCandidates...) }
+
 // StealRewrite rewrites one instruction's uses of the stolen registers
 // xreg1..xreg3 against their shadow slots. It is shared with pixie,
 // which steals the same registers.
 func StealRewrite(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word, err error) {
 	var stolenReads []int
-	for _, rr := range isa.Reads(w) {
+	for _, rr := range isa.Uses(w) {
 		if isXReg(rr) {
 			stolenReads = append(stolenReads, rr)
 		}
 	}
-	wr := isa.Writes(w)
+	wr := isa.Defs(w)
 	stolenWrite := wr >= 0 && isXReg(wr)
 	if len(stolenReads) == 0 && !stolenWrite {
 		return nil, w, nil, nil
@@ -68,7 +78,7 @@ func StealRewrite(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word, e
 		pre = append(pre, isa.LW(isa.RegAT, xr3, shadowOff(stolenReads[0])))
 	}
 	if len(stolenReads) > 1 {
-		cand := pickScratch(w)
+		cand := isa.FreeScratch(w, scratchCandidates)
 		if cand < 0 {
 			return nil, w, nil, fmt.Errorf("no scratch register available for %s", isa.Disassemble(0, w))
 		}
@@ -87,103 +97,12 @@ func StealRewrite(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word, e
 		// Write-back must precede the borrowed-register restore.
 		post = append([]isa.Word{isa.SW(isa.RegAT, xr3, shadowOff(wr))}, post...)
 	}
-	main = substituteRegs(w, sub, wr)
+	remap := func(reg int) int {
+		if n, ok := sub[reg]; ok {
+			return n
+		}
+		return reg
+	}
+	main = isa.MapRegs(w, remap, remap)
 	return pre, main, post, nil
-}
-
-// pickScratch chooses a register not referenced by w for the second
-// stolen read.
-func pickScratch(w isa.Word) int {
-	used := map[int]bool{isa.RegAT: true}
-	for _, rr := range isa.Reads(w) {
-		used[rr] = true
-	}
-	if wr := isa.Writes(w); wr >= 0 {
-		used[wr] = true
-	}
-	for _, cand := range []int{isa.RegV1, isa.RegT9, isa.RegT8, isa.RegA3} {
-		if !used[cand] {
-			return cand
-		}
-	}
-	return -1
-}
-
-// substituteRegs replaces register fields of w per sub; writeReg
-// identifies the written register (so rt is substituted with the read
-// mapping for stores but the write mapping for loads).
-func substituteRegs(w isa.Word, sub map[int]int, writeReg int) isa.Word {
-	i := isa.Decode(w)
-	mapRead := func(reg int) int {
-		if n, ok := sub[reg]; ok && reg != writeReg {
-			return n
-		}
-		if n, ok := sub[reg]; ok {
-			// Register is both read and written; both map to at.
-			return n
-		}
-		return reg
-	}
-	mapWrite := func(reg int) int {
-		if n, ok := sub[reg]; ok {
-			return n
-		}
-		return reg
-	}
-
-	switch i.Op {
-	case isa.OpSpecial:
-		switch i.Funct {
-		case isa.FnJR:
-			i.Rs = mapRead(i.Rs)
-		case isa.FnJALR:
-			i.Rs = mapRead(i.Rs)
-			i.Rd = mapWrite(i.Rd)
-		case isa.FnSLL, isa.FnSRL, isa.FnSRA:
-			i.Rt = mapRead(i.Rt)
-			i.Rd = mapWrite(i.Rd)
-		case isa.FnMFHI, isa.FnMFLO:
-			i.Rd = mapWrite(i.Rd)
-		case isa.FnMTHI, isa.FnMTLO:
-			i.Rs = mapRead(i.Rs)
-		case isa.FnMULT, isa.FnMULTU, isa.FnDIV, isa.FnDIVU:
-			i.Rs = mapRead(i.Rs)
-			i.Rt = mapRead(i.Rt)
-		default:
-			i.Rs = mapRead(i.Rs)
-			i.Rt = mapRead(i.Rt)
-			i.Rd = mapWrite(i.Rd)
-		}
-	case isa.OpRegImm, isa.OpBLEZ, isa.OpBGTZ:
-		i.Rs = mapRead(i.Rs)
-	case isa.OpBEQ, isa.OpBNE:
-		i.Rs = mapRead(i.Rs)
-		i.Rt = mapRead(i.Rt)
-	case isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU, isa.OpANDI, isa.OpORI, isa.OpXORI:
-		i.Rs = mapRead(i.Rs)
-		i.Rt = mapWrite(i.Rt)
-	case isa.OpLUI:
-		i.Rt = mapWrite(i.Rt)
-	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU:
-		i.Rs = mapRead(i.Rs)
-		i.Rt = mapWrite(i.Rt)
-	case isa.OpSB, isa.OpSH, isa.OpSW:
-		i.Rs = mapRead(i.Rs)
-		i.Rt = mapRead(i.Rt)
-	case isa.OpLWC1, isa.OpSWC1:
-		i.Rs = mapRead(i.Rs)
-	case isa.OpCOP0:
-		if uint32(i.Rs) == isa.Cop0MT {
-			i.Rt = mapRead(i.Rt)
-		} else if uint32(i.Rs) == isa.Cop0MF {
-			i.Rt = mapWrite(i.Rt)
-		}
-	case isa.OpCOP1:
-		if uint32(i.Rs) == isa.Cop1MT {
-			i.Rt = mapRead(i.Rt)
-		} else if uint32(i.Rs) == isa.Cop1MF {
-			i.Rt = mapWrite(i.Rt)
-		}
-	}
-	return i.Encode()
 }

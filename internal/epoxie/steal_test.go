@@ -40,12 +40,12 @@ func TestStealRewriteForms(t *testing.T) {
 					len(pre), len(post), c.pre, c.post, isa.Disassemble(0, main))
 			}
 			// The rewritten main instruction must not reference xregs.
-			for _, r := range isa.Reads(main) {
+			for _, r := range isa.Uses(main) {
 				if r == isa.XReg1 || r == isa.XReg2 || r == isa.XReg3 {
 					t.Errorf("main still reads xreg: %s", isa.Disassemble(0, main))
 				}
 			}
-			if w := isa.Writes(main); w == isa.XReg1 || w == isa.XReg2 || w == isa.XReg3 {
+			if w := isa.Defs(main); w == isa.XReg1 || w == isa.XReg2 || w == isa.XReg3 {
 				t.Errorf("main still writes xreg: %s", isa.Disassemble(0, main))
 			}
 		})

@@ -74,6 +74,12 @@ func kernelExe(flavor kernel.Flavor, traced bool) (*obj.Executable, error) {
 	return e.val, e.err
 }
 
+// Program returns the memoized build of spec's user program, both the
+// uninstrumented and epoxie-instrumented executables. External callers
+// (cmd/tracestat's static-verification report) share the same cache as
+// the experiment runs, so asking for a program never builds it twice.
+func Program(spec workload.Spec) (*userland.Program, error) { return program(spec) }
+
 func program(spec workload.Spec) (*userland.Program, error) {
 	e := cacheEntry(pcache, spec.Name)
 	e.once.Do(func() {

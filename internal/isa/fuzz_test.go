@@ -1,0 +1,67 @@
+package isa_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"systrace/internal/isa"
+)
+
+// FuzzDisasm throws arbitrary 32-bit words at the decode layer: the
+// disassembler must produce something for every word without
+// panicking, register analysis must stay in range, and re-encoding a
+// word through the identity register map must reproduce it bit for
+// bit (the invariant steal rewriting depends on).
+func FuzzDisasm(f *testing.F) {
+	for _, w := range []isa.Word{
+		isa.NOP,
+		isa.ADDIU(isa.RegT0, isa.RegSP, 16),
+		isa.ADDU(isa.RegV0, isa.RegA0, isa.RegA1),
+		isa.LW(isa.RegV0, isa.RegSP, 4),
+		isa.SW(isa.RegRA, isa.RegSP, 0x7c),
+		isa.LUI(isa.RegAT, 0x1000),
+		isa.JR(isa.RegRA),
+		isa.JALR(isa.RegRA, isa.RegT9),
+		isa.JAL(0x00400000 >> 2),
+		isa.BNE(isa.RegT0, isa.RegZero, -3),
+		isa.MULT(isa.RegT0, isa.RegT1),
+		isa.LINop(7),
+	} {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(w))
+		f.Add(b[:])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		w := isa.Word(binary.BigEndian.Uint32(data))
+		if s := isa.Disassemble(0x1000, w); s == "" {
+			t.Errorf("empty disassembly for %08x", uint32(w))
+		}
+
+		if d := isa.Defs(w); d < -1 || d > 31 {
+			t.Errorf("Defs(%08x) = %d out of range", uint32(w), d)
+		}
+		for _, r := range isa.Uses(w) {
+			if r < 0 || r > 31 {
+				t.Errorf("Uses(%08x) includes %d out of range", uint32(w), r)
+			}
+		}
+
+		id := func(r int) int { return r }
+		if got := isa.MapRegs(w, id, id); got != w {
+			t.Errorf("MapRegs identity changed %08x -> %08x", uint32(w), uint32(got))
+		}
+
+		// Predicates must agree with each other, not just not panic.
+		if isa.IsMem(w) {
+			if s := isa.MemSize(w); s != 1 && s != 2 && s != 4 && s != 8 {
+				t.Errorf("MemSize(%08x) = %d for a memory word", uint32(w), s)
+			}
+		}
+		if isa.HasDelaySlot(w) && isa.IsMem(w) {
+			t.Errorf("%08x classified as both transfer and memory op", uint32(w))
+		}
+	})
+}

@@ -334,96 +334,6 @@ func EndsBlock(w Word) bool {
 	return false
 }
 
-// Reads returns the general-purpose registers read by w. Register 0 is
-// omitted (reading it is free and rewriting it is never needed).
-func Reads(w Word) []int {
-	i := Decode(w)
-	add := func(dst []int, r int) []int {
-		if r == 0 {
-			return dst
-		}
-		for _, x := range dst {
-			if x == r {
-				return dst
-			}
-		}
-		return append(dst, r)
-	}
-	var rs []int
-	switch i.Op {
-	case OpSpecial:
-		switch i.Funct {
-		case FnSLL, FnSRL, FnSRA:
-			rs = add(rs, i.Rt)
-		case FnJR, FnMTHI, FnMTLO:
-			rs = add(rs, i.Rs)
-		case FnJALR:
-			rs = add(rs, i.Rs)
-		case FnMFHI, FnMFLO, FnSYSCALL, FnBREAK:
-		default:
-			rs = add(rs, i.Rs)
-			rs = add(rs, i.Rt)
-		}
-	case OpRegImm, OpBLEZ, OpBGTZ:
-		rs = add(rs, i.Rs)
-	case OpBEQ, OpBNE:
-		rs = add(rs, i.Rs)
-		rs = add(rs, i.Rt)
-	case OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
-		rs = add(rs, i.Rs)
-	case OpLUI, OpJ, OpJAL:
-	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpLWC1:
-		rs = add(rs, i.Rs)
-	case OpSB, OpSH, OpSW:
-		rs = add(rs, i.Rs)
-		rs = add(rs, i.Rt)
-	case OpSWC1:
-		rs = add(rs, i.Rs)
-	case OpCOP0:
-		if uint32(i.Rs) == Cop0MT {
-			rs = add(rs, i.Rt)
-		}
-	case OpCOP1:
-		if uint32(i.Rs) == Cop1MT {
-			rs = add(rs, i.Rt)
-		}
-	}
-	return rs
-}
-
-// Writes returns the general-purpose register written by w, or -1.
-func Writes(w Word) int {
-	i := Decode(w)
-	switch i.Op {
-	case OpSpecial:
-		switch i.Funct {
-		case FnJR, FnSYSCALL, FnBREAK, FnMTHI, FnMTLO, FnMULT, FnMULTU, FnDIV, FnDIVU:
-			return -1
-		}
-		if i.Rd == 0 {
-			return -1
-		}
-		return i.Rd
-	case OpJAL:
-		return RegRA
-	case OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI, OpLUI,
-		OpLB, OpLH, OpLW, OpLBU, OpLHU:
-		if i.Rt == 0 {
-			return -1
-		}
-		return i.Rt
-	case OpCOP0:
-		if uint32(i.Rs) == Cop0MF && i.Rt != 0 {
-			return i.Rt
-		}
-	case OpCOP1:
-		if uint32(i.Rs) == Cop1MF && i.Rt != 0 {
-			return i.Rt
-		}
-	}
-	return -1
-}
-
 // IsFPArith reports whether w is a floating-point arithmetic operation
 // (the class pixie's arithmetic-stall estimator charges latency for).
 func IsFPArith(w Word) bool {

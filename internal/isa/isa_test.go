@@ -40,7 +40,7 @@ func TestDecodeEncodeQuick(t *testing.T) {
 	}
 }
 
-func TestReadsWrites(t *testing.T) {
+func TestUsesDefs(t *testing.T) {
 	cases := []struct {
 		w     isa.Word
 		reads []int
@@ -64,7 +64,7 @@ func TestReadsWrites(t *testing.T) {
 		{isa.MFC0(7, isa.C0EPC), nil, 7},
 	}
 	for _, c := range cases {
-		got := isa.Reads(c.w)
+		got := isa.Uses(c.w)
 		if len(got) != len(c.reads) {
 			t.Errorf("%s: reads %v want %v", isa.Disassemble(0, c.w), got, c.reads)
 			continue
@@ -78,7 +78,7 @@ func TestReadsWrites(t *testing.T) {
 				t.Errorf("%s: missing read %d", isa.Disassemble(0, c.w), r)
 			}
 		}
-		if w := isa.Writes(c.w); w != c.write {
+		if w := isa.Defs(c.w); w != c.write {
 			t.Errorf("%s: writes %d want %d", isa.Disassemble(0, c.w), w, c.write)
 		}
 	}
@@ -116,7 +116,7 @@ func TestLINop(t *testing.T) {
 		if got := isa.LINopValue(w); got != n {
 			t.Errorf("LINop(%d) -> %d", n, got)
 		}
-		if isa.Writes(w) != -1 {
+		if isa.Defs(w) != -1 {
 			t.Error("LINop must not write a register")
 		}
 	}
@@ -134,7 +134,7 @@ func TestEANopAlignment(t *testing.T) {
 	if isa.MemSize(isa.EANop(29, 2, 2)) != 2 {
 		t.Error("half EANop must be a half load")
 	}
-	if isa.Writes(isa.EANop(29, 0, 4)) != -1 {
+	if isa.Defs(isa.EANop(29, 0, 4)) != -1 {
 		t.Error("EANop writes register zero only")
 	}
 }

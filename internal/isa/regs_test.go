@@ -1,0 +1,70 @@
+package isa_test
+
+import (
+	"testing"
+
+	"systrace/internal/isa"
+)
+
+func TestTouchesAndFreeScratch(t *testing.T) {
+	w := isa.ADDU(isa.RegT0, isa.RegRA, isa.RegT2)
+	if !isa.Touches(w, isa.RegRA) || !isa.Touches(w, isa.RegT0) {
+		t.Error("Touches misses read or write")
+	}
+	if isa.Touches(w, isa.RegS0) {
+		t.Error("Touches reports an untouched register")
+	}
+	cands := []int{isa.RegT0, isa.RegT2, isa.RegV1}
+	if got := isa.FreeScratch(w, cands); got != isa.RegV1 {
+		t.Errorf("FreeScratch = %d, want v1 (%d)", got, isa.RegV1)
+	}
+	if got := isa.FreeScratch(w, []int{isa.RegT0, isa.RegT2}); got != -1 {
+		t.Errorf("FreeScratch with all candidates in use = %d, want -1", got)
+	}
+}
+
+func TestMapRegsRoles(t *testing.T) {
+	// Identity mapping must round-trip any instruction.
+	id := func(r int) int { return r }
+	for _, w := range []isa.Word{
+		isa.ADDU(3, 1, 2), isa.LW(8, 29, 12), isa.SW(8, 29, 12),
+		isa.SLL(2, 3, 4), isa.JR(31), isa.JALR(31, 25),
+		isa.BEQ(4, 5, 16), isa.LUI(9, 1), isa.MFLO(6), isa.MULT(2, 3),
+		isa.LWC1(4, 8, 0), isa.SWC1(4, 8, 0),
+		isa.MTC0(7, isa.C0EPC), isa.MFC0(7, isa.C0EPC),
+	} {
+		if got := isa.MapRegs(w, id, id); got != w {
+			t.Errorf("identity MapRegs changed %08x -> %08x", w, got)
+		}
+	}
+
+	// rt is a write for loads but a read for stores.
+	sub := func(from, to int) func(int) int {
+		return func(r int) int {
+			if r == from {
+				return to
+			}
+			return r
+		}
+	}
+	lw := isa.MapRegs(isa.LW(isa.RegT0, isa.RegSP, 4), sub(isa.RegT0, isa.RegAT), sub(isa.RegT0, isa.RegV1))
+	if isa.Defs(lw) != isa.RegV1 {
+		t.Errorf("load rt must use the write mapping: %s", isa.Disassemble(0, lw))
+	}
+	sw := isa.MapRegs(isa.SW(isa.RegT0, isa.RegSP, 4), sub(isa.RegT0, isa.RegAT), sub(isa.RegT0, isa.RegV1))
+	if !isa.UsesReg(sw, isa.RegAT) {
+		t.Errorf("store rt must use the read mapping: %s", isa.Disassemble(0, sw))
+	}
+}
+
+func TestSafeToHoist(t *testing.T) {
+	if isa.SafeToHoist(isa.JR(isa.RegT0), isa.LW(isa.RegT0, isa.RegSP, 0)) {
+		t.Error("hoisting a load that feeds the jump register must be unsafe")
+	}
+	if !isa.SafeToHoist(isa.JR(isa.RegRA), isa.LW(isa.RegT0, isa.RegSP, 0)) {
+		t.Error("hoisting an unrelated load must be safe")
+	}
+	if !isa.SafeToHoist(isa.BEQ(isa.RegT0, isa.RegZero, 4), isa.SW(isa.RegT0, isa.RegSP, 0)) {
+		t.Error("stores define nothing; hoisting must be safe")
+	}
+}

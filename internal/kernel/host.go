@@ -140,7 +140,7 @@ func (s *System) AttachTelemetry(r *telemetry.Registry, labels ...telemetry.Labe
 	r.Sample("kernel_mode_switches_total",
 		"generation→analysis transitions counted by the kernel itself",
 		func() uint64 { return uint64(s.ReadKernelWord("modesw")) }, labels...)
-	r.Sample("kernel_utlb_miss_counter",
+	r.Sample("kernel_utlb_misses_total",
 		"the kernel's user-TLB miss counter (Table 3 measured column, §5.2)",
 		func() uint64 { return uint64(s.UTLBCount()) }, labels...)
 	s.tel = t

@@ -466,18 +466,7 @@ type pendingJump struct {
 	target uint32 // original VA
 }
 
-func safeToHoist(term, slot isa.Word) bool {
-	w := isa.Writes(slot)
-	if w < 0 {
-		return true
-	}
-	for _, rr := range isa.Reads(term) {
-		if rr == w {
-			return false
-		}
-	}
-	return true
-}
+func safeToHoist(term, slot isa.Word) bool { return isa.SafeToHoist(term, slot) }
 
 func (r *rw) fixBranches() {
 	// Conditional branches.

@@ -152,10 +152,11 @@ type metric struct {
 	kind   Kind
 	labels []Label // sorted by key
 
-	c  *Counter
-	g  *Gauge
-	h  *Histogram
-	fn func() uint64 // sampled counter (read at snapshot time)
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+	fn  func() uint64  // sampled counter (read at snapshot time)
+	gfn func() float64 // sampled gauge (read at snapshot time)
 }
 
 // Registry holds registered metrics. The zero value is not usable; use
@@ -250,7 +251,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 		return nil
 	}
 	m := r.register(name, help, KindGauge, labels)
-	if m.g == nil {
+	if m.g == nil && m.gfn == nil {
 		m.g = &Gauge{}
 	}
 	return m.g
@@ -279,6 +280,18 @@ func (r *Registry) Sample(name, help string, fn func() uint64, labels ...Label) 
 	m := r.register(name, help, KindCounter, labels)
 	m.fn = fn
 	m.c = nil
+}
+
+// SampleGauge registers a gauge series whose value is read by calling
+// fn at snapshot time — the level-typed counterpart of Sample, for
+// quantities that can move both ways (depths, ratios, watermarks).
+func (r *Registry) SampleGauge(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	m := r.register(name, help, KindGauge, labels)
+	m.gfn = fn
+	m.g = nil
 }
 
 // BucketCount is one cumulative histogram bucket: Count observations
@@ -335,7 +348,11 @@ func (r *Registry) Snapshot() Snapshot {
 				e.Value = float64(m.c.Value())
 			}
 		case KindGauge:
-			e.Value = m.g.Value()
+			if m.gfn != nil {
+				e.Value = m.gfn()
+			} else {
+				e.Value = m.g.Value()
+			}
 		case KindHistogram:
 			e.Count = m.h.Count()
 			e.Sum = m.h.Sum()

@@ -76,6 +76,22 @@ func TestSampledCounter(t *testing.T) {
 	}
 }
 
+func TestSampledGauge(t *testing.T) {
+	r := New()
+	v := 1.5
+	r.SampleGauge("depth_max", "sampled level", func() float64 { return v })
+	v = 3.0
+	m, ok := r.Snapshot().Get("depth_max")
+	if !ok || m.Value != 3.0 || m.Kind != "gauge" {
+		t.Fatalf("sampled gauge = %+v ok=%v, want gauge value 3", m, ok)
+	}
+	// Re-registering as a plain gauge must not displace the sampler.
+	r.Gauge("depth_max", "sampled level")
+	if m, _ := r.Snapshot().Get("depth_max"); m.Value != 3.0 {
+		t.Fatalf("sampler displaced: %+v", m)
+	}
+}
+
 // TestHotPathAllocs is the hard guarantee behind instrumenting the
 // interpreter loop: recording into pre-registered handles never
 // allocates.

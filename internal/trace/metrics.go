@@ -34,7 +34,7 @@ func (p *Parser) RegisterMetrics(r *telemetry.Registry, labels ...telemetry.Labe
 	r.Sample("trace_idle_instructions_total",
 		"idle-loop instructions reconstructed (the §4.1 I/O-delay estimator)",
 		func() uint64 { return p.IdleInstr }, labels...)
-	r.Sample("trace_max_exception_depth",
+	r.SampleGauge("trace_exception_depth_max",
 		"deepest nested-exception stack observed while parsing",
-		func() uint64 { return uint64(p.MaxDepth) }, labels...)
+		func() float64 { return float64(p.MaxDepth) }, labels...)
 }

@@ -1,0 +1,39 @@
+package verify
+
+import "systrace/internal/telemetry"
+
+// RegisterMetrics publishes the result on reg so verification status
+// shows up next to the distortion dashboard: one diagnostics counter
+// and a pass/fail check counter per rule, plus the block count.
+func (r *Result) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if reg == nil {
+		return
+	}
+	fails := r.Fails()
+	for _, rule := range Rules {
+		withRule := func(extra ...telemetry.Label) []telemetry.Label {
+			ls := make([]telemetry.Label, 0, len(labels)+1+len(extra))
+			ls = append(ls, labels...)
+			ls = append(ls, telemetry.L("rule", rule))
+			return append(ls, extra...)
+		}
+		reg.Counter("verify_diags_total",
+			"static verification findings by rule", withRule()...).
+			Add(uint64(fails[rule]))
+		pass := r.Checks[rule] - fails[rule]
+		if pass < 0 {
+			pass = 0
+		}
+		reg.Counter("verify_checks_total",
+			"static verification checks performed, by rule and outcome",
+			withRule(telemetry.L("result", "pass"))...).
+			Add(uint64(pass))
+		reg.Counter("verify_checks_total",
+			"static verification checks performed, by rule and outcome",
+			withRule(telemetry.L("result", "fail"))...).
+			Add(uint64(fails[rule]))
+	}
+	reg.Counter("verify_blocks_total",
+		"instrumented basic blocks statically verified", labels...).
+		Add(uint64(r.Blocks))
+}

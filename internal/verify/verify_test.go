@@ -1,0 +1,404 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"systrace/internal/asm"
+	"systrace/internal/epoxie"
+	"systrace/internal/isa"
+	"systrace/internal/link"
+	m "systrace/internal/mahler"
+	"systrace/internal/obj"
+	"systrace/internal/sim"
+	"systrace/internal/telemetry"
+	"systrace/internal/verify"
+)
+
+// buildModule instruments a mahler module the way epoxie_test does.
+func buildModule(t *testing.T, mod *m.Module, kind epoxie.RuntimeKind) *epoxie.Build {
+	t.Helper()
+	o, err := mod.Compile(m.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return buildObjs(t, mod.Name, []*obj.File{sim.TracedStartObj(), o}, kind)
+}
+
+func buildObjs(t *testing.T, name string, objs []*obj.File, kind epoxie.RuntimeKind) *epoxie.Build {
+	t.Helper()
+	b, err := epoxie.BuildInstrumented(objs, link.Options{
+		Name:     name,
+		TextBase: sim.BareTextBase,
+		DataBase: sim.BareDataBase,
+	}, epoxie.Config{}, kind)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	return b
+}
+
+// testModule exercises loops, calls, stolen-register pressure, and
+// memory traffic.
+func testModule() *m.Module {
+	mod := m.NewModule("verifyprog")
+	mod.Global("arr", 256)
+	fib := mod.Func("fib", m.TInt)
+	fib.Param("n", m.TInt)
+	fib.Code(func(bl *m.Block) {
+		bl.If(m.Lt(m.V("n"), m.I(2)), func(bl *m.Block) { bl.Return(m.V("n")) }, nil)
+		bl.Return(m.Add(m.Call("fib", m.Sub(m.V("n"), m.I(1))), m.Call("fib", m.Sub(m.V("n"), m.I(2)))))
+	})
+	f := mod.Func("main", m.TInt)
+	// Enough locals to pin into s5..s7 so register stealing shows up.
+	f.Locals("a", "b", "c", "d", "e", "g", "h", "i", "sum")
+	f.Code(func(bl *m.Block) {
+		bl.Assign("sum", m.I(0))
+		bl.For("i", m.I(0), m.I(16), func(bl *m.Block) {
+			bl.StoreW(m.Add(m.Addr("arr", 0), m.Mul(m.V("i"), m.I(4))), m.Mul(m.V("i"), m.I(3)))
+		})
+		bl.For("i", m.I(0), m.I(16), func(bl *m.Block) {
+			bl.Assign("sum", m.Add(m.V("sum"), m.LoadW(m.Add(m.Addr("arr", 0), m.Mul(m.V("i"), m.I(4))))))
+		})
+		bl.Return(m.Add(m.V("sum"), m.Call("fib", m.I(6))))
+	})
+	return mod
+}
+
+// hoistObj hand-writes code with a memory instruction in a branch
+// delay slot (so the rewriter must hoist it) plus a backward branch
+// and a known plain instruction for targeted mutations.
+func hoistObj(t *testing.T) *obj.File {
+	t.Helper()
+	a := asm.New("hoistprog")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 7)) // known-plain mutation target
+	a.Label("top")
+	a.I(isa.SW(isa.RegT0, isa.RegSP, 64))
+	a.I(isa.ADDIU(isa.RegT0, isa.RegT0, 0xffff)) // t0--
+	a.Br(isa.BNE(isa.RegT0, isa.RegZero, 0), "top")
+	a.I(isa.NOP)
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.LW(isa.RegV0, isa.RegSP, 64)) // delay-slot load: must be hoisted
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func cloneExe(e *obj.Executable) *obj.Executable {
+	ne := *e
+	ne.Text = append([]isa.Word(nil), e.Text...)
+	ii := *e.Instr
+	ii.Blocks = append([]obj.InstrBlock(nil), e.Instr.Blocks...)
+	ne.Instr = &ii
+	return &ne
+}
+
+func mustVerify(t *testing.T, e *obj.Executable) *verify.Result {
+	t.Helper()
+	res, err := verify.Executable(e)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return res
+}
+
+func requireClean(t *testing.T, e *obj.Executable) *verify.Result {
+	t.Helper()
+	res := mustVerify(t, e)
+	if !res.Clean() {
+		for _, d := range res.Diags {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+		t.Fatalf("%s: %d diagnostics on a stock build", e.Name, len(res.Diags))
+	}
+	return res
+}
+
+// setWord overwrites one text word by address.
+func setWord(t *testing.T, e *obj.Executable, addr uint32, w isa.Word) {
+	t.Helper()
+	if addr < e.TextBase || addr >= e.TextEnd() {
+		t.Fatalf("address 0x%08x outside text", addr)
+	}
+	e.Text[(addr-e.TextBase)/4] = w
+}
+
+// findWord returns the address of the first instrumented-block word
+// satisfying pred.
+func findWord(t *testing.T, e *obj.Executable, pred func(addr uint32, w isa.Word) bool) uint32 {
+	t.Helper()
+	for _, b := range e.Blocks {
+		if b.Flags&(obj.BBNoInstrument|obj.BBHandTraced) != 0 {
+			continue
+		}
+		for k := int32(0); k < b.NInstr; k++ {
+			addr := b.Addr + uint32(k)*4
+			if pred(addr, e.Text[(addr-e.TextBase)/4]) {
+				return addr
+			}
+		}
+	}
+	t.Fatal("no matching instruction found")
+	return 0
+}
+
+func firstInstrumentedHead(t *testing.T, e *obj.Executable) uint32 {
+	t.Helper()
+	for _, b := range e.Blocks {
+		if b.Flags&(obj.BBNoInstrument|obj.BBHandTraced) == 0 {
+			return b.Addr
+		}
+	}
+	t.Fatal("no instrumented block")
+	return 0
+}
+
+func assertRuleFires(t *testing.T, res *verify.Result, rule string) verify.Diag {
+	t.Helper()
+	for _, d := range res.Diags {
+		if d.Rule == rule {
+			return d
+		}
+	}
+	t.Fatalf("rule %s did not fire; got %d diagnostics: %v", rule, len(res.Diags), res.Diags)
+	return verify.Diag{}
+}
+
+func TestVerifyCleanBuilds(t *testing.T) {
+	for _, kind := range []epoxie.RuntimeKind{epoxie.UserRuntime, epoxie.KernelRuntime, epoxie.BareRuntime} {
+		b := buildModule(t, testModule(), kind)
+		res := requireClean(t, b.Instr)
+		for _, rule := range []string{verify.RuleBBHead, verify.RuleMemTrace, verify.RuleSteal,
+			verify.RuleBranchTarget, verify.RuleSideTable} {
+			if res.Checks[rule] == 0 {
+				t.Errorf("kind %d: rule %s never checked", kind, rule)
+			}
+		}
+		if res.Blocks == 0 {
+			t.Error("no instrumented blocks walked")
+		}
+	}
+}
+
+func TestVerifyCleanHoist(t *testing.T) {
+	b := buildObjs(t, "hoist", []*obj.File{sim.TracedStartObj(), hoistObj(t)}, epoxie.BareRuntime)
+	res := requireClean(t, b.Instr)
+	if res.Checks[verify.RuleHoist] == 0 {
+		t.Fatal("hoist rule never checked despite a delay-slot memory instruction")
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	if _, err := verify.Executable(nil); err == nil {
+		t.Error("nil executable accepted")
+	}
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	if _, err := verify.Executable(b.Orig); err == nil {
+		t.Error("uninstrumented executable accepted")
+	}
+	o, err := testModule().Compile(m.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := epoxie.BuildInstrumented([]*obj.File{sim.TracedStartObj(), o}, link.Options{
+		Name: "origmode", TextBase: sim.BareTextBase, DataBase: sim.BareDataBase,
+	}, epoxie.Config{Orig: true}, epoxie.BareRuntime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Executable(ob.Instr); err == nil ||
+		!strings.Contains(err.Error(), "epoxie-orig") {
+		t.Errorf("orig-mode image: want unsupported-tool error, got %v", err)
+	}
+}
+
+// Mutation tests: each corrupts one aspect of a stock build and
+// asserts the exact rule fires.
+
+func TestMutationBBHeadSavedRA(t *testing.T) {
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	head := firstInstrumentedHead(t, e)
+	setWord(t, e, head, isa.NOP)
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleBBHead)
+	if d.Addr != head {
+		t.Errorf("diagnostic at 0x%08x, mutation at 0x%08x", d.Addr, head)
+	}
+}
+
+func TestMutationBBHeadJal(t *testing.T) {
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	head := firstInstrumentedHead(t, e)
+	setWord(t, e, head+4, isa.NOP)
+	assertRuleFires(t, mustVerify(t, e), verify.RuleBBHead)
+}
+
+func TestMutationBBHeadLINop(t *testing.T) {
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	head := firstInstrumentedHead(t, e)
+	old := isa.LINopValue(e.Text[(head+8-e.TextBase)/4])
+	if old < 0 {
+		t.Fatal("no LINop at head+8")
+	}
+	setWord(t, e, head+8, isa.LINop(old+1))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleBBHead)
+	if !strings.Contains(d.Msg, "trace-word count") {
+		t.Errorf("wrong bb-head diagnostic: %s", d.Msg)
+	}
+}
+
+func TestMutationMemTraceCallRemoved(t *testing.T) {
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	mt := e.MustSymbol("memtrace")
+	jal := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w>>26 == isa.OpJAL && isa.Decode(w).Target == isa.JTarget(mt)
+	})
+	setWord(t, e, jal, isa.NOP)
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleMemTrace)
+	if !strings.Contains(d.Msg, "without a memtrace call") &&
+		!strings.Contains(d.Msg, "side table expects") {
+		t.Errorf("wrong mem-trace diagnostic: %s", d.Msg)
+	}
+}
+
+func TestMutationMemTraceSlotNotMem(t *testing.T) {
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	mt := e.MustSymbol("memtrace")
+	jal := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w>>26 == isa.OpJAL && isa.Decode(w).Target == isa.JTarget(mt)
+	})
+	setWord(t, e, jal+4, isa.ADDU(isa.RegT0, isa.RegT0, isa.RegZero))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleMemTrace)
+	if d.Addr != jal+4 && !strings.Contains(d.Msg, "side table expects") {
+		t.Errorf("unexpected mem-trace diagnostic: %s", d)
+	}
+}
+
+func TestMutationStolenRegisterUse(t *testing.T) {
+	b := buildObjs(t, "hoist", []*obj.File{sim.TracedStartObj(), hoistObj(t)}, epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	// The known plain instruction from hoistObj, rewritten in place.
+	plain := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w == isa.ADDIU(isa.RegT0, isa.RegZero, 7)
+	})
+	setWord(t, e, plain, isa.ADDU(isa.RegT0, isa.XReg1, isa.RegT0))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleSteal)
+	if d.Addr != plain {
+		t.Errorf("diagnostic at 0x%08x, mutation at 0x%08x", d.Addr, plain)
+	}
+}
+
+func TestMutationBranchTarget(t *testing.T) {
+	b := buildObjs(t, "hoist", []*obj.File{sim.TracedStartObj(), hoistObj(t)}, epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	br := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w>>26 == isa.OpBNE
+	})
+	w := e.Text[(br-e.TextBase)/4]
+	// Push the target one word past the block head, into the prologue.
+	setWord(t, e, br, w&^isa.Word(0xffff)|isa.Word(uint16(w)+1))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleBranchTarget)
+	if d.Addr != br {
+		t.Errorf("diagnostic at 0x%08x, mutation at 0x%08x", d.Addr, br)
+	}
+}
+
+func TestMutationUnsafeHoist(t *testing.T) {
+	b := buildObjs(t, "hoist", []*obj.File{sim.TracedStartObj(), hoistObj(t)}, epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	// The hoisted delay-slot load writes v0; retarget the jump through
+	// v0 so the transfer now reads what the hoisted load clobbers.
+	jr := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w == isa.JR(isa.RegRA)
+	})
+	setWord(t, e, jr, isa.JR(isa.RegV0))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleHoist)
+	if !strings.Contains(d.Msg, "transfer reads") {
+		t.Errorf("wrong hoist diagnostic: %s", d.Msg)
+	}
+}
+
+func TestMutationHoistSlotNotCleared(t *testing.T) {
+	b := buildObjs(t, "hoist", []*obj.File{sim.TracedStartObj(), hoistObj(t)}, epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	jr := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w == isa.JR(isa.RegRA)
+	})
+	setWord(t, e, jr+4, isa.SW(isa.RegV0, isa.RegSP, 64))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleHoist)
+	if !strings.Contains(d.Msg, "not cleared") {
+		t.Errorf("wrong hoist diagnostic: %s", d.Msg)
+	}
+}
+
+func TestMutationSideTable(t *testing.T) {
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	e.Instr.Blocks[0].RecordAddr += 4
+	assertRuleFires(t, mustVerify(t, e), verify.RuleSideTable)
+
+	e2 := cloneExe(b.Instr)
+	e2.Instr.Blocks[0].OrigAddr = 0x1000 // below text base
+	d := assertRuleFires(t, mustVerify(t, e2), verify.RuleSideTable)
+	if !strings.Contains(d.Msg, "outside uninstrumented text") {
+		t.Errorf("wrong side-table diagnostic: %s", d.Msg)
+	}
+}
+
+// TestDiagOrderDeterministic: the same corrupted image yields the same
+// diagnostics in the same order, every time.
+func TestDiagOrderDeterministic(t *testing.T) {
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	head := firstInstrumentedHead(t, e)
+	setWord(t, e, head, isa.NOP)
+	setWord(t, e, head+4, isa.NOP)
+	e.Instr.Blocks[0].RecordAddr += 4
+	first := mustVerify(t, e)
+	if first.Clean() {
+		t.Fatal("corrupted image verified clean")
+	}
+	for i := 0; i < 3; i++ {
+		again := mustVerify(t, e)
+		if len(again.Diags) != len(first.Diags) {
+			t.Fatalf("run %d: %d diags, want %d", i, len(again.Diags), len(first.Diags))
+		}
+		for j := range again.Diags {
+			if again.Diags[j] != first.Diags[j] {
+				t.Fatalf("run %d diag %d: %v != %v", i, j, again.Diags[j], first.Diags[j])
+			}
+		}
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	b := buildModule(t, testModule(), epoxie.BareRuntime)
+	e := cloneExe(b.Instr)
+	head := firstInstrumentedHead(t, e)
+	setWord(t, e, head, isa.NOP)
+	res := mustVerify(t, e)
+
+	reg := telemetry.New()
+	res.RegisterMetrics(reg, telemetry.L("image", e.Name))
+	snap := reg.Snapshot()
+	mdiag, ok := snap.Get("verify_diags_total",
+		telemetry.L("image", e.Name), telemetry.L("rule", verify.RuleBBHead))
+	if !ok || mdiag.Value < 1 {
+		t.Fatalf("verify_diags_total{rule=bb-head} = %v (found %v)", mdiag.Value, ok)
+	}
+	mpass, ok := snap.Get("verify_checks_total", telemetry.L("image", e.Name),
+		telemetry.L("rule", verify.RuleMemTrace), telemetry.L("result", "pass"))
+	if !ok || mpass.Value < 1 {
+		t.Fatalf("verify_checks_total{rule=mem-trace,result=pass} = %v (found %v)", mpass.Value, ok)
+	}
+	if mb, ok := snap.Get("verify_blocks_total", telemetry.L("image", e.Name)); !ok || mb.Value < 1 {
+		t.Fatal("verify_blocks_total missing")
+	}
+}

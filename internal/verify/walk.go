@@ -1,0 +1,354 @@
+package verify
+
+import (
+	"fmt"
+
+	"systrace/internal/epoxie"
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+	"systrace/internal/trace"
+)
+
+const (
+	xr1 = isa.XReg1
+	xr2 = isa.XReg2
+	xr3 = isa.XReg3
+
+	// The compact prologue is three words; the basic-block record
+	// address is the return address of its jal, i.e. head + 12.
+	prologueBytes = 12
+)
+
+// walker carries the per-executable verification state.
+type walker struct {
+	e        *obj.Executable
+	res      *Result
+	bb, mt   uint32          // bbtrace / memtrace entry addresses
+	heads    map[uint32]bool // every post-rewrite block head
+	instrSet map[uint32]bool // heads of instrumented blocks
+	byRecord map[uint32]*obj.InstrBlock
+	scratch  map[int]bool // registers the steal idiom may borrow
+}
+
+func newWalker(e *obj.Executable, bb, mt uint32) *walker {
+	w := &walker{
+		e:        e,
+		res:      &Result{Name: e.Name, Checks: make(map[string]int)},
+		bb:       bb,
+		mt:       mt,
+		heads:    make(map[uint32]bool, len(e.Blocks)),
+		instrSet: make(map[uint32]bool),
+		byRecord: make(map[uint32]*obj.InstrBlock, len(e.Instr.Blocks)),
+		scratch:  make(map[int]bool),
+	}
+	for i := range e.Blocks {
+		b := &e.Blocks[i]
+		w.heads[b.Addr] = true
+		if b.Flags&(obj.BBNoInstrument|obj.BBHandTraced) == 0 {
+			w.instrSet[b.Addr] = true
+		}
+	}
+	for _, r := range epoxie.ScratchRegs() {
+		w.scratch[r] = true
+	}
+	return w
+}
+
+func (w *walker) check(rule string) { w.res.Checks[rule]++ }
+
+func (w *walker) diag(addr, block uint32, rule, format string, args ...any) {
+	w.res.Diags = append(w.res.Diags,
+		Diag{Addr: addr, Block: block, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// sideTable checks the static side table against the image: record
+// addresses must be unique jal-return addresses of instrumented block
+// heads (or hand-traced heads), original addresses must fall inside
+// the uninstrumented text, and the trace parsing library's lookup
+// table must resolve each record to the same entry.
+func (w *walker) sideTable() {
+	ii := w.e.Instr
+	origLo := w.e.TextBase
+	origHi := w.e.TextBase + ii.OrigTextSize
+	st := trace.NewSideTable(ii.Blocks)
+	for i := range ii.Blocks {
+		ib := &ii.Blocks[i]
+		w.check(RuleSideTable)
+		if prev, dup := w.byRecord[ib.RecordAddr]; dup {
+			w.diag(ib.RecordAddr, ib.RecordAddr, RuleSideTable,
+				"duplicate record address (also maps original block 0x%08x)", prev.OrigAddr)
+			continue
+		}
+		w.byRecord[ib.RecordAddr] = ib
+		if got := st.Lookup(ib.RecordAddr); got == nil || got.OrigAddr != ib.OrigAddr {
+			w.diag(ib.RecordAddr, ib.RecordAddr, RuleSideTable,
+				"trace side table does not resolve the record address to this block")
+		}
+		if ib.OrigAddr < origLo || ib.OrigAddr >= origHi {
+			w.diag(ib.RecordAddr, ib.RecordAddr, RuleSideTable,
+				"original address 0x%08x outside uninstrumented text", ib.OrigAddr)
+		}
+		if ib.NInstr < 1 {
+			w.diag(ib.RecordAddr, ib.RecordAddr, RuleSideTable, "empty basic block in side table")
+		}
+		if ib.Flags&obj.BBHandTraced != 0 {
+			if !w.heads[ib.RecordAddr] {
+				w.diag(ib.RecordAddr, ib.RecordAddr, RuleSideTable,
+					"hand-traced record address is not a block head")
+			}
+			continue
+		}
+		if !w.instrSet[ib.RecordAddr-prologueBytes] {
+			w.diag(ib.RecordAddr, ib.RecordAddr, RuleSideTable,
+				"record address is not the jal return of an instrumented block head")
+		}
+	}
+	// The converse: every instrumented block must be recorded.
+	for i := range w.e.Blocks {
+		b := &w.e.Blocks[i]
+		if b.Flags&(obj.BBNoInstrument|obj.BBHandTraced) != 0 {
+			continue
+		}
+		w.check(RuleSideTable)
+		if w.byRecord[b.Addr+prologueBytes] == nil {
+			w.diag(b.Addr, b.Addr, RuleSideTable, "instrumented block missing from side table")
+		}
+	}
+}
+
+// block walks one instrumented basic block.
+func (w *walker) block(b *obj.ExeBlock) {
+	n := int(b.NInstr)
+	start := (b.Addr - w.e.TextBase) / 4
+	if int(start)+n > len(w.e.Text) {
+		w.diag(b.Addr, b.Addr, RuleBBHead, "block extends past end of text")
+		return
+	}
+	ws := w.e.Text[start : int(start)+n]
+	ib := w.byRecord[b.Addr+prologueBytes]
+
+	// Prologue: sw ra,124(xreg3); jal bbtrace; li zero,N.
+	w.check(RuleBBHead)
+	if n < 3 {
+		w.diag(b.Addr, b.Addr, RuleBBHead, "block too short to hold the trace prologue")
+		return
+	}
+	if ws[0] != isa.SW(isa.RegRA, xr3, trace.BookSavedRA) {
+		w.diag(b.Addr, b.Addr, RuleBBHead, "block head does not save ra to the bookkeeping area")
+	}
+	if !w.jalTo(ws[1], w.bb) {
+		w.diag(b.Addr+4, b.Addr, RuleBBHead, "no jal bbtrace at block head")
+	}
+	if v := isa.LINopValue(ws[2]); v < 0 {
+		w.diag(b.Addr+8, b.Addr, RuleBBHead, "jal bbtrace delay slot is not a trace-word LINop")
+	} else if ib != nil && v != 1+len(ib.Mem) {
+		w.diag(b.Addr+8, b.Addr, RuleBBHead,
+			"LINop trace-word count %d does not match side table (%d)", v, 1+len(ib.Mem))
+	}
+
+	// Terminator pair: the last two words, when the penultimate word
+	// is a control transfer that is not itself a memtrace call.
+	bodyEnd := n
+	hasPair := n >= 5 && isa.HasDelaySlot(ws[n-2]) && !w.jalTo(ws[n-2], w.mt)
+	if hasPair {
+		bodyEnd = n - 2
+	}
+
+	memSeen := 0
+	var lastMem isa.Word
+	for i := 3; i < bodyEnd; {
+		word := ws[i]
+		addr := b.Addr + uint32(i)*4
+		switch {
+		case w.jalTo(word, w.mt):
+			i += w.memGroup(b, ib, ws, i, bodyEnd, &memSeen, &lastMem)
+		case w.jalTo(word, w.bb):
+			w.diag(addr, b.Addr, RuleBBHead, "stray jal bbtrace inside block body")
+			i++
+		case w.bookkeeping(word):
+			w.check(RuleSteal)
+			i++
+		default:
+			w.plain(addr, b.Addr, word)
+			i++
+		}
+	}
+
+	if hasPair {
+		term, slot := ws[n-2], ws[n-1]
+		termAddr := b.Addr + uint32(n-2)*4
+		w.xregCheck(termAddr, b.Addr, term)
+		w.branchTarget(termAddr, b.Addr, term)
+
+		// The original delay slot held a memory instruction exactly
+		// when the side table's last reference is the block's last
+		// instruction; the rewriter must then have hoisted it.
+		hoisted := ib != nil && len(ib.Mem) > 0 &&
+			int(ib.Mem[len(ib.Mem)-1].Index) == int(ib.NInstr)-1
+		if hoisted {
+			w.check(RuleHoist)
+			if slot != isa.NOP {
+				w.diag(termAddr+4, b.Addr, RuleHoist,
+					"delay slot not cleared after hoisting its memory instruction")
+			}
+			if memSeen == 0 {
+				w.diag(termAddr+4, b.Addr, RuleHoist,
+					"no memtrace group found for the hoisted delay-slot reference")
+			} else if !isa.SafeToHoist(term, lastMem) {
+				w.diag(termAddr+4, b.Addr, RuleHoist,
+					"hoisted memory instruction writes a register the transfer reads")
+			}
+		} else if isa.IsMem(slot) && !w.bookkeeping(slot) {
+			w.check(RuleMemTrace)
+			w.diag(termAddr+4, b.Addr, RuleMemTrace, "untraced memory instruction in delay slot")
+		} else if w.bookkeeping(slot) {
+			w.check(RuleSteal)
+		} else {
+			w.plain(termAddr+4, b.Addr, slot)
+		}
+	}
+
+	if ib != nil {
+		w.check(RuleMemTrace)
+		if memSeen != len(ib.Mem) {
+			w.diag(b.Addr, b.Addr, RuleMemTrace,
+				"block traces %d memory references, side table expects %d", memSeen, len(ib.Mem))
+		}
+	}
+}
+
+// memGroup consumes one `jal memtrace` call sequence starting at ws[i]
+// and returns the number of words consumed. The group is either
+// [jal, mem] (the reference in the delay slot) or [jal, ea-nop, mem]
+// (the hazard form, §3.2).
+func (w *walker) memGroup(b *obj.ExeBlock, ib *obj.InstrBlock, ws []isa.Word, i, limit int, memSeen *int, lastMem *isa.Word) int {
+	w.check(RuleMemTrace)
+	addr := b.Addr + uint32(i)*4
+	if i+1 >= limit {
+		w.diag(addr, b.Addr, RuleMemTrace, "jal memtrace truncated at block end")
+		return 1
+	}
+	next := ws[i+1]
+	size := 2
+	mem := next
+	if isa.IsLoad(next) && isa.Defs(next) < 0 && isa.Decode(next).Rt == isa.RegZero && next>>26 != isa.OpLWC1 {
+		// EA no-op in the slot; the real instruction issues after the
+		// call.
+		if i+2 >= limit {
+			w.diag(addr, b.Addr, RuleMemTrace, "hazard-form memtrace group truncated at block end")
+			return 2
+		}
+		mem = ws[i+2]
+		size = 3
+		if !isa.IsMem(mem) {
+			w.diag(addr+8, b.Addr, RuleMemTrace, "EA no-op not followed by its memory instruction")
+			return size
+		}
+		mi := isa.Decode(mem)
+		if next != isa.EANop(mi.Rs, mi.Imm, isa.MemSize(mem)) {
+			w.diag(addr+4, b.Addr, RuleMemTrace,
+				"EA no-op base/offset/width disagrees with the displaced memory instruction")
+		}
+	} else {
+		if !isa.IsMem(next) {
+			w.diag(addr+4, b.Addr, RuleMemTrace, "jal memtrace delay slot is not a memory instruction")
+			return size
+		}
+		mi := isa.Decode(next)
+		if isa.Touches(next, isa.RegRA) || (isa.IsLoad(next) && mi.Rt == mi.Rs) {
+			w.diag(addr+4, b.Addr, RuleMemTrace,
+				"hazard instruction traced in delay-slot form (memtrace would decode a stale base)")
+		}
+	}
+	w.xregCheck(addr+uint32(size-1)*4, b.Addr, mem)
+	*memSeen++
+	*lastMem = mem
+	if ib != nil && *memSeen <= len(ib.Mem) {
+		want := ib.Mem[*memSeen-1]
+		if isa.IsLoad(mem) != want.Load || int8(isa.MemSize(mem)) != want.Size {
+			w.diag(addr, b.Addr, RuleMemTrace,
+				"traced reference %d kind/width disagrees with side table", *memSeen-1)
+		}
+	}
+	return size
+}
+
+// bookkeeping reports whether word is part of the register-stealing
+// idiom: a shadow or scratch access through xreg3, or the saved-ra
+// refresh. Anything else that touches the stolen registers violates
+// the steal rule.
+func (w *walker) bookkeeping(word isa.Word) bool {
+	i := isa.Decode(word)
+	if i.Rs != xr3 {
+		return false
+	}
+	off := int(i.Imm)
+	switch i.Op {
+	case isa.OpSW:
+		switch off {
+		case trace.BookSavedRA:
+			return i.Rt == isa.RegRA
+		case trace.BookTmp:
+			return w.scratch[i.Rt]
+		case trace.BookShadow1, trace.BookShadow2, trace.BookShadow3:
+			return i.Rt == isa.RegAT
+		}
+	case isa.OpLW:
+		switch off {
+		case trace.BookTmp:
+			return w.scratch[i.Rt]
+		case trace.BookShadow1, trace.BookShadow2, trace.BookShadow3:
+			return i.Rt == isa.RegAT || w.scratch[i.Rt]
+		}
+	}
+	return false
+}
+
+// plain checks an ordinary rewritten instruction: no stolen-register
+// references, no untraced memory access, no control transfer inside
+// the block body.
+func (w *walker) plain(addr, block uint32, word isa.Word) {
+	w.xregCheck(addr, block, word)
+	if isa.IsMem(word) {
+		w.check(RuleMemTrace)
+		w.diag(addr, block, RuleMemTrace, "memory instruction without a memtrace call")
+	}
+	if isa.HasDelaySlot(word) {
+		w.check(RuleBranchTarget)
+		w.diag(addr, block, RuleBranchTarget, "control transfer inside rewritten block body")
+	}
+}
+
+// xregCheck flags any stolen-register reference in rewritten code.
+func (w *walker) xregCheck(addr, block uint32, word isa.Word) {
+	w.check(RuleSteal)
+	for _, r := range [3]int{xr1, xr2, xr3} {
+		if isa.Touches(word, r) {
+			w.diag(addr, block, RuleSteal,
+				"rewritten code references stolen register %s", isa.RegName(r))
+		}
+	}
+}
+
+// branchTarget checks that a block terminator's static target is a
+// post-rewrite block head (register jumps are dynamic and skipped).
+func (w *walker) branchTarget(addr, block uint32, term isa.Word) {
+	var target uint32
+	switch {
+	case isa.IsBranch(term):
+		target = addr + 4 + isa.SignExt16(isa.Decode(term).Imm)<<2
+	case term>>26 == isa.OpJ || term>>26 == isa.OpJAL:
+		target = (addr+4)&0xf0000000 | isa.Decode(term).Target<<2
+	default:
+		return // jr/jalr: dynamic target
+	}
+	w.check(RuleBranchTarget)
+	if !w.heads[target] && target != w.e.TextEnd() {
+		w.diag(addr, block, RuleBranchTarget,
+			"transfer target 0x%08x is not a rewritten block head", target)
+	}
+}
+
+func (w *walker) jalTo(word isa.Word, dst uint32) bool {
+	return word>>26 == isa.OpJAL && isa.Decode(word).Target == isa.JTarget(dst)
+}

@@ -21,7 +21,15 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (experiment runner + telemetry) =="
-go test -race ./internal/experiment/ ./internal/telemetry/
+echo "== go test -race (experiment runner, telemetry, rewriter, verifier) =="
+go test -race ./internal/experiment/ ./internal/telemetry/ ./internal/epoxie/ ./internal/verify/
+
+echo "== fuzz smoke (10s each) =="
+go test -run='^$' -fuzz=FuzzDisasm -fuzztime=10s ./internal/isa/
+go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/trace/
+
+if [ "${SKIP_LINT:-0}" != "1" ]; then
+	./scripts/lint.sh
+fi
 
 echo "tier-1 gate: OK"

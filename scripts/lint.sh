@@ -1,0 +1,15 @@
+#!/bin/sh
+# Static analysis gate: the project-specific Go analyzers (vet-tracer)
+# and the instrumentation verifier (epoxylint) over every Table-1
+# workload under every runtime kind. Run from the repo root (or via
+# `make lint`); scripts/check.sh runs this unless SKIP_LINT=1.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== vet-tracer (lockheld, telemetryname) =="
+go run ./cmd/vet-tracer ./internal ./cmd ./tools
+
+echo "== epoxylint (all workloads x runtime kinds) =="
+go run ./cmd/epoxylint -q
+
+echo "lint gate: OK"

@@ -1,0 +1,120 @@
+// Package analyzers implements the project-specific static checks run
+// by cmd/vet-tracer as part of the tier-1 gate. The passes mirror the
+// go/analysis shape — a named analyzer producing position-tagged
+// findings — but are built on the standard library's go/ast and
+// go/parser only, so the gate needs nothing outside the toolchain.
+//
+// Two passes are registered:
+//
+//   - lockheld: no build/simulate-class call while a mutex is held.
+//     Build results are cached precisely so the table lock is never
+//     held across a multi-second build (internal/experiment); holding
+//     it across one serializes the worker pool.
+//   - telemetryname: metric names registered on a telemetry.Registry
+//     follow the naming convention: snake_case, counters end in
+//     _total, gauges don't, histograms carry a unit suffix, and no
+//     name restates its kind (_counter, _gauge, ...).
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic from one analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Msg)
+}
+
+// Analyzer is one pass over a parsed file.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(fset *token.FileSet, f *ast.File) []Finding
+}
+
+// All returns every registered analyzer.
+func All() []*Analyzer { return []*Analyzer{LockHeld, TelemetryName} }
+
+// CheckDir parses every non-test .go file under root (skipping hidden
+// directories, testdata, and vendor) and runs the given analyzers,
+// returning findings sorted by position.
+func CheckDir(root string, as []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, a := range as {
+			findings = append(findings, a.Run(fset, file)...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Msg < b.Msg
+	})
+	return findings, nil
+}
+
+// calleeName returns the bare name of a call's callee: the final
+// selector for method calls, the identifier for plain calls, "" for
+// anything else (indirect calls, conversions through parens, ...).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// exprString renders a simple ident/selector chain (`r.mu`, `cacheMu`)
+// for diagnostics; non-simple expressions render as "?".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	}
+	return "?"
+}

@@ -1,0 +1,220 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSrc writes src as a lone file in a temp dir and runs every
+// analyzer over it.
+func checkSrc(t *testing.T, src string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckDir(dir, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func byAnalyzer(fs []Finding, name string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Analyzer == name {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestLockHeldFlagsBuildUnderLock(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	kernel.Build(cfg)
+}
+`), "lockheld")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "Build while cacheMu is held") {
+		t.Errorf("msg = %q", fs[0].Msg)
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("line = %d, want 6", fs[0].Pos.Line)
+	}
+}
+
+func TestLockHeldUnlockBeforeBuild(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good() {
+	mu.Lock()
+	e := entry()
+	mu.Unlock()
+	kernel.Build(cfg)
+}
+`), "lockheld")
+	if len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestLockHeldBranchRelease(t *testing.T) {
+	// The fallthrough path still holds the lock after a branch-local
+	// release: a build after the if must be flagged.
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	r.mu.Lock()
+	if ok {
+		r.mu.Unlock()
+		return
+	}
+	x := mod.Compile(opts)
+	r.mu.Unlock()
+	_ = x
+}
+`), "lockheld")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "Compile") {
+		t.Fatalf("findings = %v, want one Compile finding", fs)
+	}
+}
+
+func TestLockHeldGoroutineEscapes(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good() {
+	r.mu.Lock()
+	c := newCall()
+	r.mu.Unlock()
+	go r.Run(c)
+}
+
+func alsoGood() {
+	mu.Lock()
+	go func() { kernel.Build(cfg) }()
+	mu.Unlock()
+}
+`), "lockheld")
+	if len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestLockHeldNonMutexReceiver(t *testing.T) {
+	// Lock/Unlock on receivers that don't look like mutexes (a file
+	// lock, say) are out of scope.
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func fine() {
+	flock.Lock()
+	kernel.Build(cfg)
+	flock.Unlock()
+}
+`), "lockheld")
+	if len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestLockHeldCondExpr(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	mu.Lock()
+	defer mu.Unlock()
+	if sim.Run(n) != nil {
+		return
+	}
+}
+`), "lockheld")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "Run") {
+		t.Fatalf("findings = %v, want one Run finding", fs)
+	}
+}
+
+func TestTelemetryNameRules(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func metrics(reg *telemetry.Registry) {
+	reg.Counter("good_events_total", "help")
+	reg.Counter("badEvents_total", "help")
+	reg.Sample("kernel_utlb_miss_counter", "help", fn)
+	reg.Sample("trace_max_exception_depth", "help", fn)
+	reg.Gauge("distortion_time_dilation", "help")
+	reg.Gauge("distortion_total", "help")
+	reg.Histogram("flush_words", "help")
+	reg.Histogram("flush_sizes", "help")
+	reg.SampleGauge("trace_exception_depth_max", "help", fn)
+	other.Counter(name, "help")
+	unrelated.Counter("whatever")
+}
+`), "telemetryname")
+	want := []string{
+		`"badEvents_total" is not snake_case`,
+		`"kernel_utlb_miss_counter" restates its kind`,
+		`"trace_max_exception_depth" must end in _total`,
+		`"distortion_total" must not end in _total`,
+		`"flush_sizes" must end in a unit suffix`,
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d findings %v, want %d", len(fs), fs, len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(fs[i].Msg, w) {
+			t.Errorf("finding %d = %q, want mention of %s", i, fs[i].Msg, w)
+		}
+	}
+}
+
+func TestCheckDirSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	bad := `package p
+
+func bad() {
+	mu.Lock()
+	kernel.Build(cfg)
+	mu.Unlock()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "x_test.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "testdata"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "testdata", "y.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckDir(dir, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("test/testdata files were analyzed: %v", fs)
+	}
+}
+
+// TestRepoIsClean runs both passes over the real module: the tier-1
+// gate depends on this staying green.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("module root not found")
+	}
+	fs, err := CheckDir(root, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,202 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockHeld flags build/simulate-class calls made while a mutex is
+// held. The build caches in internal/experiment exist so that the
+// table lock is held only for map bookkeeping — a build or a simulated
+// run under that lock serializes every worker behind one multi-second
+// operation, which is exactly the regression this pass pins down.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no build or simulate call while a mutex is held",
+	Run:  runLockHeld,
+}
+
+// mutexName matches receivers we treat as mutexes: mu, cacheMu,
+// buildMutex, r.mu, ...
+var mutexName = regexp.MustCompile(`(?i)mu(tex)?$`)
+
+// expensiveCallees are the build/simulate-class entry points that must
+// never run under a lock. Bare names are matched so the pass stays
+// type-free: epoxie.BuildInstrumented, kernel.Build, mach.Run, and
+// mod.Compile all resolve to their final identifier.
+var expensiveCallees = map[string]bool{
+	"Build":             true,
+	"BuildInstrumented": true,
+	"Compile":           true,
+	"Rewrite":           true,
+	"Link":              true,
+	"LinkLayout":        true,
+	"Boot":              true,
+	"Run":               true,
+	"Simulate":          true,
+}
+
+func runLockHeld(fset *token.FileSet, f *ast.File) []Finding {
+	var findings []Finding
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		lw := &lockWalker{fset: fset}
+		lw.stmts(fn.Body.List, map[string]bool{})
+		findings = append(findings, lw.findings...)
+	}
+	return findings
+}
+
+type lockWalker struct {
+	fset     *token.FileSet
+	findings []Finding
+}
+
+// lockCall classifies a statement as a Lock/Unlock call on a
+// mutex-named receiver, returning the receiver rendering and whether
+// it acquires.
+func lockCall(s ast.Stmt) (recv string, acquire, ok bool) {
+	es, isExpr := s.(*ast.ExprStmt)
+	if !isExpr {
+		return "", false, false
+	}
+	return lockCallExpr(es.X)
+}
+
+func lockCallExpr(e ast.Expr) (recv string, acquire, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	recv = exprString(sel.X)
+	last := recv
+	if i := strings.LastIndex(recv, "."); i >= 0 {
+		last = recv[i+1:]
+	}
+	if !mutexName.MatchString(last) {
+		return "", false, false
+	}
+	return recv, acquire, true
+}
+
+// stmts walks a statement list with the current held-lock set.
+// Branch bodies are walked with a copy: a lock released on one path is
+// conservatively still considered held on the fallthrough path.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		if recv, acquire, ok := lockCall(s); ok {
+			if acquire {
+				held[recv] = true
+			} else {
+				delete(held, recv)
+			}
+			continue
+		}
+		if d, ok := s.(*ast.DeferStmt); ok {
+			// `defer mu.Unlock()` keeps the lock held to function
+			// exit; anything after it still runs under the lock.
+			if _, _, ok := lockCallExpr(d.Call); ok {
+				continue
+			}
+		}
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			w.stmts(x.List, copyHeld(held))
+		case *ast.IfStmt:
+			w.inspect(x.Init, held)
+			w.inspect(x.Cond, held)
+			w.stmts(x.Body.List, copyHeld(held))
+			if x.Else != nil {
+				w.stmts([]ast.Stmt{x.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			w.inspect(x.Init, held)
+			w.inspect(x.Cond, held)
+			w.inspect(x.Post, held)
+			w.stmts(x.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			w.inspect(x.X, held)
+			w.stmts(x.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			w.inspect(x.Init, held)
+			w.inspect(x.Tag, held)
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.stmts(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.stmts(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					w.stmts(cc.Body, copyHeld(held))
+				}
+			}
+		default:
+			w.inspect(s, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// inspect flags expensive calls under node n — a simple statement or
+// the condition/init part of a compound one (stmts descends into
+// bodies with its own held tracking). Goroutine and closure bodies
+// escape the lock, so those subtrees are skipped.
+func (w *lockWalker) inspect(n ast.Node, held map[string]bool) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			name := calleeName(x)
+			if expensiveCallees[name] {
+				locks := make([]string, 0, len(held))
+				for k := range held {
+					locks = append(locks, k)
+				}
+				sort.Strings(locks)
+				w.findings = append(w.findings, Finding{
+					Pos:      w.fset.Position(x.Pos()),
+					Analyzer: "lockheld",
+					Msg: fmt.Sprintf("call to %s while %s is held (builds and runs must happen outside the lock; cache an entry and release first)",
+						name, strings.Join(locks, ", ")),
+				})
+			}
+		}
+		return true
+	})
+}

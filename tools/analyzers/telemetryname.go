@@ -1,0 +1,105 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// TelemetryName checks metric names at registration sites against the
+// telemetry layer's naming convention: snake_case throughout, cumulative
+// metrics (Counter, Sample) end in _total, gauges never do, histograms
+// name the unit they observe, and no name restates its metric kind.
+var TelemetryName = &Analyzer{
+	Name: "telemetryname",
+	Doc:  "telemetry metric names follow the snake_case unit-suffix convention",
+	Run:  runTelemetryName,
+}
+
+// metricKinds maps registration method names to the kind whose suffix
+// rules apply. Sample registers a cumulative counter read through a
+// closure; SampleGauge does the same for a level.
+var metricKinds = map[string]string{
+	"Counter":     "counter",
+	"Sample":      "counter",
+	"Gauge":       "gauge",
+	"SampleGauge": "gauge",
+	"Histogram":   "histogram",
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// kindSuffixes restate the metric kind in its name; the kind is
+// already carried by the registration call.
+var kindSuffixes = []string{"_counter", "_count", "_gauge", "_hist", "_histogram", "_metric"}
+
+// histogramUnits are the accepted unit suffixes for histograms.
+var histogramUnits = []string{"_words", "_cycles", "_bytes", "_seconds", "_instructions"}
+
+func runTelemetryName(fset *token.FileSet, f *ast.File) []Finding {
+	var findings []Finding
+	add := func(pos token.Pos, format string, args ...any) {
+		findings = append(findings, Finding{
+			Pos:      fset.Position(pos),
+			Analyzer: "telemetryname",
+			Msg:      fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := metricKinds[sel.Sel.Name]
+		// Registration methods take (name, help, ...): require both so
+		// unrelated methods that happen to share a name don't match.
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || len(lit.Value) < 2 {
+			return true
+		}
+		name := lit.Value[1 : len(lit.Value)-1]
+
+		if !snakeCase.MatchString(name) {
+			add(lit.Pos(), "metric name %q is not snake_case", name)
+			return true
+		}
+		for _, s := range kindSuffixes {
+			if strings.HasSuffix(name, s) {
+				add(lit.Pos(), "metric name %q restates its kind; drop the %s suffix (cumulative metrics end in _total)", name, s)
+				return true
+			}
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				add(lit.Pos(), "cumulative metric %q must end in _total", name)
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				add(lit.Pos(), "gauge %q must not end in _total (that suffix is for cumulative metrics)", name)
+			}
+		case "histogram":
+			unit := false
+			for _, s := range histogramUnits {
+				if strings.HasSuffix(name, s) {
+					unit = true
+					break
+				}
+			}
+			if !unit {
+				add(lit.Pos(), "histogram %q must end in a unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+			}
+		}
+		return true
+	})
+	return findings
+}
