@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint fmt vet build test bench
+.PHONY: check lint tracelint fmt vet build test bench
 
 # check is the tier-1 gate: formatting, vet, build, the full test
 # suite, fuzz smoke, and the lint gate. CI and pre-commit should run
@@ -13,6 +13,12 @@ check: lint
 # instrumentation verifier (cmd/epoxylint) over every workload.
 lint:
 	./scripts/lint.sh
+
+# tracelint boots every workload under both OS personalities in the
+# simulator and checks the whole-system trace streams for conformance
+# against the instrumented images' control flow graphs.
+tracelint:
+	$(GO) run ./cmd/tracelint
 
 fmt:
 	gofmt -l .

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"systrace/internal/tracecheck"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown workload, want 2", code)
+	}
+	if code := run([]string{"-os", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown OS, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for stray positional argument, want 2", code)
+	}
+}
+
+func TestRunSingleStream(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "sed", "-os", "ultrix"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d; stderr: %s stdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "0 diagnostics") {
+		t.Errorf("summary missing: %s", out.String())
+	}
+}
+
+func TestRunSingleStreamJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-workload", "sed", "-os", "ultrix"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d; stderr: %s stdout: %s", code, errb.String(), out.String())
+	}
+	var results []*tracecheck.Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(results))
+	}
+	r := results[0]
+	if !r.Clean() || r.Words == 0 || r.Records == 0 {
+		t.Errorf("unexpected result: %+v", r)
+	}
+}

@@ -67,6 +67,15 @@ func main() {
 	}
 	vres.RegisterMetrics(reg, telemetry.L("image", spec.Name))
 
+	// Check the traced run's own stream against the instrumented CFGs
+	// and publish the per-rule conformance counters alongside.
+	conf, err := experiment.Conformance(spec, flavor, uint32(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat: conformance:", err)
+		os.Exit(1)
+	}
+	conf.RegisterMetrics(reg, telemetry.L("stream", conf.Name))
+
 	switch *format {
 	case "json":
 		doc := struct {
@@ -94,6 +103,15 @@ func main() {
 		}
 		fmt.Printf("static verification: %d blocks, %s\n", vres.Blocks, status)
 		for _, diag := range vres.Diags {
+			fmt.Printf("  %s\n", diag)
+		}
+		cstatus := "clean"
+		if !conf.Clean() {
+			cstatus = fmt.Sprintf("%d diagnostics", len(conf.Diags))
+		}
+		fmt.Printf("trace conformance: %d words, %d records, %d markers, %s\n",
+			conf.Words, conf.Records, conf.Markers, cstatus)
+		for _, diag := range conf.Diags {
 			fmt.Printf("  %s\n", diag)
 		}
 	}

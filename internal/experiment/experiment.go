@@ -20,7 +20,9 @@ import (
 	"systrace/internal/pixie"
 	"systrace/internal/telemetry"
 	"systrace/internal/trace"
+	"systrace/internal/tracecheck"
 	"systrace/internal/userland"
+	"systrace/internal/verify"
 	"systrace/internal/workload"
 )
 
@@ -52,6 +54,7 @@ var (
 	pcache     = map[string]*buildEntry[*userland.Program]{}
 	svcache    buildEntry[*userland.Program]
 	arithCache = map[string]*buildEntry[uint64]{}
+	cfgCache   = map[*obj.Executable]*buildEntry[*verify.CFG]{}
 )
 
 // cacheEntry finds or inserts the entry for key under cacheMu.
@@ -86,6 +89,65 @@ func program(spec workload.Spec) (*userland.Program, error) {
 		e.val, e.err = userland.Build(spec.Name, []*m.Module{spec.Build()}, m.Options{})
 	})
 	return e.val, e.err
+}
+
+// exeCFG derives (once per instrumented image — kernels and programs
+// are themselves cached singletons, so a pointer key suffices) the
+// post-rewrite static CFG the conformance checker walks.
+func exeCFG(e *obj.Executable) (*verify.CFG, error) {
+	cacheMu.Lock()
+	en, ok := cfgCache[e]
+	if !ok {
+		en = &buildEntry[*verify.CFG]{}
+		cfgCache[e] = en
+	}
+	cacheMu.Unlock()
+	en.once.Do(func() {
+		en.val, en.err = verify.NewCFG(e)
+	})
+	return en.val, en.err
+}
+
+// conformanceChecker assembles a tracecheck.Checker for a booted traced
+// system: the kernel's CFG plus one per traced process image.
+func conformanceChecker(name string, sys *kernel.System) (*tracecheck.Checker, error) {
+	c := tracecheck.New(name)
+	kg, err := exeCFG(sys.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	c.SetKernelCFG(kg)
+	for i, bp := range sys.Procs {
+		if bp.Exe.Instr == nil {
+			continue
+		}
+		g, err := exeCFG(bp.Exe)
+		if err != nil {
+			return nil, err
+		}
+		c.AddProcessCFG(i+1, g)
+	}
+	return c, nil
+}
+
+// Conformance boots the traced system for one workload and runs its
+// raw trace through the offline conformance checker (cmd/tracelint's
+// corpus mode): the simulator's own output must be a legal observation
+// of the static CFG plus the kernel trace protocol.
+func Conformance(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*tracecheck.Result, error) {
+	sys, _, err := boot(spec, flavor, true, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	c, err := conformanceChecker(fmt.Sprintf("%s/%v", spec.Name, flavor), sys)
+	if err != nil {
+		return nil, err
+	}
+	sys.OnTrace = c.Check
+	if err := sys.Run(runBudget); err != nil {
+		return nil, fmt.Errorf("conformance %s/%v: %w", spec.Name, flavor, err)
+	}
+	return c.Finish(), nil
 }
 
 func server() (*userland.Program, error) {
@@ -222,6 +284,10 @@ type Predicted struct {
 	AnalysisCycles uint64
 	Sim            *memsys.TraceSim
 	Parser         *trace.Parser
+	// Conformance is the offline trace↔CFG check run over the same raw
+	// stream the parser consumed. Diagnostics are reported, not fatal:
+	// the prediction is still computed from whatever parsed.
+	Conformance *tracecheck.Result
 }
 
 // Predict runs the traced system, streams the trace through the
@@ -264,10 +330,16 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	p.RegisterMetrics(reg, labels...)
 	sim.RegisterMetrics(reg, labels...)
 
+	chk, err := conformanceChecker(fmt.Sprintf("%s/%v", spec.Name, flavor), sys)
+	if err != nil {
+		return nil, err
+	}
+
 	var events uint64
 	var perr error
 	buf := make([]trace.Event, 0, 1<<16)
 	sys.OnTrace = func(words []uint32) {
+		chk.Check(words)
 		if perr != nil {
 			return
 		}
@@ -285,6 +357,9 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	if perr != nil {
 		return nil, fmt.Errorf("predict %s/%v: %w", spec.Name, flavor, perr)
 	}
+
+	conf := chk.Finish()
+	conf.RegisterMetrics(reg, labels...)
 
 	arith, err := arithStalls(spec, kernel.Ultrix)
 	if err != nil {
@@ -314,6 +389,7 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 		AnalysisCycles: sys.M.ExtraCycles(),
 		Sim:            sim,
 		Parser:         p,
+		Conformance:    conf,
 	}, nil
 }
 

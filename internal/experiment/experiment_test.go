@@ -46,6 +46,30 @@ func TestMeasurePredictAgreeOnResult(t *testing.T) {
 	}
 }
 
+func TestConformanceCleanOnSimulatorOutput(t *testing.T) {
+	for _, s := range specsFor(t, "sed") {
+		for _, flavor := range []kernel.Flavor{kernel.Ultrix, kernel.Mach} {
+			res, err := experiment.Conformance(s, flavor, 1)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", s.Name, flavor, err)
+			}
+			if !res.Clean() {
+				n := len(res.Diags)
+				if n > 5 {
+					n = 5
+				}
+				t.Errorf("%s/%v: simulator trace fails conformance (%d diags): %v",
+					s.Name, flavor, len(res.Diags), res.Diags[:n])
+			}
+			if res.Records == 0 || res.Words == 0 {
+				t.Errorf("%s/%v: degenerate result %+v", s.Name, flavor, res)
+			}
+			t.Logf("%s/%v: %d words, %d records, %d markers checked clean",
+				s.Name, flavor, res.Words, res.Records, res.Markers)
+		}
+	}
+}
+
 func TestTable1Inventory(t *testing.T) {
 	rows, err := experiment.Table1(specsFor(t, "gcc", "yacc"))
 	if err != nil {

@@ -150,7 +150,7 @@ func buildTraceCtl(k *m.Module, cfg Config) {
 	f.Flags = asm.NoInstrument // trace-control subsystem: never traced
 	f.Locals("spin")
 	f.Code(func(b *m.Block) {
-		b.Call("traceMark", m.U(0xfff40000)) // MarkModeSw
+		b.Call("traceMark", m.U(trace.MarkModeSw))
 		b.StoreW(m.Addr("modesw", 0), m.Add(m.LoadW(m.Addr("modesw", 0)), m.I(1)))
 		b.StoreW(m.Addr("traceon", 0), m.I(0))
 		b.StoreW(m.U(traceBell), m.I(1)) // DoorbellBufferFull

@@ -114,8 +114,16 @@ func buildMain(k *m.Module, cfg Config) {
 		b.StoreW(m.Addr("pagepolicy", 0), m.LoadW(m.Add(m.V("bi"), m.I(BiPagePolicy))))
 		b.StoreW(m.Addr("mapseed", 0), m.Or(m.LoadW(m.Add(m.V("bi"), m.I(BiMapSeed))), m.I(1)))
 		b.StoreW(m.Addr("tlbdropin", 0), m.LoadW(m.Add(m.V("bi"), m.I(BiTLBDropin))))
-		b.StoreW(m.Addr("tbufstart", 0), m.LoadW(m.Addr("kbook", trace.BookBufPtr)))
+		// The analysis program drains from the buffer's base, so the
+		// generation reset in runAnalysis must return there too. Derive
+		// the base from boot info rather than snapshotting the current
+		// buffer pointer: by the time kmain runs, its own instrumented
+		// prologue has already appended records, and a snapshot would
+		// make every post-reset drain replay that boot prefix as stale
+		// words (the mis-parse hazard of §4.3).
 		b.If(m.Ne(m.LoadW(m.Add(m.V("bi"), m.I(BiTraceBufPhys))), m.I(0)), func(b *m.Block) {
+			b.StoreW(m.Addr("tbufstart", 0),
+				m.Or(m.LoadW(m.Add(m.V("bi"), m.I(BiTraceBufPhys))), m.U(cpu.KSeg0Base)))
 			b.StoreW(m.Addr("traceon", 0), m.I(1))
 		}, nil)
 

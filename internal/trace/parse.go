@@ -349,10 +349,49 @@ func (p *Parser) emitFetch(out []Event, s *blockState) []Event {
 	return append(out, ev)
 }
 
+// TruncatedNestError reports a trace that ended while one or more
+// nested kernel exceptions were still open: every MarkExcEnter must be
+// matched by a MarkExcExit before the stream ends (§3.5's trace-state
+// stack), so an unbalanced stream means the capture was truncated
+// mid-nest. The fields identify the innermost open frame — the stream
+// context the unmatched exception interrupted.
+type TruncatedNestError struct {
+	Depth  int    // exception frames still open at end of trace
+	InKern bool   // whether the interrupted context was the kernel stream
+	Orig   uint32 // interrupted block's original address (0 if between blocks)
+	Got    int    // memory references seen for that block
+	Want   int    // memory references the side table expects
+}
+
+func (e *TruncatedNestError) Error() string {
+	ctx := "user"
+	if e.InKern {
+		ctx = "kernel"
+	}
+	if e.Want == 0 && e.Orig == 0 {
+		return fmt.Sprintf("trace: ended inside %d open nested exception(s) (interrupted %s stream between blocks)",
+			e.Depth, ctx)
+	}
+	return fmt.Sprintf("trace: ended inside %d open nested exception(s) (interrupted %s stream mid-block orig 0x%08x: %d of %d refs seen)",
+		e.Depth, ctx, e.Orig, e.Got, e.Want)
+}
+
 // Finish verifies no block is left partially consumed: a truncated or
 // word-dropped trace that still parsed shows up here as a block whose
-// recorded memory references never all arrived.
+// recorded memory references never all arrived, and a trace cut off
+// inside a nested exception as a TruncatedNestError for the frame
+// still open.
 func (p *Parser) Finish() error {
+	if n := len(p.kstack); n > 0 {
+		fr := &p.kstack[n-1]
+		e := &TruncatedNestError{Depth: n, InKern: fr.inKern}
+		if fr.st.block != nil && !fr.st.done() {
+			e.Orig = fr.st.block.OrigAddr
+			e.Got = fr.st.nextMem
+			e.Want = len(fr.st.block.Mem)
+		}
+		return e
+	}
 	check := func(s *blockState, what string) error {
 		if s != nil && s.block != nil && !s.done() {
 			return fmt.Errorf("trace: %s ended mid-block (orig 0x%08x: %d of %d refs seen)",

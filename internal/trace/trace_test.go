@@ -1,6 +1,8 @@
 package trace_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"systrace/internal/obj"
@@ -128,6 +130,56 @@ func TestFinishDetectsTruncation(t *testing.T) {
 	}
 	if err := p.Finish(); err == nil {
 		t.Error("mid-block truncation not reported")
+	}
+}
+
+func TestFinishTruncatedNest(t *testing.T) {
+	p := trace.NewParser(ktable())
+	p.AddProcess(1, table())
+	words := []uint32{
+		0x80000100, // kernel block opens (1 EA pending)
+		trace.MarkExcEnter,
+		0x80000100, 0x80200004, // complete nested block
+		// Stream ends without the matching MarkExcExit.
+	}
+	if _, err := p.Parse(words, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Finish()
+	var tn *trace.TruncatedNestError
+	if !errors.As(err, &tn) {
+		t.Fatalf("Finish() = %v, want *TruncatedNestError", err)
+	}
+	if tn.Depth != 1 || !tn.InKern {
+		t.Errorf("frame = depth %d inKern %v, want 1 kernel", tn.Depth, tn.InKern)
+	}
+	// The open frame holds the interrupted kernel block: its one store
+	// EA never arrived.
+	if tn.Orig != 0x80000100 || tn.Got != 0 || tn.Want != 1 {
+		t.Errorf("interrupted block = orig %#x got %d want %d", tn.Orig, tn.Got, tn.Want)
+	}
+	if s := tn.Error(); !strings.Contains(s, "mid-block") || !strings.Contains(s, "kernel") {
+		t.Errorf("message %q lacks context", s)
+	}
+}
+
+func TestFinishTruncatedNestBetweenBlocks(t *testing.T) {
+	p := trace.NewParser(ktable())
+	// The exception lands between blocks: no partial block to report,
+	// but the open frame itself is still an error.
+	if _, err := p.Parse([]uint32{trace.MarkExcEnter}, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Finish()
+	var tn *trace.TruncatedNestError
+	if !errors.As(err, &tn) {
+		t.Fatalf("Finish() = %v, want *TruncatedNestError", err)
+	}
+	if tn.Depth != 1 || tn.Orig != 0 || tn.Want != 0 {
+		t.Errorf("frame = %+v, want depth 1 between blocks", tn)
+	}
+	if s := tn.Error(); !strings.Contains(s, "between blocks") {
+		t.Errorf("message %q lacks context", s)
 	}
 }
 

@@ -1,0 +1,116 @@
+package tracecheck_test
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"systrace/internal/epoxie"
+	"systrace/internal/link"
+	m "systrace/internal/mahler"
+	"systrace/internal/obj"
+	"systrace/internal/sim"
+	"systrace/internal/trace"
+	"systrace/internal/tracecheck"
+	"systrace/internal/verify"
+)
+
+// fuzzBuild runs the conformance module once per fuzz process and
+// shares the build, a known-good trace, and a single derived CFG
+// across all fuzz iterations.
+func fuzzBuild(f *testing.F) (*obj.Executable, *verify.CFG, []uint32) {
+	f.Helper()
+	o, err := conformModule().Compile(m.Options{})
+	if err != nil {
+		f.Fatalf("compile: %v", err)
+	}
+	b, err := epoxie.BuildInstrumented([]*obj.File{sim.TracedStartObj(), o}, link.Options{
+		Name:     "conform",
+		TextBase: sim.BareTextBase,
+		DataBase: sim.BareDataBase,
+	}, epoxie.Config{}, epoxie.BareRuntime)
+	if err != nil {
+		f.Fatalf("instrument: %v", err)
+	}
+	mach := sim.NewBareMachine(b.Instr)
+	if err := mach.Run(100_000_000); err != nil {
+		f.Fatalf("traced run: %v", err)
+	}
+	g, err := verify.NewCFG(b.Instr)
+	if err != nil {
+		f.Fatalf("cfg: %v", err)
+	}
+	return b.Instr, g, sim.TraceWords(mach)
+}
+
+// FuzzConformance feeds arbitrary word streams to the conformance
+// checker: it must never panic, its diagnostics must be deterministic,
+// and any stream the trace parser fully accepts must check clean.
+func FuzzConformance(f *testing.F) {
+	exe, cfg, good := fuzzBuild(f)
+
+	seed := func(words []uint32) {
+		b := make([]byte, 4*len(words))
+		for i, w := range words {
+			binary.BigEndian.PutUint32(b[4*i:], w)
+		}
+		f.Add(b)
+	}
+	// The full known-good trace, a truncation, a corruption, and a few
+	// marker-heavy fragments around real record addresses.
+	seed(good)
+	seed(good[:len(good)/2])
+	if len(good) > 3 {
+		bad := append([]uint32(nil), good...)
+		bad[3] ^= 0x40
+		seed(bad)
+	}
+	seed([]uint32{trace.MarkExcEnter, good[0], trace.MarkExcExit})
+	seed([]uint32{trace.MarkKernEnter, trace.MarkKernExit | 0, good[0]})
+	seed([]uint32{trace.MarkModeSw, trace.MarkCtxSw | 1, 0xdeadbeef, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 4
+		if n > 4096 {
+			n = 4096
+		}
+		words := make([]uint32, n)
+		for i := range words {
+			words[i] = binary.BigEndian.Uint32(data[4*i:])
+		}
+
+		run := func() *tracecheck.Result {
+			c := tracecheck.New("fuzz")
+			c.AddProcessCFG(0, cfg)
+			c.Check(words)
+			return c.Finish()
+		}
+		r1 := run()
+		r2 := run()
+		if !reflect.DeepEqual(r1.Diags, r2.Diags) {
+			t.Fatalf("diagnostics differ between runs:\n%v\n%v", r1.Diags, r2.Diags)
+		}
+		for _, d := range r1.Diags {
+			if d.Offset < 0 || d.Offset > len(words) {
+				t.Errorf("diagnostic offset %d out of range [0, %d]: %v", d.Offset, len(words), d)
+			}
+			if d.Rule == "" || d.Msg == "" {
+				t.Errorf("diagnostic missing rule or message: %+v", d)
+			}
+		}
+
+		// Soundness cross-check: the checker is strictly more demanding
+		// than the parser (CFG edges, alignment, scheduling), so any
+		// stream it passes as clean must reconstruct without error.
+		if r1.Clean() {
+			p := trace.NewParser(nil)
+			p.AddProcess(0, trace.NewSideTable(exe.Instr.Blocks))
+			if _, err := p.Parse(words, nil); err != nil {
+				t.Fatalf("checker clean but parser rejects: %v", err)
+			}
+			if err := p.Finish(); err != nil {
+				t.Fatalf("checker clean but parser finish rejects: %v", err)
+			}
+		}
+	})
+}

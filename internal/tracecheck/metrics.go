@@ -1,0 +1,43 @@
+package tracecheck
+
+import "systrace/internal/telemetry"
+
+// RegisterMetrics publishes the result on reg so trace conformance
+// shows up next to the static-verification and distortion series: a
+// diagnostics counter and a pass/fail check counter per rule, plus the
+// stream volume counters.
+func (r *Result) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if reg == nil {
+		return
+	}
+	fails := r.Fails()
+	for _, rule := range Rules {
+		withRule := func(extra ...telemetry.Label) []telemetry.Label {
+			ls := make([]telemetry.Label, 0, len(labels)+1+len(extra))
+			ls = append(ls, labels...)
+			ls = append(ls, telemetry.L("rule", rule))
+			return append(ls, extra...)
+		}
+		reg.Counter("tracecheck_diags_total",
+			"trace conformance findings by rule", withRule()...).
+			Add(uint64(fails[rule]))
+		pass := r.Checks[rule] - fails[rule]
+		if pass < 0 {
+			pass = 0
+		}
+		reg.Counter("tracecheck_checks_total",
+			"trace conformance checks performed, by rule and outcome",
+			withRule(telemetry.L("result", "pass"))...).
+			Add(uint64(pass))
+		reg.Counter("tracecheck_checks_total",
+			"trace conformance checks performed, by rule and outcome",
+			withRule(telemetry.L("result", "fail"))...).
+			Add(uint64(fails[rule]))
+	}
+	reg.Counter("tracecheck_records_total",
+		"basic-block records conformance-checked", labels...).
+		Add(r.Records)
+	reg.Counter("tracecheck_words_total",
+		"raw trace words conformance-checked", labels...).
+		Add(r.Words)
+}

@@ -21,12 +21,16 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (experiment runner, telemetry, rewriter, verifier) =="
-go test -race ./internal/experiment/ ./internal/telemetry/ ./internal/epoxie/ ./internal/verify/
+echo "== go test -race (experiment runner, telemetry, rewriter, verifiers) =="
+go test -race ./internal/experiment/ ./internal/telemetry/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/
+
+echo "== tracelint (trace conformance, all workloads x OS personalities) =="
+go run ./cmd/tracelint -q
 
 echo "== fuzz smoke (10s each) =="
 go test -run='^$' -fuzz=FuzzDisasm -fuzztime=10s ./internal/isa/
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/trace/
+go test -run='^$' -fuzz=FuzzConformance -fuzztime=10s ./internal/tracecheck/
 
 if [ "${SKIP_LINT:-0}" != "1" ]; then
 	./scripts/lint.sh

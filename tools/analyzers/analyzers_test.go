@@ -141,6 +141,77 @@ func bad() {
 	}
 }
 
+func TestLockHeldReadLock(t *testing.T) {
+	// A build under an RWMutex read hold serializes behind the writer
+	// just the same; the finding names the hold as a read hold.
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	cacheMu.RLock()
+	defer cacheMu.RUnlock()
+	kernel.Build(cfg)
+}
+`), "lockheld")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "cacheMu (read) is held") {
+		t.Errorf("msg = %q, want read hold named", fs[0].Msg)
+	}
+}
+
+func TestLockHeldReadUnlockReleases(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good() {
+	cacheMu.RLock()
+	e := lookup()
+	cacheMu.RUnlock()
+	kernel.Build(cfg)
+}
+`), "lockheld")
+	if len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestLockHeldMismatchedUnlockKind(t *testing.T) {
+	// Unlock does not release a read hold (and RUnlock would not
+	// release a write hold): the build still runs under the RLock.
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	mu.RLock()
+	mu.Unlock()
+	kernel.Build(cfg)
+}
+`), "lockheld")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "mu (read)") {
+		t.Fatalf("findings = %v, want one read-hold finding", fs)
+	}
+}
+
+func TestLockHeldBothKindsHeld(t *testing.T) {
+	// Distinct read and write holds on different mutexes are both
+	// reported, each under its own rendering.
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	tabMu.RLock()
+	defer tabMu.RUnlock()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	epoxie.BuildInstrumented(objs, opts, cfg, kind)
+}
+`), "lockheld")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "buildMu, tabMu (read)") {
+		t.Errorf("msg = %q, want both holds listed", fs[0].Msg)
+	}
+}
+
 func TestTelemetryNameRules(t *testing.T) {
 	fs := byAnalyzer(checkSrc(t, `package p
 

@@ -59,10 +59,12 @@ type lockWalker struct {
 	findings []Finding
 }
 
-// lockCall classifies a statement as a Lock/Unlock call on a
-// mutex-named receiver, returning the receiver rendering and whether
-// it acquires.
-func lockCall(s ast.Stmt) (recv string, acquire, ok bool) {
+// lockCall classifies a statement as a Lock/Unlock/RLock/RUnlock call
+// on a mutex-named receiver, returning the hold key (the receiver
+// rendering, with a "(read)" suffix for RWMutex read holds) and
+// whether it acquires. Read and write holds are tracked as separate
+// keys: an RUnlock must not release a write hold and vice versa.
+func lockCall(s ast.Stmt) (key string, acquire, ok bool) {
 	es, isExpr := s.(*ast.ExprStmt)
 	if !isExpr {
 		return "", false, false
@@ -70,7 +72,7 @@ func lockCall(s ast.Stmt) (recv string, acquire, ok bool) {
 	return lockCallExpr(es.X)
 }
 
-func lockCallExpr(e ast.Expr) (recv string, acquire, ok bool) {
+func lockCallExpr(e ast.Expr) (key string, acquire, ok bool) {
 	call, isCall := e.(*ast.CallExpr)
 	if !isCall {
 		return "", false, false
@@ -79,20 +81,28 @@ func lockCallExpr(e ast.Expr) (recv string, acquire, ok bool) {
 	if !isSel {
 		return "", false, false
 	}
+	var read bool
 	switch sel.Sel.Name {
-	case "Lock", "RLock":
+	case "Lock":
 		acquire = true
-	case "Unlock", "RUnlock":
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
 	default:
 		return "", false, false
 	}
-	recv = exprString(sel.X)
+	recv := exprString(sel.X)
 	last := recv
 	if i := strings.LastIndex(recv, "."); i >= 0 {
 		last = recv[i+1:]
 	}
 	if !mutexName.MatchString(last) {
 		return "", false, false
+	}
+	if read {
+		recv += " (read)"
 	}
 	return recv, acquire, true
 }
