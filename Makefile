@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint tracelint fmt vet build test bench
+.PHONY: check lint tracelint fmt vet build test bench bench-cpu
 
 # check is the tier-1 gate: formatting, vet, build, the full test
 # suite, fuzz smoke, and the lint gate. CI and pre-commit should run
@@ -34,3 +34,8 @@ test:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+# bench-cpu measures raw interpreter speed (reference vs predecoded
+# engine over untraced sed + lisp boots) and rewrites BENCH_cpu.json.
+bench-cpu:
+	$(GO) run ./cmd/benchcpu -out BENCH_cpu.json

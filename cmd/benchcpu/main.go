@@ -1,0 +1,152 @@
+// benchcpu measures raw interpreter speed — simulated instructions
+// per wall-clock second — for the reference word-at-a-time core and
+// the predecoded-page core, over full untraced kernel boots of the
+// paper's sed + lisp workload pair. It writes the result as
+// BENCH_cpu.json in the same shape as BENCH_runner.json so the two
+// sit side by side in the repo root.
+//
+//	go run ./cmd/benchcpu -out BENCH_cpu.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"systrace/internal/experiment"
+	"systrace/internal/kernel"
+	"systrace/internal/workload"
+)
+
+type hostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type row struct {
+	Workload string  `json:"workload"`
+	Engine   string  `json:"engine"`
+	Instret  uint64  `json:"instructions"`
+	Seconds  float64 `json:"seconds"`
+	MIPS     float64 `json:"mips"`
+}
+
+type report struct {
+	Benchmark string             `json:"benchmark"`
+	Date      string             `json:"date"`
+	Command   string             `json:"command"`
+	Host      hostInfo           `json:"host"`
+	Results   []row              `json:"results"`
+	MIPS      map[string]float64 `json:"mips_best"`
+	Speedup   map[string]float64 `json:"speedup"`
+	Notes     []string           `json:"notes"`
+}
+
+var workloads = []string{"sed", "lisp"}
+
+// run boots wl untraced, flips the interpreter engine, runs the boot
+// to completion, and reports retired instructions and wall time.
+func run(wl string, predecode bool) (row, error) {
+	name := "reference"
+	if predecode {
+		name = "predecode"
+	}
+	r := row{Workload: wl, Engine: name}
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		return r, fmt.Errorf("no workload %q", wl)
+	}
+	sys, _, err := experiment.Boot(spec, kernel.Ultrix, false, 1)
+	if err != nil {
+		return r, err
+	}
+	sys.M.CPU.SetPredecode(predecode)
+	// Collect the previous run's machine before the timed region so GC
+	// pauses (this host has one vCPU) don't land inside it.
+	runtime.GC()
+	start := time.Now()
+	if err := sys.Run(experiment.RunBudget); err != nil {
+		return r, fmt.Errorf("%s/%s: %w", wl, name, err)
+	}
+	r.Seconds = time.Since(start).Seconds()
+	r.Instret = sys.M.CPU.Stat.Instret
+	r.MIPS = float64(r.Instret) / r.Seconds / 1e6
+	return r, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_cpu.json", "output JSON path")
+	count := flag.Int("count", 5, "runs per workload/engine pair (best is kept)")
+	flag.Parse()
+
+	rep := report{
+		Benchmark: "BenchmarkInterpreter",
+		Date:      time.Now().Format("2006-01-02"),
+		Command:   "go run ./cmd/benchcpu -out BENCH_cpu.json",
+		Host: hostInfo{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		MIPS:    map[string]float64{},
+		Speedup: map[string]float64{},
+	}
+
+	best := map[string]row{} // "wl/engine" → fastest run
+	for _, wl := range workloads {
+		for _, pd := range []bool{false, true} {
+			key := wl + "/" + map[bool]string{false: "reference", true: "predecode"}[pd]
+			for i := 0; i < *count; i++ {
+				r, err := run(wl, pd)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchcpu:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-16s run %d: %8.2f MIPS (%d instructions in %.3fs)\n",
+					key, i+1, r.MIPS, r.Instret, r.Seconds)
+				if b, ok := best[key]; !ok || r.MIPS > b.MIPS {
+					best[key] = r
+				}
+			}
+			rep.Results = append(rep.Results, best[key])
+			rep.MIPS[key] = round2(best[key].MIPS)
+		}
+	}
+
+	var worst float64
+	for _, wl := range workloads {
+		s := best[wl+"/predecode"].MIPS / best[wl+"/reference"].MIPS
+		rep.Speedup[wl] = round2(s)
+		if worst == 0 || s < worst {
+			worst = s
+		}
+	}
+	rep.Notes = []string{
+		"MIPS = simulated (retired) instructions per wall-clock second over a full untraced kernel boot of the workload; best of -count runs per cell.",
+		"reference = word-at-a-time decode in exec(); predecode = per-physical-frame micro-op arrays dispatched by Step's fast path (internal/cpu/predecode.go).",
+		"Both engines produce bit-identical architectural state and observer event streams (oracle_test.go, internal/cpu lockstep + fuzz).",
+		fmt.Sprintf("Worst-case speedup across workloads on this host: %.2fx.", worst),
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcpu:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcpu:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (worst-case speedup %.2fx)\n", *out, worst)
+	if worst < 2 {
+		fmt.Fprintf(os.Stderr, "benchcpu: speedup %.2fx below the 2x target\n", worst)
+		os.Exit(1)
+	}
+}
+
+func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }

@@ -110,7 +110,21 @@ type Observer interface {
 	FPOp(latency int)
 }
 
-// CP0 is the system coprocessor state.
+// RandomShift positions the Random index in the architectural
+// register image: on the R3000 the TLB index occupies bits 13:8 of
+// Random (and of Index), with the low eight bits reading as zero.
+const RandomShift = 8
+
+// CP0 is the system coprocessor state. Fields hold the *internal*
+// representation each consumer wants; where that differs from the
+// architectural register image, the layout is documented here and
+// MFC0 (execCOP0) performs the conversion:
+//
+//   - Random holds the bare TLB index 0..NTLB-1. TLB replacement
+//     (TLBWR, and the per-Step decrement) consumes it directly;
+//     MFC0 returns it shifted into bits 13:8 (see RandomShift), which
+//     is the only architecturally visible view.
+//   - All other fields are stored exactly as MFC0 returns them.
 type CP0 struct {
 	Index    uint32
 	Random   uint32
@@ -176,14 +190,21 @@ type tlbCache struct {
 	ppage  uint32
 	ram    []byte // host slice for the frame, nil if device space
 	cached bool   // architecturally cached (not kseg1 / EloN)
+	gen    uint64 // tcGen at fill time; stale entries miss (tc2 only)
 }
+
+// tc2Sets sizes the second-level translation cache: direct-mapped by
+// VPN, one array per access kind (read vs write, so a load-filled
+// entry can never satisfy a store and skip the TLB dirty-bit check).
+const tc2Sets = 64
 
 // CPU is the processor. It is not safe for concurrent use.
 type CPU struct {
 	GPR [32]uint32
-	FPR [32]float64
-	// FPRaw holds the raw word view for MTC1/MFC1/cvt round trips.
-	FPRaw  [32]int32
+	// FPR is the value view of the FP registers; MTC1/MFC1 convert
+	// through int32 (there is no raw-bit word view — see
+	// TestMTC1MFC1Semantics, which pins that choice).
+	FPR    [32]float64
 	FPCond bool
 	HI, LO uint32
 	PC     uint32
@@ -202,6 +223,39 @@ type CPU struct {
 	icache tlbCache
 	dcache tlbCache
 	wcache tlbCache
+
+	// Second-level translation cache behind the one-entry caches:
+	// refill consults it before walking the TLB, so data working sets
+	// larger than one page don't pay a 64-entry lookupTLB scan per
+	// page alternation. Entries carry the tcGen they were filled in;
+	// invalidateCaches bumps the generation, invalidating all of them
+	// in O(1) (the UTLB refill handler invalidates on every TLBWR, so
+	// a sweep would be on the guest's hottest exception path).
+	tc2r  [tc2Sets]tlbCache
+	tc2w  [tc2Sets]tlbCache
+	tcGen uint64
+
+	// Predecode engine state: the frame cache, the decoded frame for
+	// the current instruction page (nil forces the slow path), and its
+	// physical frame number for invalidation matching.
+	pd       predecoder
+	ipd      *pdFrame
+	ipdFrame uint32
+	// pdExit asks StepN's batch loop to return to its caller after the
+	// current instruction: set on exceptions, COP0 dispatch, and device
+	// (bus) accesses — exactly the operations that can change interrupt
+	// or device-event state mid-batch.
+	pdExit bool
+
+	// Per-port observer flags, re-synced by Step when c.Obs changes
+	// nil-ness; they hoist the interface nil check out of every
+	// fetch/load/store/exception/FP event.
+	obsAny   bool
+	obsFetch bool
+	obsLoad  bool
+	obsStore bool
+	obsExc   bool
+	obsFP    bool
 
 	// Halted is set by the machine (e.g. final process exit) to stop
 	// Run loops.
@@ -227,6 +281,7 @@ func (c *CPU) invalidateCaches() {
 	c.icache.vpage = 1
 	c.dcache.vpage = 1
 	c.wcache.vpage = 1
+	c.tcGen++
 }
 
 // KernelMode reports whether the CPU is in kernel mode.
@@ -264,6 +319,7 @@ func (c *CPU) fault(format string, args ...any) {
 // Exception performs exception entry: pushes the KU/IE stack, records
 // EPC/Cause (with BD if in a delay slot), and vectors.
 func (c *CPU) Exception(code int, vector uint32) {
+	c.pdExit = true
 	c.Stat.Exceptions++
 	st := c.CP0.Status
 	c.CP0.Status = st&^0x3f | st<<2&0x3c // push stack, KUc=IEc=0
@@ -282,7 +338,7 @@ func (c *CPU) Exception(code int, vector uint32) {
 	c.inDelay = false
 	c.execInSlot = false
 	c.PC = vector
-	if c.Obs != nil {
+	if c.obsExc {
 		c.Obs.Exception(code, vector)
 	}
 }

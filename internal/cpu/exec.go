@@ -6,13 +6,32 @@ import (
 	"systrace/internal/isa"
 )
 
-// refill fills a one-entry translation cache for va.
+// refill fills a one-entry translation cache for va. Instruction-side
+// refills (fetch) also bind c.ipd to the predecoded frame for the new
+// physical page, decoding it on first execution.
+//
+// Data refills go through the second-level cache: a hit copies the
+// saved translation without walking the TLB. A hit still recloses the
+// protection that translate would check — kernel segments demand
+// kernel mode — and the read/write split plus the generation bump in
+// invalidateCaches keeps dirty-bit and TLB-rewrite semantics exact.
 func (c *CPU) refill(tc *tlbCache, va uint32, store, fetch bool) bool {
+	vp := va & EntryHiVPN
+	if !fetch {
+		s := &c.tc2r[vp>>PageShift&(tc2Sets-1)]
+		if store {
+			s = &c.tc2w[vp>>PageShift&(tc2Sets-1)]
+		}
+		if s.vpage == vp && s.gen == c.tcGen && (va < KUSegEnd || c.KernelMode()) {
+			*tc = *s
+			return true
+		}
+	}
 	pa, cached, ok := c.translate(va, store, fetch)
 	if !ok {
 		return false
 	}
-	tc.vpage = va & EntryHiVPN
+	tc.vpage = vp
 	tc.ppage = pa & EntryHiVPN
 	tc.ram = c.Bus.RAMPage(pa)
 	tc.cached = cached
@@ -20,7 +39,21 @@ func (c *CPU) refill(tc *tlbCache, va uint32, store, fetch bool) bool {
 	if !cached {
 		tc.ram = nil
 	}
-	_ = fetch
+	if !fetch {
+		tc.gen = c.tcGen
+		if store {
+			c.tc2w[vp>>PageShift&(tc2Sets-1)] = *tc
+		} else {
+			c.tc2r[vp>>PageShift&(tc2Sets-1)] = *tc
+		}
+	}
+	if fetch {
+		c.ipd = nil
+		if tc.ram != nil && !c.pd.off {
+			c.ipdFrame = tc.ppage >> PageShift
+			c.ipd = c.pdFrameFor(tc.ppage, tc.ram)
+		}
+	}
 	return true
 }
 
@@ -36,7 +69,7 @@ func (c *CPU) fetchWord(va uint32) (uint32, bool) {
 		}
 	}
 	pa := c.icache.ppage | va&(PageSize-1)
-	if c.Obs != nil {
+	if c.obsFetch {
 		c.Obs.Fetch(va, pa, c.KernelMode(), c.icache.cached)
 	}
 	if r := c.icache.ram; r != nil {
@@ -62,7 +95,7 @@ func (c *CPU) load(va uint32, size int) (uint64, bool) {
 		}
 	}
 	pa := c.dcache.ppage | va&(PageSize-1)
-	if c.Obs != nil {
+	if c.obsLoad {
 		c.Obs.Load(va, pa, size, c.KernelMode(), c.dcache.cached)
 	}
 	if r := c.dcache.ram; r != nil {
@@ -80,6 +113,7 @@ func (c *CPU) load(va uint32, size int) (uint64, bool) {
 			return hi<<32 | lo, true
 		}
 	}
+	c.pdExit = true // device read: register state may change
 	if size == 8 {
 		hi, ok1 := c.Bus.Read(pa, 4)
 		lo, ok2 := c.Bus.Read(pa+4, 4)
@@ -108,8 +142,15 @@ func (c *CPU) store(va uint32, size int, v uint64) bool {
 		}
 	}
 	pa := c.wcache.ppage | va&(PageSize-1)
-	if c.Obs != nil {
+	if c.obsStore {
 		c.Obs.Store(va, pa, size, c.KernelMode(), c.wcache.cached)
+	}
+	// Stores into a predecoded text frame drop its stale micro-ops
+	// (self-modifying code, the kernel's exec-time text copy, epoxie
+	// images written as data). Device pages have frame numbers past
+	// the bitmap, so the common store never reaches dropFrame.
+	if fn := pa >> PageShift; int(fn>>6) < len(c.pd.bitmap) && c.pd.bitmap[fn>>6]&(1<<(fn&63)) != 0 {
+		c.dropFrame(fn)
 	}
 	if r := c.wcache.ram; r != nil {
 		off := pa & (PageSize - 1)
@@ -131,6 +172,7 @@ func (c *CPU) store(va uint32, size int, v uint64) bool {
 		}
 		return true
 	}
+	c.pdExit = true // device write: may reprogram a device event
 	if size == 8 {
 		ok1 := c.Bus.Write(pa, 4, uint32(v>>32))
 		ok2 := c.Bus.Write(pa+4, 4, uint32(v))
@@ -149,14 +191,325 @@ func (c *CPU) store(va uint32, size int, v uint64) bool {
 
 // Step executes one instruction (or takes one exception/interrupt).
 // It reports whether the CPU can continue.
+//
+// The hot path dispatches a micro-op straight out of the predecoded
+// frame for the current instruction page: no byte reassembly, no field
+// extraction, retirement class batched from the uop instead of the
+// opClass table lookup. Anything that can't use it — page crossing,
+// uncached or device fetch, misaligned PC, predecode disabled — falls
+// through to stepSlow, which is the retained reference interpreter.
 func (c *CPU) Step() bool {
 	if c.Halted {
 		return false
+	}
+	// Observers are attached by plain assignment to c.Obs (machine
+	// timing models, tests); fold the nil check into per-port flags
+	// once per attach/detach instead of per event.
+	if (c.Obs != nil) != c.obsAny {
+		c.syncObs()
 	}
 	if c.IRQPending() {
 		c.Stat.Interrupts++
 		c.Exception(ExcInt, VecGeneral)
 	}
+	pc := c.PC
+	if pc&EntryHiVPN == c.icache.vpage && c.ipd != nil && pc&3 == 0 {
+		c.pd.hits++
+		u := &c.ipd.ops[pc>>2&(pdFrameWords-1)]
+		if c.obsFetch {
+			c.Obs.Fetch(pc, c.icache.ppage|pc&(PageSize-1), c.KernelMode(), c.icache.cached)
+		}
+		nextPC := pc + 4
+		if c.inDelay {
+			nextPC = c.delayTarget
+			c.inDelay = false
+			c.execInSlot = true
+		}
+		if c.CP0.Random <= TLBWired {
+			c.CP0.Random = NTLB - 1
+		} else {
+			c.CP0.Random--
+		}
+		ok := c.execU(u)
+		c.Stat.Instret++ // a faulting instruction still issued
+		c.Stat.Classes[u.cls]++
+		c.execInSlot = false
+		if ok {
+			c.PC = nextPC
+		}
+		return !c.Halted
+	}
+	return c.stepSlow()
+}
+
+// StepN retires up to max instructions in one tight loop on the
+// predecode fast path and returns the number retired (possibly 0).
+//
+// The per-Step checks Step repeats every instruction are hoisted to
+// the loop entry, which is only sound because nothing inside the batch
+// can change them unnoticed: interrupt lines rise only in device
+// Advance calls (between machine bursts, never mid-batch), and the
+// pieces the CPU itself can change route through c.pdExit — Exception
+// sets it (Status stack push), COP0 dispatch sets it (MTC0/RFE/TLB
+// ops), and device bus accesses set it (a store can reprogram a device
+// event or ack an interrupt line). The loop returns after any such
+// instruction, and the caller re-enters through Step, which performs
+// the full per-instruction checks. An attached observer disables the
+// batch entirely so event streams stay per-instruction exact.
+func (c *CPU) StepN(max uint64) uint64 {
+	if c.Halted || max == 0 {
+		return 0
+	}
+	if (c.Obs != nil) != c.obsAny {
+		c.syncObs()
+	}
+	if c.obsAny || c.IRQPending() {
+		return 0
+	}
+	ipd := c.ipd
+	if ipd == nil {
+		return 0
+	}
+	// The frame pointer and instruction page are loop invariants: the
+	// only thing that can change them mid-batch is a store into the
+	// executing frame, and dropFrame raises pdExit for exactly that.
+	vpage := c.icache.vpage
+	g := &c.GPR
+	c.pdExit = false
+	var n uint64
+	for n < max {
+		pc := c.PC
+		if pc&EntryHiVPN != vpage || pc&3 != 0 {
+			break
+		}
+		u := &ipd.ops[pc>>2&(pdFrameWords-1)]
+		nextPC := pc + 4
+		if c.inDelay {
+			nextPC = c.delayTarget
+			c.inDelay = false
+			c.execInSlot = true
+		}
+		if c.CP0.Random <= TLBWired {
+			c.CP0.Random = NTLB - 1
+		} else {
+			c.CP0.Random--
+		}
+		// The hot opcodes are dispatched inline (no observer can be
+		// attached here, so the load/store cases skip the event hooks
+		// and go straight for the cached page slice); everything else
+		// funnels through execU, the single canonical implementation.
+		// Each inline case mirrors its execU twin exactly, including
+		// the trailing g[0] = 0 that non-store instructions perform.
+		ok := true
+		switch u.op {
+		case pdADDU:
+			g[u.rd] = g[u.rs] + g[u.rt]
+			g[0] = 0
+		case pdADDIU:
+			g[u.rt] = g[u.rs] + u.imm
+			g[0] = 0
+		case pdLW:
+			va := g[u.rs] + u.imm
+			if va&EntryHiVPN == c.dcache.vpage && va&3 == 0 && c.dcache.ram != nil {
+				r := c.dcache.ram
+				off := va & (PageSize - 1)
+				g[u.rt] = uint32(r[off])<<24 | uint32(r[off+1])<<16 | uint32(r[off+2])<<8 | uint32(r[off+3])
+				g[0] = 0
+			} else if v, lok := c.load(va, 4); lok {
+				g[u.rt] = uint32(v)
+				g[0] = 0
+			} else {
+				ok = false
+			}
+		case pdSW:
+			va := g[u.rs] + u.imm
+			if va&EntryHiVPN == c.wcache.vpage && va&3 == 0 && c.wcache.ram != nil {
+				if fn := c.wcache.ppage >> PageShift; int(fn>>6) < len(c.pd.bitmap) && c.pd.bitmap[fn>>6]&(1<<(fn&63)) != 0 {
+					c.dropFrame(fn)
+				}
+				r := c.wcache.ram
+				off := va & (PageSize - 1)
+				v := g[u.rt]
+				r[off] = byte(v >> 24)
+				r[off+1] = byte(v >> 16)
+				r[off+2] = byte(v >> 8)
+				r[off+3] = byte(v)
+			} else {
+				ok = c.store(va, 4, uint64(g[u.rt]))
+			}
+		case pdBEQ:
+			if g[u.rs] == g[u.rt] {
+				c.branch(pc + 4 + u.imm)
+			} else {
+				c.branch(pc + 8)
+			}
+			g[0] = 0
+		case pdBNE:
+			if g[u.rs] != g[u.rt] {
+				c.branch(pc + 4 + u.imm)
+			} else {
+				c.branch(pc + 8)
+			}
+			g[0] = 0
+		case pdSLL:
+			g[u.rd] = g[u.rt] << u.sh
+			g[0] = 0
+		case pdSRL:
+			g[u.rd] = g[u.rt] >> u.sh
+			g[0] = 0
+		case pdSRA:
+			g[u.rd] = uint32(int32(g[u.rt]) >> u.sh)
+			g[0] = 0
+		case pdJR:
+			c.branch(g[u.rs])
+			g[0] = 0
+		case pdJALR:
+			t := g[u.rs]
+			g[u.rd] = pc + 8
+			c.branch(t)
+			g[0] = 0
+		case pdSUBU:
+			g[u.rd] = g[u.rs] - g[u.rt]
+			g[0] = 0
+		case pdAND:
+			g[u.rd] = g[u.rs] & g[u.rt]
+			g[0] = 0
+		case pdOR:
+			g[u.rd] = g[u.rs] | g[u.rt]
+			g[0] = 0
+		case pdXOR:
+			g[u.rd] = g[u.rs] ^ g[u.rt]
+			g[0] = 0
+		case pdSLT:
+			if int32(g[u.rs]) < int32(g[u.rt]) {
+				g[u.rd] = 1
+			} else {
+				g[u.rd] = 0
+			}
+			g[0] = 0
+		case pdSLTU:
+			if g[u.rs] < g[u.rt] {
+				g[u.rd] = 1
+			} else {
+				g[u.rd] = 0
+			}
+			g[0] = 0
+		case pdBLTZ:
+			if int32(g[u.rs]) < 0 {
+				c.branch(pc + 4 + u.imm)
+			} else {
+				c.branch(pc + 8)
+			}
+			g[0] = 0
+		case pdBGEZ:
+			if int32(g[u.rs]) >= 0 {
+				c.branch(pc + 4 + u.imm)
+			} else {
+				c.branch(pc + 8)
+			}
+			g[0] = 0
+		case pdJ:
+			c.branch(pc&0xf0000000 | u.imm)
+			g[0] = 0
+		case pdJAL:
+			g[31] = pc + 8
+			c.branch(pc&0xf0000000 | u.imm)
+			g[0] = 0
+		case pdBLEZ:
+			if int32(g[u.rs]) <= 0 {
+				c.branch(pc + 4 + u.imm)
+			} else {
+				c.branch(pc + 8)
+			}
+			g[0] = 0
+		case pdBGTZ:
+			if int32(g[u.rs]) > 0 {
+				c.branch(pc + 4 + u.imm)
+			} else {
+				c.branch(pc + 8)
+			}
+			g[0] = 0
+		case pdSLTI:
+			if int32(g[u.rs]) < int32(u.imm) {
+				g[u.rt] = 1
+			} else {
+				g[u.rt] = 0
+			}
+			g[0] = 0
+		case pdSLTIU:
+			if g[u.rs] < u.imm {
+				g[u.rt] = 1
+			} else {
+				g[u.rt] = 0
+			}
+			g[0] = 0
+		case pdANDI:
+			g[u.rt] = g[u.rs] & u.imm
+			g[0] = 0
+		case pdORI:
+			g[u.rt] = g[u.rs] | u.imm
+			g[0] = 0
+		case pdXORI:
+			g[u.rt] = g[u.rs] ^ u.imm
+			g[0] = 0
+		case pdLUI:
+			g[u.rt] = u.imm
+			g[0] = 0
+		case pdLB:
+			va := g[u.rs] + u.imm
+			if va&EntryHiVPN == c.dcache.vpage && c.dcache.ram != nil {
+				g[u.rt] = uint32(int32(int8(c.dcache.ram[va&(PageSize-1)])))
+				g[0] = 0
+			} else if v, lok := c.load(va, 1); lok {
+				g[u.rt] = uint32(int32(int8(v)))
+				g[0] = 0
+			} else {
+				ok = false
+			}
+		case pdLBU:
+			va := g[u.rs] + u.imm
+			if va&EntryHiVPN == c.dcache.vpage && c.dcache.ram != nil {
+				g[u.rt] = uint32(c.dcache.ram[va&(PageSize-1)])
+				g[0] = 0
+			} else if v, lok := c.load(va, 1); lok {
+				g[u.rt] = uint32(v)
+				g[0] = 0
+			} else {
+				ok = false
+			}
+		case pdSB:
+			va := g[u.rs] + u.imm
+			if va&EntryHiVPN == c.wcache.vpage && c.wcache.ram != nil {
+				if fn := c.wcache.ppage >> PageShift; int(fn>>6) < len(c.pd.bitmap) && c.pd.bitmap[fn>>6]&(1<<(fn&63)) != 0 {
+					c.dropFrame(fn)
+				}
+				c.wcache.ram[va&(PageSize-1)] = byte(g[u.rt])
+			} else {
+				ok = c.store(va, 1, uint64(g[u.rt]&0xff))
+			}
+		default:
+			ok = c.execU(u)
+		}
+		c.Stat.Instret++
+		c.Stat.Classes[u.cls]++
+		c.execInSlot = false
+		n++
+		if ok {
+			c.PC = nextPC
+		}
+		if c.pdExit || c.Halted {
+			break
+		}
+	}
+	c.pd.hits += n
+	return n
+}
+
+// stepSlow is the reference interpreter path: per-instruction fetch
+// with byte reassembly and the full decode switch in exec. It serves
+// fetches the predecode cache cannot (and the whole engine when
+// SetPredecode(false) selects it as the oracle baseline).
+func (c *CPU) stepSlow() bool {
 	w, ok := c.fetchWord(c.PC)
 	if !ok {
 		return !c.Halted
@@ -184,6 +537,17 @@ func (c *CPU) Step() bool {
 	c.execInSlot = false
 	c.PC = nextPC
 	return !c.Halted
+}
+
+// syncObs re-derives the per-port observer flags from c.Obs.
+func (c *CPU) syncObs() {
+	has := c.Obs != nil
+	c.obsAny = has
+	c.obsFetch = has
+	c.obsLoad = has
+	c.obsStore = has
+	c.obsExc = has
+	c.obsFP = has
 }
 
 // opClass maps a primary opcode to its instruction class. Unused
@@ -456,7 +820,9 @@ func (c *CPU) execCOP0(w uint32, rs, rt int) bool {
 		case isa.C0Index:
 			v = c.CP0.Index
 		case isa.C0Random:
-			v = c.CP0.Random << 8
+			// Internal Random is the bare index; the register image
+			// places it in bits 13:8 (see the CP0 layout comment).
+			v = c.CP0.Random << RandomShift
 		case isa.C0EntryLo:
 			v = c.CP0.EntryLo
 		case isa.C0Context:
@@ -556,7 +922,7 @@ func (c *CPU) execCOP1(w uint32, rs, rt int) bool {
 			c.branch(c.PC + 8)
 		}
 	case isa.Cop1Dbl:
-		if c.Obs != nil {
+		if c.obsFP {
 			c.Obs.FPOp(isa.FPLatency(w))
 		}
 		fd := int(w >> 6 & 31)

@@ -30,4 +30,13 @@ func (c *CPU) RegisterMetrics(r *telemetry.Registry, labels ...telemetry.Label) 
 		func() uint64 { return s.Interrupts }, labels...)
 	r.Sample("cpu_syscalls_total", "syscall instructions executed",
 		func() uint64 { return s.Syscalls }, labels...)
+	r.Sample("cpu_predecode_hits_total",
+		"instructions dispatched from a predecoded text frame",
+		func() uint64 { return c.pd.hits }, labels...)
+	r.Sample("cpu_predecode_misses_total",
+		"physical text frames decoded into micro-op arrays",
+		func() uint64 { return c.pd.misses }, labels...)
+	r.Sample("cpu_predecode_invalidations_total",
+		"predecoded frames dropped after stores or DMA into their page",
+		func() uint64 { return c.pd.invalidations }, labels...)
 }

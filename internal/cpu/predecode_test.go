@@ -1,0 +1,421 @@
+package cpu_test
+
+// Differential oracle for the predecoded interpreter core: the
+// reference engine (SetPredecode(false) — per-instruction fetch and
+// full decode) is stepped in lockstep with the predecoded engine over
+// random instruction sequences, asserting identical architectural
+// state (GPR/FPR/CP0/TLB/Stat) and identical Observer event streams
+// after every step. Invalidation edges (store to the executing page,
+// device DMA over decoded text) get dedicated regression tests.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"systrace/internal/cpu"
+	"systrace/internal/dev"
+	"systrace/internal/isa"
+	"systrace/internal/machine"
+)
+
+// recObs folds every observer event into a rolling FNV-1a hash so two
+// streams can be compared step by step without storing them.
+type recObs struct {
+	h uint64
+	n uint64
+}
+
+func (o *recObs) mix(vs ...uint32) {
+	for _, v := range vs {
+		o.h ^= uint64(v)
+		o.h *= 1099511628211
+	}
+	o.n++
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (o *recObs) Fetch(va, pa uint32, kernel, cached bool) {
+	o.mix(1, va, pa, b2u(kernel), b2u(cached))
+}
+func (o *recObs) Load(va, pa uint32, size int, kernel, cached bool) {
+	o.mix(2, va, pa, uint32(size), b2u(kernel), b2u(cached))
+}
+func (o *recObs) Store(va, pa uint32, size int, kernel, cached bool) {
+	o.mix(3, va, pa, uint32(size), b2u(kernel), b2u(cached))
+}
+func (o *recObs) Exception(code int, vector uint32) { o.mix(4, uint32(code), vector) }
+func (o *recObs) FPOp(latency int)                  { o.mix(5, uint32(latency)) }
+
+// diffState returns a description of the first architectural
+// difference between two CPUs, or "" if they match.
+func diffState(a, b *cpu.CPU) string {
+	if a.GPR != b.GPR {
+		for i := range a.GPR {
+			if a.GPR[i] != b.GPR[i] {
+				return fmt.Sprintf("GPR[%d] 0x%08x vs 0x%08x", i, a.GPR[i], b.GPR[i])
+			}
+		}
+	}
+	for i := range a.FPR {
+		if math.Float64bits(a.FPR[i]) != math.Float64bits(b.FPR[i]) {
+			return fmt.Sprintf("FPR[%d] %v vs %v", i, a.FPR[i], b.FPR[i])
+		}
+	}
+	if a.FPCond != b.FPCond {
+		return fmt.Sprintf("FPCond %v vs %v", a.FPCond, b.FPCond)
+	}
+	if a.HI != b.HI || a.LO != b.LO {
+		return fmt.Sprintf("HI/LO %x/%x vs %x/%x", a.HI, a.LO, b.HI, b.LO)
+	}
+	if a.PC != b.PC {
+		return fmt.Sprintf("PC 0x%08x vs 0x%08x", a.PC, b.PC)
+	}
+	if a.CP0 != b.CP0 {
+		return fmt.Sprintf("CP0 %+v vs %+v", a.CP0, b.CP0)
+	}
+	if a.TLB != b.TLB {
+		return "TLB contents differ"
+	}
+	if a.Stat != b.Stat {
+		return fmt.Sprintf("Stat %+v vs %+v", a.Stat, b.Stat)
+	}
+	if a.Halted != b.Halted {
+		return fmt.Sprintf("Halted %v vs %v", a.Halted, b.Halted)
+	}
+	if a.FaultMsg != b.FaultMsg {
+		return fmt.Sprintf("FaultMsg %q vs %q", a.FaultMsg, b.FaultMsg)
+	}
+	return ""
+}
+
+// randInstr produces one instruction word: a blend of fully random
+// words (covering reserved encodings and every primary opcode) and
+// templated valid instructions with random fields (covering real
+// semantics densely — branches stay short, memory offsets stay small
+// so pointer-seeded registers mostly hit RAM).
+func randInstr(r *rand.Rand) uint32 {
+	reg := func() int { return r.Intn(32) }
+	off := func() uint16 { return uint16(r.Intn(64) * 4) }
+	boff := func() int16 { return int16(r.Intn(16) - 8) }
+	switch r.Intn(20) {
+	case 0, 1, 2, 3:
+		return r.Uint32()
+	case 4:
+		return uint32(isa.ADDU(reg(), reg(), reg()))
+	case 5:
+		return uint32(isa.ADDIU(reg(), reg(), uint16(r.Uint32())))
+	case 6:
+		return uint32(isa.LW(reg(), reg(), off()))
+	case 7:
+		return uint32(isa.SW(reg(), reg(), off()))
+	case 8:
+		return uint32(isa.BEQ(reg(), reg(), boff()))
+	case 9:
+		return uint32(isa.BNE(reg(), reg(), boff()))
+	case 10:
+		return uint32(isa.SLL(reg(), reg(), uint32(r.Intn(32))))
+	case 11:
+		return uint32(isa.MULT(reg(), reg()))
+	case 12:
+		return uint32(isa.LUI(reg(), uint16(r.Uint32())))
+	case 13:
+		return uint32(isa.ORI(reg(), reg(), uint16(r.Uint32())))
+	case 14:
+		return uint32(isa.LB(reg(), reg(), off()))
+	case 15:
+		return uint32(isa.SB(reg(), reg(), off()))
+	case 16:
+		return uint32(isa.BLTZ(reg(), boff()))
+	case 17:
+		return uint32(isa.MTC1(reg(), reg()))
+	case 18:
+		return uint32(isa.FADD(r.Intn(32), r.Intn(32), r.Intn(32)))
+	default:
+		return uint32(isa.MFC0(reg(), r.Intn(16)))
+	}
+}
+
+// lockstepPair builds two identical machines, one per engine, with the
+// given words loaded from physical address 0 and registers seeded from
+// r.
+func lockstepPair(r *rand.Rand, words []uint32) (ref, fast *machine.Machine, oref, ofast *recObs) {
+	ref = machine.New(1<<20, nil)
+	fast = machine.New(1<<20, nil)
+	ref.CPU.SetPredecode(false)
+	var regs [32]uint32
+	for i := 1; i < 32; i++ {
+		if r.Intn(2) == 0 {
+			// Pointers into the program/data region keep loads,
+			// stores, and JR targets mostly on mapped RAM — including
+			// stores into the executing text itself.
+			regs[i] = 0x80001000 + uint32(r.Intn(0x1800))&^3
+		} else {
+			regs[i] = r.Uint32()
+		}
+	}
+	oref, ofast = &recObs{}, &recObs{}
+	for i, m := range []*machine.Machine{ref, fast} {
+		for w := range words {
+			m.RAM.WriteWord(uint32(w*4), words[w])
+		}
+		m.CPU.GPR = regs
+		m.CPU.PC = 0x80001000
+		m.CPU.HaltOnBreak = true
+		if i == 0 {
+			m.CPU.Obs = oref
+		} else {
+			m.CPU.Obs = ofast
+		}
+	}
+	return ref, fast, oref, ofast
+}
+
+// lockstepRun steps both engines together, failing on the first
+// architectural or event-stream divergence.
+func lockstepRun(t *testing.T, steps int, ref, fast *machine.Machine, oref, ofast *recObs) {
+	t.Helper()
+	for s := 0; s < steps; s++ {
+		ra := ref.CPU.Step()
+		rb := fast.CPU.Step()
+		if ra != rb {
+			t.Fatalf("step %d: continue %v (reference) vs %v (predecode)", s, ra, rb)
+		}
+		if d := diffState(ref.CPU, fast.CPU); d != "" {
+			t.Fatalf("step %d: %s", s, d)
+		}
+		if oref.n != ofast.n || oref.h != ofast.h {
+			t.Fatalf("step %d: observer streams diverge (%d events hash %x vs %d events hash %x)",
+				s, oref.n, oref.h, ofast.n, ofast.h)
+		}
+		if !ra {
+			break
+		}
+	}
+}
+
+func TestLockstepRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			// Random words fill the vector pages too, so exception
+			// entries land in random handler code; text spans three
+			// pages to exercise page crossings.
+			words := make([]uint32, 0x3000/4)
+			for i := range words {
+				words[i] = randInstr(r)
+			}
+			ref, fast, oref, ofast := lockstepPair(r, words)
+			lockstepRun(t, 3000, ref, fast, oref, ofast)
+		})
+	}
+}
+
+// runBatched drives a CPU the way machine.Run's long-burst mode does:
+// StepN batches as far as it can, and a single Step makes progress
+// over whatever the batch refused (interrupts, page crossings, COP0,
+// exceptions) before the batch resumes.
+func runBatched(c *cpu.CPU, target uint64) {
+	for c.Stat.Instret < target && !c.Halted {
+		if c.StepN(target-c.Stat.Instret) == 0 {
+			if !c.Step() {
+				break
+			}
+		}
+	}
+}
+
+// TestLockstepStepNRandomPrograms covers the batched fast path: the
+// reference engine runs per-Step while the predecoded engine runs
+// through StepN (whose inline opcode dispatch only executes with no
+// observer attached), and the full architectural state must match at
+// the same retirement count.
+func TestLockstepStepNRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			words := make([]uint32, 0x3000/4)
+			for i := range words {
+				words[i] = randInstr(r)
+			}
+			ref, fast, _, _ := lockstepPair(r, words)
+			// No observers: an attached observer makes StepN refuse
+			// to batch, which would silently fall back to the
+			// already-covered per-Step path.
+			ref.CPU.Obs = nil
+			fast.CPU.Obs = nil
+			const target = 3000
+			for ref.CPU.Stat.Instret < target {
+				if !ref.CPU.Step() {
+					break
+				}
+			}
+			runBatched(fast.CPU, target)
+			if d := diffState(ref.CPU, fast.CPU); d != "" {
+				t.Fatalf("after %d instructions: %s", ref.CPU.Stat.Instret, d)
+			}
+		})
+	}
+}
+
+// FuzzExecEquivalence is the fuzz face of the oracle: arbitrary bytes
+// become an instruction stream and both engines must agree on every
+// step of it.
+func FuzzExecEquivalence(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{0x00, 0x00, 0x00, 0x0d}, int64(2)) // break
+	seedProg := []isa.Word{
+		isa.ORI(isa.RegT0, 0, 0x1234),
+		isa.SW(isa.RegT0, isa.RegT1, 0),
+		isa.BEQ(0, 0, -2),
+		isa.ADDIU(isa.RegT0, isa.RegT0, 1),
+	}
+	var sb []byte
+	for _, w := range seedProg {
+		sb = binary.BigEndian.AppendUint32(sb, uint32(w))
+	}
+	f.Add(sb, int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		if len(data) > 0x2000 {
+			data = data[:0x2000]
+		}
+		words := make([]uint32, 0x3000/4)
+		for i := 0; i+4 <= len(data); i += 4 {
+			words[0x1000/4+i/4] = binary.BigEndian.Uint32(data[i:])
+		}
+		r := rand.New(rand.NewSource(seed))
+		ref, fast, oref, ofast := lockstepPair(r, words)
+		lockstepRun(t, 500, ref, fast, oref, ofast)
+
+		// Second face: the same program through the batched StepN
+		// loop (observers detached so the inline dispatch runs),
+		// compared against a per-Step reference at the same
+		// retirement count.
+		r = rand.New(rand.NewSource(seed))
+		ref2, fast2, _, _ := lockstepPair(r, words)
+		ref2.CPU.Obs = nil
+		fast2.CPU.Obs = nil
+		const target = 500
+		for ref2.CPU.Stat.Instret < target {
+			if !ref2.CPU.Step() {
+				break
+			}
+		}
+		runBatched(fast2.CPU, target)
+		if d := diffState(ref2.CPU, fast2.CPU); d != "" {
+			t.Fatalf("batched run diverges: %s", d)
+		}
+	})
+}
+
+// TestStoreToExecutingPageInvalidates is the self-modifying-code
+// regression: a store two slots ahead of the PC must be visible when
+// the PC gets there, under both engines.
+func TestStoreToExecutingPageInvalidates(t *testing.T) {
+	for _, pd := range []bool{true, false} {
+		t.Run(fmt.Sprintf("predecode=%v", pd), func(t *testing.T) {
+			m := newM()
+			m.CPU.SetPredecode(pd)
+			newInstr := uint32(isa.ORI(isa.RegT0, 0, 7))
+			put(m, 0x80001000,
+				isa.LUI(isa.RegT1, uint16(newInstr>>16)),
+				isa.ORI(isa.RegT1, isa.RegT1, uint16(newInstr)),
+				isa.SW(isa.RegT1, isa.RegT2, 0), // overwrites 0x80001010
+				isa.NOP,
+				isa.ORI(isa.RegT0, 0, 1), // replaced before execution
+				isa.BREAK(0),
+			)
+			m.CPU.GPR[isa.RegT2] = 0x80001010
+			m.CPU.PC = 0x80001000
+			if err := m.Run(100); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.CPU.GPR[isa.RegT0]; got != 7 {
+				t.Errorf("t0 = %d, want 7 (stale instruction executed)", got)
+			}
+			if pd {
+				if _, _, inv := m.CPU.PredecodeStats(); inv == 0 {
+					t.Error("store into executing page did not invalidate a predecoded frame")
+				}
+			}
+		})
+	}
+}
+
+// TestDMAWriteInvalidatesPredecode covers the RAMPage-bypassing write
+// path: disk DMA copies into physical memory through the raw Bytes()
+// slice, and a decoded frame under the transfer must be dropped.
+func TestDMAWriteInvalidatesPredecode(t *testing.T) {
+	img := make([]byte, dev.SectorSize)
+	binary.BigEndian.PutUint32(img[0:], uint32(isa.ORI(isa.RegT0, 0, 2)))
+	binary.BigEndian.PutUint32(img[4:], uint32(isa.BREAK(0)))
+	m := machine.New(1<<20, img)
+	m.CPU.HaltOnBreak = true
+	put(m, 0x80003000, isa.ORI(isa.RegT0, 0, 1), isa.BREAK(0))
+	m.CPU.PC = 0x80003000
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CPU.GPR[isa.RegT0]; got != 1 {
+		t.Fatalf("first run: t0 = %d, want 1", got)
+	}
+
+	// DMA one sector of replacement code over the executed (and now
+	// predecoded) page, then run it again.
+	now := m.Cycles()
+	m.Disk.Write(now, dev.DiskSector, 0)
+	m.Disk.Write(now, dev.DiskAddr, 0x3000)
+	m.Disk.Write(now, dev.DiskNSect, 1)
+	m.Disk.Write(now, dev.DiskCmd, 1)
+	m.Disk.Advance(now + 100_000_000)
+	if m.Disk.Reads != 1 {
+		t.Fatalf("disk read did not complete (reads=%d)", m.Disk.Reads)
+	}
+	m.CPU.Halted = false
+	m.CPU.GPR[isa.RegT0] = 0
+	m.CPU.PC = 0x80003000
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CPU.GPR[isa.RegT0]; got != 2 {
+		t.Errorf("after DMA: t0 = %d, want 2 (stale predecoded frame executed)", got)
+	}
+}
+
+// TestPredecodeCounters pins the cache economics on a tight loop: one
+// frame decode, every subsequent instruction a hit, no invalidations.
+func TestPredecodeCounters(t *testing.T) {
+	m := newM()
+	put(m, 0x80001000,
+		isa.ORI(isa.RegT0, 0, 200),
+		isa.ADDIU(isa.RegT0, isa.RegT0, 0xffff), // -1
+		isa.BNE(isa.RegT0, 0, -2),
+		isa.NOP,
+		isa.BREAK(0),
+	)
+	m.CPU.PC = 0x80001000
+	if err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, inv := m.CPU.PredecodeStats()
+	instret := m.CPU.Stat.Instret
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (single text frame)", misses)
+	}
+	if inv != 0 {
+		t.Errorf("invalidations = %d, want 0", inv)
+	}
+	// Only the very first fetch (the refill that decodes the frame)
+	// goes down the slow path.
+	if hits != instret-1 {
+		t.Errorf("hits = %d, want instret-1 = %d", hits, instret-1)
+	}
+}

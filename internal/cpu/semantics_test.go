@@ -406,3 +406,80 @@ func TestTLBProbe(t *testing.T) {
 		t.Errorf("tlbr: hi=0x%08x lo=0x%08x", c.CP0.EntryHi, c.CP0.EntryLo)
 	}
 }
+
+// TestMTC1MFC1Semantics pins the FP move behavior the interpreter
+// chose: MTC1 and MFC1 are value-converting through int32 — there is
+// no raw-bit word view of the FP registers (the removed FPRaw field
+// suggested otherwise). MFC1 of a non-integral value truncates toward
+// zero.
+func TestMTC1MFC1Semantics(t *testing.T) {
+	bothEngines(t, func(t *testing.T, pd bool) {
+		m := newM()
+		m.CPU.SetPredecode(pd)
+		m.CPU.FPR[8] = -3.75
+		put(m, 0x80001000,
+			isa.ADDIU(isa.RegT0, 0, 0xfffb), // -5
+			isa.MTC1(isa.RegT0, 2),          // f2 = -5.0 (value, not bits)
+			isa.FADD(4, 2, 2),               // f4 = -10.0
+			isa.CVTWD(6, 4),
+			isa.MFC1(isa.RegT1, 6), // -10
+			isa.MFC1(isa.RegT2, 8), // -3.75 truncates toward zero: -3
+			isa.LUI(isa.RegT3, 0x4049),
+			isa.ORI(isa.RegT3, isa.RegT3, 0x0fdb),
+			isa.MTC1(isa.RegT3, 10), // integer 0x40490fdb, NOT the float32 bit pattern of pi
+			isa.BREAK(0),
+		)
+		m.CPU.PC = 0x80001000
+		if err := m.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		c := m.CPU
+		if c.FPR[2] != -5.0 {
+			t.Errorf("mtc1: f2 = %v, want -5.0 (value conversion)", c.FPR[2])
+		}
+		if got := c.GPR[isa.RegT1]; got != 0xfffffff6 {
+			t.Errorf("mfc1 of -10.0 = 0x%08x, want 0xfffffff6", got)
+		}
+		if got := c.GPR[isa.RegT2]; got != 0xfffffffd {
+			t.Errorf("mfc1 of -3.75 = 0x%08x, want 0xfffffffd (truncate toward zero)", got)
+		}
+		if c.FPR[10] != float64(0x40490fdb) {
+			t.Errorf("mtc1 of 0x40490fdb: f10 = %v, want %v (no raw-bit view)",
+				c.FPR[10], float64(0x40490fdb))
+		}
+	})
+}
+
+// TestMFC0RandomLayout pins the Random register layout: the internal
+// CP0.Random field is the bare TLB index (consumed directly by the
+// per-Step decrement and TLBWR), while MFC0 exposes it shifted into
+// bits 13:8 with the low byte reading zero — see cpu.RandomShift.
+func TestMFC0RandomLayout(t *testing.T) {
+	bothEngines(t, func(t *testing.T, pd bool) {
+		m := newM()
+		m.CPU.SetPredecode(pd)
+		c := m.CPU
+		c.CP0.Random = 42
+		c.CP0.EntryHi = 0x00007000
+		c.CP0.EntryLo = 0x00005000 | cpu.EloV
+		put(m, 0x80001000,
+			isa.TLBWR(),                       // step 1: Random 42→41, writes TLB[41]
+			isa.MFC0(isa.RegT0, isa.C0Random), // step 2: Random 41→40, reads 40<<8
+			isa.BREAK(0),
+		)
+		c.PC = 0x80001000
+		if err := m.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.TLB[41]; got != (cpu.TLBEntry{Hi: 0x00007000, Lo: 0x00005000 | cpu.EloV}) {
+			t.Errorf("tlbwr consumed a shifted Random: TLB[41] = %+v", got)
+		}
+		want := uint32(40) << cpu.RandomShift
+		if got := c.GPR[isa.RegT0]; got != want {
+			t.Errorf("mfc0 Random = 0x%08x, want 0x%08x (index in bits 13:8)", got, want)
+		}
+		if got := c.GPR[isa.RegT0] & 0xff; got != 0 {
+			t.Errorf("mfc0 Random low byte = 0x%02x, want 0", got)
+		}
+	})
+}

@@ -80,6 +80,15 @@ type DMA interface {
 	Bytes() []byte
 }
 
+// WriteNotifier is optionally implemented by a DMA provider that needs
+// to observe device writes into physical memory. Disk reads mutate RAM
+// through the raw Bytes() slice — bypassing both the CPU's write port
+// and the RAM API — so the machine implements this to invalidate the
+// CPU's predecoded text frames under the transfer.
+type WriteNotifier interface {
+	DMAWrote(p, n uint32)
+}
+
 const never = math.MaxUint64
 
 // Clock is the programmable interval timer.
@@ -279,6 +288,9 @@ func (d *Disk) complete(op diskOp) {
 			d.Writes++
 		} else {
 			copy(ram[op.addr:int(op.addr)+n], d.Image[imgOff:])
+			if wn, ok := d.ram.(WriteNotifier); ok {
+				wn.DMAWrote(op.addr, uint32(n))
+			}
 			d.Reads++
 		}
 		d.BytesTransfered += uint64(n)

@@ -157,6 +157,22 @@ func server() (*userland.Program, error) {
 	return svcache.val, svcache.err
 }
 
+// Boot assembles a bootable system for one workload without running
+// it: the kernel flavor, the (instrumented if traced) program plus a
+// Mach server when the flavor needs one, the disk image, and the
+// standard boot configuration. It returns the system and the client
+// pid. External harnesses — the interpreter benchmark and the
+// differential oracle — use it to drive machines with non-default
+// engine settings; the builds come from the same memoized caches as
+// every experiment.
+func Boot(spec workload.Spec, flavor kernel.Flavor, traced bool, seed uint32) (*kernel.System, int, error) {
+	return boot(spec, flavor, traced, seed, nil)
+}
+
+// RunBudget is the standard per-run instruction budget used by the
+// experiment suite (exported for harnesses built on Boot).
+const RunBudget = runBudget
+
 // boot assembles a system for one workload.
 func boot(spec workload.Spec, flavor kernel.Flavor, traced bool, seed uint32,
 	override *obj.Executable) (*kernel.System, int, error) {

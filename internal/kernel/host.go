@@ -187,8 +187,11 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 	s.utlbPA = kernelExe.MustSymbol("utlb_scratch") - cpu.KSeg0Base
 	s.tbufPA = TraceBufVA - cpu.KSeg0Base
 
+	// Boot-time loads go through the RAM API so its write hook sees
+	// them (the CPU invalidates any predecoded frame under a write);
+	// the doorbell handler below only reads, so it keeps the raw slice.
 	ram := mach.RAM.Bytes()
-	put := func(pa uint32, v uint32) { binary.BigEndian.PutUint32(ram[pa:], v) }
+	put := func(pa uint32, v uint32) { mach.RAM.WriteWord(pa, v) }
 
 	// Boot images: user segments copied to page-aligned physical
 	// memory after the trace buffer.
@@ -210,12 +213,17 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 	}
 	put(biPA+BiNProcs, uint32(len(procs)))
 
+	var segErr error
 	copySeg := func(pa uint32, data []byte) uint32 {
-		copy(ram[pa:], data)
+		if err := mach.RAM.WriteBytes(pa, data); err != nil && segErr == nil {
+			segErr = err
+		}
 		return (pa + uint32(len(data)) + 4095) &^ 4095
 	}
+	anyTraced := false
 	for i, p := range procs {
 		e := p.Exe
+		anyTraced = anyTraced || e.Traced
 		rec := biPA + BiProcBase + uint32(i)*BiProcStride
 		textBytes := make([]byte, len(e.Text)*4)
 		for wi, w := range e.Text {
@@ -241,7 +249,17 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 			put(rec+BiProcIsServer, 1)
 		}
 	}
+	if segErr != nil {
+		return nil, segErr
+	}
 	put(biPA+BiFramePool, alloc)
+
+	// With no traced process the kernel never produces trace words, so
+	// the doorbell handler below can only ever return zero analysis
+	// cycles: machine time cannot jump mid-burst and the machine may
+	// run long instruction bursts. Traced boots keep short bursts so
+	// analysis phases dilate time with the same granularity as always.
+	mach.HandlerInert = !anyTraced
 
 	// The analysis program: drain the in-kernel buffer when the
 	// kernel rings the doorbell.

@@ -44,6 +44,13 @@ type Machine struct {
 	stall       Staller
 	nextEvent   uint64
 
+	// HandlerInert declares that the attached TraceCtl.Handler always
+	// returns zero analysis cycles (e.g. a boot with no traced
+	// process), so machine time cannot jump mid-burst and Run may use
+	// long instruction bursts. Run still verifies the promise each
+	// burst and delivers overdue events immediately if it is broken.
+	HandlerInert bool
+
 	Halted     bool
 	ExitStatus uint32
 }
@@ -52,13 +59,25 @@ type Machine struct {
 func New(ramSize uint32, diskImage []byte) *Machine {
 	m := &Machine{RAM: mem.NewRAM(ramSize)}
 	m.CPU = cpu.New(m, 0)
+	// Every store path that bypasses the CPU's own write port must
+	// still invalidate predecoded text: host-side writes through the
+	// RAM API report here, and the disk DMAs through the machine (see
+	// Bytes/DMAWrote) so raw-slice transfers report too.
+	m.RAM.SetWriteHook(m.CPU.InvalidatePhys)
 	m.Clock = dev.NewClock(m.CPU)
 	m.Console = &dev.Console{}
-	m.Disk = dev.NewDisk(m.CPU, m.RAM, diskImage, dev.DefaultDiskParams)
+	m.Disk = dev.NewDisk(m.CPU, m, diskImage, dev.DefaultDiskParams)
 	m.TraceCtl = &dev.TraceCtl{}
 	m.nextEvent = ^uint64(0)
 	return m
 }
+
+// Bytes implements dev.DMA.
+func (m *Machine) Bytes() []byte { return m.RAM.Bytes() }
+
+// DMAWrote implements dev.WriteNotifier: device writes into physical
+// memory invalidate any predecoded frames under the transfer.
+func (m *Machine) DMAWrote(p, n uint32) { m.CPU.InvalidatePhys(p, n) }
 
 // AttachTiming connects an execution-driven memory model: obs sees
 // every reference; stall contributes to machine time.
@@ -162,10 +181,18 @@ func (m *Machine) Run(maxInstr uint64) error {
 	c := m.CPU
 	limit := c.Stat.Instret + maxInstr
 	m.refreshNextEvent()
+	// Step in bursts between device events to keep the per-instruction
+	// loop overhead low. Without a stall model or an analysis doorbell
+	// handler, machine time is exactly instructions retired, so a burst
+	// can run all the way to the next device event; with either
+	// attached, time can jump mid-burst and the burst must stay short
+	// so events are not delivered late.
+	maxBurst := uint64(64)
+	if m.stall == nil && (m.TraceCtl.Handler == nil || m.HandlerInert) {
+		maxBurst = 16384
+	}
 	for !m.Halted && !c.Halted && c.Stat.Instret < limit {
-		// Step in small bursts between device events to keep the
-		// per-instruction overhead low.
-		burst := uint64(64)
+		burst := maxBurst
 		now := m.Cycles()
 		if m.nextEvent > now && m.nextEvent-now < burst {
 			burst = m.nextEvent - now
@@ -176,9 +203,48 @@ func (m *Machine) Run(maxInstr uint64) error {
 		if c.Stat.Instret+burst > limit {
 			burst = limit - c.Stat.Instret
 		}
-		for i := uint64(0); i < burst; i++ {
-			if !c.Step() {
-				break
+		if maxBurst == 64 {
+			for i := uint64(0); i < burst; i++ {
+				if !c.Step() {
+					break
+				}
+			}
+		} else {
+			// Long bursts must notice a device being reprogrammed
+			// mid-burst (e.g. the guest starting the clock), or its
+			// first event would be delivered up to a burst late.
+			// StepN batches the stretches where nothing can change
+			// mid-burst (it returns at every exception, COP0 op, and
+			// device access); a single Step then makes progress over
+			// whatever the batch refused before the batch resumes.
+			// The m.Cycles() checks catch analysis time added by a
+			// doorbell mid-burst (a HandlerInert promise broken):
+			// overdue events are then delivered immediately instead
+			// of up to a burst late.
+			ne := m.nextEvent
+			if c.PredecodeActive() && c.Obs == nil {
+				for i := uint64(0); i < burst; {
+					i += c.StepN(burst - i)
+					if i >= burst || m.nextEvent != ne || m.Cycles() >= ne {
+						break
+					}
+					if !c.Step() {
+						break
+					}
+					i++
+					if m.nextEvent != ne || m.Cycles() >= ne {
+						break
+					}
+				}
+			} else {
+				for i := uint64(0); i < burst; i++ {
+					if !c.Step() {
+						break
+					}
+					if m.nextEvent != ne || m.Cycles() >= ne {
+						break
+					}
+				}
 			}
 		}
 		if c.FaultMsg != "" {

@@ -11,8 +11,18 @@ import (
 
 // RAM is byte-addressable big-endian physical memory.
 type RAM struct {
-	b []byte
+	b    []byte
+	hook func(p, n uint32)
 }
+
+// SetWriteHook installs fn, called after every successful mutation
+// through the RAM API (Write, WriteBytes, WriteWord) with the physical
+// range written. The machine registers the CPU's predecode-frame
+// invalidation here so host-side loaders and bus-path device stores
+// can never leave stale decoded text behind. Raw Bytes() mutations
+// bypass the hook; the writers that use them (disk DMA) notify the
+// CPU through dev.WriteNotifier instead. A nil fn removes the hook.
+func (r *RAM) SetWriteHook(fn func(p, n uint32)) { r.hook = fn }
 
 // NewRAM allocates size bytes of zeroed memory (rounded up to 4 KB).
 func NewRAM(size uint32) *RAM {
@@ -70,6 +80,9 @@ func (r *RAM) Write(p uint32, size int, v uint32) bool {
 	default:
 		return false
 	}
+	if r.hook != nil {
+		r.hook(p, uint32(size))
+	}
 	return true
 }
 
@@ -80,6 +93,9 @@ func (r *RAM) WriteBytes(p uint32, data []byte) error {
 			len(data), p, len(r.b))
 	}
 	copy(r.b[p:], data)
+	if r.hook != nil && len(data) > 0 {
+		r.hook(p, uint32(len(data)))
+	}
 	return nil
 }
 

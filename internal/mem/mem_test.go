@@ -105,3 +105,35 @@ func TestBoundsCheckNoWraparound(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteHook(t *testing.T) {
+	r := mem.NewRAM(8192)
+	type call struct{ p, n uint32 }
+	var calls []call
+	r.SetWriteHook(func(p, n uint32) { calls = append(calls, call{p, n}) })
+
+	r.Write(0x10, 4, 0xdeadbeef)
+	r.WriteWord(0x20, 1)
+	r.Write(0x30, 2, 7)
+	r.WriteBytes(0x1000, []byte{1, 2, 3})
+	r.WriteBytes(0x40, nil)         // empty: no call
+	r.Write(0x5000, 4, 1)           // out of range: no call
+	r.WriteBytes(0x5000, []byte{1}) // out of range: no call
+	r.Write(0x50, 3, 1)             // unsupported size: no call
+
+	want := []call{{0x10, 4}, {0x20, 4}, {0x30, 2}, {0x1000, 3}}
+	if len(calls) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("call %d = %v, want %v", i, calls[i], want[i])
+		}
+	}
+
+	r.SetWriteHook(nil)
+	r.Write(0x10, 4, 1)
+	if len(calls) != len(want) {
+		t.Error("hook fired after removal")
+	}
+}

@@ -1,0 +1,167 @@
+package systrace_test
+
+// Workload-level differential oracle for the predecoded interpreter:
+// full traced boots of sed and lisp run once per engine, and the final
+// architectural state, the complete Observer event stream, and every
+// externally visible output (console, exit status, drained trace
+// words, machine cycles) must match between the reference and the
+// predecoded core. Machine time is instruction-based on both engines,
+// so a traced boot — interrupts, DMA, doorbell analysis phases and
+// all — is deterministic down to the cycle; any predecode bug that
+// survives the random-program lockstep (internal/cpu) shows up here as
+// a diverging stream.
+
+import (
+	"math"
+	"testing"
+
+	"systrace/internal/cpu"
+	"systrace/internal/experiment"
+	"systrace/internal/kernel"
+	"systrace/internal/workload"
+)
+
+// streamObs folds the event stream into a rolling FNV-1a hash.
+type streamObs struct {
+	h uint64
+	n uint64
+}
+
+func (o *streamObs) mix(vs ...uint32) {
+	for _, v := range vs {
+		o.h ^= uint64(v)
+		o.h *= 1099511628211
+	}
+	o.n++
+}
+
+func ob2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (o *streamObs) Fetch(va, pa uint32, kernel, cached bool) {
+	o.mix(1, va, pa, ob2u(kernel), ob2u(cached))
+}
+func (o *streamObs) Load(va, pa uint32, size int, kernel, cached bool) {
+	o.mix(2, va, pa, uint32(size), ob2u(kernel), ob2u(cached))
+}
+func (o *streamObs) Store(va, pa uint32, size int, kernel, cached bool) {
+	o.mix(3, va, pa, uint32(size), ob2u(kernel), ob2u(cached))
+}
+func (o *streamObs) Exception(code int, vector uint32) { o.mix(4, uint32(code), vector) }
+func (o *streamObs) FPOp(latency int)                  { o.mix(5, uint32(latency)) }
+
+type engineResult struct {
+	gpr       [32]uint32
+	fprBits   [32]uint64
+	hi, lo    uint32
+	pc        uint32
+	cp0       cpu.CP0
+	tlb       [cpu.NTLB]cpu.TLBEntry
+	stat      cpu.Stats
+	eventHash uint64
+	events    uint64
+	console   string
+	exit      uint32
+	drained   uint64
+	doorbells uint64
+	cycles    uint64
+}
+
+func runEngine(t *testing.T, wl string, predecode, traced bool) engineResult {
+	t.Helper()
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		t.Fatalf("no workload %q", wl)
+	}
+	sys, pid, err := experiment.Boot(spec, kernel.Ultrix, traced, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.M.CPU.SetPredecode(predecode)
+	obs := &streamObs{}
+	if traced {
+		// Traced runs also compare the full Observer event stream.
+		// Untraced runs leave the observer detached so the predecoded
+		// engine goes through the batched StepN fast path — the same
+		// configuration BENCH_cpu.json measures.
+		sys.M.CPU.Obs = obs
+	}
+	if err := sys.Run(experiment.RunBudget); err != nil {
+		t.Fatalf("%s predecode=%v: %v", wl, predecode, err)
+	}
+	c := sys.M.CPU
+	res := engineResult{
+		gpr: c.GPR, hi: c.HI, lo: c.LO, pc: c.PC,
+		cp0: c.CP0, tlb: c.TLB, stat: c.Stat,
+		eventHash: obs.h, events: obs.n,
+		console: sys.Console(), exit: sys.ExitStatus(pid),
+		drained: sys.DrainedWords, doorbells: sys.Doorbells,
+		cycles: sys.M.Cycles(),
+	}
+	for i, f := range c.FPR {
+		res.fprBits[i] = math.Float64bits(f)
+	}
+	return res
+}
+
+func TestWorkloadDifferentialOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traced workload boots")
+	}
+	for _, traced := range []bool{true, false} {
+		for _, wl := range []string{"sed", "lisp"} {
+			traced, wl := traced, wl
+			name := wl + "/untraced"
+			if traced {
+				name = wl + "/traced"
+			}
+			t.Run(name, func(t *testing.T) {
+				ref := runEngine(t, wl, false, traced)
+				fast := runEngine(t, wl, true, traced)
+				if ref.events != fast.events || ref.eventHash != fast.eventHash {
+					t.Errorf("observer streams diverge: %d events hash %x (reference) vs %d events hash %x (predecode)",
+						ref.events, ref.eventHash, fast.events, fast.eventHash)
+				}
+				if ref.gpr != fast.gpr {
+					t.Error("final GPR state diverges")
+				}
+				if ref.fprBits != fast.fprBits {
+					t.Error("final FPR state diverges")
+				}
+				if ref.hi != fast.hi || ref.lo != fast.lo || ref.pc != fast.pc {
+					t.Errorf("HI/LO/PC diverge: %x/%x/%x vs %x/%x/%x",
+						ref.hi, ref.lo, ref.pc, fast.hi, fast.lo, fast.pc)
+				}
+				if ref.cp0 != fast.cp0 {
+					t.Errorf("CP0 diverges: %+v vs %+v", ref.cp0, fast.cp0)
+				}
+				if ref.tlb != fast.tlb {
+					t.Error("TLB contents diverge")
+				}
+				if ref.stat != fast.stat {
+					t.Errorf("Stat diverges: %+v vs %+v", ref.stat, fast.stat)
+				}
+				if ref.console != fast.console {
+					t.Errorf("console output diverges: %q vs %q", ref.console, fast.console)
+				}
+				if ref.exit != fast.exit {
+					t.Errorf("exit status diverges: %d vs %d", ref.exit, fast.exit)
+				}
+				if ref.drained != fast.drained || ref.doorbells != fast.doorbells {
+					t.Errorf("trace stream diverges: %d words/%d doorbells vs %d/%d",
+						ref.drained, ref.doorbells, fast.drained, fast.doorbells)
+				}
+				if ref.cycles != fast.cycles {
+					t.Errorf("machine time diverges: %d vs %d cycles", ref.cycles, fast.cycles)
+				}
+				if ref.stat.Instret == 0 {
+					t.Error("workload retired no instructions")
+				}
+			})
+		}
+	}
+}

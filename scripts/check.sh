@@ -21,8 +21,8 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (experiment runner, telemetry, rewriter, verifiers) =="
-go test -race ./internal/experiment/ ./internal/telemetry/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/
+echo "== go test -race (cpu core, experiment runner, telemetry, rewriter, verifiers) =="
+go test -race ./internal/cpu/ ./internal/experiment/ ./internal/telemetry/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/
 
 echo "== tracelint (trace conformance, all workloads x OS personalities) =="
 go run ./cmd/tracelint -q
@@ -31,6 +31,7 @@ echo "== fuzz smoke (10s each) =="
 go test -run='^$' -fuzz=FuzzDisasm -fuzztime=10s ./internal/isa/
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/trace/
 go test -run='^$' -fuzz=FuzzConformance -fuzztime=10s ./internal/tracecheck/
+go test -run='^$' -fuzz=FuzzExecEquivalence -fuzztime=10s ./internal/cpu/
 
 if [ "${SKIP_LINT:-0}" != "1" ]; then
 	./scripts/lint.sh
