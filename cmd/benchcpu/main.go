@@ -82,7 +82,14 @@ func run(wl string, predecode bool) (row, error) {
 func main() {
 	out := flag.String("out", "BENCH_cpu.json", "output JSON path")
 	count := flag.Int("count", 5, "runs per workload/engine pair (best is kept)")
+	mode := flag.String("mode", "cpu", "cpu (engine comparison) or obs (observability overhead)")
+	baseline := flag.String("baseline", "BENCH_cpu.json", "CPU baseline to compare against in -mode obs")
 	flag.Parse()
+
+	if *mode == "obs" {
+		runObsMode(*out, *baseline, *count)
+		return
+	}
 
 	rep := report{
 		Benchmark: "BenchmarkInterpreter",

@@ -1,0 +1,181 @@
+package main
+
+// -mode obs: the observability overhead benchmark. The ISSUE-6
+// acceptance bar is that the flight recorder and phase spans are on by
+// default with the predecoded untraced boot (the BENCH_cpu.json
+// configuration) staying within 3% of that baseline, and that the
+// guest-PC sampler costs only its amortized clamp. Three configs per
+// workload:
+//
+//	recorder_off — obs globally disabled (the only config that is not
+//	               the shipped default; isolates the recorder cost)
+//	recorder_on  — the default build: flight recorder + spans armed
+//	profiler_on  — recorder_on plus SetProfiler(4096, ...) sampling
+//
+// Output is BENCH_obs.json with per-config MIPS, same-run ratios vs
+// recorder_off, and recorder_on vs the BENCH_cpu.json predecode
+// baseline (the 3% criterion; the run fails if it is missed).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"systrace/internal/experiment"
+	"systrace/internal/kernel"
+	"systrace/internal/obs"
+	"systrace/internal/workload"
+)
+
+var obsConfigs = []string{"recorder_off", "recorder_on", "profiler_on"}
+
+type obsReport struct {
+	Benchmark   string             `json:"benchmark"`
+	Date        string             `json:"date"`
+	Command     string             `json:"command"`
+	Host        hostInfo           `json:"host"`
+	Results     []row              `json:"results"`
+	MIPS        map[string]float64 `json:"mips_best"`
+	RatioVsOff  map[string]float64 `json:"ratio_vs_recorder_off"`
+	RatioVsCPU  map[string]float64 `json:"recorder_on_vs_bench_cpu"`
+	ProfSamples map[string]int     `json:"profiler_samples"`
+	Notes       []string           `json:"notes"`
+}
+
+// runObs times one predecoded untraced boot of wl under cfg and
+// reports retired instructions, wall time, and sample count.
+func runObs(wl, cfg string) (row, int, error) {
+	r := row{Workload: wl, Engine: cfg}
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		return r, 0, fmt.Errorf("no workload %q", wl)
+	}
+	sys, _, err := experiment.Boot(spec, kernel.Ultrix, false, 1)
+	if err != nil {
+		return r, 0, err
+	}
+	sys.M.CPU.SetPredecode(true)
+	prof := obs.NewProfile()
+	switch cfg {
+	case "recorder_off":
+		obs.SetEnabled(false)
+		defer obs.SetEnabled(true)
+	case "recorder_on":
+		// The shipped default: nothing to arm.
+	case "profiler_on":
+		sys.M.CPU.SetProfiler(4096, prof.Hit)
+	}
+	runtime.GC()
+	start := time.Now()
+	if err := sys.Run(experiment.RunBudget); err != nil {
+		return r, 0, fmt.Errorf("%s/%s: %w", wl, cfg, err)
+	}
+	r.Seconds = time.Since(start).Seconds()
+	r.Instret = sys.M.CPU.Stat.Instret
+	r.MIPS = float64(r.Instret) / r.Seconds / 1e6
+	return r, prof.Len(), nil
+}
+
+func runObsMode(out, baseline string, count int) {
+	base := map[string]float64{}
+	if buf, err := os.ReadFile(baseline); err == nil {
+		var rep report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcpu: %s: %v\n", baseline, err)
+			os.Exit(1)
+		}
+		base = rep.MIPS
+	} else {
+		fmt.Fprintf(os.Stderr, "benchcpu: no baseline %s; skipping the 3%% check\n", baseline)
+	}
+
+	rep := obsReport{
+		Benchmark: "BenchmarkObservability",
+		Date:      time.Now().Format("2006-01-02"),
+		Command:   fmt.Sprintf("go run ./cmd/benchcpu -mode obs -out %s -count %d", out, count),
+		Host: hostInfo{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		MIPS:        map[string]float64{},
+		RatioVsOff:  map[string]float64{},
+		RatioVsCPU:  map[string]float64{},
+		ProfSamples: map[string]int{},
+	}
+
+	// Configs are interleaved round-robin rather than run as
+	// consecutive blocks: host-load noise on this class of machine
+	// dwarfs the effect being measured, and blocking a config's runs
+	// together would let one noisy interval masquerade as a config
+	// difference. Best-of-count per cell then discards the noise.
+	best := map[string]row{} // "wl/config" → fastest run
+	for i := 0; i < count; i++ {
+		for _, wl := range workloads {
+			for _, cfg := range obsConfigs {
+				key := wl + "/" + cfg
+				r, samples, err := runObs(wl, cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchcpu:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-20s round %d: %8.2f MIPS (%d instructions in %.3fs)\n",
+					key, i+1, r.MIPS, r.Instret, r.Seconds)
+				if b, ok := best[key]; !ok || r.MIPS > b.MIPS {
+					best[key] = r
+				}
+				if cfg == "profiler_on" && samples > rep.ProfSamples[wl] {
+					rep.ProfSamples[wl] = samples
+				}
+			}
+		}
+	}
+	for _, wl := range workloads {
+		for _, cfg := range obsConfigs {
+			key := wl + "/" + cfg
+			rep.Results = append(rep.Results, best[key])
+			rep.MIPS[key] = round2(best[key].MIPS)
+		}
+	}
+
+	ok := true
+	for _, wl := range workloads {
+		off := best[wl+"/recorder_off"].MIPS
+		for _, cfg := range obsConfigs[1:] {
+			rep.RatioVsOff[wl+"/"+cfg] = round3(best[wl+"/"+cfg].MIPS / off)
+		}
+		if b := base[wl+"/predecode"]; b > 0 {
+			ratio := best[wl+"/recorder_on"].MIPS / b
+			rep.RatioVsCPU[wl] = round3(ratio)
+			if ratio < 0.97 {
+				fmt.Fprintf(os.Stderr,
+					"benchcpu: %s recorder_on %.2f MIPS is %.1f%% below the %s predecode baseline %.2f\n",
+					wl, best[wl+"/recorder_on"].MIPS, (1-ratio)*100, baseline, b)
+				ok = false
+			}
+		}
+	}
+	rep.Notes = []string{
+		"MIPS = simulated (retired) instructions per wall-clock second over a full untraced predecoded kernel boot; best of -count runs per cell.",
+		"recorder_off disables all obs emission (obs.SetEnabled(false)); recorder_on is the shipped default (flight recorder + phase spans armed); profiler_on adds guest-PC sampling every 4096 instructions via the StepN batch clamp.",
+		"ratio_vs_recorder_off is measured within this run; recorder_on_vs_bench_cpu compares against the committed BENCH_cpu.json predecode rows and must stay >= 0.97 (the 3% acceptance bar).",
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcpu:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcpu:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func round3(f float64) float64 { return float64(int(f*1000+0.5)) / 1000 }

@@ -7,26 +7,43 @@
 //	tracesys -os mach -workload compress -buf 4194304
 //	tracesys -workload sed -metrics text
 //	tracesys -workload sed -metrics prom > metrics.prom
+//
+// With -serve the experiment runs in the background while an HTTP
+// observability endpoint serves live telemetry, phase spans, the
+// flight-recorder event window, the guest-PC profile, and the Go
+// runtime's own pprof handlers:
+//
+//	tracesys -workload sed -serve localhost:6060 &
+//	curl localhost:6060/metrics      # Prometheus exposition
+//	curl localhost:6060/spans        # text Gantt of phase spans
+//	curl localhost:6060/profile      # folded stacks (flamegraph input)
+//	go tool pprof localhost:6060/debug/pprof/profile
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"systrace/internal/experiment"
 	"systrace/internal/kernel"
 	"systrace/internal/machine"
+	"systrace/internal/obj"
+	"systrace/internal/obs"
 	"systrace/internal/telemetry"
 	"systrace/internal/workload"
 )
 
 func main() {
+	defer obs.DumpOnPanic()
 	osName := flag.String("os", "ultrix", "ultrix or mach")
 	name := flag.String("workload", "sed", "Table-1 workload")
 	seed := flag.Uint("seed", 1, "page placement seed")
 	metrics := flag.String("metrics", "off",
 		"off, text (report + distortion dashboard), prom, or json (telemetry document only)")
+	serve := flag.String("serve", "",
+		"serve live metrics/spans/events/profile/pprof on this address while running, then keep serving")
 	flag.Parse()
 
 	flavor := kernel.Ultrix
@@ -44,6 +61,11 @@ func main() {
 		// Reject up front: the runs below take real time.
 		fmt.Fprintf(os.Stderr, "tracesys: unknown -metrics mode %q\n", *metrics)
 		os.Exit(2)
+	}
+
+	if *serve != "" {
+		serveObs(*serve, spec, flavor, uint32(*seed))
+		return
 	}
 
 	if *metrics == "off" {
@@ -77,6 +99,47 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracesys:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// serveObs runs the workload with the guest-PC sampler attached while
+// an HTTP server exposes the observability surface: /metrics(.json),
+// /spans(.json), /events, /profile, and /debug/pprof/*. The traced
+// boot runs first (it feeds the spans, events, and profile), then the
+// distortion experiment fills the telemetry registry; the server keeps
+// serving after both finish so the final state stays inspectable.
+func serveObs(addr string, spec workload.Spec, flavor kernel.Flavor, seed uint32) {
+	reg := telemetry.New()
+	prof := obs.NewProfile()
+
+	sys, _, err := experiment.Boot(spec, flavor, true, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesys:", err)
+		os.Exit(1)
+	}
+	sys.M.CPU.SetProfiler(4096, prof.Hit)
+	procs := map[uint32]*obj.Executable{}
+	for i, bp := range sys.Procs {
+		procs[uint32(i+1)] = bp.Exe
+	}
+	res := obs.NewImageResolver(sys.Kernel, procs)
+
+	go func() {
+		if err := sys.Run(experiment.RunBudget); err != nil {
+			fmt.Fprintln(os.Stderr, "tracesys: run:", err)
+			return
+		}
+		if _, err := experiment.Distort(spec, flavor, seed, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "tracesys: distort:", err)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "tracesys: runs complete; still serving")
+	}()
+
+	fmt.Fprintf(os.Stderr, "tracesys: serving observability on http://%s\n", addr)
+	if err := http.ListenAndServe(addr, obs.Handler(reg, prof, res)); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesys:", err)
+		os.Exit(1)
 	}
 }
 

@@ -7,7 +7,11 @@
 // (bbtrace, memtrace, instrumented blocks) is ordinary guest code.
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+
+	"systrace/internal/obs"
+)
 
 // Segment boundaries (R3000).
 const (
@@ -247,6 +251,15 @@ type CPU struct {
 	// or device-event state mid-batch.
 	pdExit bool
 
+	// prof is the guest-PC sampling profiler hook (see SetProfiler in
+	// obs.go); zero when no sampler is attached.
+	prof profiler
+
+	// lastDevKey is the page|direction of the last device access the
+	// flight recorder saw; devAccess uses it to emit edges, not every
+	// word of a device-streaming loop.
+	lastDevKey uint64
+
 	// Per-port observer flags, re-synced by Step when c.Obs changes
 	// nil-ness; they hoist the interface nil check out of every
 	// fetch/load/store/exception/FP event.
@@ -293,10 +306,18 @@ func (c *CPU) ASID() uint32 { return c.CP0.EntryHi & ASIDMask >> ASIDShift }
 // SetIRQ raises or clears external interrupt line (0..7).
 func (c *CPU) SetIRQ(line int, on bool) {
 	bit := uint32(1) << (uint(line) + CauseIPShift)
+	old := c.irqLines
 	if on {
 		c.irqLines |= bit
 	} else {
 		c.irqLines &^= bit
+	}
+	if c.irqLines != old {
+		var lvl uint64
+		if on {
+			lvl = 1
+		}
+		obs.Emit(evIRQ, uint64(line), lvl)
 	}
 }
 
@@ -321,6 +342,7 @@ func (c *CPU) fault(format string, args ...any) {
 func (c *CPU) Exception(code int, vector uint32) {
 	c.pdExit = true
 	c.Stat.Exceptions++
+	obs.Emit(evException, uint64(code), uint64(c.PC))
 	st := c.CP0.Status
 	c.CP0.Status = st&^0x3f | st<<2&0x3c // push stack, KUc=IEc=0
 	cause := uint32(code) << CauseExcShift

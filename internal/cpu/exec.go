@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"systrace/internal/isa"
+	"systrace/internal/obs"
 )
 
 // refill fills a one-entry translation cache for va. Instruction-side
@@ -114,6 +115,7 @@ func (c *CPU) load(va uint32, size int) (uint64, bool) {
 		}
 	}
 	c.pdExit = true // device read: register state may change
+	c.devAccess(pa, 0)
 	if size == 8 {
 		hi, ok1 := c.Bus.Read(pa, 4)
 		lo, ok2 := c.Bus.Read(pa+4, 4)
@@ -173,6 +175,7 @@ func (c *CPU) store(va uint32, size int, v uint64) bool {
 		return true
 	}
 	c.pdExit = true // device write: may reprogram a device event
+	c.devAccess(pa, 1)
 	if size == 8 {
 		ok1 := c.Bus.Write(pa, 4, uint32(v>>32))
 		ok2 := c.Bus.Write(pa+4, 4, uint32(v))
@@ -269,6 +272,12 @@ func (c *CPU) StepN(max uint64) uint64 {
 	ipd := c.ipd
 	if ipd == nil {
 		return 0
+	}
+	// A profiler batch ends exactly on the sample boundary, so the
+	// sampler below the loop observes the boundary PC; one branch
+	// here, amortized over the whole batch (see obs.go).
+	if c.prof.fn != nil {
+		max = c.profClamp(max)
 	}
 	// The frame pointer and instruction page are loop invariants: the
 	// only thing that can change them mid-batch is a store into the
@@ -502,6 +511,9 @@ func (c *CPU) StepN(max uint64) uint64 {
 		}
 	}
 	c.pd.hits += n
+	if c.prof.fn != nil && c.Stat.Instret >= c.prof.next {
+		c.profSample()
+	}
 	return n
 }
 
@@ -864,9 +876,11 @@ func (c *CPU) execCOP0(w uint32, rs, rt int) bool {
 	case isa.Cop0CO:
 		switch w & 63 {
 		case isa.C0FnTLBWR:
+			obs.Emit(evTLBWrite, uint64(c.CP0.Random), uint64(c.CP0.EntryHi))
 			c.TLB[c.CP0.Random] = TLBEntry{Hi: c.CP0.EntryHi, Lo: c.CP0.EntryLo}
 			c.invalidateCaches()
 		case isa.C0FnTLBWI:
+			obs.Emit(evTLBWrite, uint64(c.CP0.Index&(NTLB-1)), uint64(c.CP0.EntryHi))
 			c.TLB[c.CP0.Index&(NTLB-1)] = TLBEntry{Hi: c.CP0.EntryHi, Lo: c.CP0.EntryLo}
 			c.invalidateCaches()
 		case isa.C0FnTLBP:

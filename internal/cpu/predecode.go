@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"systrace/internal/isa"
+	"systrace/internal/obs"
 )
 
 // pdOp is the internal opcode index of a micro-op. Every 32-bit word
@@ -224,13 +225,16 @@ func (c *CPU) dropFrame(fn uint32) {
 	c.pd.bitmap[w] &^= 1 << (fn & 63)
 	delete(c.pd.frames, fn)
 	c.pd.invalidations++
+	executing := uint64(0)
 	if c.ipd != nil && c.ipdFrame == fn {
 		c.ipd = nil
 		c.icache.vpage = 1
 		// StepN caches the frame pointer across its batch; force it
 		// back to the caller so the next fetch re-decodes.
 		c.pdExit = true
+		executing = 1
 	}
+	obs.Emit(evFrameDrop, uint64(fn), executing)
 }
 
 // dropAllFrames empties the cache (engine switch or the pdMaxFrames

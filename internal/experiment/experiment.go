@@ -17,6 +17,7 @@ import (
 	m "systrace/internal/mahler"
 	"systrace/internal/memsys"
 	"systrace/internal/obj"
+	"systrace/internal/obs"
 	"systrace/internal/pixie"
 	"systrace/internal/telemetry"
 	"systrace/internal/trace"
@@ -249,6 +250,8 @@ func Measure(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Measured, 
 // series stay distinct).
 func MeasureT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	reg *telemetry.Registry, extra ...telemetry.Label) (*Measured, error) {
+	sp := obs.BeginDetail("measure_run", fmt.Sprintf("%s/%v/seed%d", spec.Name, flavor, seed))
+	defer sp.End()
 	sys, pid, err := boot(spec, flavor, false, seed, nil)
 	if err != nil {
 		return nil, err
@@ -320,6 +323,8 @@ func Predict(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Predicted,
 // any extra labels (see MeasureT).
 func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	reg *telemetry.Registry, extra ...telemetry.Label) (*Predicted, error) {
+	sp := obs.BeginDetail("predict_run", fmt.Sprintf("%s/%v/seed%d", spec.Name, flavor, seed))
+	defer sp.End()
 	sys, pid, err := boot(spec, flavor, true, seed, nil)
 	if err != nil {
 		return nil, err
@@ -355,6 +360,10 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	var perr error
 	buf := make([]trace.Event, 0, 1<<16)
 	sys.OnTrace = func(words []uint32) {
+		// Nests under the kernel host's trace_drain span: the memory-
+		// system analysis share of each doorbell is visible per drain.
+		asp := obs.Begin("trace_analysis")
+		defer asp.End()
 		chk.Check(words)
 		if perr != nil {
 			return

@@ -23,11 +23,12 @@ package experiment
 //   - Everything mutable during a run — machine, CPU, RAM, devices,
 //     kernel state, parser, memory-system simulators — is created per
 //     run inside the worker goroutine and never escapes it.
-//   - telemetry.Registry is documented as single-goroutine; the Runner
-//     therefore gives each run its own registry, labeled with a run-id
-//     dimension (id=<RunKey>) so series from different runs stay
-//     distinct when snapshots are merged. The Runner's own counters are
-//     atomics, safe to sample from any goroutine.
+//   - telemetry.Registry is safe for concurrent use (atomic handles,
+//     locked registration/snapshot); the Runner still gives each run
+//     its own registry, labeled with a run-id dimension (id=<RunKey>),
+//     so series from different runs stay distinct when snapshots are
+//     merged. The Runner's own counters are atomics, safe to sample
+//     from any goroutine.
 //   - Results are published by closing the entry's done channel after
 //     the last write, which orders them before any waiter's read.
 
@@ -38,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"systrace/internal/kernel"
+	"systrace/internal/obs"
 	"systrace/internal/telemetry"
 	"systrace/internal/workload"
 )
@@ -194,7 +196,14 @@ func (r *Runner) submit(key RunKey, spec workload.Spec) *runCall {
 // execute performs one unique run on a worker slot.
 func (r *Runner) execute(key RunKey, spec workload.Spec, c *runCall) {
 	r.sem <- struct{}{}
+	// Opened after the worker slot is acquired so the span measures
+	// the run, not time queued behind the semaphore; measure_run /
+	// predict_run and the machine phases nest under it (same
+	// goroutine), keeping each parallel job's sub-spans attached to
+	// its own job in the timeline.
+	sp := obs.BeginDetail("runner_job", key.String())
 	defer func() {
+		sp.End()
 		<-r.sem
 		close(c.done)
 	}()

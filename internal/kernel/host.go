@@ -9,9 +9,16 @@ import (
 	"systrace/internal/dev"
 	"systrace/internal/machine"
 	"systrace/internal/obj"
+	"systrace/internal/obs"
 	"systrace/internal/telemetry"
 	"systrace/internal/trace"
 )
+
+// evDoorbell marks each trace-buffer doorbell the kernel rings: the
+// host drains and resets the buffer here, so around a failure these
+// events reconstruct the generation/analysis mode switches.
+// a = doorbell reason code, b = trace words drained.
+var evDoorbell = obs.RegisterEvent("kernel_trace_doorbell")
 
 // BootProc describes one process to start at boot.
 type BootProc struct {
@@ -175,6 +182,8 @@ func (t *sysTelemetry) record(reason uint32, pid uint32, words []uint32) {
 
 // Boot loads the kernel and user images and prepares the machine.
 func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System, error) {
+	sp := obs.BeginDetail("system_boot", cfg.Flavor.String())
+	defer sp.End()
 	if len(procs) == 0 || len(procs) > MaxProcs {
 		return nil, fmt.Errorf("kernel: %d boot processes (1..%d allowed)", len(procs), MaxProcs)
 	}
@@ -264,13 +273,17 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 	// The analysis program: drain the in-kernel buffer when the
 	// kernel rings the doorbell.
 	mach.TraceCtl.Handler = func(reason uint32) uint64 {
+		dsp := obs.Begin("trace_drain")
+		defer dsp.End()
 		s.Doorbells++
 		end := binary.BigEndian.Uint32(ram[s.kbookPA:]) // BufPtr (kseg0 VA)
 		start := TraceBufVA
 		if end < uint32(start) || end > uint32(start)+cfg.TraceBufBytes {
+			obs.Emit(evDoorbell, uint64(reason), 0)
 			return 0
 		}
 		n := (end - uint32(start)) / 4
+		obs.Emit(evDoorbell, uint64(reason), uint64(n))
 		words := make([]uint32, n)
 		for i := uint32(0); i < n; i++ {
 			words[i] = binary.BigEndian.Uint32(ram[s.tbufPA+i*4:])
@@ -290,6 +303,8 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 // Run executes until the machine halts or the instruction budget is
 // exhausted.
 func (s *System) Run(maxInstr uint64) error {
+	sp := obs.BeginDetail("machine_run", s.Cfg.Flavor.String())
+	defer sp.End()
 	return s.M.Run(maxInstr)
 }
 

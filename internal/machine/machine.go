@@ -250,6 +250,9 @@ func (m *Machine) Run(maxInstr uint64) error {
 		if c.FaultMsg != "" {
 			return fmt.Errorf("machine fault at pc=0x%08x: %s", c.PC, c.FaultMsg)
 		}
+		// Guest-PC sampling for the paths that don't flow through
+		// StepN (short bursts, observers): skew bounded by the burst.
+		c.ProfPoll()
 		if now = m.Cycles(); now >= m.nextEvent {
 			m.Clock.Advance(now)
 			m.Disk.Advance(now)

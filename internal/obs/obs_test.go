@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"systrace/internal/obj"
+	"systrace/internal/telemetry"
+)
+
+var (
+	testEvA = RegisterEvent("obs_test_alpha")
+	testEvB = RegisterEvent("obs_test_beta")
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var r Recorder
+	r.Emit(testEvA, 1, 2)
+	r.Emit(testEvB, 3, 4)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "obs_test_alpha" || evs[0].A != 1 || evs[0].B != 2 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Name != "obs_test_beta" || evs[1].Seq != 2 {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestRecorderWrap(t *testing.T) {
+	var r Recorder
+	n := ringSize + 100
+	for i := 0; i < n; i++ {
+		r.Emit(testEvA, uint64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != ringSize {
+		t.Fatalf("got %d events after wrap, want %d", len(evs), ringSize)
+	}
+	if evs[0].Seq != uint64(n-ringSize+1) || evs[len(evs)-1].Seq != uint64(n) {
+		t.Errorf("window = [%d, %d], want [%d, %d]", evs[0].Seq, evs[len(evs)-1].Seq, n-ringSize+1, n)
+	}
+	if evs[len(evs)-1].A != uint64(n-1) {
+		t.Errorf("last payload = %d, want %d", evs[len(evs)-1].A, n-1)
+	}
+}
+
+func TestRegisterEventDupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate RegisterEvent did not panic")
+		}
+	}()
+	RegisterEvent("obs_test_alpha")
+}
+
+func TestDisabledEmitsNothing(t *testing.T) {
+	var r Recorder
+	SetEnabled(false)
+	r.Emit(testEvA, 1, 1)
+	sp := Begin("obs_test_disabled_span")
+	sp.End()
+	SetEnabled(true)
+	if len(r.Events()) != 0 {
+		t.Error("emit while disabled recorded an event")
+	}
+	for _, s := range Timeline() {
+		if s.Name == "obs_test_disabled_span" {
+			t.Error("span recorded while disabled")
+		}
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	Reset()
+	outer := BeginDetail("obs_test_outer", "detail-x")
+	inner := Begin("obs_test_inner")
+	inner.End()
+	sib := Begin("obs_test_sibling")
+	sib.End()
+	outer.End()
+
+	tl := Timeline()
+	if len(tl) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tl))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range tl {
+		byName[s.Name] = s
+	}
+	o := byName["obs_test_outer"]
+	if o.Detail != "detail-x" || o.Parent != 0 || o.Depth != 0 {
+		t.Errorf("outer = %+v", o)
+	}
+	for _, n := range []string{"obs_test_inner", "obs_test_sibling"} {
+		c := byName[n]
+		if c.Parent != o.ID || c.Depth != 1 {
+			t.Errorf("%s: parent=%d depth=%d, want parent=%d depth=1", n, c.Parent, c.Depth, o.ID)
+		}
+		if c.StartNs < o.StartNs || c.EndNs > o.EndNs || c.Open() {
+			t.Errorf("%s interval [%d,%d] outside outer [%d,%d]", n, c.StartNs, c.EndNs, o.StartNs, o.EndNs)
+		}
+	}
+}
+
+func TestSpanNestingPerGoroutine(t *testing.T) {
+	Reset()
+	const workers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outer := BeginDetail("obs_test_job", fmt.Sprintf("w%d", i))
+			inner := Begin("obs_test_phase")
+			inner.End()
+			outer.End()
+		}(i)
+	}
+	wg.Wait()
+	tl := Timeline()
+	byID := map[uint64]SpanInfo{}
+	for _, s := range tl {
+		byID[s.ID] = s
+	}
+	phases := 0
+	for _, s := range tl {
+		if s.Name != "obs_test_phase" {
+			continue
+		}
+		phases++
+		p, ok := byID[s.Parent]
+		if !ok || p.Name != "obs_test_job" || p.GID != s.GID {
+			t.Errorf("phase %d: parent %d not the same-goroutine job span", s.ID, s.Parent)
+		}
+	}
+	if phases != workers {
+		t.Errorf("got %d phase spans, want %d", phases, workers)
+	}
+}
+
+func TestFailureDumpContainsTrigger(t *testing.T) {
+	var buf bytes.Buffer
+	restore := SetFailureWriter(&buf)
+	defer restore()
+	Emit(testEvA, 0xdead, 0xbeef)
+	Failure("obs_test_trigger", "synthetic failure for the dump test")
+	out := buf.String()
+	if !strings.Contains(out, "failure_obs_test_trigger") {
+		t.Errorf("dump does not contain the triggering event:\n%s", out)
+	}
+	if !strings.Contains(out, "synthetic failure") || !strings.Contains(out, "obs_test_alpha") {
+		t.Errorf("dump missing detail or prior events:\n%s", out)
+	}
+	// Second failure in the same process must not dump again.
+	buf.Reset()
+	Failure("obs_test_trigger", "second")
+	if buf.Len() != 0 {
+		t.Error("second Failure dumped again; want once per process")
+	}
+}
+
+func testExe() *obj.Executable {
+	return &obj.Executable{
+		Name:     "prog",
+		TextBase: 0x400000,
+		Text:     make([]uint32, 64),
+		Syms: []obj.Symbol{
+			{Name: "main", Off: 0x400000, Func: true, Defined: true},
+			{Name: "inner_loop", Off: 0x400040, Func: true, Defined: true},
+			{Name: "data_thing", Off: 0x400080, Defined: true},
+		},
+	}
+}
+
+func TestProfileFoldedAndTable(t *testing.T) {
+	p := NewProfile()
+	p.Hit(0x400004, false, 1, 100) // main
+	p.Hit(0x400044, false, 1, 200) // inner_loop
+	p.Hit(0x400048, false, 1, 300) // inner_loop
+	p.Hit(0x80030010, true, 1, 400)
+	kern := &obj.Executable{
+		Name:     "kernel",
+		TextBase: 0x80030000,
+		Text:     make([]uint32, 64),
+		Syms:     []obj.Symbol{{Name: "trap", Off: 0x80030000, Func: true, Defined: true}},
+	}
+	res := NewImageResolver(kern, map[uint32]*obj.Executable{1: testExe()})
+
+	var folded bytes.Buffer
+	p.WriteFolded(&folded, res)
+	out := folded.String()
+	for _, want := range []string{"prog;main", "prog;inner_loop", "kernel;trap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded output missing %q:\n%s", want, out)
+		}
+	}
+
+	rows := p.Table(res)
+	if len(rows) == 0 || rows[0].Name != "prog;inner_loop" || rows[0].Samples != 2 {
+		t.Errorf("table head = %+v, want prog;inner_loop with 2 samples", rows)
+	}
+	var tab bytes.Buffer
+	p.WriteTable(&tab, res)
+	if !strings.Contains(tab.String(), "4 samples") {
+		t.Errorf("table header wrong:\n%s", tab.String())
+	}
+}
+
+func TestResolverUnknownPC(t *testing.T) {
+	res := NewImageResolver(nil, nil)
+	got := res(ProfSample{PC: 0x1234, Pid: 7})
+	if got != "pid7;0x00001234" {
+		t.Errorf("unknown user PC folded to %q", got)
+	}
+	got = res(ProfSample{PC: 0x80001234, Kernel: true})
+	if got != "kernel;0x80001234" {
+		t.Errorf("unknown kernel PC folded to %q", got)
+	}
+}
+
+func TestTimelineJSONAndGantt(t *testing.T) {
+	Reset()
+	s := BeginDetail("obs_test_render", "r1")
+	s.End()
+	var js bytes.Buffer
+	if err := WriteTimelineJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"obs_test_render"`) || !strings.Contains(js.String(), `"start_ns"`) {
+		t.Errorf("timeline JSON:\n%s", js.String())
+	}
+	var g bytes.Buffer
+	WriteGantt(&g)
+	if !strings.Contains(g.String(), "obs_test_render r1") || !strings.Contains(g.String(), "=") {
+		t.Errorf("gantt:\n%s", g.String())
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	Reset()
+	reg := telemetry.New()
+	reg.Counter("obs_test_requests_total", "test counter").Add(3)
+	p := NewProfile()
+	p.Hit(0x400004, false, 1, 100)
+	res := NewImageResolver(nil, map[uint32]*obj.Executable{1: testExe()})
+	sp := Begin("obs_test_http")
+	sp.End()
+	Emit(testEvB, 9, 9)
+
+	h := Handler(reg, p, res)
+	get := func(path string) string {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, rw.Code)
+		}
+		b, _ := io.ReadAll(rw.Result().Body)
+		return string(b)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "obs_test_requests_total 3") {
+		t.Errorf("/metrics:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"obs_test_requests_total"`) {
+		t.Errorf("/metrics.json:\n%s", out)
+	}
+	if out := get("/spans"); !strings.Contains(out, "obs_test_http") {
+		t.Errorf("/spans:\n%s", out)
+	}
+	if out := get("/spans.json"); !strings.Contains(out, `"obs_test_http"`) {
+		t.Errorf("/spans.json:\n%s", out)
+	}
+	if out := get("/events"); !strings.Contains(out, "obs_test_beta") {
+		t.Errorf("/events:\n%s", out)
+	}
+	if out := get("/profile"); !strings.Contains(out, "prog;main") {
+		t.Errorf("/profile:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+
+	req := httptest.NewRequest("GET", "/profile", nil)
+	rw := httptest.NewRecorder()
+	Handler(nil, nil, nil).ServeHTTP(rw, req)
+	if rw.Code != 404 {
+		t.Errorf("nil-profile /profile: status %d, want 404", rw.Code)
+	}
+}
+
+func TestConcurrentEmitAndSnapshot(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2*ringSize; i++ {
+				r.Emit(testEvA, uint64(i), 0)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				evs := r.Events()
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Seq <= evs[i-1].Seq {
+						t.Error("snapshot not strictly ordered")
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase spans: Begin/End pairs around the simulator's coarse phases
+// (machine boot, workload run, trace drain, memory-system analysis,
+// experiment-runner jobs). Spans nest per goroutine — the experiment
+// runner executes jobs in parallel, and each job's sub-phases must
+// attach to their own job, not whichever span opened last — so the
+// layer keeps one open-span stack per goroutine id.
+//
+// Spans are rare (tens per run, not per instruction), so a single
+// mutex over a fixed ring is both zero-alloc in steady state and
+// nowhere near any hot path.
+
+// spanRingSize bounds the retained timeline (a power of two). The
+// ring keeps the most recent spans by begin order.
+const spanRingSize = 2048
+
+type spanRec struct {
+	id     uint64 // 1-based begin order; 0 = empty slot
+	name   string
+	detail string
+	gid    int64
+	parent uint64 // enclosing span id on the same goroutine, 0 = root
+	depth  int32
+	start  time.Time
+	end    time.Time // zero while the span is open
+}
+
+var spans = struct {
+	mu     sync.Mutex
+	ring   [spanRingSize]spanRec
+	next   uint64             // count of spans ever begun
+	stacks map[int64][]uint64 // gid -> ids of open spans, innermost last
+}{stacks: map[int64][]uint64{}}
+
+// Span is the token returned by Begin; call End exactly once. The
+// zero Span (returned while recording is disabled) ends as a no-op.
+type Span struct{ id uint64 }
+
+// Begin opens a phase span named name on the current goroutine.
+func Begin(name string) Span { return BeginDetail(name, "") }
+
+// BeginDetail opens a span with a free-form detail string (a workload
+// name, a runner key) that renderers show next to the name.
+func BeginDetail(name, detail string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	g := curGID()
+	now := time.Now()
+	spans.mu.Lock()
+	spans.next++
+	id := spans.next
+	var parent uint64
+	var depth int32
+	if st := spans.stacks[g]; len(st) > 0 {
+		parent = st[len(st)-1]
+		if p := &spans.ring[(parent-1)&(spanRingSize-1)]; p.id == parent {
+			depth = p.depth + 1
+		}
+	}
+	spans.ring[(id-1)&(spanRingSize-1)] = spanRec{
+		id: id, name: name, detail: detail,
+		gid: g, parent: parent, depth: depth, start: now,
+	}
+	spans.stacks[g] = append(spans.stacks[g], id)
+	spans.mu.Unlock()
+	return Span{id: id}
+}
+
+// End closes the span. Spans left open by an inner panic are popped
+// along with s, so the per-goroutine stack cannot wedge.
+func (s Span) End() {
+	if s.id == 0 {
+		return
+	}
+	now := time.Now()
+	spans.mu.Lock()
+	rec := &spans.ring[(s.id-1)&(spanRingSize-1)]
+	var g int64
+	if rec.id == s.id {
+		rec.end = now
+		g = rec.gid
+	} else {
+		g = curGID() // span fell off the ring; still unwind the stack
+	}
+	if st := spans.stacks[g]; len(st) > 0 {
+		for i := len(st) - 1; i >= 0; i-- {
+			if st[i] == s.id {
+				st = st[:i]
+				break
+			}
+		}
+		if len(st) == 0 {
+			delete(spans.stacks, g)
+		} else {
+			spans.stacks[g] = st
+		}
+	}
+	spans.mu.Unlock()
+}
+
+// curGID parses the current goroutine id from the runtime.Stack
+// header ("goroutine 123 ["). Spans happen at phase boundaries, so
+// the ~1µs cost is irrelevant; what matters is that nesting follows
+// the goroutine that actually runs the phase.
+func curGID() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	if i := bytes.IndexByte(s, ' '); i >= 0 {
+		s = s[i+1:]
+	}
+	var id int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// SpanInfo is one decoded timeline entry. Times are nanoseconds since
+// process start; EndNs is zero while the span is open.
+type SpanInfo struct {
+	ID      uint64 `json:"id"`
+	Name    string `json:"name"`
+	Detail  string `json:"detail,omitempty"`
+	GID     int64  `json:"gid"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Depth   int32  `json:"depth"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns,omitempty"`
+}
+
+// Open reports whether the span had not ended when the timeline was
+// captured.
+func (s SpanInfo) Open() bool { return s.EndNs == 0 }
+
+// Timeline returns the retained spans in begin order.
+func Timeline() []SpanInfo {
+	spans.mu.Lock()
+	out := make([]SpanInfo, 0, spanRingSize)
+	for i := range spans.ring {
+		r := &spans.ring[i]
+		if r.id == 0 {
+			continue
+		}
+		si := SpanInfo{
+			ID: r.id, Name: r.name, Detail: r.detail,
+			GID: r.gid, Parent: r.parent, Depth: r.depth,
+			StartNs: r.start.Sub(epoch).Nanoseconds(),
+		}
+		if !r.end.IsZero() {
+			si.EndNs = r.end.Sub(epoch).Nanoseconds()
+		}
+		out = append(out, si)
+	}
+	spans.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WriteTimelineJSON writes the span timeline as a JSON document.
+func WriteTimelineJSON(w io.Writer) error {
+	doc := struct {
+		Spans []SpanInfo `json:"spans"`
+	}{Spans: Timeline()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ganttRows caps the per-span rows a Gantt prints; dense runs (one
+// trace drain per buffer fill) summarize the tail rather than scroll.
+const ganttRows = 200
+
+// WriteGantt renders the timeline as an indented text Gantt chart.
+func WriteGantt(w io.Writer) {
+	tl := Timeline()
+	if len(tl) == 0 {
+		fmt.Fprintln(w, "no spans recorded")
+		return
+	}
+	lo, hi := tl[0].StartNs, tl[0].StartNs
+	for _, s := range tl {
+		if s.StartNs < lo {
+			lo = s.StartNs
+		}
+		end := s.EndNs
+		if s.Open() {
+			end = time.Since(epoch).Nanoseconds()
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	total := hi - lo
+	if total <= 0 {
+		total = 1
+	}
+	const width = 40
+	fmt.Fprintf(w, "span timeline: %d spans over %s\n", len(tl), time.Duration(total))
+	for i, s := range tl {
+		if i == ganttRows {
+			fmt.Fprintf(w, "  ... %d more spans (use the JSON timeline for the full set)\n", len(tl)-ganttRows)
+			break
+		}
+		end := s.EndNs
+		open := ""
+		if s.Open() {
+			end = time.Since(epoch).Nanoseconds()
+			open = " (open)"
+		}
+		b0 := int((s.StartNs - lo) * width / total)
+		b1 := int((end - lo) * width / total)
+		if b1 <= b0 {
+			b1 = b0 + 1
+		}
+		if b1 > width {
+			b1 = width
+		}
+		bar := strings.Repeat(" ", b0) + strings.Repeat("=", b1-b0) + strings.Repeat(" ", width-b1)
+		label := s.Name
+		if s.Detail != "" {
+			label += " " + s.Detail
+		}
+		label = strings.Repeat("  ", int(s.Depth)) + label
+		if len(label) > 44 {
+			label = label[:41] + "..."
+		}
+		fmt.Fprintf(w, "  %-44s [%s] %10s%s\n", label, bar, time.Duration(end-s.StartNs).Round(time.Microsecond), open)
+	}
+}

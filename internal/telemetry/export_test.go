@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden export files")
+
+// goldenRegistry builds a registry with every series shape the
+// exporters must handle: plain and labeled counters, gauges, sampled
+// series, and histograms both populated and empty (the empty one is
+// what the JSON exporter used to get wrong: it must still carry
+// count/sum/buckets, as Prometheus always writes _sum/_count/+Inf).
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("golden_instructions_total", "instructions retired").Add(12345)
+	r.Counter("golden_flushes_total", "buffer flushes", L("run", "traced"), L("pid", "2")).Add(7)
+	r.Gauge("golden_dilation_ratio", "time dilation").Set(2.25)
+	r.Sample("golden_sampled_total", "sampled counter", func() uint64 { return 99 })
+	r.SampleGauge("golden_depth", "queue depth", func() float64 { return 1.5 })
+	h := r.Histogram("golden_flush_words", "words per flush")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(5000)
+	r.Histogram("golden_empty_words", "histogram with no observations")
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestExportGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "export.json", buf.Bytes())
+}
+
+func TestExportGoldenPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "export.prom", buf.Bytes())
+}
+
+// TestExportersAgreeOnHistograms pins the contract the golden files
+// witness: every histogram series, populated or not, exposes
+// count/sum/buckets in JSON exactly when Prometheus writes
+// _count/_sum/bucket lines for it.
+func TestExportersAgreeOnHistograms(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	for _, name := range []string{"golden_flush_words", "golden_empty_words"} {
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("%s missing from snapshot", name)
+		}
+		var js bytes.Buffer
+		if err := snap.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{`"count"`, `"sum"`, `"buckets"`} {
+			if !bytes.Contains(js.Bytes(), []byte(key)) {
+				t.Errorf("JSON export of %s lacks %s", name, key)
+			}
+		}
+		// The cumulative count of the last bucket never exceeds the
+		// +Inf count (the "count" field).
+		if n := len(m.Buckets); n > 0 && m.Buckets[n-1].Count > m.Count {
+			t.Errorf("%s: last bucket %d > count %d", name, m.Buckets[n-1].Count, m.Count)
+		}
+	}
+}
+
+// TestRegistryConcurrentUse hammers handle updates, late registration,
+// and both exporters from many goroutines at once; run under -race in
+// scripts/check.sh it proves the registry's concurrency contract.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := New()
+	c := r.Counter("hammer_ops_total", "ops")
+	g := r.Gauge("hammer_level", "level")
+	h := r.Histogram("hammer_sizes_words", "sizes")
+	var shared uint64 = 42
+	r.Sample("hammer_sampled_total", "sampled", func() uint64 { return shared })
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := L("worker", string(rune('a'+w)))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(uint64(i))
+				if i%100 == 0 {
+					r.Counter("hammer_late_total", "registered mid-run", lbl).Add(1)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+				}
+				if err := r.WriteJSON(io.Discard); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	m, ok := snap.Get("hammer_ops_total")
+	if !ok || m.Value != workers*iters {
+		t.Errorf("hammer_ops_total = %v, want %d", m.Value, workers*iters)
+	}
+	hm, ok := snap.Get("hammer_sizes_words")
+	if !ok || hm.Count != workers*iters {
+		t.Errorf("hammer_sizes_words count = %d, want %d", hm.Count, workers*iters)
+	}
+}

@@ -5,8 +5,41 @@ import (
 	"io"
 )
 
+// MarshalJSON renders one series. Histograms always carry their
+// count, sum, and cumulative bucket list — even when no observation
+// has been recorded — mirroring the Prometheus exporter, which always
+// writes the +Inf bucket, _sum, and _count lines for a histogram
+// family. Counters and gauges stay minimal: name, labels, kind, help,
+// value. (The bucket list elides empty buckets; the +Inf bound has no
+// uint64 representation, so its cumulative count is the "count"
+// field, exactly as le="+Inf" equals _count in the text format.)
+func (m Metric) MarshalJSON() ([]byte, error) {
+	type scalar struct {
+		Name   string            `json:"name"`
+		Labels map[string]string `json:"labels,omitempty"`
+		Kind   string            `json:"kind"`
+		Help   string            `json:"help,omitempty"`
+		Value  float64           `json:"value"`
+	}
+	s := scalar{m.Name, m.Labels, m.Kind, m.Help, m.Value}
+	if m.Kind != KindHistogram.String() {
+		return json.Marshal(s)
+	}
+	buckets := m.Buckets
+	if buckets == nil {
+		buckets = []BucketCount{}
+	}
+	return json.Marshal(struct {
+		scalar
+		Count   uint64        `json:"count"`
+		Sum     uint64        `json:"sum"`
+		Buckets []BucketCount `json:"buckets"`
+	}{s, m.Count, m.Sum, buckets})
+}
+
 // WriteJSON renders the snapshot as an indented JSON document:
-// {"metrics":[{"name":...,"labels":{...},"kind":...,"value":...},...]}.
+// {"metrics":[{"name":...,"labels":{...},"kind":...,"value":...},...]};
+// histogram entries additionally carry "count", "sum", and "buckets".
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -5,12 +5,19 @@
 // The design constraint is the paper's own: a tracing system must
 // measure itself without distorting what it measures (§4). Handles are
 // pre-registered once, and the hot-path operations — Counter.Add,
-// Gauge.Set, Histogram.Observe — are plain field updates on
-// pre-allocated structs: no locks, no maps, no allocation, so the CPU
-// interpreter loop and the kernel flush path can record events without
-// slowing the tier-1 benchmarks. The simulator is single-threaded, so
-// none of the handles use atomics; a Registry must not be shared across
-// goroutines without external synchronization.
+// Gauge.Set, Histogram.Observe — are single uncontended atomic updates
+// on pre-allocated structs: no locks, no maps, no allocation, so the
+// CPU interpreter loop and the kernel flush path can record events
+// without slowing the tier-1 benchmarks.
+//
+// A Registry is safe for concurrent use: registration and snapshotting
+// take an internal lock, and handle updates are atomic, so the
+// experiment runner's parallel jobs and a live exporter (tracesys
+// -serve) can share one registry. The one caveat is Sample closures:
+// they read whatever state the subsystem exposes (often plain uint64
+// statistics owned by a machine goroutine), so a snapshot taken while
+// a simulation runs sees slightly stale values for those series —
+// acceptable for live monitoring, exact once the run has finished.
 //
 // All handle methods are nil-receiver safe: a subsystem built without a
 // registry attached records into nil handles at zero cost, so
@@ -19,9 +26,12 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Kind classifies a registered metric for the exporters.
@@ -58,20 +68,20 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 // Counter is a monotonically increasing uint64. The zero value is
 // ready to use; Add on a nil *Counter is a no-op.
 type Counter struct {
-	v uint64
+	v atomic.Uint64
 }
 
 // Add increments the counter by n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
 // Inc increments the counter by one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
@@ -80,19 +90,19 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Gauge is a settable float64 (for computed quantities like dilation
 // factors). Set on a nil *Gauge is a no-op.
 type Gauge struct {
-	v float64
+	bits atomic.Uint64 // Float64bits of the value
 }
 
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
-		g.v = v
+		g.bits.Store(math.Float64bits(v))
 	}
 }
 
@@ -101,7 +111,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // NHistBuckets is the fixed bucket count of a Histogram: bucket i
@@ -111,11 +121,14 @@ func (g *Gauge) Value() float64 {
 const NHistBuckets = 65
 
 // Histogram counts observations in fixed log2 buckets. The zero value
-// is ready to use; Observe on a nil *Histogram is a no-op.
+// is ready to use; Observe on a nil *Histogram is a no-op. Concurrent
+// observers update disjoint atomics, so a snapshot racing an Observe
+// may see the bucket before the count — cumulative totals are still
+// monotone, which is all the exporters promise mid-run.
 type Histogram struct {
-	buckets [NHistBuckets]uint64
-	count   uint64
-	sum     uint64
+	buckets [NHistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
 }
 
 // Observe records one value.
@@ -123,9 +136,9 @@ func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
 	}
-	h.buckets[bits.Len64(v)]++
-	h.count++
-	h.sum += v
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
 }
 
 // Count returns the number of observations.
@@ -133,7 +146,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of all observations.
@@ -141,7 +154,7 @@ func (h *Histogram) Sum() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum.Load()
 }
 
 // metric is one registered series.
@@ -161,8 +174,11 @@ type metric struct {
 
 // Registry holds registered metrics. The zero value is not usable; use
 // New. All methods on a nil *Registry are no-ops returning nil handles,
-// so instrumentation can be attached unconditionally.
+// so instrumentation can be attached unconditionally. Registration and
+// snapshotting are safe to call concurrently; see the package comment
+// for the Sample-closure caveat.
 type Registry struct {
+	mu    sync.RWMutex
 	byID  map[string]*metric
 	order []*metric
 }
@@ -208,7 +224,8 @@ func metricID(name string, labels []Label) string {
 
 // register adds (or finds) a series. Registration is idempotent for an
 // identical (name, labels, kind) triple; re-registering under a
-// different kind panics, as that is a programming error.
+// different kind panics, as that is a programming error. The caller
+// must hold r.mu.
 func (r *Registry) register(name, help string, kind Kind, labels []Label) *metric {
 	if !validName(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
@@ -238,6 +255,8 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := r.register(name, help, KindCounter, labels)
 	if m.c == nil && m.fn == nil {
 		m.c = &Counter{}
@@ -250,6 +269,8 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := r.register(name, help, KindGauge, labels)
 	if m.g == nil && m.gfn == nil {
 		m.g = &Gauge{}
@@ -262,6 +283,8 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := r.register(name, help, KindHistogram, labels)
 	if m.h == nil {
 		m.h = &Histogram{}
@@ -277,6 +300,8 @@ func (r *Registry) Sample(name, help string, fn func() uint64, labels ...Label) 
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := r.register(name, help, KindCounter, labels)
 	m.fn = fn
 	m.c = nil
@@ -289,6 +314,8 @@ func (r *Registry) SampleGauge(name, help string, fn func() float64, labels ...L
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := r.register(name, help, KindGauge, labels)
 	m.gfn = fn
 	m.g = nil
@@ -324,7 +351,9 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	r.mu.RLock()
 	ms := append([]*metric(nil), r.order...)
+	r.mu.RUnlock()
 	sort.Slice(ms, func(i, j int) bool {
 		if ms[i].name != ms[j].name {
 			return ms[i].name < ms[j].name
@@ -359,7 +388,8 @@ func (r *Registry) Snapshot() Snapshot {
 			e.Value = float64(m.h.Sum())
 			// Cumulative counts; empty buckets are elided.
 			var cum uint64
-			for i, c := range m.h.buckets {
+			for i := range m.h.buckets {
+				c := m.h.buckets[i].Load()
 				if c == 0 {
 					continue
 				}

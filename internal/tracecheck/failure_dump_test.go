@@ -1,0 +1,42 @@
+package tracecheck_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"systrace/internal/obs"
+	"systrace/internal/tracecheck"
+)
+
+// TestDiagDumpsFlightRecorder forces a conformance diagnostic (a
+// corrupted record word, the same injection TestMutationRecord uses)
+// and asserts the flight recorder dumped a snapshot containing the
+// triggering failure event plus enough context to localize it: the
+// rule name and the trace offset of the bad word.
+func TestDiagDumpsFlightRecorder(t *testing.T) {
+	b, words := buildConform(t)
+	ps := classify(t, b, words)
+	p := find(ps, func(p pos) bool { return p.record })
+
+	var buf bytes.Buffer
+	restore := obs.SetFailureWriter(&buf)
+	defer restore()
+
+	res := runChecker(t, b, mutate(words, p.idx, 0x00000bad&^3))
+	firstRule(t, res, tracecheck.RuleRecord)
+
+	out := buf.String()
+	if out == "" {
+		t.Fatal("diagnostic did not dump the flight recorder")
+	}
+	if !strings.Contains(out, "failure_tracecheck_diag") {
+		t.Errorf("dump lacks the triggering event:\n%s", out)
+	}
+	if !strings.Contains(out, tracecheck.RuleRecord) {
+		t.Errorf("dump header lacks the violated rule %q:\n%s", tracecheck.RuleRecord, out)
+	}
+	if !strings.Contains(out, "flight recorder:") {
+		t.Errorf("dump lacks the event ring:\n%s", out)
+	}
+}

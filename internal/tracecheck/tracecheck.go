@@ -45,6 +45,7 @@ import (
 	"sort"
 
 	"systrace/internal/obj"
+	"systrace/internal/obs"
 	"systrace/internal/trace"
 	"systrace/internal/verify"
 )
@@ -259,6 +260,12 @@ func (c *Checker) diag(block uint32, rule, format string, args ...any) {
 		Rule:   rule,
 		Msg:    fmt.Sprintf(format, args...),
 	})
+	// A conformance diagnostic deep in a long run is exactly what the
+	// flight recorder exists for: dump the machine's recent notable
+	// events alongside the first diagnostic of the process.
+	obs.Failure("tracecheck_diag",
+		fmt.Sprintf("%s: rule %s at trace offset %d (pid %d): %s",
+			c.res.Name, rule, c.off, c.curSpace(), fmt.Sprintf(format, args...)))
 }
 
 // origOf returns the block's original address for diagnostics.

@@ -18,6 +18,7 @@ import (
 	"systrace/internal/cpu"
 	"systrace/internal/experiment"
 	"systrace/internal/kernel"
+	obspkg "systrace/internal/obs"
 	"systrace/internal/workload"
 )
 
@@ -160,6 +161,13 @@ func TestWorkloadDifferentialOracle(t *testing.T) {
 				}
 				if ref.stat.Instret == 0 {
 					t.Error("workload retired no instructions")
+				}
+				if t.Failed() {
+					// An oracle mismatch is a flight-recorder dump
+					// trigger: the recorded exception/TLB/doorbell
+					// stream of the diverging runs is the first clue.
+					obspkg.Failure("oracle_mismatch",
+						name+": reference and predecode engines diverged")
 				}
 			})
 		}

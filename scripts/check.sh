@@ -21,8 +21,11 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (cpu core, experiment runner, telemetry, rewriter, verifiers) =="
-go test -race ./internal/cpu/ ./internal/experiment/ ./internal/telemetry/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/
+echo "== go test -race (cpu core, experiment runner, telemetry, obs, rewriter, verifiers) =="
+go test -race ./internal/cpu/ ./internal/experiment/ ./internal/telemetry/ ./internal/obs/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/
+
+echo "== obs smoke (traced sed boot: span nesting + folded guest-PC profile) =="
+go test -run '^TestObsSmoke$' -count=1 .
 
 echo "== tracelint (trace conformance, all workloads x OS personalities) =="
 go run ./cmd/tracelint -q

@@ -246,6 +246,61 @@ func metrics(reg *telemetry.Registry) {
 	}
 }
 
+func TestObsNameRules(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+var (
+	evGood = obs.RegisterEvent("cpu_exception")
+	evBad  = obs.RegisterEvent("CPUException")
+	evDup  = obs.RegisterEvent("cpu_exception")
+)
+
+func phases() {
+	sp := obs.Begin("trace_drain")
+	sp2 := obs.BeginDetail("machine_run", cfg.String())
+	sp3 := obs.Begin("traceDrain")
+	sp4 := obs.BeginDetail("Machine-Run", "x")
+	dyn := obs.Begin(name)
+	obs.Emit(evGood, 1, 2)
+	_ = []any{sp, sp2, sp3, sp4, dyn}
+}
+`), "telemetryname")
+	want := []string{
+		`obs event name "CPUException" is not snake_case`,
+		`obs event "cpu_exception" registered more than once`,
+		`obs span name "traceDrain" is not snake_case`,
+		`obs span name "Machine-Run" is not snake_case`,
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d findings %v, want %d", len(fs), fs, len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(fs[i].Msg, w) {
+			t.Errorf("finding %d = %q, want mention of %s", i, fs[i].Msg, w)
+		}
+	}
+}
+
+func TestObsNameCleanUsage(t *testing.T) {
+	// Well-formed names, a dynamic name, and same-named obs calls on a
+	// non-obs receiver are all out of scope.
+	fs := byAnalyzer(checkSrc(t, `package p
+
+var ev = obs.RegisterEvent("kernel_trace_doorbell")
+
+func fine() {
+	sp := obs.BeginDetail("runner_job", key.String())
+	defer sp.End()
+	dyn := obs.Begin(spanName)
+	reg2.RegisterEvent("NotTheObsPackage")
+	_ = dyn
+}
+`), "telemetryname")
+	if len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
 func TestCheckDirSkipsTestFiles(t *testing.T) {
 	dir := t.TempDir()
 	bad := `package p

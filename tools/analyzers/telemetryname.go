@@ -12,10 +12,23 @@ import (
 // telemetry layer's naming convention: snake_case throughout, cumulative
 // metrics (Counter, Sample) end in _total, gauges never do, histograms
 // name the unit they observe, and no name restates its metric kind.
+// It also vets the obs layer's identifiers: flight-recorder event names
+// (obs.RegisterEvent) and phase-span names (obs.Begin/BeginDetail) must
+// be snake_case, and a file must not register the same event twice —
+// the static mirror of RegisterEvent's runtime duplicate panic.
 var TelemetryName = &Analyzer{
 	Name: "telemetryname",
-	Doc:  "telemetry metric names follow the snake_case unit-suffix convention",
+	Doc:  "telemetry metric and obs span/event names follow the snake_case convention",
 	Run:  runTelemetryName,
+}
+
+// obsNameMethods are the obs-package calls whose first argument is a
+// span or event name. The value records whether the call registers a
+// flight-recorder event (subject to the duplicate check).
+var obsNameMethods = map[string]bool{
+	"RegisterEvent": true,
+	"Begin":         false,
+	"BeginDetail":   false,
 }
 
 // metricKinds maps registration method names to the kind whose suffix
@@ -47,6 +60,7 @@ func runTelemetryName(fset *token.FileSet, f *ast.File) []Finding {
 			Msg:      fmt.Sprintf(format, args...),
 		})
 	}
+	events := map[string]token.Pos{} // registered event name → first site
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -54,6 +68,12 @@ func runTelemetryName(fset *token.FileSet, f *ast.File) []Finding {
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "obs" {
+			if isEvent, ok := obsNameMethods[sel.Sel.Name]; ok && len(call.Args) >= 1 {
+				checkObsName(call, isEvent, events, add)
+			}
 			return true
 		}
 		kind, ok := metricKinds[sel.Sel.Name]
@@ -102,4 +122,32 @@ func runTelemetryName(fset *token.FileSet, f *ast.File) []Finding {
 		return true
 	})
 	return findings
+}
+
+// checkObsName vets one obs.RegisterEvent/Begin/BeginDetail call:
+// literal names must be snake_case, and an event name may be
+// registered at most once per file. Dynamic (non-literal) names are
+// out of scope — the runtime registry still panics on duplicates.
+func checkObsName(call *ast.CallExpr, isEvent bool,
+	events map[string]token.Pos, add func(token.Pos, string, ...any)) {
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || len(lit.Value) < 2 {
+		return
+	}
+	name := lit.Value[1 : len(lit.Value)-1]
+	what := "span"
+	if isEvent {
+		what = "event"
+	}
+	if !snakeCase.MatchString(name) {
+		add(lit.Pos(), "obs %s name %q is not snake_case", what, name)
+		return
+	}
+	if isEvent {
+		if _, dup := events[name]; dup {
+			add(lit.Pos(), "obs event %q registered more than once (RegisterEvent panics on duplicates)", name)
+			return
+		}
+		events[name] = lit.Pos()
+	}
 }
