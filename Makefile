@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint tracelint fmt vet build test bench bench-cpu bench-obs
+.PHONY: check lint tracelint fmt vet build test bench bench-cpu bench-obs bench-stream
 
 # check is the tier-1 gate: formatting, vet, build, the full test
 # suite, fuzz smoke, and the lint gate. CI and pre-commit should run
@@ -45,3 +45,10 @@ bench-cpu:
 # and rewrites BENCH_obs.json; fails if recorder-on drops below 97%.
 bench-obs:
 	$(GO) run ./cmd/benchcpu -mode obs -out BENCH_obs.json -count 8
+
+# bench-stream compares the trace drains (two-phase vs epoch-ring
+# streaming, raw and compressed) over the full prediction pipeline and
+# rewrites BENCH_stream.json; fails if the overlapped drain is not
+# faster in simulated time or compression drops below 4x.
+bench-stream:
+	$(GO) run ./cmd/benchstream -out BENCH_stream.json

@@ -10,6 +10,7 @@
 //	tracelint                      # whole corpus: every workload x OS
 //	tracelint -workload sed -os mach
 //	tracelint -json -seed 7
+//	tracelint -compress            # corpus over the compressed streaming drain
 //
 // Exit status: 0 when every stream checks clean, 1 when any
 // diagnostic fires, 2 on usage or build errors.
@@ -39,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	osName := fs.String("os", "all", "OS personality: ultrix, mach, or \"all\"")
 	seed := fs.Uint("seed", 1, "page-mapping seed for the traced boot")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "traced system runs to execute in parallel")
+	compress := fs.Bool("compress", false,
+		"drain each traced boot through the compressed epoch-ring streaming path; the checker decodes the wire bytes itself")
 	asJSON := fs.Bool("json", false, "emit results as JSON")
 	quiet := fs.Bool("q", false, "print only diagnostics, not per-stream summaries")
 	if err := fs.Parse(args); err != nil {
@@ -98,7 +101,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = experiment.Conformance(j.spec, j.flavor, uint32(*seed))
+			stream := kernel.StreamConfig{}
+			if *compress {
+				stream = kernel.DefaultStream()
+			}
+			results[i], errs[i] = experiment.ConformanceWith(j.spec, j.flavor, uint32(*seed), stream)
 		}(i, j)
 	}
 	wg.Wait()

@@ -136,7 +136,17 @@ func conformanceChecker(name string, sys *kernel.System) (*tracecheck.Checker, e
 // corpus mode): the simulator's own output must be a legal observation
 // of the static CFG plus the kernel trace protocol.
 func Conformance(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*tracecheck.Result, error) {
-	sys, _, err := boot(spec, flavor, true, seed, nil)
+	return ConformanceWith(spec, flavor, seed, kernel.StreamConfig{})
+}
+
+// ConformanceWith is Conformance under a drain configuration. With a
+// compressed streaming drain the checker consumes the wire bytes
+// themselves (CheckCompressed via the OnEpoch hook), so the encoder,
+// the epoch handoff, and the decode side are all under the
+// conformance gate.
+func ConformanceWith(spec workload.Spec, flavor kernel.Flavor, seed uint32,
+	stream kernel.StreamConfig) (*tracecheck.Result, error) {
+	sys, _, err := boot(spec, flavor, true, seed, nil, stream, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -144,9 +154,21 @@ func Conformance(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*tracec
 	if err != nil {
 		return nil, err
 	}
-	sys.OnTrace = c.Check
+	var cerr error
+	if stream.Enabled() && stream.Compress {
+		sys.OnEpoch = func(enc []byte) {
+			if cerr == nil {
+				cerr = c.CheckCompressed(enc)
+			}
+		}
+	} else {
+		sys.OnTrace = c.Check
+	}
 	if err := sys.Run(runBudget); err != nil {
 		return nil, fmt.Errorf("conformance %s/%v: %w", spec.Name, flavor, err)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("conformance %s/%v: compressed stream: %w", spec.Name, flavor, cerr)
 	}
 	return c.Finish(), nil
 }
@@ -167,16 +189,19 @@ func server() (*userland.Program, error) {
 // engine settings; the builds come from the same memoized caches as
 // every experiment.
 func Boot(spec workload.Spec, flavor kernel.Flavor, traced bool, seed uint32) (*kernel.System, int, error) {
-	return boot(spec, flavor, traced, seed, nil)
+	return boot(spec, flavor, traced, seed, nil, kernel.StreamConfig{}, 0)
 }
 
 // RunBudget is the standard per-run instruction budget used by the
 // experiment suite (exported for harnesses built on Boot).
 const RunBudget = runBudget
 
-// boot assembles a system for one workload.
+// boot assembles a system for one workload. stream selects the drain
+// configuration for traced boots (the zero value is the two-phase
+// stop-the-world drain); bufBytes overrides the trace-buffer size
+// when nonzero.
 func boot(spec workload.Spec, flavor kernel.Flavor, traced bool, seed uint32,
-	override *obj.Executable) (*kernel.System, int, error) {
+	override *obj.Executable, stream kernel.StreamConfig, bufBytes uint32) (*kernel.System, int, error) {
 	kexe, err := kernelExe(flavor, traced)
 	if err != nil {
 		return nil, 0, err
@@ -216,7 +241,11 @@ func boot(spec workload.Spec, flavor kernel.Flavor, traced bool, seed uint32,
 	cfg.MapSeed = seed
 	if traced {
 		cfg.TraceBufBytes = trace.DefaultKernelBufBytes
+		if bufBytes != 0 {
+			cfg.TraceBufBytes = bufBytes
+		}
 		cfg.ClockInterval *= IdleScale
+		cfg.Stream = stream
 	}
 	sys, err := kernel.Boot(kexe, procs, cfg)
 	if err != nil {
@@ -252,7 +281,7 @@ func MeasureT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	reg *telemetry.Registry, extra ...telemetry.Label) (*Measured, error) {
 	sp := obs.BeginDetail("measure_run", fmt.Sprintf("%s/%v/seed%d", spec.Name, flavor, seed))
 	defer sp.End()
-	sys, pid, err := boot(spec, flavor, false, seed, nil)
+	sys, pid, err := boot(spec, flavor, false, seed, nil, kernel.StreamConfig{}, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -301,8 +330,13 @@ type Predicted struct {
 	// analysis phases; AnalysisCycles is the analysis-phase share.
 	TracedCycles   uint64
 	AnalysisCycles uint64
-	Sim            *memsys.TraceSim
-	Parser         *trace.Parser
+	// OverlapCycles is analysis work retired concurrently with
+	// generation under the streaming drain (zero in two-phase mode);
+	// Stream is the epoch ring's accounting for the run.
+	OverlapCycles uint64
+	Stream        kernel.StreamStats
+	Sim           *memsys.TraceSim
+	Parser        *trace.Parser
 	// Conformance is the offline trace↔CFG check run over the same raw
 	// stream the parser consumed. Diagnostics are reported, not fatal:
 	// the prediction is still computed from whatever parsed.
@@ -323,9 +357,33 @@ func Predict(spec workload.Spec, flavor kernel.Flavor, seed uint32) (*Predicted,
 // any extra labels (see MeasureT).
 func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	reg *telemetry.Registry, extra ...telemetry.Label) (*Predicted, error) {
+	return predictWith(spec, flavor, seed, kernel.StreamConfig{}, 0, reg, extra...)
+}
+
+// PredictWith is Predict under a drain configuration: the trace flows
+// through the epoch-ring streaming path — compressed on the wire when
+// stream.Compress is set — with the analysis running on the consumer
+// goroutine instead of charging stop-the-world analysis cycles.
+func PredictWith(spec workload.Spec, flavor kernel.Flavor, seed uint32,
+	stream kernel.StreamConfig) (*Predicted, error) {
+	return predictWith(spec, flavor, seed, stream, 0, nil)
+}
+
+// PredictStream is PredictWith with a non-default trace-buffer size
+// (bufBytes of 0 keeps the standard buffer). Harnesses use smaller
+// buffers to force multi-epoch rings: with the 4 MB default a short
+// workload drains once at the final flush, which exercises the wire
+// format but not the pipeline.
+func PredictStream(spec workload.Spec, flavor kernel.Flavor, seed uint32,
+	bufBytes uint32, stream kernel.StreamConfig) (*Predicted, error) {
+	return predictWith(spec, flavor, seed, stream, bufBytes, nil)
+}
+
+func predictWith(spec workload.Spec, flavor kernel.Flavor, seed uint32,
+	stream kernel.StreamConfig, bufBytes uint32, reg *telemetry.Registry, extra ...telemetry.Label) (*Predicted, error) {
 	sp := obs.BeginDetail("predict_run", fmt.Sprintf("%s/%v/seed%d", spec.Name, flavor, seed))
 	defer sp.End()
-	sys, pid, err := boot(spec, flavor, true, seed, nil)
+	sys, pid, err := boot(spec, flavor, true, seed, nil, stream, bufBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -357,14 +415,27 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	}
 
 	var events uint64
-	var perr error
+	var perr, cerr error
 	buf := make([]trace.Event, 0, 1<<16)
+	compressed := stream.Enabled() && stream.Compress
+	if compressed {
+		// The conformance gate consumes the wire bytes themselves, so
+		// encoder, handoff, and decode are all under the check.
+		sys.OnEpoch = func(enc []byte) {
+			if cerr == nil {
+				cerr = chk.CheckCompressed(enc)
+			}
+		}
+	}
 	sys.OnTrace = func(words []uint32) {
-		// Nests under the kernel host's trace_drain span: the memory-
-		// system analysis share of each doorbell is visible per drain.
+		// Nests under the kernel host's trace_drain span (or the
+		// streaming consumer's epoch span): the memory-system analysis
+		// share of each drain is visible per epoch.
 		asp := obs.Begin("trace_analysis")
 		defer asp.End()
-		chk.Check(words)
+		if !compressed {
+			chk.Check(words)
+		}
 		if perr != nil {
 			return
 		}
@@ -381,6 +452,9 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	}
 	if perr != nil {
 		return nil, fmt.Errorf("predict %s/%v: %w", spec.Name, flavor, perr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("predict %s/%v: compressed stream: %w", spec.Name, flavor, cerr)
 	}
 
 	conf := chk.Finish()
@@ -412,6 +486,8 @@ func PredictT(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 		TracedInstr:    sys.M.CPU.Stat.Instret,
 		TracedCycles:   sys.M.Cycles(),
 		AnalysisCycles: sys.M.ExtraCycles(),
+		OverlapCycles:  sys.M.OverlapCycles(),
+		Stream:         sys.StreamStats,
 		Sim:            sim,
 		Parser:         p,
 		Conformance:    conf,
@@ -443,7 +519,7 @@ func runArithStalls(spec workload.Spec, flavor kernel.Flavor) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	sys, _, err := boot(spec, flavor, false, 1, res.Exe)
+	sys, _, err := boot(spec, flavor, false, 1, res.Exe, kernel.StreamConfig{}, 0)
 	if err != nil {
 		return 0, err
 	}

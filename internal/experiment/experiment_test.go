@@ -70,6 +70,62 @@ func TestConformanceCleanOnSimulatorOutput(t *testing.T) {
 	}
 }
 
+func TestStreamingConformanceAndPredict(t *testing.T) {
+	stream := kernel.DefaultStream()
+	for _, s := range specsFor(t, "sed") {
+		res, err := experiment.ConformanceWith(s, kernel.Ultrix, 1, stream)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !res.Clean() {
+			n := len(res.Diags)
+			if n > 5 {
+				n = 5
+			}
+			t.Errorf("%s: compressed stream fails conformance (%d diags): %v",
+				s.Name, len(res.Diags), res.Diags[:n])
+		}
+		base, err := experiment.Predict(s, kernel.Ultrix, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := experiment.PredictWith(s, kernel.Ultrix, 2, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.Result != base.Result {
+			t.Errorf("%s: streaming drain changed the workload result (%d vs %d)",
+				s.Name, pred.Result, base.Result)
+		}
+		if pred.Stream.Epochs == 0 {
+			t.Errorf("%s: streaming predict handed off no epochs", s.Name)
+		}
+		if pred.Stream.DecodeErrors != 0 {
+			t.Errorf("%s: %d decode errors on the wire", s.Name, pred.Stream.DecodeErrors)
+		}
+		if pred.Stream.EncodedBytes == 0 || pred.Stream.EncodedBytes >= pred.Stream.RawBytes {
+			t.Errorf("%s: compression did not shrink the stream (%d -> %d bytes)",
+				s.Name, pred.Stream.RawBytes, pred.Stream.EncodedBytes)
+		}
+		if pred.OverlapCycles == 0 {
+			t.Errorf("%s: no analysis cycles were overlapped", s.Name)
+		}
+		if pred.Seconds != base.Seconds {
+			t.Errorf("%s: streaming drain changed the *prediction* (%.5fs vs %.5fs); "+
+				"the drain mode must not perturb what the analysis computes",
+				s.Name, pred.Seconds, base.Seconds)
+		}
+		if pred.TracedCycles >= base.TracedCycles {
+			t.Errorf("%s: overlapped drain not faster (%d traced cycles vs two-phase %d)",
+				s.Name, pred.TracedCycles, base.TracedCycles)
+		}
+		t.Logf("%s: %d epochs, %d -> %d bytes (%.2fx), overlap=%d cycles, traced %d vs two-phase %d",
+			s.Name, pred.Stream.Epochs, pred.Stream.RawBytes, pred.Stream.EncodedBytes,
+			float64(pred.Stream.RawBytes)/float64(pred.Stream.EncodedBytes),
+			pred.OverlapCycles, pred.TracedCycles, base.TracedCycles)
+	}
+}
+
 func TestTable1Inventory(t *testing.T) {
 	rows, err := experiment.Table1(specsFor(t, "gcc", "yacc"))
 	if err != nil {

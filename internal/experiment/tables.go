@@ -288,12 +288,26 @@ type BufferRow struct {
 	ModeSwitches  uint64
 	TracedInstr   uint64
 	InstrPerPhase float64
+	// Cycles is total machine time for the run including drain
+	// charges; StallCycles is the share spent waiting for a free ring
+	// slot (zero under the two-phase drain, where every drain is a
+	// stop-the-world analysis phase instead).
+	Cycles      uint64
+	StallCycles uint64
 }
 
 // BufferSizing reproduces the §4.3 analysis: larger in-kernel buffers
 // mean rarer generation/analysis transitions (the paper's 64 MB buffer
 // permitted ~32 M instructions of continuous execution).
 func BufferSizing(spec workload.Spec, sizes []uint32) ([]BufferRow, error) {
+	return BufferSizingWith(spec, sizes, kernel.StreamConfig{})
+}
+
+// BufferSizingWith is BufferSizing under a drain configuration: the
+// E9 "dirt" experiment re-measured with the epoch-ring streaming
+// drain, where a smaller buffer costs ring-slot stalls rather than
+// more frequent stop-the-world phases.
+func BufferSizingWith(spec workload.Spec, sizes []uint32, stream kernel.StreamConfig) ([]BufferRow, error) {
 	var rows []BufferRow
 	for _, size := range sizes {
 		kexe, err := kernelExe(kernel.Ultrix, true)
@@ -312,6 +326,7 @@ func BufferSizing(spec workload.Spec, sizes []uint32) ([]BufferRow, error) {
 		cfg.DiskImage = disk
 		cfg.TraceBufBytes = size
 		cfg.ClockInterval *= IdleScale
+		cfg.Stream = stream
 		sys2, err := kernel.Boot(kexe, []kernel.BootProc{{Exe: prog.Instr}}, cfg)
 		if err != nil {
 			return nil, err
@@ -328,6 +343,8 @@ func BufferSizing(spec workload.Spec, sizes []uint32) ([]BufferRow, error) {
 			ModeSwitches:  sys2.Doorbells,
 			TracedInstr:   sys2.M.CPU.Stat.Instret,
 			InstrPerPhase: float64(sys2.M.CPU.Stat.Instret) / float64(sw),
+			Cycles:        sys2.M.Cycles(),
+			StallCycles:   sys2.StreamStats.StallCycles,
 		})
 	}
 	return rows, nil
@@ -525,7 +542,7 @@ func Figure2() string {
 // with a bogus value, and counts how many corruptions the parsing
 // library rejects.
 func CorruptionDetection(spec workload.Spec) (detected, total int, err error) {
-	sys, _, err := boot(spec, kernel.Ultrix, true, 1, nil)
+	sys, _, err := boot(spec, kernel.Ultrix, true, 1, nil, kernel.StreamConfig{}, 0)
 	if err != nil {
 		return 0, 0, fmt.Errorf("corruption study: boot %s: %w", spec.Name, err)
 	}

@@ -37,6 +37,9 @@ type BootConfig struct {
 	TLBDropin       bool
 	DiskImage       []byte
 	AnalysisPerWord uint64 // analysis-phase cycles charged per trace word
+	// Stream enables the epoch-ring streaming drain (see stream.go);
+	// the zero value keeps the legacy stop-the-world two-phase drain.
+	Stream StreamConfig
 }
 
 // DefaultBoot returns a standard configuration for the flavor: Ultrix
@@ -70,10 +73,26 @@ type System struct {
 	// analysis program of Figure 1).
 	OnTrace func(words []uint32)
 
+	// OnEpoch receives each epoch exactly as handed off on the wire —
+	// the compressed bytes of the stream codec — before OnTrace sees
+	// the decoded words. Only invoked under a streaming drain with
+	// Compress enabled; consumers that decode for themselves (the
+	// conformance checker's CheckCompressed) attach here so the wire
+	// format is exercised end to end.
+	OnEpoch func(enc []byte)
+
 	DrainedWords uint64
 	Doorbells    uint64
+	// DrainErrors counts drains rejected on the producer side
+	// (corrupt bookkeeping); decode failures on the consumer side are
+	// counted in StreamStats.DecodeErrors.
+	DrainErrors uint64
+	// StreamStats accumulates epoch-ring accounting when Cfg.Stream is
+	// enabled (stable once Run returns).
+	StreamStats StreamStats
 
-	tel *sysTelemetry
+	tel    *sysTelemetry
+	stream *streamer
 
 	kbookPA uint32
 	tbufPA  uint32
@@ -87,11 +106,12 @@ type sysTelemetry struct {
 	reg    *telemetry.Registry
 	labels []telemetry.Label
 
-	flushesFull  *telemetry.Counter
-	flushesFinal *telemetry.Counter
-	flushWords   *telemetry.Histogram
-	markers      map[uint32]*telemetry.Counter // by trace.MarkerKind
-	perPid       map[uint32]*telemetry.Counter // flushes by current pid
+	flushesFull   *telemetry.Counter
+	flushesFinal  *telemetry.Counter
+	flushWords    *telemetry.Histogram
+	markers       map[uint32]*telemetry.Counter // by trace.MarkerKind
+	markerUnknown *telemetry.Counter            // kinds with no registered name
+	perPid        map[uint32]*telemetry.Counter // flushes by current pid
 }
 
 // markerNames maps marker kinds to metric label values.
@@ -131,17 +151,37 @@ func (s *System) AttachTelemetry(r *telemetry.Registry, labels ...telemetry.Labe
 	t.flushWords = r.Histogram("kernel_trace_flush_words",
 		"trace words handed to the analysis program per flush (buffer geometry, §4.3)",
 		labels...)
+	const markerHelp = "control markers observed in the drained trace stream, by kind"
 	for kind, name := range markerNames {
-		t.markers[kind] = r.Counter("kernel_trace_markers_total",
-			"control markers observed in the drained trace stream, by kind",
+		t.markers[kind] = r.Counter("kernel_trace_markers_total", markerHelp,
 			lab(telemetry.L("kind", name))...)
 	}
+	// Words in 0xfff8xxxx..0xffffxxxx satisfy IsMarker but name no
+	// known kind (a wild effective address can land there); they count
+	// here instead of faulting the flush path.
+	t.markerUnknown = r.Counter("kernel_trace_markers_total", markerHelp,
+		lab(telemetry.L("kind", "unknown"))...)
 	r.Sample("kernel_trace_drained_words_total",
 		"total trace words drained from the in-kernel buffer",
 		func() uint64 { return s.DrainedWords }, labels...)
 	r.Sample("kernel_trace_doorbells_total",
 		"doorbell rings (generation→analysis mode switches)",
 		func() uint64 { return s.Doorbells }, labels...)
+	r.Sample("kernel_trace_drain_errors_total",
+		"trace drains rejected or failed (corrupt bookkeeping, undecodable epochs)",
+		func() uint64 { return s.DrainErrors + s.StreamStats.DecodeErrors }, labels...)
+	r.Sample("kernel_trace_stream_epochs_total",
+		"epochs handed to the streaming-drain consumer",
+		func() uint64 { return s.StreamStats.Epochs }, labels...)
+	r.Sample("kernel_trace_stream_stall_cycles_total",
+		"machine cycles the streaming drain stalled waiting for a ring slot",
+		func() uint64 { return s.StreamStats.StallCycles }, labels...)
+	r.Sample("kernel_trace_stream_raw_bytes_total",
+		"raw trace bytes handed off by the streaming drain",
+		func() uint64 { return s.StreamStats.RawBytes }, labels...)
+	r.Sample("kernel_trace_stream_encoded_bytes_total",
+		"compressed trace bytes handed off by the streaming drain",
+		func() uint64 { return s.StreamStats.EncodedBytes }, labels...)
 	r.Sample("kernel_ticks_total", "scheduler clock ticks handled",
 		func() uint64 { return uint64(s.ReadKernelWord("ticks")) }, labels...)
 	r.Sample("kernel_mode_switches_total",
@@ -175,7 +215,11 @@ func (t *sysTelemetry) record(reason uint32, pid uint32, words []uint32) {
 	c.Inc()
 	for _, w := range words {
 		if trace.IsMarker(w) {
-			t.markers[trace.MarkerKind(w)].Inc()
+			if c, ok := t.markers[trace.MarkerKind(w)]; ok {
+				c.Inc()
+			} else {
+				t.markerUnknown.Inc()
+			}
 		}
 	}
 }
@@ -279,18 +323,32 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 		end := binary.BigEndian.Uint32(ram[s.kbookPA:]) // BufPtr (kseg0 VA)
 		start := TraceBufVA
 		if end < uint32(start) || end > uint32(start)+cfg.TraceBufBytes {
+			// A BufPtr outside the buffer means the bookkeeping word
+			// was corrupted (or the kernel is wild); dropping the
+			// buffer is the only safe move, but it must be loud.
+			s.DrainErrors++
+			obs.Failure("trace_drain_corrupt_kbook", fmt.Sprintf(
+				"doorbell reason %d: kbook BufPtr 0x%08x outside trace buffer [0x%08x, 0x%08x]",
+				reason, end, uint32(start), uint32(start)+cfg.TraceBufBytes))
 			obs.Emit(evDoorbell, uint64(reason), 0)
 			return 0
 		}
 		n := (end - uint32(start)) / 4
 		obs.Emit(evDoorbell, uint64(reason), uint64(n))
+		s.DrainedWords += uint64(n)
+		var pid uint32
+		if s.tel != nil {
+			pid = s.ReadKernelWord("curpid")
+		}
+		if s.stream != nil {
+			return s.stream.handoff(reason, pid, n, mach.Cycles())
+		}
 		words := make([]uint32, n)
 		for i := uint32(0); i < n; i++ {
 			words[i] = binary.BigEndian.Uint32(ram[s.tbufPA+i*4:])
 		}
-		s.DrainedWords += uint64(n)
 		if s.tel != nil {
-			s.tel.record(reason, s.ReadKernelWord("curpid"), words)
+			s.tel.record(reason, pid, words)
 		}
 		if s.OnTrace != nil {
 			s.OnTrace(words)
@@ -301,11 +359,31 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 }
 
 // Run executes until the machine halts or the instruction budget is
-// exhausted.
+// exhausted. With streaming enabled the epoch-ring consumer runs for
+// the duration of the call and is joined before Run returns, so every
+// OnTrace delivery happens-before the caller reads its results.
 func (s *System) Run(maxInstr uint64) error {
 	sp := obs.BeginDetail("machine_run", s.Cfg.Flavor.String())
 	defer sp.End()
+	if s.Cfg.Stream.Enabled() && s.Cfg.TraceBufBytes > 0 {
+		s.stream = newStreamer(s)
+		defer func() {
+			st := s.stream
+			s.stream = nil
+			st.close()
+		}()
+	}
 	return s.M.Run(maxInstr)
+}
+
+// ramWord reads the big-endian word at physical address pa, reporting
+// false when pa is outside RAM instead of slicing out of bounds (a bad
+// pid or a corrupt page-table entry produces such addresses).
+func ramWord(ram []byte, pa uint32) (uint32, bool) {
+	if uint64(pa)+4 > uint64(len(ram)) {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(ram[pa:]), true
 }
 
 // UTLBCount reads the kernel's user-TLB miss counter (the
@@ -314,40 +392,68 @@ func (s *System) UTLBCount() uint32 {
 	return binary.BigEndian.Uint32(s.M.RAM.Bytes()[s.utlbPA:])
 }
 
-// ReadKernelWord reads a kernel global by symbol name.
-func (s *System) ReadKernelWord(sym string) uint32 {
-	pa, ok := s.symPA[sym]
-	if !ok {
-		pa = s.Kernel.MustSymbol(sym) - cpu.KSeg0Base
+// ReadKernelWordOK reads a kernel global by symbol name; ok is false
+// for an unknown symbol or one whose address falls outside RAM.
+func (s *System) ReadKernelWordOK(sym string) (uint32, bool) {
+	pa, cached := s.symPA[sym]
+	if !cached {
+		va, ok := s.Kernel.Symbol(sym)
+		if !ok {
+			return 0, false
+		}
+		pa = va - cpu.KSeg0Base
 		s.symPA[sym] = pa
 	}
-	return binary.BigEndian.Uint32(s.M.RAM.Bytes()[pa:])
+	return ramWord(s.M.RAM.Bytes(), pa)
+}
+
+// ReadKernelWord reads a kernel global by symbol name (zero when the
+// symbol is unknown or out of range; see ReadKernelWordOK).
+func (s *System) ReadKernelWord(sym string) uint32 {
+	v, _ := s.ReadKernelWordOK(sym)
+	return v
 }
 
 // Console returns console output so far.
 func (s *System) Console() string { return s.M.Console.String() }
 
-// ExitStatus returns the exit status of process pid (the a0 slot of
-// its final trapframe).
-func (s *System) ExitStatus(pid int) uint32 {
+// ExitStatusOK returns the exit status of process pid (the a0 slot of
+// its final trapframe); ok is false when pid names no boot-time
+// process slot.
+func (s *System) ExitStatusOK(pid int) (uint32, bool) {
+	if pid < 1 || pid > MaxProcs {
+		return 0, false
+	}
 	pa := s.Kernel.MustSymbol("procs") - cpu.KSeg0Base +
 		uint32(pid-1)*ProcStride + PSave + TFRegs + 3*4
-	return binary.BigEndian.Uint32(s.M.RAM.Bytes()[pa:])
+	return ramWord(s.M.RAM.Bytes(), pa)
+}
+
+// ExitStatus returns the exit status of process pid (zero when pid is
+// out of range; see ExitStatusOK).
+func (s *System) ExitStatus(pid int) uint32 {
+	v, _ := s.ExitStatusOK(pid)
+	return v
 }
 
 // ReadUserWord reads a word of a process's memory by walking the
-// kernel's page tables from the host side.
+// kernel's page tables from the host side. Every step of the walk is
+// bounds-checked: a bad pid or an out-of-range page-table entry
+// returns false rather than faulting the host.
 func (s *System) ReadUserWord(pid int, va uint32) (uint32, bool) {
+	if pid < 1 || pid > MaxProcs {
+		return 0, false
+	}
 	km := s.Kernel.MustSymbol("kseg2map") - cpu.KSeg0Base
 	ram := s.M.RAM.Bytes()
 	off := uint32(pid)<<PTSpanShift + (va>>12)<<2
-	pt := binary.BigEndian.Uint32(ram[km+(off>>12)*4:])
-	if pt&cpu.EloV == 0 {
+	pt, ok := ramWord(ram, km+(off>>12)*4)
+	if !ok || pt&cpu.EloV == 0 {
 		return 0, false
 	}
-	pte := binary.BigEndian.Uint32(ram[pt&cpu.EloPFN|off&0xfff:])
-	if pte&cpu.EloV == 0 {
+	pte, ok := ramWord(ram, pt&cpu.EloPFN|off&0xfff)
+	if !ok || pte&cpu.EloV == 0 {
 		return 0, false
 	}
-	return binary.BigEndian.Uint32(ram[pte&cpu.EloPFN|va&0xfff:]), true
+	return ramWord(ram, pte&cpu.EloPFN|va&0xfff)
 }

@@ -40,9 +40,10 @@ type Machine struct {
 	Disk     *dev.Disk
 	TraceCtl *dev.TraceCtl
 
-	extraCycles uint64 // analysis-phase time
-	stall       Staller
-	nextEvent   uint64
+	extraCycles   uint64 // analysis-phase time
+	overlapCycles uint64 // analysis retired concurrently with generation
+	stall         Staller
+	nextEvent     uint64
 
 	// HandlerInert declares that the attached TraceCtl.Handler always
 	// returns zero analysis cycles (e.g. a boot with no traced
@@ -101,6 +102,16 @@ func (m *Machine) ExtraCycles() uint64 { return m.extraCycles }
 // AddExtraCycles advances machine time without executing instructions
 // (used by the analysis doorbell).
 func (m *Machine) AddExtraCycles(c uint64) { m.extraCycles += c }
+
+// AddOverlapCycles records analysis work retired concurrently with
+// generation (the streaming drain's consumer). Unlike extra cycles it
+// does not advance machine time — that is the point of overlapping —
+// but keeps the hidden analysis share observable.
+func (m *Machine) AddOverlapCycles(c uint64) { m.overlapCycles += c }
+
+// OverlapCycles returns analysis cycles retired concurrently with
+// generation (zero outside streaming mode).
+func (m *Machine) OverlapCycles() uint64 { return m.overlapCycles }
 
 func (m *Machine) isDev(p uint32) bool {
 	return p >= dev.DevBase && p < dev.DevBase+dev.DevSize

@@ -24,6 +24,9 @@ func (m *Machine) RegisterMetrics(r *telemetry.Registry, labels ...telemetry.Lab
 	}, phase("mem_stall")...)
 	r.Sample("machine_cycles_total", cyclesHelp,
 		func() uint64 { return m.extraCycles }, phase("analysis")...)
+	r.Sample("machine_overlap_analysis_cycles_total",
+		"analysis cycles retired concurrently with generation under the streaming drain (not part of machine time)",
+		func() uint64 { return m.overlapCycles }, labels...)
 
 	r.Sample("machine_clock_interrupts_total", "interval clock interrupts raised",
 		func() uint64 { return m.Clock.Raised }, labels...)

@@ -74,3 +74,44 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStreamCodec drives the compressed on-the-wire encoding from both
+// ends: any word sequence must round-trip exactly through the
+// encoder/decoder pair, and the decoder must reject or survive (never
+// panic on) arbitrary token bytes.
+func FuzzStreamCodec(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add([]byte{0x00, 0x40, 0x01, 0x0c, 0x10, 0x00, 0x00, 0x04}, false)
+	f.Add([]byte{0xff, 0xf1, 0x00, 0x01, 0xff, 0xf1, 0x00, 0x01}, false)
+	f.Add([]byte{0xb0, 0xff, 0xff, 0xff, 0xff, 0x7f}, true)
+	f.Add([]byte{0xc0, 0x80, 0x9f, 0xa7}, true)
+	f.Fuzz(func(t *testing.T, data []byte, raw bool) {
+		if raw {
+			// data is a hostile token stream: decode must not panic
+			// and must consume without error only whole valid tokens.
+			trace.NewDecoder().Decode(data, nil) //nolint:errcheck
+			return
+		}
+		n := len(data) / 4
+		if n > 4096 {
+			n = 4096
+		}
+		words := make([]uint32, n)
+		for i := range words {
+			words[i] = binary.BigEndian.Uint32(data[4*i:])
+		}
+		enc := trace.EncodeStream(words)
+		got, err := trace.DecodeStream(enc)
+		if err != nil {
+			t.Fatalf("decode of fresh encoding failed: %v", err)
+		}
+		if len(got) != len(words) {
+			t.Fatalf("round trip: %d words in, %d out", len(words), len(got))
+		}
+		for i := range words {
+			if got[i] != words[i] {
+				t.Fatalf("round trip word %d: got %08x want %08x", i, got[i], words[i])
+			}
+		}
+	})
+}

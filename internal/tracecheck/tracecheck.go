@@ -176,6 +176,11 @@ type Checker struct {
 	off       int
 	schedMute map[int]bool // unknown-space episodes already reported
 
+	// Compressed-stream consumption (CheckCompressed): decoder state
+	// persists across epochs, mirroring the encoder that produced them.
+	dec      *trace.Decoder
+	decWords []uint32
+
 	res *Result
 }
 
@@ -284,6 +289,26 @@ func (c *Checker) Check(words []uint32) {
 		c.word(w)
 		c.off++
 	}
+}
+
+// CheckCompressed consumes one epoch of the compressed on-the-wire
+// trace encoding (the internal/trace stream codec). Decoder state
+// persists across calls: feed epochs in handoff order, exactly as a
+// streaming-drain consumer receives them (kernel.System's OnEpoch
+// hook). A malformed epoch is returned as an error — its words cannot
+// be reconstructed, so no conformance rule applies to them — and the
+// stream rules continue from the last good epoch.
+func (c *Checker) CheckCompressed(data []byte) error {
+	if c.dec == nil {
+		c.dec = trace.NewDecoder()
+	}
+	words, err := c.dec.Decode(data, c.decWords[:0])
+	c.decWords = words
+	if err != nil {
+		return err
+	}
+	c.Check(words)
+	return nil
 }
 
 func (c *Checker) word(w uint32) {

@@ -21,8 +21,8 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (cpu core, experiment runner, telemetry, obs, rewriter, verifiers) =="
-go test -race ./internal/cpu/ ./internal/experiment/ ./internal/telemetry/ ./internal/obs/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/
+echo "== go test -race (cpu core, kernel epoch ring, experiment runner, telemetry, obs, rewriter, verifiers) =="
+go test -race ./internal/cpu/ ./internal/kernel/ ./internal/experiment/ ./internal/telemetry/ ./internal/obs/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/
 
 echo "== obs smoke (traced sed boot: span nesting + folded guest-PC profile) =="
 go test -run '^TestObsSmoke$' -count=1 .
@@ -30,9 +30,13 @@ go test -run '^TestObsSmoke$' -count=1 .
 echo "== tracelint (trace conformance, all workloads x OS personalities) =="
 go run ./cmd/tracelint -q
 
+echo "== tracelint -compress (same corpus over the compressed epoch-ring drain) =="
+go run ./cmd/tracelint -q -compress
+
 echo "== fuzz smoke (10s each) =="
 go test -run='^$' -fuzz=FuzzDisasm -fuzztime=10s ./internal/isa/
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/trace/
+go test -run='^$' -fuzz=FuzzStreamCodec -fuzztime=10s ./internal/trace/
 go test -run='^$' -fuzz=FuzzConformance -fuzztime=10s ./internal/tracecheck/
 go test -run='^$' -fuzz=FuzzExecEquivalence -fuzztime=10s ./internal/cpu/
 
