@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint tracelint fmt vet build test bench bench-cpu bench-obs bench-stream
+.PHONY: check lint tracelint fmt vet build test bench bench-cpu bench-obs bench-stream bench-dataflow
 
 # check is the tier-1 gate: formatting, vet, build, the full test
 # suite, fuzz smoke, and the lint gate. CI and pre-commit should run
@@ -52,3 +52,10 @@ bench-obs:
 # faster in simulated time or compression drops below 4x.
 bench-stream:
 	$(GO) run ./cmd/benchstream -out BENCH_stream.json
+
+# bench-dataflow measures the liveness analysis' dead-register elision
+# (static sites elided per image, dynamic instructions saved per traced
+# boot) and rewrites BENCH_dataflow.json; fails if the corpus-wide
+# elision rate drops below 20%.
+bench-dataflow:
+	$(GO) run ./cmd/benchdataflow -out BENCH_dataflow.json

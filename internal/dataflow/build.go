@@ -1,0 +1,360 @@
+package dataflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+)
+
+// AnalyzeObjects builds and solves the interprocedural CFG of a set of
+// relocatable objects as the linker will lay them out: jal/j targets
+// resolve through J26 relocations and the global symbol table (across
+// objects), branches are object-local and PC-relative, and any
+// non-jump relocation against a function symbol marks that function
+// address-taken (its return summary becomes all-live, since indirect
+// calls to it are invisible).
+func AnalyzeObjects(objs []*obj.File) (*Program, error) {
+	p := &Program{byKey: map[uint64]int{}}
+
+	// Global symbol table: name -> defined text location.
+	type loc struct {
+		obj  int
+		off  uint32
+		isFn bool
+	}
+	gsym := map[string]loc{}
+	for oi, f := range objs {
+		for _, s := range f.Syms {
+			if s.Defined && s.Section == obj.SecText {
+				if _, dup := gsym[s.Name]; !dup {
+					gsym[s.Name] = loc{oi, s.Off, s.Func}
+				}
+			}
+		}
+	}
+
+	// Blocks and function spans, object by object.
+	type span struct {
+		off uint32
+		fi  int
+	}
+	entries := make([][]span, len(objs)) // per object, sorted by off
+	fnByEntry := map[uint64]int{}
+	for oi, f := range objs {
+		var es []span
+		for _, s := range f.Syms {
+			if s.Defined && s.Section == obj.SecText && s.Func {
+				fi := len(p.fns)
+				p.fns = append(p.fns, fn{entry: -1})
+				es = append(es, span{s.Off, fi})
+				fnByEntry[key(oi, s.Off)] = fi
+			}
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].off < es[j].off })
+		entries[oi] = es
+
+		for bi := range f.Blocks {
+			bb := &f.Blocks[bi]
+			if bb.NInstr <= 0 || bb.Off/4+uint32(bb.NInstr) > uint32(len(f.Text)) {
+				return nil, fmt.Errorf("dataflow: %s block %d out of range", f.Name, bi)
+			}
+			k := key(oi, bb.Off)
+			if _, dup := p.byKey[k]; dup {
+				return nil, fmt.Errorf("dataflow: %s duplicate block at 0x%x", f.Name, bb.Off)
+			}
+			fi := -1
+			if j := sort.Search(len(es), func(j int) bool { return es[j].off > bb.Off }); j > 0 {
+				fi = es[j-1].fi
+			}
+			p.byKey[k] = len(p.blocks)
+			p.blocks = append(p.blocks, block{
+				key:    k,
+				words:  f.Text[bb.Off/4 : bb.Off/4+uint32(bb.NInstr)],
+				fn:     fi,
+				target: -1,
+				next:   -1,
+			})
+		}
+	}
+	for k, fi := range fnByEntry {
+		if bi, ok := p.byKey[k]; ok {
+			p.fns[fi].entry = bi
+		} else {
+			// Function symbol not on a block boundary: its code is
+			// attributed to the surrounding blocks; stay conservative.
+			p.fns[fi].retAll = true
+		}
+	}
+
+	// Address-taken scan: any relocation that is not a J26 jump field
+	// and resolves to a function symbol is an address escaping into
+	// data or a register.
+	markTaken := func(f *obj.File, r obj.Reloc) {
+		if r.Sym < 0 || r.Sym >= len(f.Syms) {
+			return
+		}
+		if l, ok := gsym[f.Syms[r.Sym].Name]; ok && l.isFn {
+			if fi, ok := fnByEntry[key(l.obj, l.off)]; ok {
+				p.fns[fi].retAll = true
+			}
+		}
+	}
+	for _, f := range objs {
+		for _, r := range f.Relocs {
+			if r.Kind != obj.RelJ26 {
+				markTaken(f, r)
+			}
+		}
+		for _, r := range f.DataRelocs {
+			markTaken(f, r)
+		}
+	}
+
+	// Terminators. J26 relocations are looked up by the jump word's
+	// text offset; an unresolved target degrades to the unknown kinds.
+	for oi, f := range objs {
+		j26 := map[uint32]obj.Reloc{} // text offset -> reloc
+		for _, r := range f.Relocs {
+			if r.Kind == obj.RelJ26 {
+				j26[r.Off] = r
+			}
+		}
+		resolveJ26 := func(off uint32) (int, bool) { // -> block index
+			r, ok := j26[off]
+			if !ok || r.Sym < 0 || r.Sym >= len(f.Syms) {
+				return -1, false
+			}
+			l, ok := gsym[f.Syms[r.Sym].Name]
+			if !ok {
+				return -1, false
+			}
+			// Local jumps are encoded as a section-start symbol plus
+			// the target offset in the addend.
+			bi, ok := p.byKey[key(l.obj, l.off+uint32(r.Addend))]
+			return bi, ok
+		}
+		for bi := range f.Blocks {
+			bb := &f.Blocks[bi]
+			b := &p.blocks[p.byKey[key(oi, bb.Off)]]
+			if bi+1 < len(f.Blocks) {
+				b.next = p.byKey[key(oi, f.Blocks[bi+1].Off)]
+			}
+			classify(p, b, func(termOff uint32) (int, bool) { return resolveJ26(termOff) },
+				func(targetOff uint32) (int, bool) {
+					i, ok := p.byKey[key(oi, targetOff)]
+					return i, ok
+				}, bb.Off)
+		}
+	}
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p.finish(), nil
+}
+
+// ExeConfig configures the executable front end.
+type ExeConfig struct {
+	// Transparent lists jal targets modeled as register-transparent
+	// no-ops: the tracing runtime's bbtrace/memtrace entry points,
+	// which save and restore everything they touch — except that they
+	// reload ra from the bookkeeping area, which is exactly the effect
+	// the verifier's liveness rules are after, so no ra define is
+	// modeled for them.
+	Transparent []uint32
+	// AddrTaken lists function entry addresses known to escape (the
+	// rewriter's relocation-level view, carried through the side
+	// table). The data-section scan below catches the common cases on
+	// its own; this widens it.
+	AddrTaken []uint32
+}
+
+// AnalyzeExecutable builds and solves the CFG of a linked image. Jump
+// and call targets come straight from the encoded words (addresses are
+// final after linking); address-taken functions are found by scanning
+// the data section for words holding a function entry address, plus
+// any entries the caller passes in.
+func AnalyzeExecutable(e *obj.Executable, cfg ExeConfig) (*Facts, error) {
+	p := &Program{byKey: map[uint64]int{}}
+	transparent := map[uint32]bool{}
+	for _, a := range cfg.Transparent {
+		transparent[a] = true
+	}
+
+	type span struct {
+		off uint32
+		fi  int
+	}
+	var es []span
+	fnByEntry := map[uint64]int{}
+	for _, s := range e.Syms {
+		if s.Func && s.Off >= e.TextBase && s.Off < e.TextEnd() {
+			if _, dup := fnByEntry[uint64(s.Off)]; dup {
+				continue
+			}
+			fi := len(p.fns)
+			p.fns = append(p.fns, fn{entry: -1})
+			es = append(es, span{s.Off, fi})
+			fnByEntry[uint64(s.Off)] = fi
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].off < es[j].off })
+
+	for bi := range e.Blocks {
+		bb := &e.Blocks[bi]
+		lo := (bb.Addr - e.TextBase) / 4
+		if bb.NInstr <= 0 || lo+uint32(bb.NInstr) > uint32(len(e.Text)) {
+			return nil, fmt.Errorf("dataflow: %s block at 0x%x out of range", e.Name, bb.Addr)
+		}
+		k := uint64(bb.Addr)
+		if _, dup := p.byKey[k]; dup {
+			return nil, fmt.Errorf("dataflow: %s duplicate block at 0x%x", e.Name, bb.Addr)
+		}
+		fi := -1
+		if j := sort.Search(len(es), func(j int) bool { return es[j].off > bb.Addr }); j > 0 {
+			fi = es[j-1].fi
+		}
+		words := e.Text[lo : lo+uint32(bb.NInstr)]
+		nb := block{key: k, words: words, fn: fi, target: -1, next: -1}
+		// Mark the runtime calls transparent: a jal whose absolute
+		// target is one of the tracing entry points.
+		for i, w := range words {
+			if w>>26 == isa.OpJAL {
+				pc := bb.Addr + uint32(i)*4
+				if transparent[jumpTarget(pc, w)] {
+					if nb.transparent == nil {
+						nb.transparent = make([]bool, len(words))
+					}
+					nb.transparent[i] = true
+				}
+			}
+		}
+		p.byKey[k] = len(p.blocks)
+		p.blocks = append(p.blocks, nb)
+	}
+	for k, fi := range fnByEntry {
+		if bi, ok := p.byKey[k]; ok {
+			p.fns[fi].entry = bi
+		} else {
+			p.fns[fi].retAll = true
+		}
+	}
+
+	// Address-taken: caller-supplied entries, plus any data word that
+	// equals a function entry address (jump/call tables, function
+	// pointers initialized in data). Computed addresses that never
+	// appear literally can escape this scan; the rewriter's relocation
+	// view in cfg.AddrTaken is the sound source, this is the backstop.
+	mark := func(addr uint32) {
+		if fi, ok := fnByEntry[uint64(addr)]; ok {
+			p.fns[fi].retAll = true
+		}
+	}
+	for _, a := range cfg.AddrTaken {
+		mark(a)
+	}
+	for i := 0; i+4 <= len(e.Data); i += 4 {
+		mark(binary.BigEndian.Uint32(e.Data[i:]))
+	}
+
+	for bi := range e.Blocks {
+		bb := &e.Blocks[bi]
+		b := &p.blocks[p.byKey[uint64(bb.Addr)]]
+		if bi+1 < len(e.Blocks) {
+			b.next = p.byKey[uint64(e.Blocks[bi+1].Addr)]
+		}
+		classify(p, b,
+			func(termAddr uint32) (int, bool) {
+				n := len(b.words)
+				w := b.words[n-2]
+				bi, ok := p.byKey[uint64(jumpTarget(termAddr, w))]
+				return bi, ok
+			},
+			func(target uint32) (int, bool) {
+				i, ok := p.byKey[uint64(target)]
+				return i, ok
+			}, bb.Addr)
+	}
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	p.finish()
+	return &Facts{p: p, hi: 0}, nil
+}
+
+// jumpTarget computes the absolute target of a J/JAL at address pc.
+func jumpTarget(pc uint32, w isa.Word) uint32 {
+	return (pc+4)&0xf0000000 | w<<2&0x0ffffffc
+}
+
+// key packs an object index and text offset.
+func key(oi int, off uint32) uint64 { return uint64(oi)<<32 | uint64(off) }
+
+// classify decides a block's terminator kind and successors. resolveJ
+// maps the terminator's own offset/address to the block index of its
+// J26 target (front-end specific); resolveOff maps a branch target
+// offset/address within the same object to a block index. base is the
+// block's offset/address (the same coordinate space as resolveOff).
+func classify(p *Program, b *block, resolveJ func(uint32) (int, bool), resolveOff func(uint32) (int, bool), base uint32) {
+	n := len(b.words)
+	if n >= 2 && isa.HasDelaySlot(b.words[n-2]) && !isTransparent(b, n-2) {
+		term := b.words[n-2]
+		termOff := base + uint32(n-2)*4
+		i := isa.Decode(term)
+		switch {
+		case isa.IsBranch(term):
+			t := termOff + 4 + isa.SignExt16(i.Imm)<<2
+			if ti, ok := resolveOff(t); ok {
+				b.kind, b.target = termBranch, ti
+			} else {
+				b.kind = termJumpUnknown
+			}
+		case i.Op == isa.OpJAL:
+			if ti, ok := resolveJ(termOff); ok {
+				b.kind, b.target = termCall, ti
+			} else {
+				b.kind = termCallUnknown
+			}
+		case i.Op == isa.OpJ:
+			ti, ok := resolveJ(termOff)
+			if !ok {
+				b.kind = termJumpUnknown
+				break
+			}
+			tf := p.blocks[ti].fn
+			switch {
+			case tf == b.fn:
+				b.kind, b.target = termJump, ti
+			case tf >= 0 && p.fns[tf].entry == ti:
+				b.kind, b.target = termTailCall, ti
+			default:
+				b.kind = termJumpUnknown
+			}
+		case i.Op == isa.OpSpecial && i.Funct == isa.FnJALR:
+			b.kind = termCallUnknown
+		case i.Op == isa.OpSpecial && i.Funct == isa.FnJR:
+			if i.Rs == isa.RegRA {
+				b.kind = termRet
+			} else {
+				b.kind = termJumpUnknown
+			}
+		default:
+			b.kind = termJumpUnknown
+		}
+		return
+	}
+	// No delay-slot terminator: straight-line (label boundary or
+	// syscall/break). A lone control transfer without room for its
+	// delay slot in the same block is malformed; degrade to unknown.
+	if n >= 1 && isa.HasDelaySlot(b.words[n-1]) && !isTransparent(b, n-1) {
+		b.kind = termJumpUnknown
+		return
+	}
+	b.kind = termFall
+}
+
+func isTransparent(b *block, i int) bool {
+	return b.transparent != nil && b.transparent[i]
+}

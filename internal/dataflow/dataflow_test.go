@@ -1,0 +1,278 @@
+package dataflow
+
+import (
+	"testing"
+
+	"systrace/internal/asm"
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+)
+
+func analyze(t *testing.T, files ...*obj.File) *Program {
+	t.Helper()
+	p, err := AnalyzeObjects(files)
+	if err != nil {
+		t.Fatalf("AnalyzeObjects: %v", err)
+	}
+	return p
+}
+
+func wantLive(t *testing.T, s isa.RegSet, ok bool, r int, want bool, what string) {
+	t.Helper()
+	if !ok {
+		t.Fatalf("%s: no facts", what)
+	}
+	if s.Has(r) != want {
+		t.Errorf("%s: %s live=%v, want %v (set %v)", what, isa.FlowRegName(r), s.Has(r), want, s)
+	}
+}
+
+// TestInterproceduralLiveness drives the caller/callee summary: the
+// callee's argument is live at the call site, the caller's use of the
+// result keeps v0 live across (no must-define summary), the return
+// summary excludes ra (the caller reloads it from the frame), and the
+// callee's live-in carries exactly its reads.
+func TestInterproceduralLiveness(t *testing.T) {
+	a := asm.New("t")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, 0xfff8)) // addiu sp, sp, -8
+	a.I(isa.SW(isa.RegRA, isa.RegSP, 0))
+	a.I(isa.ADDIU(isa.RegA0, isa.RegZero, 5))
+	a.JalSym("leaf")
+	a.I(isa.NOP)
+	// 0x14: uses the result, restores ra, returns.
+	a.I(isa.ADDU(isa.RegS0, isa.RegV0, isa.RegZero))
+	a.I(isa.LW(isa.RegRA, isa.RegSP, 0))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, 8))
+	a.Func("leaf", 0) // 0x24
+	a.I(isa.ADDU(isa.RegV0, isa.RegA0, isa.RegA0))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f := a.MustFinish()
+
+	p := analyze(t, f)
+	facts := p.Object(0)
+
+	in, ok := facts.LiveIn(0x24)
+	wantLive(t, in, ok, isa.RegA0, true, "leaf live-in a0")
+	wantLive(t, in, ok, isa.RegRA, true, "leaf live-in ra")
+	wantLive(t, in, ok, isa.RegV0, false, "leaf live-in v0")
+	wantLive(t, in, ok, isa.RegS0, false, "leaf live-in s0")
+
+	// Return summary: the only caller reloads ra and s0 is overwritten
+	// before any read at the return point, so neither is live out of
+	// the callee's return block; v0 is (the caller reads the result).
+	out, ok := facts.LiveOut(0x24)
+	wantLive(t, out, ok, isa.RegRA, false, "leaf live-out ra")
+	wantLive(t, out, ok, isa.RegV0, true, "leaf live-out v0")
+
+	in, ok = facts.LiveIn(0)
+	wantLive(t, in, ok, isa.RegRA, true, "main live-in ra")
+	wantLive(t, in, ok, isa.RegA0, false, "main live-in a0")
+	// Conservative: no must-define summary for the callee, so the use
+	// of v0 after the call keeps v0 live above it too.
+	wantLive(t, in, ok, isa.RegV0, true, "main live-in v0 (conservative)")
+
+	// Point liveness in the return block: ra is dead before the reload
+	// and live after it.
+	at, ok := facts.LiveAt(0x14, 1)
+	wantLive(t, at, ok, isa.RegRA, false, "before lw ra")
+	at, ok = facts.LiveAt(0x14, 2)
+	wantLive(t, at, ok, isa.RegRA, true, "after lw ra")
+
+	// Stack heights: -8 inside main's frame, 0 at both entries.
+	if h, ok := facts.StackHeight(0x14); !ok || h != -8 {
+		t.Errorf("height(0x14) = %d,%v want -8,true", h, ok)
+	}
+	if h, ok := facts.StackHeight(0x24); !ok || h != 0 {
+		t.Errorf("height(leaf) = %d,%v want 0,true", h, ok)
+	}
+}
+
+// TestAddressTakenAllLive: a data-section relocation against a
+// function makes its return summary all-live (indirect callers are
+// invisible), while an otherwise identical function keeps the precise
+// summary.
+func TestAddressTakenAllLive(t *testing.T) {
+	build := func(taken bool) *obj.File {
+		a := asm.New("t")
+		a.Func("main", 0)
+		a.JalSym("f")
+		a.I(isa.NOP)
+		// The return point overwrites s0, so a precise summary for f
+		// excludes it (main's own return is all-live — its callers are
+		// unknown — but the define cuts s0 on the way there).
+		a.I(isa.ADDU(isa.RegS0, isa.RegZero, isa.RegZero))
+		a.I(isa.JR(isa.RegRA))
+		a.I(isa.NOP)
+		a.Func("f", 0) // 0x14
+		a.I(isa.JR(isa.RegRA))
+		a.I(isa.NOP)
+		if taken {
+			a.DataWordSym("ptr", "f", 0)
+		}
+		return a.MustFinish()
+	}
+
+	p := analyze(t, build(false))
+	out, ok := p.Object(0).LiveOut(0x14)
+	wantLive(t, out, ok, isa.RegS0, false, "plain f live-out s0")
+
+	p = analyze(t, build(true))
+	out, ok = p.Object(0).LiveOut(0x14)
+	if !ok || out != isa.AllRegs {
+		t.Errorf("address-taken f live-out = %v, want all-live", out)
+	}
+}
+
+// TestHiLoAndDelaySlot: HI crosses a block boundary between mult and
+// mfhi, and delay-slot ordering is honored — the slot executes after
+// the branch reads its operands, so a slot define does not satisfy the
+// branch's use, while it does satisfy the successor's.
+func TestHiLoAndDelaySlot(t *testing.T) {
+	a := asm.New("t")
+	a.Func("main", 0)
+	a.I(isa.MULT(isa.RegA0, isa.RegA1))
+	a.Br(isa.BEQ(isa.RegT0, isa.RegZero, 0), "join")
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 7)) // delay slot defines t0
+	a.Label("mid")
+	a.I(isa.ADDU(isa.RegT1, isa.RegT0, isa.RegZero))
+	a.Label("join")
+	a.I(isa.MFHI(isa.RegV0))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.ADDU(isa.RegV1, isa.RegT0, isa.RegZero)) // slot reads t0
+	f := a.MustFinish()
+
+	p := analyze(t, f)
+	facts := p.Object(0)
+	in, ok := facts.LiveIn(0)
+	wantLive(t, in, ok, isa.RegHI, false, "entry hi (mult defines it)")
+	wantLive(t, in, ok, isa.RegT0, true, "entry t0 (branch reads it)")
+	in, ok = facts.LiveIn(0xc) // mid
+	wantLive(t, in, ok, isa.RegHI, true, "mid hi")
+	// The slot's define of t0 covers the successors' reads of t0: the
+	// branch block needs t0 only for its own condition.
+	out, ok := facts.LiveOut(0)
+	wantLive(t, out, ok, isa.RegT0, true, "branch block live-out t0 (join's slot reads it)")
+	in, ok = facts.LiveIn(0x10) // join
+	wantLive(t, in, ok, isa.RegT0, true, "join t0 (jr slot reads it)")
+	wantLive(t, in, ok, isa.RegHI, true, "join hi")
+}
+
+// TestSyscallABI: a syscall keeps the kernel-ABI argument registers
+// live even though nothing in user code reads them.
+func TestSyscallABI(t *testing.T) {
+	// The spin loop never reads anything, so the syscall block's
+	// live-in is exactly the ABI set (a jr-ra ending would be all-live
+	// here: main's callers are unknown).
+	a := asm.New("t")
+	a.Func("main", 0)
+	a.I(isa.SYSCALL())
+	a.Label("spin")
+	a.Jmp("spin")
+	a.I(isa.NOP)
+	f := a.MustFinish()
+	p := analyze(t, f)
+	in, ok := p.Object(0).LiveIn(0)
+	for _, r := range []int{isa.RegV0, isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3, isa.RegSP} {
+		wantLive(t, in, ok, r, true, "syscall ABI "+isa.RegName(r))
+	}
+	wantLive(t, in, ok, isa.RegT5, false, "syscall non-ABI t5")
+}
+
+// TestCrossObjectCall: jal resolution through the global symbol table
+// ties liveness across object files.
+func TestCrossObjectCall(t *testing.T) {
+	a := asm.New("caller")
+	a.Func("main", 0)
+	a.JalSym("helper")
+	a.I(isa.NOP)
+	a.I(isa.ADDU(isa.RegT7, isa.RegZero, isa.RegZero))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.ADDU(isa.RegS1, isa.RegV0, isa.RegZero))
+	ca := a.MustFinish()
+
+	b := asm.New("callee")
+	b.Func("helper", 0)
+	b.I(isa.ADDU(isa.RegV0, isa.RegA2, isa.RegZero))
+	b.I(isa.JR(isa.RegRA))
+	b.I(isa.NOP)
+	cb := b.MustFinish()
+
+	p := analyze(t, ca, cb)
+	// a2 (helper's read) is live at main's entry across the objects.
+	in, ok := p.Object(0).LiveIn(0)
+	wantLive(t, in, ok, isa.RegA2, true, "cross-object a2")
+	// helper's return summary sees the caller's slot read of v0.
+	out, ok := p.Object(1).LiveOut(0)
+	wantLive(t, out, ok, isa.RegV0, true, "cross-object return v0")
+	wantLive(t, out, ok, isa.RegT7, false, "cross-object return t7")
+}
+
+// TestUnknownTargetsAllLive: jalr call sites and jr-to-non-ra jumps
+// degrade to all-live below, while the jal/jalr ra-define still kills
+// ra above the site.
+func TestUnknownTargetsAllLive(t *testing.T) {
+	a := asm.New("t")
+	a.Func("main", 0)
+	a.I(isa.JALR(isa.RegRA, isa.RegT9))
+	a.I(isa.NOP)
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f := a.MustFinish()
+	p := analyze(t, f)
+	facts := p.Object(0)
+	out, ok := facts.LiveOut(0)
+	if !ok || out != isa.AllRegs {
+		t.Errorf("jalr live-out = %v, want all-live", out)
+	}
+	in, ok := facts.LiveIn(0)
+	wantLive(t, in, ok, isa.RegRA, false, "ra above jalr (the call defines it)")
+	wantLive(t, in, ok, isa.RegT9, true, "jalr target register")
+}
+
+// TestStackHeightJoin: agreeing joins stay known, disagreeing joins
+// and untracked sp writes go unknown.
+func TestStackHeightJoin(t *testing.T) {
+	a := asm.New("t")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, 0xffe8)) // -24
+	a.Br(isa.BEQ(isa.RegA0, isa.RegZero, 0), "join")
+	a.I(isa.NOP)
+	a.Label("then")
+	a.I(isa.ADDU(isa.RegT0, isa.RegZero, isa.RegZero))
+	a.Label("join")
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, 24))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	a.Func("weird", 0)
+	a.I(isa.ADDU(isa.RegSP, isa.RegSP, isa.RegT0)) // untracked sp write
+	a.Label("after")
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f := a.MustFinish()
+	p := analyze(t, f)
+	facts := p.Object(0)
+	if h, ok := facts.StackHeight(0x10); !ok || h != -24 {
+		t.Errorf("height(join) = %d,%v want -24,true", h, ok)
+	}
+	after := uint32(0x20 + 4)
+	if _, ok := facts.StackHeight(after); ok {
+		t.Errorf("height after untracked sp write should be unknown")
+	}
+}
+
+// TestStats sanity-checks the run counters.
+func TestStats(t *testing.T) {
+	a := asm.New("t")
+	a.Func("main", 0)
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f := a.MustFinish()
+	p := analyze(t, f)
+	st := p.Stats()
+	if st.Blocks != 1 || st.Funcs != 1 || st.Passes < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

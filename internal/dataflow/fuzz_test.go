@@ -1,0 +1,265 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"systrace/internal/asm"
+	"systrace/internal/isa"
+	"systrace/internal/obj"
+)
+
+// FuzzLiveness checks the engine's one soundness claim against a
+// concrete oracle. The fuzz input drives two things: the shape of a
+// small multi-function program (block counts, instruction menu,
+// terminator choices) and the branch decisions of one executed path
+// through it. The oracle walks that path and, for every block entry it
+// crosses, records which registers the path reads before writing from
+// that entry onward; each such register must be in the analysis's
+// live-in for that block. A second leg feeds arbitrary words through
+// arbitrary block partitions and requires analysis to never panic
+// (returning an error is fine).
+func FuzzLiveness(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 2, 1, 0, 7, 9, 250, 4, 4, 4, 8, 1, 2, 3})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{2, 3, 3, 200, 100, 50, 25, 12, 6, 3, 1, 0, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data)%2 == 0 {
+			fuzzGeneratedProgram(t, data)
+		} else {
+			fuzzArbitraryBlocks(t, data)
+		}
+	})
+}
+
+// byteReader hands out fuzz bytes, returning zero once exhausted (so
+// short inputs degrade to small deterministic programs).
+type byteReader struct {
+	data []byte
+	i    int
+}
+
+func (r *byteReader) next() int {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return int(b)
+}
+
+var fuzzRegs = []int{isa.RegV0, isa.RegA0, isa.RegT0, isa.RegT1, isa.RegT2, isa.RegS0}
+
+func fuzzGeneratedProgram(t *testing.T, data []byte) {
+	r := &byteReader{data: data}
+	a := asm.New("fuzz")
+
+	nFuncs := 1 + r.next()%3
+	fname := func(i int) string { return "f" + string(rune('0'+i)) }
+	bname := func(fi, bi int) string {
+		return "f" + string(rune('0'+fi)) + "b" + string(rune('0'+bi))
+	}
+
+	reg := func() int { return fuzzRegs[r.next()%len(fuzzRegs)] }
+	for fi := 0; fi < nFuncs; fi++ {
+		a.Func(fname(fi), 0)
+		nBlocks := 1 + r.next()%3
+		for bi := 0; bi < nBlocks; bi++ {
+			a.Label(bname(fi, bi))
+			for k, n := 0, r.next()%4; k < n; k++ {
+				switch r.next() % 6 {
+				case 0:
+					a.I(isa.ADDU(reg(), reg(), reg()))
+				case 1:
+					a.I(isa.ADDIU(reg(), reg(), uint16(r.next())))
+				case 2:
+					a.I(isa.LW(reg(), reg(), 0))
+				case 3:
+					a.I(isa.SW(reg(), reg(), 0))
+				case 4:
+					a.I(isa.MULT(reg(), reg()))
+				case 5:
+					a.I(isa.MFLO(reg()))
+				}
+			}
+			if bi == nBlocks-1 {
+				a.I(isa.JR(isa.RegRA))
+				a.I(isa.NOP)
+				continue
+			}
+			switch r.next() % 4 {
+			case 0: // fall through
+			case 1:
+				a.Br(isa.BEQ(reg(), reg(), 0), bname(fi, r.next()%nBlocks))
+				a.I(isa.NOP)
+			case 2:
+				a.JalSym(fname(r.next() % nFuncs))
+				a.I(isa.NOP)
+			case 3:
+				a.Jmp(bname(fi, r.next()%nBlocks))
+				a.I(isa.NOP)
+			}
+		}
+	}
+	file, err := a.Finish()
+	if err != nil {
+		t.Fatalf("generator produced invalid module: %v", err)
+	}
+	p, err := AnalyzeObjects([]*obj.File{file})
+	if err != nil {
+		t.Fatalf("AnalyzeObjects on generated module: %v", err)
+	}
+	runPathOracle(t, file, p.Object(0), r)
+}
+
+// runPathOracle executes one concrete path through the object (branch
+// directions drawn from r) and checks read-before-write against the
+// analysis's live-in at every block entry crossed.
+func runPathOracle(t *testing.T, f *obj.File, facts *Facts, r *byteReader) {
+	// J26 targets: named symbol offset plus addend (local jumps use a
+	// section-start symbol carrying the target in the addend).
+	j26 := map[uint32]uint32{}
+	for _, rl := range f.Relocs {
+		if rl.Kind == obj.RelJ26 && rl.Sym >= 0 && rl.Sym < len(f.Syms) {
+			j26[rl.Off] = f.Syms[rl.Sym].Off + uint32(rl.Addend)
+		}
+	}
+	leaders := map[uint32]bool{}
+	for i := range f.Blocks {
+		leaders[f.Blocks[i].Off] = true
+	}
+
+	type entry struct {
+		off     uint32
+		written isa.RegSet
+	}
+	var open []entry
+	read := func(m isa.RegSet) {
+		for i := range open {
+			for _, reg := range (m &^ open[i].written).Regs() {
+				in, ok := facts.LiveIn(open[i].off)
+				if !ok {
+					t.Fatalf("no live-in facts for block 0x%x", open[i].off)
+				}
+				if !in.Has(reg) {
+					t.Fatalf("path reads %s before writing it after entering block 0x%x, but live-in %v omits it",
+						isa.FlowRegName(reg), open[i].off, in)
+				}
+			}
+		}
+	}
+	write := func(m isa.RegSet) {
+		for i := range open {
+			open[i].written |= m
+		}
+	}
+	step := func(pc uint32) {
+		w := f.Text[pc/4]
+		read(isa.UsesMask(w))
+		write(isa.DefsMask(w))
+	}
+
+	pc := uint32(0)
+	var stack []uint32
+	for steps := 0; steps < 512; steps++ {
+		if pc/4 >= uint32(len(f.Text)) {
+			break
+		}
+		if leaders[pc] {
+			open = append(open, entry{off: pc})
+		}
+		w := f.Text[pc/4]
+		if !isa.HasDelaySlot(w) {
+			step(pc)
+			pc += 4
+			continue
+		}
+		if pc/4+1 >= uint32(len(f.Text)) {
+			break
+		}
+		step(pc)     // the transfer itself (jal defines ra here)
+		step(pc + 4) // then its delay slot
+		d := isa.Decode(w)
+		switch {
+		case isa.IsBranch(w):
+			if r.next()%2 == 1 {
+				pc = pc + 4 + isa.SignExt16(d.Imm)<<2
+			} else {
+				pc += 8
+			}
+		case d.Op == isa.OpJAL:
+			target, ok := j26[pc]
+			if !ok || len(stack) >= 16 {
+				return
+			}
+			stack = append(stack, pc+8)
+			pc = target
+		case d.Op == isa.OpJ:
+			target, ok := j26[pc]
+			if !ok {
+				return
+			}
+			pc = target
+		case d.Op == isa.OpSpecial && d.Funct == isa.FnJR && d.Rs == isa.RegRA:
+			if len(stack) == 0 {
+				return // falls back to the unknown caller; oracle stops
+			}
+			pc = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		default:
+			return // jalr / jr non-ra: not generated, but stay safe
+		}
+	}
+}
+
+// fuzzArbitraryBlocks decodes the raw input as instruction words split
+// into an arbitrary valid block partition and requires AnalyzeObjects
+// to either analyze it or reject it with an error — never panic.
+func fuzzArbitraryBlocks(t *testing.T, data []byte) {
+	n := len(data) / 4
+	if n > 64 {
+		n = 64
+	}
+	if n == 0 {
+		return
+	}
+	text := make([]isa.Word, n)
+	for i := range text {
+		text[i] = isa.Word(data[i*4])<<24 | isa.Word(data[i*4+1])<<16 |
+			isa.Word(data[i*4+2])<<8 | isa.Word(data[i*4+3])
+	}
+	f := &obj.File{
+		Name: "garbage",
+		Text: text,
+		Syms: []obj.Symbol{
+			{Name: "main", Section: obj.SecText, Off: 0, Defined: true, Func: true},
+		},
+	}
+	for i := 0; i < n; {
+		sz := 1 + int(data[i%len(data)])%3
+		if i+sz > n {
+			sz = n - i
+		}
+		f.Blocks = append(f.Blocks, obj.BasicBlock{Off: uint32(i) * 4, NInstr: int32(sz)})
+		i += sz
+	}
+	// A second function symbol somewhere in the middle, possibly off a
+	// block boundary, plus a data word aliasing its address space.
+	if n > 2 {
+		f.Syms = append(f.Syms, obj.Symbol{
+			Name: "mid", Section: obj.SecText,
+			Off: uint32(int(data[0])%n) * 4, Defined: true, Func: true,
+		})
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("AnalyzeObjects panicked on arbitrary blocks: %v", r)
+		}
+	}()
+	if _, err := AnalyzeObjects([]*obj.File{f}); err != nil {
+		if !strings.HasPrefix(err.Error(), "dataflow:") {
+			t.Fatalf("unexpected error namespace: %v", err)
+		}
+	}
+}

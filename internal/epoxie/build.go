@@ -3,6 +3,7 @@ package epoxie
 import (
 	"fmt"
 
+	"systrace/internal/dataflow"
 	"systrace/internal/link"
 	"systrace/internal/obj"
 )
@@ -28,11 +29,26 @@ func BuildInstrumented(objs []*obj.File, lopt link.Options, cfg Config, kind Run
 		return nil, fmt.Errorf("epoxie: original link: %w", err)
 	}
 
+	// Liveness over the original objects, before any rewriting: this is
+	// what proves a register dead at an instrumentation site.
+	var prog *dataflow.Program
+	if !cfg.Orig && cfg.Flow != FlowOff {
+		prog, err = dataflow.AnalyzeObjects(objs)
+		if err != nil {
+			return nil, fmt.Errorf("epoxie: dataflow: %w", err)
+		}
+	}
+
 	var rews []*Rewritten
+	var flow obj.FlowStats
 	newObjs := make([]*obj.File, 0, len(objs)+1)
 	origWords, newWords := 0, 0
-	for _, f := range objs {
-		rw, err := Rewrite(f, cfg)
+	for oi, f := range objs {
+		ocfg := cfg
+		if prog != nil {
+			ocfg.facts = prog.Object(oi)
+		}
+		rw, err := Rewrite(f, ocfg)
 		if err != nil {
 			return nil, err
 		}
@@ -40,6 +56,10 @@ func BuildInstrumented(objs []*obj.File, lopt link.Options, cfg Config, kind Run
 		newObjs = append(newObjs, rw.File)
 		origWords += rw.OrigWords
 		newWords += rw.NewWords
+		flow.SaveSites += rw.Flow.SaveSites
+		flow.SavesElided += rw.Flow.SavesElided
+		flow.Fallbacks += rw.Flow.Fallbacks
+		flow.BytesSaved += rw.Flow.BytesSaved
 	}
 	newObjs = append(newObjs, RuntimeObj(kind))
 
@@ -71,11 +91,48 @@ func BuildInstrumented(objs []*obj.File, lopt link.Options, cfg Config, kind Run
 				RecordAddr: lopt.TextBase + instLay.TextOff[oi] + m.RecordOff,
 				OrigAddr:   lopt.TextBase + origLay.TextOff[oi] + m.OldOff,
 				NInstr:     m.Orig.NInstr,
-				Flags:      m.Orig.Flags,
+				Flags:      m.Flags,
 				Mem:        m.Orig.Mem,
 			})
 		}
 	}
+	ii.Flow = flow
+	if prog != nil {
+		st := prog.Stats()
+		ii.Flow.Blocks, ii.Flow.Funcs, ii.Flow.Passes = st.Blocks, st.Funcs, st.Passes
+		ii.Flow.AddrTaken = addrTaken(objs, instExe)
+	}
 	instExe.Instr = ii
 	return &Build{Orig: origExe, Instr: instExe}, nil
+}
+
+// addrTaken lists instrumented entry addresses of functions whose
+// address escapes through a non-jump relocation in the original
+// objects — the rewriter's precise view, carried through the side
+// table so the verifier's own analysis agrees on which functions have
+// invisible callers (computed addresses the data scan cannot see).
+func addrTaken(objs []*obj.File, inst *obj.Executable) []uint32 {
+	names := map[string]bool{}
+	for _, f := range objs {
+		note := func(rl obj.Reloc) {
+			if rl.Sym >= 0 && rl.Sym < len(f.Syms) {
+				names[f.Syms[rl.Sym].Name] = true
+			}
+		}
+		for _, rl := range f.Relocs {
+			if rl.Kind != obj.RelJ26 {
+				note(rl)
+			}
+		}
+		for _, rl := range f.DataRelocs {
+			note(rl)
+		}
+	}
+	var out []uint32
+	for _, s := range inst.Syms {
+		if s.Func && names[s.Name] {
+			out = append(out, s.Off)
+		}
+	}
+	return out
 }

@@ -25,9 +25,32 @@ package epoxie
 import (
 	"fmt"
 
+	"systrace/internal/dataflow"
 	"systrace/internal/isa"
 	"systrace/internal/obj"
 	"systrace/internal/trace"
+)
+
+// FlowMode selects how the rewriter uses dataflow liveness.
+type FlowMode uint8
+
+const (
+	// FlowOn (the default) elides save/restore traffic that liveness
+	// proves dead: blocks whose live-in excludes ra get the two-word
+	// lean prologue, and borrowed scratch registers proven dead skip
+	// the bookkeeping save/restore bracket.
+	FlowOn FlowMode = iota
+	// FlowOff disables the analysis entirely; every site uses the
+	// conservative idiom. This is the paper's original emission.
+	FlowOff
+	// FlowPadded makes the same liveness decisions as FlowOn but
+	// replaces each elided save/restore with a NOP, so the image has
+	// the exact layout of FlowOff while exhibiting FlowOn's register
+	// semantics (the stale ra restore, the clobbered scratch). The
+	// differential oracle runs this variant against FlowOff to prove
+	// the liveness claims dynamically; it is never verified or
+	// flagged lean.
+	FlowPadded
 )
 
 // Config selects the instrumentation variant.
@@ -37,6 +60,15 @@ type Config struct {
 	// jal forms, expanding text by 4-6x rather than 1.9-2.3x (§3.2
 	// footnote). Used for the text-growth comparison (experiment E7).
 	Orig bool
+	// Flow selects the dataflow-elision mode. It has effect only
+	// through BuildInstrumented, which runs the analysis; a direct
+	// Rewrite call has no liveness facts and always emits the
+	// conservative idiom.
+	Flow FlowMode
+
+	// facts carries this object's liveness solution; set by
+	// BuildInstrumented, nil for standalone Rewrite calls.
+	facts *dataflow.Facts
 }
 
 // Rewritten pairs a rewritten object with the mapping information the
@@ -48,13 +80,16 @@ type Rewritten struct {
 	// OrigWords / NewWords measure text growth for this object.
 	OrigWords int
 	NewWords  int
+	// Flow counts what liveness-driven elision did in this object.
+	Flow obj.FlowStats
 }
 
 // BlockMap correlates one original block with its rewritten form.
 type BlockMap struct {
-	OldOff    uint32 // block offset in original text
-	NewOff    uint32 // block offset (prologue start) in rewritten text
-	RecordOff uint32 // jal-return offset within rewritten text; ^0 if the block emits no records
+	OldOff    uint32      // block offset in original text
+	NewOff    uint32      // block offset (prologue start) in rewritten text
+	RecordOff uint32      // jal-return offset within rewritten text; ^0 if the block emits no records
+	Flags     obj.BBFlags // original flags plus any rewrite markers (BBLeanPrologue)
 	Orig      obj.BasicBlock
 }
 
@@ -79,9 +114,25 @@ type rw struct {
 	leaderNew map[uint32]uint32
 	maps      []BlockMap
 	newRelocs []obj.Reloc
-	symBB     int // symbol index of bbtrace
-	symMT     int // symbol index of memtrace
+	symBB     int    // symbol index of bbtrace
+	symMT     int    // symbol index of memtrace
+	curBlock  uint32 // original offset of the block being rewritten
+	flow      obj.FlowStats
 	err       error
+}
+
+// liveAt returns the original program's liveness immediately before
+// instruction k of the current block, or (AllRegs, false) when no
+// facts are available (standalone Rewrite, FlowOff, or Orig mode).
+func (r *rw) liveAt(k int) (isa.RegSet, bool) {
+	if r.cfg.facts == nil || r.cfg.Flow == FlowOff || r.cfg.Orig {
+		return isa.AllRegs, false
+	}
+	live, ok := r.cfg.facts.LiveAt(r.curBlock, k)
+	if !ok {
+		return isa.AllRegs, false
+	}
+	return live, true
 }
 
 // Rewrite instruments one object file. The returned object references
@@ -175,7 +226,7 @@ func Rewrite(f *obj.File, cfg Config) (*Rewritten, error) {
 		nb := obj.BasicBlock{
 			Off:    m.NewOff,
 			NInstr: int32((end - m.NewOff) / 4),
-			Flags:  m.Orig.Flags,
+			Flags:  m.Flags,
 		}
 		for k := int32(0); k < nb.NInstr; k++ {
 			w := r.out[m.NewOff/4+uint32(k)]
@@ -193,6 +244,7 @@ func Rewrite(f *obj.File, cfg Config) (*Rewritten, error) {
 		Map:       r.maps,
 		OrigWords: len(f.Text),
 		NewWords:  len(r.out),
+		Flow:      r.flow,
 	}, nil
 }
 
@@ -229,8 +281,9 @@ func (r *rw) fault(format string, args ...any) {
 // block rewrites one basic block.
 func (r *rw) block(b *obj.BasicBlock, nf *obj.File) {
 	newStart := uint32(len(r.out)) * 4
-	m := BlockMap{OldOff: b.Off, NewOff: newStart, RecordOff: NoRecord, Orig: *b}
+	m := BlockMap{OldOff: b.Off, NewOff: newStart, RecordOff: NoRecord, Flags: b.Flags, Orig: *b}
 	r.leaderNew[b.Off] = newStart
+	r.curBlock = b.Off
 
 	instrument := b.Flags&(obj.BBNoInstrument|obj.BBHandTraced) == 0
 	if b.Flags&obj.BBHandTraced != 0 {
@@ -243,8 +296,29 @@ func (r *rw) block(b *obj.BasicBlock, nf *obj.File) {
 		if r.cfg.Orig {
 			m.RecordOff = r.emitOrigPrologue(b)
 		} else {
-			// sw ra, 124(xreg3); jal bbtrace; li zero, N
-			r.emit(isa.SW(isa.RegRA, xr3, trace.BookSavedRA))
+			// Full prologue: sw ra, 124(xreg3); jal bbtrace; li zero, N.
+			// When liveness proves ra dead on entry, the save is elided
+			// (lean prologue) — bbtrace's restore then loads a stale
+			// value into a register nothing will read.
+			r.flow.SaveSites++
+			lean := false
+			if in, ok := r.liveAt(0); ok && !in.Has(isa.RegRA) {
+				lean = true
+			}
+			switch {
+			case lean && r.cfg.Flow == FlowPadded:
+				// Oracle layout: keep the three-word shape, drop only
+				// the save's effect.
+				r.flow.SavesElided++
+				r.emit(isa.NOP)
+			case lean:
+				r.flow.SavesElided++
+				r.flow.BytesSaved += 4
+				m.Flags |= obj.BBLeanPrologue
+			default:
+				r.flow.Fallbacks++
+				r.emit(isa.SW(isa.RegRA, xr3, trace.BookSavedRA))
+			}
 			jal := r.emit(isa.JAL(0))
 			r.newRelocs = append(r.newRelocs, obj.Reloc{Off: jal, Kind: obj.RelJ26, Sym: r.symBB})
 			r.emit(isa.LINop(b.TraceWords()))
@@ -279,7 +353,7 @@ func (r *rw) instruction(oldOff uint32, w isa.Word, instrument bool) {
 	var pre, post []isa.Word
 	main := w
 	if instrument {
-		pre, main, post = r.steal(w)
+		pre, main, post = r.steal(w, int(oldOff-r.curBlock)/4)
 	}
 	for _, p := range pre {
 		r.emit(p)
@@ -316,35 +390,58 @@ func (r *rw) memRef(oldOff uint32, w isa.Word) {
 	r.instrNew[oldOff] = r.emit(w)
 }
 
-// terminatorPair rewrites a control transfer and its delay slot.
+// terminatorPair rewrites a control transfer and its delay slot. Both
+// halves are steal-rewritten against the liveness point before the
+// terminator: everything emitted here (hoisted slot pre-loads, the
+// terminator's own shadow loads) executes from that point on.
 func (r *rw) terminatorPair(termOff uint32, term, slot isa.Word, instrument bool) {
 	if !instrument {
 		r.instrNew[termOff] = r.emit(term)
 		r.instrNew[termOff+4] = r.emit(slot)
 		return
 	}
+	termIdx := int(termOff-r.curBlock) / 4
+	live, haveLive := r.liveAt(termIdx)
+	pad := r.cfg.Flow == FlowPadded
+
 	// Steal-rewrite the terminator (pre-loads only; terminators never
 	// write xregs in our code, but jr xreg / beq xreg are possible).
-	tpre, tmain, tpost := r.steal(term)
+	tplan, err := planSteal(term, isa.RegAT, isa.NOP, live, haveLive, pad)
+	if err != nil {
+		r.fault("%v", err)
+		return
+	}
+	r.account(tplan)
+	tpre, tmain, tpost := tplan.pre, tplan.main, tplan.post
 	if len(tpost) != 0 {
 		r.fault("terminator at 0x%x writes a stolen register", termOff)
 		return
 	}
 
-	spre, smain, spost := r.steal(slot)
+	// The slot's borrowed scratch must also stay clear of the
+	// terminator: its pre-loads are hoisted above it, and (when the
+	// bracket is elided) its clobber survives past it.
+	splan, err := planSteal(slot, isa.RegAT, tmain, live, haveLive, pad)
+	if err != nil {
+		r.fault("%v", err)
+		return
+	}
 
-	if instrument && isa.IsMem(smain) {
+	if isa.IsMem(splan.main) {
 		// The slot holds a memory instruction: hoist it (with its
-		// memtrace call) above the terminator when that is safe.
-		if !isa.SafeToHoist(tmain, smain) {
+		// memtrace call) above the terminator when that is safe. The
+		// whole group — including a bracketed restore — completes
+		// before the terminator issues.
+		r.account(splan)
+		if !isa.SafeToHoist(tmain, splan.main) {
 			r.fault("memory instruction in delay slot at 0x%x cannot be hoisted", termOff+4)
 			return
 		}
-		for _, p := range spre {
+		for _, p := range splan.pre {
 			r.emit(p)
 		}
-		r.memRef(termOff+4, smain)
-		for _, p := range spost {
+		r.memRef(termOff+4, splan.main)
+		for _, p := range splan.post {
 			r.emit(p)
 		}
 		for _, p := range tpre {
@@ -355,23 +452,64 @@ func (r *rw) terminatorPair(termOff uint32, term, slot isa.Word, instrument bool
 		return
 	}
 
-	if len(spre) != 0 || len(spost) != 0 {
-		// The slot instruction needs stolen-register rewriting: hoist
-		// its pre-loads above the terminator. Safe only if they don't
-		// disturb the terminator's sources (they only touch scratch).
-		for _, p := range spre {
-			r.emit(p)
+	if len(splan.post) != 0 {
+		// A restore could only issue after the transfer takes effect.
+		r.fault("delay slot at 0x%x writes a stolen register", termOff+4)
+		return
+	}
+	if len(splan.pre) != 0 && len(tpre) != 0 {
+		// Both rewrites claimed `at`, and the slot's load is hoisted
+		// above the terminator's. If they shadow the same stolen
+		// register one load serves both; otherwise the slot must move
+		// to a scratch register proven dead across the pair (there is
+		// nowhere to put a restore).
+		sx := firstStolenRead(slot)
+		tx := firstStolenRead(term)
+		switch {
+		case sx == tx && len(splan.pre) == 1 && len(tpre) == 1:
+			splan.pre = nil
+		default:
+			cand := -1
+			if haveLive {
+				for _, c := range scratchCandidates {
+					if !live.Has(c) && !isa.Touches(slot, c) && !isa.Touches(term, c) {
+						cand = c
+						break
+					}
+				}
+			}
+			if cand < 0 {
+				r.fault("delay slot and terminator at 0x%x both need the assembler scratch and no register is provably dead", termOff)
+				return
+			}
+			splan, err = planSteal(slot, cand, tmain, live, haveLive, pad)
+			if err != nil || len(splan.post) != 0 {
+				r.fault("delay slot at 0x%x cannot be re-registered around its terminator", termOff+4)
+				return
+			}
+			r.flow.SaveSites++
+			r.flow.SavesElided++
 		}
-		if len(spost) != 0 {
-			r.fault("delay slot at 0x%x writes a stolen register", termOff+4)
-			return
-		}
+	}
+	r.account(splan)
+	for _, p := range splan.pre {
+		r.emit(p)
 	}
 	for _, p := range tpre {
 		r.emit(p)
 	}
 	r.instrNew[termOff] = r.emit(tmain)
-	r.instrNew[termOff+4] = r.emit(smain)
+	r.instrNew[termOff+4] = r.emit(splan.main)
+}
+
+// firstStolenRead returns the first stolen register w reads, or -1.
+func firstStolenRead(w isa.Word) int {
+	for _, rr := range isa.Uses(w) {
+		if isXReg(rr) {
+			return rr
+		}
+	}
+	return -1
 }
 
 // fixBranches re-encodes PC-relative branches against the new layout.

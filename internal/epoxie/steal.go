@@ -30,16 +30,43 @@ func shadowOff(x int) uint16 {
 
 func isXReg(r int) bool { return r == xr1 || r == xr2 || r == xr3 }
 
-// steal rewrites one instruction's stolen-register uses. It returns
-// instructions to issue before and after the (possibly re-registered)
-// main instruction.
-func (r *rw) steal(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word) {
-	var err error
-	pre, main, post, err = StealRewrite(w)
+// stealPlan describes one instruction's stolen-register rewrite.
+type stealPlan struct {
+	pre, post []isa.Word
+	main      isa.Word
+	twoRead   bool // a second stolen read needed a borrowed register
+	elided    bool // the borrowed register was clobbered bracket-free (proven dead)
+}
+
+// steal rewrites one instruction's stolen-register uses at block
+// instruction index k, consulting liveness for bracket elision, and
+// accounts the site in the flow stats. It returns instructions to
+// issue before and after the (possibly re-registered) main instruction.
+func (r *rw) steal(w isa.Word, k int) (pre []isa.Word, main isa.Word, post []isa.Word) {
+	live, haveLive := r.liveAt(k)
+	plan, err := planSteal(w, isa.RegAT, isa.NOP, live, haveLive, r.cfg.Flow == FlowPadded)
 	if err != nil {
 		r.fault("%v", err)
 	}
-	return pre, main, post
+	r.account(plan)
+	return plan.pre, plan.main, plan.post
+}
+
+// account tallies one steal plan in the per-object flow stats.
+func (r *rw) account(p stealPlan) {
+	if !p.twoRead {
+		return
+	}
+	r.flow.SaveSites++
+	switch {
+	case p.elided && r.cfg.Flow == FlowPadded:
+		r.flow.SavesElided++ // padded NOPs keep the layout; no bytes saved
+	case p.elided:
+		r.flow.SavesElided++
+		r.flow.BytesSaved += 8 // the BookTmp save and restore
+	default:
+		r.flow.Fallbacks++
+	}
 }
 
 // scratchCandidates are the registers a StealRewrite may borrow for a
@@ -53,9 +80,26 @@ var scratchCandidates = []int{isa.RegV1, isa.RegT9, isa.RegT8, isa.RegA3}
 func ScratchRegs() []int { return append([]int(nil), scratchCandidates...) }
 
 // StealRewrite rewrites one instruction's uses of the stolen registers
-// xreg1..xreg3 against their shadow slots. It is shared with pixie,
-// which steals the same registers.
+// xreg1..xreg3 against their shadow slots, with no liveness facts
+// (every borrowed register is saved and restored). It is shared with
+// pixie, which steals the same registers.
 func StealRewrite(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word, err error) {
+	plan, err := planSteal(w, isa.RegAT, isa.NOP, isa.AllRegs, false, false)
+	return plan.pre, plan.main, plan.post, err
+}
+
+// planSteal plans one instruction's stolen-register rewrite.
+//
+//   - scratch1 substitutes the first stolen read (normally `at`; the
+//     delay-slot conflict path passes a register liveness proved dead,
+//     which is then clobbered without a bracket).
+//   - avoid is an instruction whose registers a borrowed scratch must
+//     additionally stay clear of (the terminator, when rewriting its
+//     delay slot); pass isa.NOP when there is none.
+//   - live/haveLive is the liveness before this instruction: a
+//     candidate not in live is clobbered without the BookTmp bracket.
+//   - pad replaces elided bracket words with NOPs (FlowPadded).
+func planSteal(w isa.Word, scratch1 int, avoid isa.Word, live isa.RegSet, haveLive, pad bool) (stealPlan, error) {
 	var stolenReads []int
 	for _, rr := range isa.Uses(w) {
 		if isXReg(rr) {
@@ -64,29 +108,54 @@ func StealRewrite(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word, e
 	}
 	wr := isa.Defs(w)
 	stolenWrite := wr >= 0 && isXReg(wr)
+	p := stealPlan{main: w}
 	if len(stolenReads) == 0 && !stolenWrite {
-		return nil, w, nil, nil
+		return p, nil
 	}
 
-	// Scratch assignment: first read -> at; second read -> a borrowed
-	// register (saved and restored through the bookkeeping area).
+	// Scratch assignment: first read -> scratch1; second read -> a
+	// borrowed register, bracketed through the bookkeeping area unless
+	// liveness proves it dead here.
 	sub := map[int]int{}
-	pre = nil
-	post = nil
 	if len(stolenReads) > 0 {
-		sub[stolenReads[0]] = isa.RegAT
-		pre = append(pre, isa.LW(isa.RegAT, xr3, shadowOff(stolenReads[0])))
+		sub[stolenReads[0]] = scratch1
+		p.pre = append(p.pre, isa.LW(scratch1, xr3, shadowOff(stolenReads[0])))
 	}
 	if len(stolenReads) > 1 {
-		cand := isa.FreeScratch(w, scratchCandidates)
+		p.twoRead = true
+		cand := -1
+		if haveLive {
+			for _, c := range scratchCandidates {
+				if c != scratch1 && !isa.Touches(w, c) && !isa.Touches(avoid, c) && !live.Has(c) {
+					cand, p.elided = c, true
+					break
+				}
+			}
+		}
 		if cand < 0 {
-			return nil, w, nil, fmt.Errorf("no scratch register available for %s", isa.Disassemble(0, w))
+			for _, c := range scratchCandidates {
+				if c != scratch1 && !isa.Touches(w, c) && !isa.Touches(avoid, c) {
+					cand = c
+					break
+				}
+			}
+		}
+		if cand < 0 {
+			return p, fmt.Errorf("no scratch register available for %s", isa.Disassemble(0, w))
 		}
 		sub[stolenReads[1]] = cand
-		pre = append(pre,
-			isa.SW(cand, xr3, trace.BookTmp),
-			isa.LW(cand, xr3, shadowOff(stolenReads[1])))
-		post = append(post, isa.LW(cand, xr3, trace.BookTmp))
+		switch {
+		case p.elided && pad:
+			p.pre = append(p.pre, isa.NOP, isa.LW(cand, xr3, shadowOff(stolenReads[1])))
+			p.post = append(p.post, isa.NOP)
+		case p.elided:
+			p.pre = append(p.pre, isa.LW(cand, xr3, shadowOff(stolenReads[1])))
+		default:
+			p.pre = append(p.pre,
+				isa.SW(cand, xr3, trace.BookTmp),
+				isa.LW(cand, xr3, shadowOff(stolenReads[1])))
+			p.post = append(p.post, isa.LW(cand, xr3, trace.BookTmp))
+		}
 	}
 	if stolenWrite {
 		// The result is computed into at and written back to the
@@ -95,7 +164,7 @@ func StealRewrite(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word, e
 		// write takes effect within one instruction).
 		sub[wr] = isa.RegAT
 		// Write-back must precede the borrowed-register restore.
-		post = append([]isa.Word{isa.SW(isa.RegAT, xr3, shadowOff(wr))}, post...)
+		p.post = append([]isa.Word{isa.SW(isa.RegAT, xr3, shadowOff(wr))}, p.post...)
 	}
 	remap := func(reg int) int {
 		if n, ok := sub[reg]; ok {
@@ -103,6 +172,6 @@ func StealRewrite(w isa.Word) (pre []isa.Word, main isa.Word, post []isa.Word, e
 		}
 		return reg
 	}
-	main = isa.MapRegs(w, remap, remap)
-	return pre, main, post, nil
+	p.main = isa.MapRegs(w, remap, remap)
+	return p, nil
 }

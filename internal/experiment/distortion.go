@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"systrace/internal/kernel"
+	"systrace/internal/obj"
 	"systrace/internal/telemetry"
 	"systrace/internal/trace"
 	"systrace/internal/workload"
@@ -42,6 +43,12 @@ type Distortion struct {
 	UntracedTextBytes uint64
 	TracedTextBytes   uint64
 	BufferBytes       uint64
+
+	// Flow aggregates the rewriter's dataflow statistics across every
+	// instrumented image in the system (kernel + workload + server):
+	// how many prologue/scratch save sites the liveness analysis
+	// proved elidable.
+	Flow obj.FlowStats
 
 	Meas *Measured
 	Pred *Predicted
@@ -93,6 +100,8 @@ func Distort(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	}
 	orig := uint64(kexe.Instr.OrigTextSize) + uint64(prog.Instr.Instr.OrigTextSize)
 	instr := uint64(kexe.Instr.TextSize) + uint64(prog.Instr.Instr.TextSize)
+	d.addFlow(kexe.Instr.Flow)
+	d.addFlow(prog.Instr.Instr.Flow)
 	nprocs := uint64(1)
 	if flavor == kernel.Mach {
 		srv, err := server()
@@ -101,6 +110,7 @@ func Distort(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 		}
 		orig += uint64(srv.Instr.Instr.OrigTextSize)
 		instr += uint64(srv.Instr.Instr.TextSize)
+		d.addFlow(srv.Instr.Instr.Flow)
 		nprocs = 2
 	}
 	d.UntracedTextBytes = orig
@@ -128,8 +138,31 @@ func Distort(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 		reg.Gauge("distortion_generation_duty_cycle",
 			"fraction of traced-machine time in generation vs. analysis (§4.3)", lab...).
 			Set(d.GenerationDutyCycle)
+		reg.Gauge("dataflow_blocks_analyzed",
+			"basic blocks covered by the rewriter's liveness analysis", lab...).
+			Set(float64(d.Flow.Blocks))
+		reg.Gauge("dataflow_save_sites",
+			"instrumentation sites where a register save/restore may be needed", lab...).
+			Set(float64(d.Flow.SaveSites))
+		reg.Gauge("dataflow_saves_elided",
+			"save sites elided because liveness proved the register dead", lab...).
+			Set(float64(d.Flow.SavesElided))
+		reg.Gauge("dataflow_fallbacks",
+			"save sites kept conservative (register live or analysis inconclusive)", lab...).
+			Set(float64(d.Flow.Fallbacks))
 	}
 	return d, nil
+}
+
+// addFlow accumulates one image's dataflow statistics into the
+// system-wide totals.
+func (d *Distortion) addFlow(f obj.FlowStats) {
+	d.Flow.Blocks += f.Blocks
+	d.Flow.Funcs += f.Funcs
+	d.Flow.SaveSites += f.SaveSites
+	d.Flow.SavesElided += f.SavesElided
+	d.Flow.Fallbacks += f.Fallbacks
+	d.Flow.BytesSaved += f.BytesSaved
 }
 
 // Format renders the human-readable dashboard.
@@ -148,5 +181,13 @@ func (d *Distortion) Format() string {
 		d.Pred.TracedCycles-d.Pred.AnalysisCycles, d.Pred.TracedCycles)
 	fmt.Fprintf(&b, "  mode switches:        %d flushes over %d trace words\n",
 		d.Pred.ModeSwitches, d.Pred.TraceWords)
+	if d.Flow.SaveSites > 0 {
+		fmt.Fprintf(&b, "  dead-reg elision:     %d of %d save sites elided (%.0f%%, %d bytes saved, %d kept)\n",
+			d.Flow.SavesElided, d.Flow.SaveSites,
+			100*float64(d.Flow.SavesElided)/float64(d.Flow.SaveSites),
+			d.Flow.BytesSaved, d.Flow.Fallbacks)
+		fmt.Fprintf(&b, "  dataflow coverage:    %d blocks in %d functions analyzed\n",
+			d.Flow.Blocks, d.Flow.Funcs)
+	}
 	return b.String()
 }

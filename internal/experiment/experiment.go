@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"systrace/internal/epoxie"
 	"systrace/internal/isa"
 	"systrace/internal/kernel"
 	"systrace/internal/machine"
@@ -53,7 +54,7 @@ var (
 	cacheMu    sync.Mutex // guards the cache maps only, never a build
 	kcache     = map[string]*buildEntry[*obj.Executable]{}
 	pcache     = map[string]*buildEntry[*userland.Program]{}
-	svcache    buildEntry[*userland.Program]
+	svcache    = map[string]*buildEntry[*userland.Program]{}
 	arithCache = map[string]*buildEntry[uint64]{}
 	cfgCache   = map[*obj.Executable]*buildEntry[*verify.CFG]{}
 )
@@ -71,9 +72,13 @@ func cacheEntry[T any](m map[string]*buildEntry[T], key string) *buildEntry[T] {
 }
 
 func kernelExe(flavor kernel.Flavor, traced bool) (*obj.Executable, error) {
-	e := cacheEntry(kcache, fmt.Sprintf("%v-%v", flavor, traced))
+	return kernelExeFlow(flavor, traced, epoxie.FlowOn)
+}
+
+func kernelExeFlow(flavor kernel.Flavor, traced bool, flow epoxie.FlowMode) (*obj.Executable, error) {
+	e := cacheEntry(kcache, fmt.Sprintf("%v-%v-%d", flavor, traced, flow))
 	e.once.Do(func() {
-		e.val, e.err = kernel.Build(kernel.Config{Flavor: flavor, Traced: traced})
+		e.val, e.err = kernel.Build(kernel.Config{Flavor: flavor, Traced: traced, Flow: flow})
 	})
 	return e.val, e.err
 }
@@ -84,10 +89,20 @@ func kernelExe(flavor kernel.Flavor, traced bool) (*obj.Executable, error) {
 // the experiment runs, so asking for a program never builds it twice.
 func Program(spec workload.Spec) (*userland.Program, error) { return program(spec) }
 
+// ProgramFlow is Program under an explicit rewriter liveness mode,
+// sharing the same per-mode build cache as the flow-variant boots.
+func ProgramFlow(spec workload.Spec, flow epoxie.FlowMode) (*userland.Program, error) {
+	return programFlow(spec, flow)
+}
+
 func program(spec workload.Spec) (*userland.Program, error) {
-	e := cacheEntry(pcache, spec.Name)
+	return programFlow(spec, epoxie.FlowOn)
+}
+
+func programFlow(spec workload.Spec, flow epoxie.FlowMode) (*userland.Program, error) {
+	e := cacheEntry(pcache, fmt.Sprintf("%s-%d", spec.Name, flow))
 	e.once.Do(func() {
-		e.val, e.err = userland.Build(spec.Name, []*m.Module{spec.Build()}, m.Options{})
+		e.val, e.err = userland.BuildFlow(spec.Name, []*m.Module{spec.Build()}, m.Options{}, flow)
 	})
 	return e.val, e.err
 }
@@ -173,11 +188,14 @@ func ConformanceWith(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	return c.Finish(), nil
 }
 
-func server() (*userland.Program, error) {
-	svcache.once.Do(func() {
-		svcache.val, svcache.err = userland.Build("ux", []*m.Module{userland.UXServer()}, m.Options{})
+func server() (*userland.Program, error) { return serverFlow(epoxie.FlowOn) }
+
+func serverFlow(flow epoxie.FlowMode) (*userland.Program, error) {
+	e := cacheEntry(svcache, fmt.Sprintf("ux-%d", flow))
+	e.once.Do(func() {
+		e.val, e.err = userland.BuildFlow("ux", []*m.Module{userland.UXServer()}, m.Options{}, flow)
 	})
-	return svcache.val, svcache.err
+	return e.val, e.err
 }
 
 // Boot assembles a bootable system for one workload without running
@@ -190,6 +208,58 @@ func server() (*userland.Program, error) {
 // every experiment.
 func Boot(spec workload.Spec, flavor kernel.Flavor, traced bool, seed uint32) (*kernel.System, int, error) {
 	return boot(spec, flavor, traced, seed, nil, kernel.StreamConfig{}, 0)
+}
+
+// BootFlow is Boot with an explicit rewriter liveness mode for traced
+// boots: every image in the system (kernel, workload, Mach server) is
+// built in that mode. The differential oracle compares FlowOn /
+// FlowPadded boots against FlowOff. Each mode has its own build cache
+// entries, so variants never alias.
+func BootFlow(spec workload.Spec, flavor kernel.Flavor, traced bool, seed uint32,
+	flow epoxie.FlowMode) (*kernel.System, int, error) {
+	kexe, err := kernelExeFlow(flavor, traced, flow)
+	if err != nil {
+		return nil, 0, err
+	}
+	prog, err := programFlow(spec, flow)
+	if err != nil {
+		return nil, 0, err
+	}
+	exe := prog.Orig
+	if traced {
+		exe = prog.Instr
+	}
+	var procs []kernel.BootProc
+	clientPid := 1
+	if flavor == kernel.Mach {
+		srv, err := serverFlow(flow)
+		if err != nil {
+			return nil, 0, err
+		}
+		sexe := srv.Orig
+		if traced {
+			sexe = srv.Instr
+		}
+		procs = append(procs, kernel.BootProc{Exe: sexe, IsServer: true})
+		clientPid = 2
+	}
+	procs = append(procs, kernel.BootProc{Exe: exe})
+	disk, err := kernel.BuildDiskImage(spec.Files)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := kernel.DefaultBoot(flavor)
+	cfg.DiskImage = disk
+	cfg.MapSeed = seed
+	if traced {
+		cfg.TraceBufBytes = trace.DefaultKernelBufBytes
+		cfg.ClockInterval *= IdleScale
+	}
+	sys, err := kernel.Boot(kexe, procs, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sys, clientPid, nil
 }
 
 // RunBudget is the standard per-run instruction budget used by the

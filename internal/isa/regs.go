@@ -198,10 +198,8 @@ func MapRegs(w Word, mapRead, mapWrite func(int) int) Word {
 
 // SafeToHoist reports whether moving a delay slot's memory instruction
 // above its control transfer preserves semantics: the transfer must
-// not read a register the hoisted instruction writes. Shared by
+// not read anything the hoisted instruction writes. Shared by
 // epoxie's rewriter and the static verifier so both sides apply the
-// same hazard rule.
-func SafeToHoist(term, slot Word) bool {
-	d := Defs(slot)
-	return d < 0 || !UsesReg(term, d)
-}
+// same hazard rule. It delegates to the flow-register mask check so
+// HI/LO and FP-condition hazards are covered alongside the GPRs.
+func SafeToHoist(term, slot Word) bool { return SafeToHoistMask(term, slot) }

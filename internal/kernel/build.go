@@ -28,7 +28,7 @@ func Build(cfg Config) (*obj.Executable, error) {
 	}
 	var exe *obj.Executable
 	if cfg.Traced {
-		b, err := epoxie.BuildInstrumented(objs, lopt, epoxie.Config{}, epoxie.KernelRuntime)
+		b, err := epoxie.BuildInstrumented(objs, lopt, epoxie.Config{Flow: cfg.Flow}, epoxie.KernelRuntime)
 		if err != nil {
 			return nil, fmt.Errorf("kernel: %w", err)
 		}

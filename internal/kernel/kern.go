@@ -3,6 +3,7 @@ package kernel
 import (
 	"systrace/internal/cpu"
 	"systrace/internal/dev"
+	"systrace/internal/epoxie"
 	"systrace/internal/isa"
 	m "systrace/internal/mahler"
 	"systrace/internal/trace"
@@ -15,6 +16,10 @@ type Config struct {
 	// entry paths maintain trace state and the whole kernel is meant
 	// to be epoxie-instrumented after compilation.
 	Traced bool
+	// Flow selects the rewriter's liveness mode for traced builds
+	// (dead-register elision on, off, or padded for the differential
+	// oracle). The zero value is epoxie.FlowOn.
+	Flow epoxie.FlowMode
 }
 
 // Device register virtual addresses (kseg1).

@@ -42,12 +42,31 @@ type InstrBlock struct {
 	Mem        []MemOp
 }
 
+// FlowStats records what the rewriter's dataflow analysis did: how
+// much it saw, and how many save/restore sites it proved elidable.
+type FlowStats struct {
+	Blocks      int // CFG blocks the liveness fixpoint covered
+	Funcs       int // functions in the interprocedural summary
+	Passes      int // worklist pops until fixpoint
+	SaveSites   int // sites where a save/restore pair was considered
+	SavesElided int // sites proven dead and elided
+	Fallbacks   int // sites where analysis could not prove death
+	BytesSaved  int // instrumented-text bytes avoided by elision
+
+	// AddrTaken lists instrumented function entry addresses whose
+	// address escaped through a relocation (the rewriter's view); the
+	// verifier feeds these into its own analysis so both sides agree
+	// on which functions have invisible callers.
+	AddrTaken []uint32
+}
+
 // InstrInfo is the static side table produced by instrumentation.
 type InstrInfo struct {
 	Tool         string // "epoxie", "epoxie-orig", "pixie", "mahler"
 	Blocks       []InstrBlock
 	OrigTextSize uint32 // bytes of uninstrumented text
 	TextSize     uint32 // bytes of instrumented text
+	Flow         FlowStats
 }
 
 // GrowthFactor returns instrumented/original text size.

@@ -106,6 +106,12 @@ const (
 	// counting in the analysis program (paper §3.5).
 	BBCounterStart
 	BBCounterStop
+	// BBLeanPrologue marks blocks instrumented with the two-word
+	// prologue (no `sw ra` before `jal bbtrace`): dataflow analysis
+	// proved ra dead on entry, so the stale ra restore inside bbtrace
+	// is harmless. The verifier checks lean blocks against its own,
+	// independently derived liveness.
+	BBLeanPrologue
 	// BBUTLBHandler marks the user-TLB miss handler. The handler is
 	// deliberately not traced: the simulator synthesizes its activity
 	// from simulated TLB misses instead (paper §4.1).

@@ -160,6 +160,13 @@ type Program struct {
 // Build compiles modules (plus libc) and produces the original and
 // instrumented executables with identical data layout.
 func Build(name string, mods []*m.Module, opt m.Options) (*Program, error) {
+	return BuildFlow(name, mods, opt, epoxie.FlowOn)
+}
+
+// BuildFlow is Build with an explicit rewriter liveness mode; the
+// differential oracle uses it to produce FlowOff and FlowPadded
+// variants of the same program.
+func BuildFlow(name string, mods []*m.Module, opt m.Options, flow epoxie.FlowMode) (*Program, error) {
 	objs := []*obj.File{Crt0(true)}
 	for _, mod := range append(mods, Libc()) {
 		o, err := mod.Compile(opt)
@@ -174,7 +181,7 @@ func Build(name string, mods []*m.Module, opt m.Options) (*Program, error) {
 		TextBase: obj.UserTextBase,
 		DataBase: obj.UserDataBase,
 	}
-	b, err := epoxie.BuildInstrumented(objs, lopt, epoxie.Config{}, epoxie.UserRuntime)
+	b, err := epoxie.BuildInstrumented(objs, lopt, epoxie.Config{Flow: flow}, epoxie.UserRuntime)
 	if err != nil {
 		return nil, fmt.Errorf("userland %s: %w", name, err)
 	}

@@ -160,10 +160,7 @@ func NewCFG(e *obj.Executable) (*CFG, error) {
 	}
 	for i := range e.Instr.Blocks {
 		ib := &e.Instr.Blocks[i]
-		head := ib.RecordAddr
-		if ib.Flags&obj.BBHandTraced == 0 {
-			head -= prologueBytes
-		}
+		head := ib.RecordAddr - prologueBytes(ib.Flags)
 		if len(ib.Mem) > g.MaxMem {
 			g.MaxMem = len(ib.Mem)
 		}
@@ -196,11 +193,8 @@ func (g *CFG) classify(n *CFGNode) {
 
 	// Terminator pair, as in the walker: the penultimate word is a
 	// control transfer that is not a memtrace call. Instrumented
-	// blocks need at least the 3-word prologue before the pair.
-	minPair := 5
-	if b.Flags&obj.BBHandTraced != 0 {
-		minPair = 2
-	}
+	// blocks need at least their prologue before the pair.
+	minPair := int(prologueBytes(b.Flags))/4 + 2
 	if cnt < minPair || !isa.HasDelaySlot(ws[cnt-2]) ||
 		jalTarget(ws[cnt-2], g.mt) || jalTarget(ws[cnt-2], g.bb) {
 		// No pair. A trailing lone break never resumes in the traced

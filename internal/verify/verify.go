@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"sort"
 
+	"systrace/internal/dataflow"
 	"systrace/internal/obj"
 )
 
@@ -53,11 +54,22 @@ const (
 	RuleBranchTarget = "branch-target"
 	RuleHoist        = "hoist"
 	RuleSideTable    = "side-table"
+	// RuleDeadReg: a block flagged lean (the rewriter elided the
+	// prologue's ra save because liveness proved ra dead on entry)
+	// must have ra dead there under the verifier's own, independently
+	// derived liveness over the rewritten image.
+	RuleDeadReg = "dead-reg"
+	// RuleLiveClobber: instrumentation never clobbers a live register
+	// without restoring it — an unbracketed borrowed-scratch shadow
+	// load is legal only when the scratch is dead once the rewritten
+	// group ends.
+	RuleLiveClobber = "live-clobber"
 )
 
 // Rules lists every rule identifier in report order.
 var Rules = []string{
 	RuleBBHead, RuleMemTrace, RuleSteal, RuleBranchTarget, RuleHoist, RuleSideTable,
+	RuleDeadReg, RuleLiveClobber,
 }
 
 // Diag is one verification finding.
@@ -115,6 +127,18 @@ func Executable(e *obj.Executable) (*Result, error) {
 	}
 
 	w := newWalker(e, bb, mt)
+	// The verifier's own liveness over the rewritten image, for the
+	// flow rules. Trace-runtime calls are transparent (they save and
+	// restore what they touch, except the deliberately unmodeled ra
+	// restore); the rewriter's relocation-level address-taken view
+	// rides in the side table. If the image is too damaged to analyze,
+	// the structural rules still run and report the damage.
+	if facts, err := dataflow.AnalyzeExecutable(e, dataflow.ExeConfig{
+		Transparent: []uint32{bb, mt},
+		AddrTaken:   e.Instr.Flow.AddrTaken,
+	}); err == nil {
+		w.flow = facts
+	}
 	w.sideTable()
 	for i := range e.Blocks {
 		b := &e.Blocks[i]

@@ -12,6 +12,7 @@ import (
 	"systrace/internal/obj"
 	"systrace/internal/sim"
 	"systrace/internal/telemetry"
+	"systrace/internal/trace"
 	"systrace/internal/verify"
 )
 
@@ -349,6 +350,110 @@ func TestMutationSideTable(t *testing.T) {
 	d := assertRuleFires(t, mustVerify(t, e2), verify.RuleSideTable)
 	if !strings.Contains(d.Msg, "outside uninstrumented text") {
 		t.Errorf("wrong side-table diagnostic: %s", d.Msg)
+	}
+}
+
+// deadRegObj never returns: ra is dead in every block, so the rewriter
+// emits lean prologues throughout, with a known plain instruction to
+// mutate.
+func deadRegObj(t *testing.T) *obj.File {
+	t.Helper()
+	a := asm.New("deadregprog")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 7)) // known-plain mutation target
+	a.Label("spin")
+	a.Jmp("spin")
+	a.I(isa.NOP)
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMutationDeadRegRaLive(t *testing.T) {
+	b := buildObjs(t, "deadreg", []*obj.File{sim.TracedStartObj(), deadRegObj(t)}, epoxie.BareRuntime)
+	res := requireClean(t, b.Instr)
+	if res.Checks[verify.RuleDeadReg] == 0 {
+		t.Fatal("dead-reg rule never checked: build produced no lean blocks")
+	}
+	e := cloneExe(b.Instr)
+	plain := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w == isa.ADDIU(isa.RegT0, isa.RegZero, 7)
+	})
+	blk := e.BlockFor(plain)
+	if blk == nil || blk.Flags&obj.BBLeanPrologue == 0 {
+		t.Fatal("mutation target is not inside a lean block")
+	}
+	// Inject the bug the rule exists for: the block is flagged lean (ra
+	// assumed dead) but now reads ra before any definition, so the stale
+	// value bbtrace restores would be consumed.
+	setWord(t, e, plain, isa.ADDU(isa.RegT0, isa.RegRA, isa.RegZero))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleDeadReg)
+	if d.Block != blk.Addr {
+		t.Errorf("diagnostic for block 0x%08x, mutation in 0x%08x", d.Block, blk.Addr)
+	}
+	if !strings.Contains(d.Msg, "ra is live") {
+		t.Errorf("wrong dead-reg diagnostic: %s", d.Msg)
+	}
+}
+
+// clobberObj defines v1, runs an unrelated instruction, then reads v1 —
+// so turning the definition into an unbracketed shadow load leaves v1
+// live past the rewritten group.
+func clobberObj(t *testing.T) *obj.File {
+	t.Helper()
+	a := asm.New("clobberprog")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegV1, isa.RegZero, 1))        // becomes the clobbering load
+	a.I(isa.ADDU(isa.RegT0, isa.RegT0, isa.RegZero)) // the group's consumer
+	a.I(isa.ADDU(isa.RegT1, isa.RegV1, isa.RegZero)) // keeps v1 live past it
+	a.Label("spin")
+	a.Jmp("spin")
+	a.I(isa.NOP)
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMutationLiveClobber(t *testing.T) {
+	b := buildObjs(t, "clobber", []*obj.File{sim.TracedStartObj(), clobberObj(t)}, epoxie.BareRuntime)
+	requireClean(t, b.Instr)
+	e := cloneExe(b.Instr)
+	site := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w == isa.ADDIU(isa.RegV1, isa.RegZero, 1)
+	})
+	// Inject the bug: an unbracketed borrowed-scratch shadow load (no
+	// BookTmp save/restore around it) clobbering v1 while a later
+	// instruction still reads it.
+	setWord(t, e, site, isa.LW(isa.RegV1, isa.XReg3, trace.BookShadow1))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleLiveClobber)
+	if d.Addr != site {
+		t.Errorf("diagnostic at 0x%08x, mutation at 0x%08x", d.Addr, site)
+	}
+	if !strings.Contains(d.Msg, "live past the rewritten group") {
+		t.Errorf("wrong live-clobber diagnostic: %s", d.Msg)
+	}
+
+	// Flow-awareness negative: the same unbracketed load is legal once
+	// the later read is gone, because v1 is then provably dead at the
+	// end of the group.
+	e2 := cloneExe(b.Instr)
+	setWord(t, e2, site, isa.LW(isa.RegV1, isa.XReg3, trace.BookShadow1))
+	read := findWord(t, e2, func(_ uint32, w isa.Word) bool {
+		return w == isa.ADDU(isa.RegT1, isa.RegV1, isa.RegZero)
+	})
+	setWord(t, e2, read, isa.ADDU(isa.RegT1, isa.RegT2, isa.RegZero))
+	res := mustVerify(t, e2)
+	if !res.Clean() {
+		for _, d := range res.Diags {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if res.Checks[verify.RuleLiveClobber] == 0 {
+		t.Error("live-clobber rule never checked on the dead-scratch variant")
 	}
 }
 

@@ -3,6 +3,7 @@ package verify
 import (
 	"fmt"
 
+	"systrace/internal/dataflow"
 	"systrace/internal/epoxie"
 	"systrace/internal/isa"
 	"systrace/internal/obj"
@@ -13,11 +14,22 @@ const (
 	xr1 = isa.XReg1
 	xr2 = isa.XReg2
 	xr3 = isa.XReg3
-
-	// The compact prologue is three words; the basic-block record
-	// address is the return address of its jal, i.e. head + 12.
-	prologueBytes = 12
 )
+
+// prologueBytes returns the trace prologue size of a block with the
+// given flags: the full compact prologue is three words (`sw ra; jal
+// bbtrace; li zero,N`), the lean form drops the ra save, hand-traced
+// blocks have none. The basic-block record address is the jal-return
+// address, i.e. head + prologueBytes.
+func prologueBytes(fl obj.BBFlags) uint32 {
+	switch {
+	case fl&obj.BBHandTraced != 0:
+		return 0
+	case fl&obj.BBLeanPrologue != 0:
+		return 8
+	}
+	return 12
+}
 
 // walker carries the per-executable verification state.
 type walker struct {
@@ -28,6 +40,10 @@ type walker struct {
 	instrSet map[uint32]bool // heads of instrumented blocks
 	byRecord map[uint32]*obj.InstrBlock
 	scratch  map[int]bool // registers the steal idiom may borrow
+	// flow is the verifier's own liveness over the rewritten image
+	// (trace-runtime calls modeled transparent); nil when the image is
+	// too damaged to analyze — the structural rules still run.
+	flow *dataflow.Facts
 }
 
 func newWalker(e *obj.Executable, bb, mt uint32) *walker {
@@ -98,7 +114,7 @@ func (w *walker) sideTable() {
 			}
 			continue
 		}
-		if !w.instrSet[ib.RecordAddr-prologueBytes] {
+		if !w.instrSet[ib.RecordAddr-prologueBytes(ib.Flags)] {
 			w.diag(ib.RecordAddr, ib.RecordAddr, RuleSideTable,
 				"record address is not the jal return of an instrumented block head")
 		}
@@ -110,7 +126,7 @@ func (w *walker) sideTable() {
 			continue
 		}
 		w.check(RuleSideTable)
-		if w.byRecord[b.Addr+prologueBytes] == nil {
+		if w.byRecord[b.Addr+prologueBytes(b.Flags)] == nil {
 			w.diag(b.Addr, b.Addr, RuleSideTable, "instrumented block missing from side table")
 		}
 	}
@@ -125,40 +141,83 @@ func (w *walker) block(b *obj.ExeBlock) {
 		return
 	}
 	ws := w.e.Text[start : int(start)+n]
-	ib := w.byRecord[b.Addr+prologueBytes]
+	lean := b.Flags&obj.BBLeanPrologue != 0
+	pw := int(prologueBytes(b.Flags)) / 4 // prologue words: 2 lean, 3 full
+	ib := w.byRecord[b.Addr+uint32(pw)*4]
 
-	// Prologue: sw ra,124(xreg3); jal bbtrace; li zero,N.
+	// Prologue: sw ra,124(xreg3); jal bbtrace; li zero,N — the ra save
+	// elided in the lean form.
 	w.check(RuleBBHead)
-	if n < 3 {
+	if n < pw {
 		w.diag(b.Addr, b.Addr, RuleBBHead, "block too short to hold the trace prologue")
 		return
 	}
-	if ws[0] != isa.SW(isa.RegRA, xr3, trace.BookSavedRA) {
-		w.diag(b.Addr, b.Addr, RuleBBHead, "block head does not save ra to the bookkeeping area")
+	k := 0
+	if !lean {
+		if ws[0] != isa.SW(isa.RegRA, xr3, trace.BookSavedRA) {
+			w.diag(b.Addr, b.Addr, RuleBBHead, "block head does not save ra to the bookkeeping area")
+		}
+		k = 1
 	}
-	if !w.jalTo(ws[1], w.bb) {
-		w.diag(b.Addr+4, b.Addr, RuleBBHead, "no jal bbtrace at block head")
+	if !w.jalTo(ws[k], w.bb) {
+		w.diag(b.Addr+uint32(k)*4, b.Addr, RuleBBHead, "no jal bbtrace at block head")
 	}
-	if v := isa.LINopValue(ws[2]); v < 0 {
-		w.diag(b.Addr+8, b.Addr, RuleBBHead, "jal bbtrace delay slot is not a trace-word LINop")
+	if v := isa.LINopValue(ws[k+1]); v < 0 {
+		w.diag(b.Addr+uint32(k+1)*4, b.Addr, RuleBBHead, "jal bbtrace delay slot is not a trace-word LINop")
 	} else if ib != nil && v != 1+len(ib.Mem) {
-		w.diag(b.Addr+8, b.Addr, RuleBBHead,
+		w.diag(b.Addr+uint32(k+1)*4, b.Addr, RuleBBHead,
 			"LINop trace-word count %d does not match side table (%d)", v, 1+len(ib.Mem))
+	}
+
+	// A lean prologue is the rewriter asserting ra is dead on entry
+	// (bbtrace and any memtrace call before the first in-block ra
+	// refresh restore a stale ra). Re-derive that from the verifier's
+	// own liveness and reject the block if ra is in fact live.
+	if lean && w.flow != nil {
+		w.check(RuleDeadReg)
+		if live, ok := w.flow.LiveAt(b.Addr, pw); ok && live.Has(isa.RegRA) {
+			w.diag(b.Addr, b.Addr, RuleDeadReg,
+				"lean prologue but ra is live on entry (a stale bbtrace restore would be read)")
+		}
 	}
 
 	// Terminator pair: the last two words, when the penultimate word
 	// is a control transfer that is not itself a memtrace call.
 	bodyEnd := n
-	hasPair := n >= 5 && isa.HasDelaySlot(ws[n-2]) && !w.jalTo(ws[n-2], w.mt)
+	hasPair := n >= pw+2 && isa.HasDelaySlot(ws[n-2]) && !w.jalTo(ws[n-2], w.mt)
 	if hasPair {
 		bodyEnd = n - 2
 	}
 
+	// Unbracketed borrowed-scratch loads (`lw cand, shadow` with no
+	// BookTmp save/restore around them) clobber cand; the rewriter may
+	// only do that when cand is dead once the rewritten group ends.
+	// A pending load's consumer is the first non-bookkeeping item after
+	// it (further shadow loads for the same site may intervene); loads
+	// still pending at body end feed the terminator's delay slot.
+	type clobber struct {
+		reg  int
+		addr uint32
+	}
+	var clobbers []clobber
+	resolve := func(endIdx int) {
+		for _, c := range clobbers {
+			w.check(RuleLiveClobber)
+			if live, ok := w.flow.LiveAt(b.Addr, endIdx); ok && live.Has(c.reg) {
+				w.diag(c.addr, b.Addr, RuleLiveClobber,
+					"scratch %s clobbered without restore but live past the rewritten group", isa.RegName(c.reg))
+			}
+		}
+		clobbers = clobbers[:0]
+	}
+
 	memSeen := 0
 	var lastMem isa.Word
-	for i := 3; i < bodyEnd; {
+	prev := isa.NOP
+	for i := pw; i < bodyEnd; {
 		word := ws[i]
 		addr := b.Addr + uint32(i)*4
+		bookItem := false
 		switch {
 		case w.jalTo(word, w.mt):
 			i += w.memGroup(b, ib, ws, i, bodyEnd, &memSeen, &lastMem)
@@ -167,12 +226,35 @@ func (w *walker) block(b *obj.ExeBlock) {
 			i++
 		case w.bookkeeping(word):
 			w.check(RuleSteal)
+			bookItem = true
+			if d := isa.Decode(word); w.flow != nil && d.Op == isa.OpLW && w.scratch[d.Rt] &&
+				d.Imm != trace.BookTmp && prev != isa.SW(d.Rt, xr3, trace.BookTmp) {
+				clobbers = append(clobbers, clobber{reg: d.Rt, addr: addr})
+			}
 			i++
 		default:
 			w.plain(addr, b.Addr, word)
 			i++
 		}
+		prev = word
+		if !bookItem {
+			resolve(i)
+		}
 	}
+
+	if hasPair {
+		// Pending clobbers feed the delay slot across the terminator:
+		// the terminator itself must not read them, and nothing after
+		// the block may (the slot's own read is the substitute use).
+		for _, c := range clobbers {
+			w.check(RuleLiveClobber)
+			if isa.UsesMask(ws[n-2]).Has(c.reg) {
+				w.diag(c.addr, b.Addr, RuleLiveClobber,
+					"scratch %s clobbered without restore but read by the terminator", isa.RegName(c.reg))
+			}
+		}
+	}
+	resolve(n)
 
 	if hasPair {
 		term, slot := ws[n-2], ws[n-1]

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"systrace/internal/cpu"
+	"systrace/internal/epoxie"
 	"systrace/internal/experiment"
 	"systrace/internal/kernel"
 	obspkg "systrace/internal/obs"
@@ -107,6 +108,121 @@ func runEngine(t *testing.T, wl string, predecode, traced bool) engineResult {
 		res.fprBits[i] = math.Float64bits(f)
 	}
 	return res
+}
+
+// runFlowEngine boots wl traced under the given rewriter liveness mode
+// and runs it to completion on the reference engine with the observer
+// detached, returning the final state and the booted system.
+func runFlowEngine(t *testing.T, wl string, flow epoxie.FlowMode) (engineResult, *kernel.System) {
+	t.Helper()
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		t.Fatalf("no workload %q", wl)
+	}
+	sys, pid, err := experiment.BootFlow(spec, kernel.Ultrix, true, 1, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(experiment.RunBudget); err != nil {
+		t.Fatalf("%s flow=%d: %v", wl, flow, err)
+	}
+	c := sys.M.CPU
+	res := engineResult{
+		gpr: c.GPR, hi: c.HI, lo: c.LO, pc: c.PC,
+		cp0: c.CP0, tlb: c.TLB, stat: c.Stat,
+		console: sys.Console(), exit: sys.ExitStatus(pid),
+		drained: sys.DrainedWords, doorbells: sys.Doorbells,
+		cycles: sys.M.Cycles(),
+	}
+	for i, f := range c.FPR {
+		res.fprBits[i] = math.Float64bits(f)
+	}
+	return res, sys
+}
+
+// TestDataflowDifferentialOracle proves the liveness-driven
+// dead-register elision sound by differential execution.
+//
+// The rigorous comparison uses FlowPadded: the rewriter makes exactly
+// the FlowOn elision decisions but replaces each elided save with a
+// nop, so the padded and FlowOff images have identical layout and the
+// two traced boots are deterministic down to the cycle. Every
+// architectural register except ra, the PC, HI/LO, the retired-
+// instruction count, and every externally visible output must then be
+// bit-identical. ra is excluded by construction: at an elided site
+// bbtrace restores a stale saved value, which is harmless exactly when
+// the analysis was right that ra is dead — any consumption of the
+// stale value diverges some downstream register, output, or trace
+// word, which this oracle catches.
+//
+// The FlowOn boot then checks the real (shrunk-layout) image
+// end-to-end: same computation (console and exit status), strictly
+// fewer retired instructions, and actual elisions recorded.
+func TestDataflowDifferentialOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traced workload boots")
+	}
+	for _, wl := range []string{"sed", "lisp"} {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			off, _ := runFlowEngine(t, wl, epoxie.FlowOff)
+			pad, psys := runFlowEngine(t, wl, epoxie.FlowPadded)
+
+			if pf := psys.Procs[len(psys.Procs)-1].Exe.Instr.Flow; pf.SavesElided == 0 {
+				t.Fatalf("padded build elided nothing (%d save sites): oracle compares nothing", pf.SaveSites)
+			}
+			offGPR, padGPR := off.gpr, pad.gpr
+			offGPR[31], padGPR[31] = 0, 0 // ra: stale-by-design at elided sites
+			if offGPR != padGPR {
+				t.Error("final GPR state (minus ra) diverges between FlowOff and FlowPadded")
+			}
+			if off.fprBits != pad.fprBits {
+				t.Error("final FPR state diverges")
+			}
+			if off.hi != pad.hi || off.lo != pad.lo || off.pc != pad.pc {
+				t.Errorf("HI/LO/PC diverge: %x/%x/%x vs %x/%x/%x",
+					off.hi, off.lo, off.pc, pad.hi, pad.lo, pad.pc)
+			}
+			if off.stat.Instret != pad.stat.Instret {
+				t.Errorf("retired instructions diverge: %d vs %d (layouts should be identical)",
+					off.stat.Instret, pad.stat.Instret)
+			}
+			if off.stat.Exceptions != pad.stat.Exceptions || off.stat.Interrupts != pad.stat.Interrupts ||
+				off.stat.Syscalls != pad.stat.Syscalls {
+				t.Errorf("exception/interrupt/syscall counts diverge: %d/%d/%d vs %d/%d/%d",
+					off.stat.Exceptions, off.stat.Interrupts, off.stat.Syscalls,
+					pad.stat.Exceptions, pad.stat.Interrupts, pad.stat.Syscalls)
+			}
+			if off.console != pad.console {
+				t.Errorf("console output diverges: %q vs %q", off.console, pad.console)
+			}
+			if off.exit != pad.exit {
+				t.Errorf("exit status diverges: %d vs %d", off.exit, pad.exit)
+			}
+			if off.drained != pad.drained || off.doorbells != pad.doorbells {
+				t.Errorf("trace stream diverges: %d words/%d doorbells vs %d/%d",
+					off.drained, off.doorbells, pad.drained, pad.doorbells)
+			}
+			if off.cycles != pad.cycles {
+				t.Errorf("machine time diverges: %d vs %d cycles", off.cycles, pad.cycles)
+			}
+
+			on, osys := runFlowEngine(t, wl, epoxie.FlowOn)
+			if on.console != off.console {
+				t.Errorf("FlowOn console output diverges: %q vs %q", on.console, off.console)
+			}
+			if on.exit != off.exit {
+				t.Errorf("FlowOn exit status diverges: %d vs %d", on.exit, off.exit)
+			}
+			if on.stat.Instret >= off.stat.Instret {
+				t.Errorf("FlowOn retired %d instructions, conservative build %d: elision saved nothing",
+					on.stat.Instret, off.stat.Instret)
+			}
+			if of := osys.Procs[len(osys.Procs)-1].Exe.Instr.Flow; of.SavesElided == 0 || of.BytesSaved == 0 {
+				t.Errorf("FlowOn build records no elision (%+v)", of)
+			}
+		})
+	}
 }
 
 func TestWorkloadDifferentialOracle(t *testing.T) {

@@ -22,7 +22,7 @@ echo "== go test ./... =="
 go test ./...
 
 echo "== go test -race (cpu core, kernel epoch ring, experiment runner, telemetry, obs, rewriter, verifiers) =="
-go test -race ./internal/cpu/ ./internal/kernel/ ./internal/experiment/ ./internal/telemetry/ ./internal/obs/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/
+go test -race ./internal/cpu/ ./internal/kernel/ ./internal/experiment/ ./internal/telemetry/ ./internal/obs/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/ ./internal/dataflow/
 
 echo "== obs smoke (traced sed boot: span nesting + folded guest-PC profile) =="
 go test -run '^TestObsSmoke$' -count=1 .
@@ -39,6 +39,7 @@ go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/trace/
 go test -run='^$' -fuzz=FuzzStreamCodec -fuzztime=10s ./internal/trace/
 go test -run='^$' -fuzz=FuzzConformance -fuzztime=10s ./internal/tracecheck/
 go test -run='^$' -fuzz=FuzzExecEquivalence -fuzztime=10s ./internal/cpu/
+go test -run='^$' -fuzz=FuzzLiveness -fuzztime=10s ./internal/dataflow/
 
 if [ "${SKIP_LINT:-0}" != "1" ]; then
 	./scripts/lint.sh

@@ -6,8 +6,15 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== vet-tracer (lockheld, telemetryname) =="
+echo "== vet-tracer (lockheld, telemetryname, spanbalance) =="
 go run ./cmd/vet-tracer ./internal ./cmd ./tools
+
+echo "== staticcheck (if installed) =="
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
 
 echo "== epoxylint (all workloads x runtime kinds) =="
 go run ./cmd/epoxylint -q

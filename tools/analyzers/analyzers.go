@@ -4,7 +4,7 @@
 // findings — but are built on the standard library's go/ast and
 // go/parser only, so the gate needs nothing outside the toolchain.
 //
-// Two passes are registered:
+// Three passes are registered:
 //
 //   - lockheld: no build/simulate-class call while a mutex is held.
 //     Build results are cached precisely so the table lock is never
@@ -14,6 +14,9 @@
 //     follow the naming convention: snake_case, counters end in
 //     _total, gauges don't, histograms carry a unit suffix, and no
 //     name restates its kind (_counter, _gauge, ...).
+//   - spanbalance: every obs.Begin/BeginDetail phase span is ended on
+//     all paths (defer-aware), so a leaked span can never corrupt the
+//     observability timeline's nesting.
 package analyzers
 
 import (
@@ -46,7 +49,7 @@ type Analyzer struct {
 }
 
 // All returns every registered analyzer.
-func All() []*Analyzer { return []*Analyzer{LockHeld, TelemetryName} }
+func All() []*Analyzer { return []*Analyzer{LockHeld, TelemetryName, SpanBalance} }
 
 // CheckDir parses every non-test .go file under root (skipping hidden
 // directories, testdata, and vendor) and runs the given analyzers,

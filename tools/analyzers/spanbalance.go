@@ -1,0 +1,314 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SpanBalance checks that every phase span opened with obs.Begin /
+// obs.BeginDetail is closed on every path: the observability timeline
+// nests spans by goroutine, so one leaked Begin corrupts the Gantt for
+// everything that follows it (internal/obs/span.go). The pass is
+// flow-sensitive in the same conservative style as lockheld:
+//
+//   - `defer sp.End()` discharges the span for the whole function.
+//   - an explicit `sp.End()` must appear before every return, and —
+//     for spans opened inside a loop body — before every continue or
+//     break and by the end of the body (one leak per iteration).
+//   - a span value that escapes (stored in a field, passed to a call,
+//     returned, or captured by a closure) is the escapee's problem and
+//     stops being tracked.
+//   - discarding the result (`obs.Begin(...)` as a statement, or
+//     assigning it to _) can never be balanced and is flagged at once.
+//
+// A span ended separately in both arms of an if is conservatively
+// still considered open afterwards; end it once after the branch or
+// use defer.
+var SpanBalance = &Analyzer{
+	Name: "spanbalance",
+	Doc:  "every obs.Begin/BeginDetail phase span is ended on all paths",
+	Run:  runSpanBalance,
+}
+
+func runSpanBalance(fset *token.FileSet, f *ast.File) []Finding {
+	var findings []Finding
+	// Every function body — declarations and literals — is its own
+	// tracking context (a span captured by a closure escapes the outer
+	// one; the closure body is then checked on its own).
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			body = x.Body
+		case *ast.FuncLit:
+			body = x.Body
+		}
+		if body == nil {
+			return true
+		}
+		sw := &spanWalker{fset: fset}
+		open := map[string]span{}
+		sw.stmts(body.List, open, nil)
+		if !endsTerminating(body.List) {
+			sw.leaks(open, nil, body.End(), "function exit")
+		}
+		findings = append(findings, sw.findings...)
+		return true
+	})
+	return findings
+}
+
+// span is one tracked obs.Begin result.
+type span struct {
+	name string // the span's literal name argument, for diagnostics
+	pos  token.Pos
+}
+
+type spanWalker struct {
+	fset     *token.FileSet
+	findings []Finding
+}
+
+// beginCall recognizes obs.Begin/obs.BeginDetail (the package name may
+// be aliased, but aliases keep an "obs" stem in this codebase) and
+// returns the span's name argument when it is a string literal.
+func beginCall(e ast.Expr) (name string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Begin" && sel.Sel.Name != "BeginDetail") {
+		return "", false
+	}
+	pkg, isIdent := sel.X.(*ast.Ident)
+	if !isIdent || !strings.Contains(strings.ToLower(pkg.Name), "obs") {
+		return "", false
+	}
+	name = "?"
+	if len(call.Args) > 0 {
+		if lit, isLit := call.Args[0].(*ast.BasicLit); isLit {
+			name = strings.Trim(lit.Value, "`\"")
+		}
+	}
+	return name, true
+}
+
+// endCall recognizes `x.End()` on a plain identifier and returns the
+// identifier name.
+func endCall(e ast.Expr) (recv string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "End" {
+		return "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// stmts walks a statement list. open maps variable names to their
+// pending spans; outer names spans opened before the innermost loop
+// (legitimately still open at a continue). Branch bodies are walked
+// with copies, so an End on one path does not close the span on
+// another.
+func (w *spanWalker) stmts(list []ast.Stmt, open map[string]span, outer map[string]bool) {
+	for _, s := range list {
+		switch x := s.(type) {
+		case *ast.AssignStmt:
+			if len(x.Rhs) == 1 {
+				if name, ok := beginCall(x.Rhs[0]); ok && len(x.Lhs) == 1 {
+					if id, isIdent := x.Lhs[0].(*ast.Ident); isIdent {
+						if id.Name == "_" {
+							w.flag(x.Rhs[0].Pos(), "span %q is discarded and can never be ended", name)
+						} else {
+							open[id.Name] = span{name: name, pos: x.Rhs[0].Pos()}
+						}
+						continue
+					}
+					// Assigned into a field or slice slot: escapes.
+					continue
+				}
+			}
+			w.escape(x, open)
+		case *ast.ExprStmt:
+			if name, ok := beginCall(x.X); ok {
+				w.flag(x.X.Pos(), "span %q is discarded and can never be ended", name)
+				continue
+			}
+			if recv, ok := endCall(x.X); ok {
+				if _, tracked := open[recv]; tracked {
+					delete(open, recv)
+					continue
+				}
+			}
+			w.escape(x, open)
+		case *ast.DeferStmt:
+			if recv, ok := endCall(x.Call); ok {
+				// Discharged for the whole function, every path.
+				delete(open, recv)
+				continue
+			}
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				// `defer func() { sp.End(); ... }()` discharges too —
+				// the cleanup closure runs on every path.
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if e, isExpr := n.(*ast.ExprStmt); isExpr {
+						if recv, ok := endCall(e.X); ok {
+							delete(open, recv)
+						}
+					}
+					return true
+				})
+			}
+			w.escape(x, open)
+		case *ast.ReturnStmt:
+			// Returned spans become the caller's responsibility.
+			for _, r := range x.Results {
+				w.escape(r, open)
+			}
+			w.leaks(open, nil, x.Pos(), "return")
+		case *ast.BranchStmt:
+			if x.Tok == token.CONTINUE || x.Tok == token.BREAK {
+				w.leaks(open, outer, x.Pos(), x.Tok.String())
+			}
+		case *ast.GoStmt:
+			// Anything a goroutine touches — even just sp.End() — is
+			// asynchronous: the span escapes to that goroutine.
+			ast.Inspect(x, func(n ast.Node) bool {
+				if id, isIdent := n.(*ast.Ident); isIdent {
+					delete(open, id.Name)
+				}
+				return true
+			})
+		case *ast.BlockStmt:
+			w.stmts(x.List, open, outer)
+		case *ast.IfStmt:
+			w.escape(x.Init, open)
+			w.escape(x.Cond, open)
+			w.stmts(x.Body.List, copySpans(open), outer)
+			if x.Else != nil {
+				w.stmts([]ast.Stmt{x.Else}, copySpans(open), outer)
+			}
+		case *ast.ForStmt:
+			w.escape(x.Init, open)
+			w.escape(x.Cond, open)
+			w.escape(x.Post, open)
+			w.loopBody(x.Body, open)
+		case *ast.RangeStmt:
+			w.escape(x.X, open)
+			w.loopBody(x.Body, open)
+		case *ast.SwitchStmt:
+			w.escape(x.Init, open)
+			w.escape(x.Tag, open)
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.stmts(cc.Body, copySpans(open), outer)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.stmts(cc.Body, copySpans(open), outer)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					w.stmts(cc.Body, copySpans(open), outer)
+				}
+			}
+		default:
+			w.escape(s, open)
+		}
+	}
+}
+
+// loopBody walks a for/range body: spans open on entry are the new
+// outer set (open at continue is fine for them), spans opened inside
+// must close by every continue, break, and the end of the body.
+func (w *spanWalker) loopBody(body *ast.BlockStmt, open map[string]span) {
+	inner := copySpans(open)
+	before := make(map[string]bool, len(open))
+	for name := range open {
+		before[name] = true
+	}
+	w.stmts(body.List, inner, before)
+	if !endsTerminating(body.List) {
+		w.leaks(inner, before, body.End(), "end of loop body")
+	}
+}
+
+func copySpans(open map[string]span) map[string]span {
+	out := make(map[string]span, len(open))
+	for k, v := range open {
+		out[k] = v
+	}
+	return out
+}
+
+// leaks reports every open span not excused by the keep set.
+func (w *spanWalker) leaks(open map[string]span, keep map[string]bool, at token.Pos, where string) {
+	for name, sp := range open {
+		if keep[name] {
+			continue
+		}
+		w.flag(at, "span %q (%s, opened at %s) is still open at %s; call %s.End() or defer it",
+			sp.name, name, w.fset.Position(sp.pos), where, name)
+	}
+}
+
+// escape drops tracking for any span value used under n in a way other
+// than `name.End()`: call arguments, composite literals, comparisons,
+// closures capturing it. Closure bodies are checked separately, so the
+// subtree still gets its own pass.
+func (w *spanWalker) escape(n ast.Node, open map[string]span) {
+	if n == nil || len(open) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "End" {
+				if _, isIdent := x.X.(*ast.Ident); isIdent {
+					return false
+				}
+			}
+		case *ast.Ident:
+			delete(open, x.Name)
+		}
+		return true
+	})
+}
+
+// endsTerminating reports whether the list's last statement never
+// falls through (so open spans were already checked at that point).
+func endsTerminating(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch x := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok && calleeName(call) == "panic" {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *spanWalker) flag(at token.Pos, format string, args ...any) {
+	w.findings = append(w.findings, Finding{
+		Pos:      w.fset.Position(at),
+		Analyzer: "spanbalance",
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}

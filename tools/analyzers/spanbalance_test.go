@@ -1,0 +1,230 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanBalanceDeferClean(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good() {
+	sp := obs.BeginDetail("measure_run", detail)
+	defer sp.End()
+	if err != nil {
+		return
+	}
+	work()
+}
+`), "spanbalance")
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestSpanBalanceDeferClosureClean(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good() {
+	sp := obs.BeginDetail("runner_job", key)
+	defer func() {
+		sp.End()
+		release()
+	}()
+	work()
+}
+`), "spanbalance")
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestSpanBalanceLeakAtReturn(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() error {
+	sp := obs.Begin("trace_drain")
+	if err != nil {
+		return err
+	}
+	sp.End()
+	return nil
+}
+`), "spanbalance")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, `span "trace_drain"`) ||
+		!strings.Contains(fs[0].Msg, "still open at return") {
+		t.Errorf("msg = %q", fs[0].Msg)
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("line = %d, want 6 (the leaking return)", fs[0].Pos.Line)
+	}
+}
+
+func TestSpanBalanceLeakAtFunctionExit(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	sp := obs.Begin("stream_consume")
+	work(sp2)
+}
+`), "spanbalance")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "function exit") {
+		t.Errorf("msg = %q", fs[0].Msg)
+	}
+}
+
+// The stream-consumer shape: a span opened per iteration, ended before
+// every continue and at the end of the body.
+func TestSpanBalanceLoopContinueClean(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good() {
+	for b := range work {
+		sp := obs.Begin("stream_consume")
+		if skip(b) {
+			sp.End()
+			continue
+		}
+		analyze(b)
+		sp.End()
+	}
+}
+`), "spanbalance")
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestSpanBalanceLoopContinueLeak(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	for b := range work {
+		sp := obs.Begin("stream_consume")
+		if skip(b) {
+			continue
+		}
+		analyze(b)
+		sp.End()
+	}
+}
+`), "spanbalance")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "still open at continue") {
+		t.Errorf("msg = %q", fs[0].Msg)
+	}
+}
+
+// A span opened before the loop is legitimately open at a continue.
+func TestSpanBalanceOuterSpanAtContinueClean(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good() {
+	sp := obs.BeginDetail("machine_run", name)
+	defer sp.End()
+	for i := range items {
+		if skip(i) {
+			continue
+		}
+		work(i)
+	}
+}
+`), "spanbalance")
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestSpanBalanceLoopBodyLeak(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	for i := range items {
+		sp := obs.Begin("trace_analysis")
+		work(i)
+	}
+}
+`), "spanbalance")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "end of loop body") {
+		t.Errorf("msg = %q", fs[0].Msg)
+	}
+}
+
+func TestSpanBalanceDiscarded(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	obs.Begin("orphan")
+	_ = obs.BeginDetail("orphan2", d)
+}
+`), "spanbalance")
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v, want two", fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "discarded") {
+			t.Errorf("msg = %q", f.Msg)
+		}
+	}
+}
+
+// Escapes stop tracking: stored, passed, returned, or captured spans
+// are the new owner's responsibility.
+func TestSpanBalanceEscapesClean(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func stored() {
+	sp := obs.Begin("a")
+	s.span = sp
+}
+
+func passed() {
+	sp := obs.Begin("b")
+	keep(sp)
+}
+
+func returned() interface{} {
+	sp := obs.Begin("c")
+	return sp
+}
+
+func captured() {
+	sp := obs.Begin("d")
+	go func() { sp.End() }()
+}
+`), "spanbalance")
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+// Closure bodies are their own context: a leak inside a FuncLit is
+// found even though the literal is assigned to a field.
+func TestSpanBalanceClosureBodyChecked(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func wire() {
+	sys.OnTrace = func(words []uint32) {
+		sp := obs.Begin("trace_analysis")
+		if len(words) == 0 {
+			return
+		}
+		sp.End()
+	}
+}
+`), "spanbalance")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+}
