@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint tracelint fmt vet build test bench bench-cpu bench-obs bench-stream bench-dataflow
+.PHONY: check lint tracelint guestlint fmt vet build test bench bench-cpu bench-obs bench-stream bench-dataflow
 
 # check is the tier-1 gate: formatting, vet, build, the full test
 # suite, fuzz smoke, and the lint gate. CI and pre-commit should run
@@ -13,6 +13,12 @@ check: lint
 # instrumentation verifier (cmd/epoxylint) over every workload.
 lint:
 	./scripts/lint.sh
+
+# guestlint runs the whole-binary value-fact lints (unreachable
+# blocks, jumps into block interiors, stack balance at returns, wild
+# stores) over every workload under every runtime kind.
+guestlint:
+	$(GO) run ./cmd/guestlint
 
 # tracelint boots every workload under both OS personalities in the
 # simulator and checks the whole-system trace streams for conformance

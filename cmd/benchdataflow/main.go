@@ -2,9 +2,12 @@
 // analysis buys the rewriter: per image, how many save/restore sites
 // the analysis proved elidable (and the resulting text shrink), and
 // per workload, how many fewer instructions the traced boot retires
-// with elision on. It writes BENCH_dataflow.json in the same shape as
-// the other BENCH_* documents and fails when the static elision rate
-// across the sed+lisp corpus drops below the 20% floor.
+// with elision on. It also validates the static trace-cost model
+// against measured trace volume across the workload corpus. It writes
+// BENCH_dataflow.json in the same shape as the other BENCH_* documents
+// and fails when the static elision rate across the sed+lisp corpus
+// drops below the 20% floor or the cost model's per-block table
+// mispredicts any workload's measured trace volume by more than 10%.
 //
 //	go run ./cmd/benchdataflow -out BENCH_dataflow.json
 package main
@@ -17,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"systrace/internal/dataflow"
 	"systrace/internal/epoxie"
 	"systrace/internal/experiment"
 	"systrace/internal/kernel"
@@ -51,18 +55,83 @@ type dynRow struct {
 	SavedPct   float64 `json:"instructions_saved_pct"`
 }
 
+// costRow validates the static trace-cost model for one workload's
+// traced system (kernel + program sharing one stream).
+type costRow struct {
+	Workload string `json:"workload"`
+	// The structural prediction: loop-depth-weighted words per original
+	// instruction, vs. the measured ratio and its error.
+	StaticWPI  float64 `json:"static_trace_words_per_instr"`
+	DynamicWPI float64 `json:"dynamic_trace_words_per_instr"`
+	MixErrPct  float64 `json:"mix_error_pct"`
+	// The table validation: static per-block costs applied to the
+	// observed entry mix vs. the words the parser consumed. This
+	// isolates the model's cost table from its frequency guess.
+	TableWords    uint64  `json:"table_predicted_words"`
+	MeasuredWords uint64  `json:"parser_consumed_words"`
+	ModelErrPct   float64 `json:"model_error_pct"`
+	MaxDepth      int     `json:"max_loop_depth"`
+	AddedPerInstr float64 `json:"added_instr_per_instr"`
+}
+
 type report struct {
-	Benchmark string   `json:"benchmark"`
-	Date      string   `json:"date"`
-	Command   string   `json:"command"`
-	Host      hostInfo `json:"host"`
-	Results   []row    `json:"results"`
-	Dynamic   []dynRow `json:"dynamic"`
-	ElidedPct float64  `json:"elided_pct_total"`
-	Notes     []string `json:"notes"`
+	Benchmark string    `json:"benchmark"`
+	Date      string    `json:"date"`
+	Command   string    `json:"command"`
+	Host      hostInfo  `json:"host"`
+	Results   []row     `json:"results"`
+	Dynamic   []dynRow  `json:"dynamic"`
+	Cost      []costRow `json:"cost_model"`
+	ElidedPct float64   `json:"elided_pct_total"`
+	Notes     []string  `json:"notes"`
 }
 
 var workloads = []string{"sed", "lisp"}
+
+// costWorkloads is the corpus the static cost model is validated on.
+var costWorkloads = []string{"sed", "lisp", "egrep", "yacc"}
+
+// costValidate builds the merged static model for one workload's
+// traced system and compares it against a full predicted (traced) run.
+func costValidate(kexe *obj.Executable, wl string) (costRow, error) {
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		return costRow{}, fmt.Errorf("no workload %q", wl)
+	}
+	prog, err := experiment.Program(spec)
+	if err != nil {
+		return costRow{}, err
+	}
+	c, err := dataflow.StaticCostTraced(kexe)
+	if err != nil {
+		return costRow{}, err
+	}
+	pc, err := dataflow.StaticCostTraced(prog.Instr)
+	if err != nil {
+		return costRow{}, err
+	}
+	c.Merge(pc)
+	pred, err := experiment.Predict(spec, kernel.Ultrix, 1)
+	if err != nil {
+		return costRow{}, err
+	}
+	r := costRow{
+		Workload:      wl,
+		StaticWPI:     c.WordsPerInstr(),
+		TableWords:    pred.StaticWords(),
+		MeasuredWords: pred.Parser.Words,
+		ModelErrPct:   round2(100 * pred.StaticWordErr()),
+		MaxDepth:      c.MaxDepth,
+		AddedPerInstr: c.AddedPerInstr(),
+	}
+	if pred.Parser.Fetches > 0 {
+		r.DynamicWPI = float64(pred.TraceWords) / float64(pred.Parser.Fetches)
+	}
+	if r.DynamicWPI > 0 {
+		r.MixErrPct = round2(100 * (r.StaticWPI/r.DynamicWPI - 1))
+	}
+	return r, nil
+}
 
 // imageRow compares one image built with elision on vs. off.
 func imageRow(name string, on, off *obj.Executable) row {
@@ -103,6 +172,7 @@ func fail(err error) {
 func main() {
 	out := flag.String("out", "BENCH_dataflow.json", "output JSON path")
 	floor := flag.Float64("floor", 20, "minimum corpus-wide static elision percentage")
+	maxErr := flag.Float64("maxmodelerr", 10, "maximum |cost-model error| percentage on any workload")
 	flag.Parse()
 
 	rep := report{
@@ -163,11 +233,34 @@ func main() {
 	if sites > 0 {
 		rep.ElidedPct = round2(100 * float64(elided) / float64(sites))
 	}
+
+	worstErr := 0.0
+	for _, wl := range costWorkloads {
+		cr, err := costValidate(kon, wl)
+		if err != nil {
+			fail(err)
+		}
+		rep.Cost = append(rep.Cost, cr)
+		if e := cr.ModelErrPct; e < 0 {
+			e = -e
+			if e > worstErr {
+				worstErr = e
+			}
+		} else if e > worstErr {
+			worstErr = e
+		}
+		fmt.Printf("%-14s cost model: table %d vs %d words (%+.2f%%), structural %.3f vs %.3f words/instr (%+.1f%%)\n",
+			wl, cr.TableWords, cr.MeasuredWords, cr.ModelErrPct,
+			cr.StaticWPI, cr.DynamicWPI, cr.MixErrPct)
+	}
+
 	rep.Notes = []string{
 		"save_sites = instrumentation points where the rewriter must preserve a register (block-prologue ra saves plus borrowed-scratch brackets); elided = sites the liveness analysis proved dead, dropping the save/restore.",
 		"Static columns compare epoxie.FlowOn against epoxie.FlowOff builds of the same objects; dynamic rows compare full traced Ultrix boots of the workload under both images.",
 		"Soundness is enforced separately: the FlowPadded differential oracle (oracle_test.go) proves bit-identical architectural state, and verify's dead-reg/live-clobber rules re-derive liveness over the rewritten image.",
 		fmt.Sprintf("Corpus-wide static elision rate: %.2f%% (floor %.0f%%).", rep.ElidedPct, *floor),
+		"cost_model rows validate the dataflow static trace-cost model: model_error_pct applies the static per-block cost table (1 + |Mem| words per entry) to the observed block-entry mix and compares against the words the parser consumed — the residual is stream overhead the table does not model (markers, resync dirt, interrupted blocks). mix_error_pct additionally carries the purely structural loop-depth frequency estimate, reported but not gated.",
+		fmt.Sprintf("Worst cost-model table error across the corpus: %.2f%% (gate %.0f%%).", worstErr, *maxErr),
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -178,10 +271,16 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Printf("wrote %s (corpus elision %.2f%%)\n", *out, rep.ElidedPct)
+	fmt.Printf("wrote %s (corpus elision %.2f%%, worst cost-model error %.2f%%)\n",
+		*out, rep.ElidedPct, worstErr)
 	if rep.ElidedPct < *floor {
 		fmt.Fprintf(os.Stderr, "benchdataflow: elision rate %.2f%% below the %.0f%% floor\n",
 			rep.ElidedPct, *floor)
+		os.Exit(1)
+	}
+	if worstErr > *maxErr {
+		fmt.Fprintf(os.Stderr, "benchdataflow: cost-model error %.2f%% exceeds the %.0f%% gate\n",
+			worstErr, *maxErr)
 		os.Exit(1)
 	}
 }

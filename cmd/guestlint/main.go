@@ -1,0 +1,190 @@
+// Command guestlint runs whole-binary sanity lints over guest images
+// using the dataflow value facts (see internal/dataflow): unreachable
+// blocks, direct control transfers into block interiors (in a
+// rewritten image, into the middle of an instrumentation group),
+// stack-balance violations at returns, and stores through provably
+// wild pointers. With no file arguments it builds the Table-1
+// workloads in memory — every workload × runtime kind by default —
+// instruments each, and lints the result; with file arguments it
+// lints encoded executables produced by `epoxie -o`.
+//
+//	guestlint                          # whole corpus, all runtime kinds
+//	guestlint -workload gcc -runtime bare
+//	guestlint -json /tmp/gcc.traced.exe
+//
+// Exit status: 0 when every image lints clean, 1 when any diagnostic
+// fires, 2 on usage or build errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"systrace/internal/dataflow"
+	"systrace/internal/epoxie"
+	"systrace/internal/link"
+	m "systrace/internal/mahler"
+	"systrace/internal/obj"
+	"systrace/internal/userland"
+	"systrace/internal/workload"
+)
+
+// report is one linted image in the -json output.
+type report struct {
+	Runtime string `json:"runtime,omitempty"`
+	*dataflow.LintResult
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("guestlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "all", "Table-1 workload to build and lint, or \"all\"")
+	rt := fs.String("runtime", "all", "runtime kind: user, kernel, bare, or \"all\"")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	quiet := fs.Bool("q", false, "print only diagnostics, not per-image summaries")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var reports []report
+	if fs.NArg() > 0 {
+		for _, path := range fs.Args() {
+			r, err := lintFile(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "guestlint:", err)
+				return 2
+			}
+			reports = append(reports, report{LintResult: r})
+		}
+	} else {
+		var err error
+		reports, err = lintCorpus(*wl, *rt)
+		if err != nil {
+			fmt.Fprintln(stderr, "guestlint:", err)
+			return 2
+		}
+	}
+
+	dirty := 0
+	for _, r := range reports {
+		if !r.Clean() {
+			dirty++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(stderr, "guestlint:", err)
+			return 2
+		}
+	} else {
+		for _, r := range reports {
+			name := r.Name
+			if r.Runtime != "" {
+				name += "/" + r.Runtime
+			}
+			for _, d := range r.Diags {
+				fmt.Fprintf(stdout, "%s: %s\n", name, d)
+			}
+			if !*quiet {
+				fmt.Fprintf(stdout, "%s: %d blocks, %d checks, %d diagnostics\n",
+					name, r.Blocks, totalChecks(r.LintResult), len(r.Diags))
+			}
+		}
+	}
+	if dirty > 0 {
+		fmt.Fprintf(stderr, "guestlint: %d of %d images failed lint\n", dirty, len(reports))
+		return 1
+	}
+	return 0
+}
+
+func totalChecks(r *dataflow.LintResult) int {
+	n := 0
+	for _, c := range r.Checks {
+		n += c
+	}
+	return n
+}
+
+func lintFile(path string) (*dataflow.LintResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	e, err := obj.ReadExecutable(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return dataflow.LintExecutable(e)
+}
+
+var runtimeKinds = []struct {
+	name string
+	kind epoxie.RuntimeKind
+}{
+	{"user", epoxie.UserRuntime},
+	{"kernel", epoxie.KernelRuntime},
+	{"bare", epoxie.BareRuntime},
+}
+
+func lintCorpus(wl, rt string) ([]report, error) {
+	var specs []workload.Spec
+	if wl == "all" {
+		specs = workload.All()
+	} else {
+		spec, ok := workload.ByName(wl)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", wl)
+		}
+		specs = []workload.Spec{spec}
+	}
+	kinds := runtimeKinds[:]
+	if rt != "all" {
+		kinds = nil
+		for _, k := range runtimeKinds {
+			if k.name == rt {
+				kinds = []struct {
+					name string
+					kind epoxie.RuntimeKind
+				}{k}
+			}
+		}
+		if kinds == nil {
+			return nil, fmt.Errorf("unknown runtime kind %q (want user, kernel, bare, or all)", rt)
+		}
+	}
+
+	var reports []report
+	for _, spec := range specs {
+		objs := []*obj.File{userland.Crt0(true)}
+		for _, mod := range []*m.Module{spec.Build(), userland.Libc()} {
+			o, err := mod.Compile(m.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("%s: compile: %v", spec.Name, err)
+			}
+			objs = append(objs, o)
+		}
+		for _, k := range kinds {
+			b, err := epoxie.BuildInstrumented(objs, link.Options{
+				Name: spec.Name, Entry: "_start",
+				TextBase: obj.UserTextBase, DataBase: obj.UserDataBase,
+			}, epoxie.Config{}, k.kind)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: instrument: %v", spec.Name, k.name, err)
+			}
+			r, err := dataflow.LintExecutable(b.Instr)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %v", spec.Name, k.name, err)
+			}
+			reports = append(reports, report{Runtime: k.name, LintResult: r})
+		}
+	}
+	return reports, nil
+}

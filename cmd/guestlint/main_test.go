@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"systrace/internal/asm"
+	"systrace/internal/dataflow"
+	"systrace/internal/epoxie"
+	"systrace/internal/isa"
+	"systrace/internal/link"
+	"systrace/internal/obj"
+	"systrace/internal/sim"
+)
+
+// buildAsm instruments hand-written assembly under the bare runtime.
+func buildAsm(t *testing.T, f *obj.File) *epoxie.Build {
+	t.Helper()
+	b, err := epoxie.BuildInstrumented(
+		[]*obj.File{sim.TracedStartObj(), f},
+		link.Options{Name: "lintprog", TextBase: sim.BareTextBase, DataBase: sim.BareDataBase},
+		epoxie.Config{}, epoxie.BareRuntime)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	return b
+}
+
+func mustLint(t *testing.T, e *obj.Executable) *dataflow.LintResult {
+	t.Helper()
+	r, err := dataflow.LintExecutable(e)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	return r
+}
+
+// assertFires requires the named check to fire and returns its first
+// diagnostic. Other checks may legitimately cascade on a mutated image
+// (a retargeted branch also orphans its original successor), so they
+// are not failures.
+func assertFires(t *testing.T, r *dataflow.LintResult, check string) dataflow.LintDiag {
+	t.Helper()
+	for i := range r.Diags {
+		if r.Diags[i].Check == check {
+			return r.Diags[i]
+		}
+	}
+	t.Fatalf("check %s never fired (diags: %v)", check, r.Diags)
+	return dataflow.LintDiag{}
+}
+
+// cleanObj is a well-formed leaf function.
+func cleanObj(t *testing.T) *obj.File {
+	t.Helper()
+	a := asm.New("clean")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, uint16(0x10000-16)))
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 7))
+	a.I(isa.SW(isa.RegT0, isa.RegSP, 4))
+	a.I(isa.LW(isa.RegV0, isa.RegSP, 4))
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, 16))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	return a.MustFinish()
+}
+
+func TestLintCleanImage(t *testing.T) {
+	b := buildAsm(t, cleanObj(t))
+	r := mustLint(t, b.Instr)
+	for _, d := range r.Diags {
+		t.Errorf("diagnostic on clean image: %s", d)
+	}
+	for _, c := range []string{dataflow.LintUnreachable, dataflow.LintInterior,
+		dataflow.LintStackBalance, dataflow.LintWildStore} {
+		if r.Checks[c] == 0 {
+			t.Errorf("check %s never exercised on the clean image", c)
+		}
+	}
+}
+
+// TestLintUnreachable: code jumped over by an unconditional j and
+// reached by nothing else.
+func TestLintUnreachable(t *testing.T) {
+	a := asm.New("dead")
+	a.Func("main", 0)
+	a.Jmp("out")
+	a.I(isa.NOP)
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 1)) // dead block
+	a.I(isa.ADDIU(isa.RegT0, isa.RegT0, 2))
+	a.Label("out")
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	b := buildAsm(t, a.MustFinish())
+	d := assertFires(t, mustLint(t, b.Instr), dataflow.LintUnreachable)
+	if !strings.Contains(d.Msg, "unreachable") {
+		t.Errorf("wrong diagnostic: %s", d.Msg)
+	}
+}
+
+// TestLintInterior: a branch retargeted one instruction past a block
+// boundary, into the middle of an instrumentation group.
+func TestLintInterior(t *testing.T) {
+	a := asm.New("interior")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 1))
+	a.Br(isa.BNE(isa.RegT0, isa.RegZero, 0), "join")
+	a.I(isa.NOP)
+	a.I(isa.ADDIU(isa.RegT1, isa.RegZero, 2))
+	a.Label("join")
+	a.I(isa.SW(isa.RegT0, isa.RegSP, 0))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	b := buildAsm(t, a.MustFinish())
+
+	// Find main's rewritten bne and push its target one word forward.
+	var at uint32
+	for _, eb := range b.Instr.Blocks {
+		if b.Instr.FuncName(eb.Addr) != "main" {
+			continue
+		}
+		for k := int32(0); k < eb.NInstr; k++ {
+			addr := eb.Addr + uint32(k)*4
+			w := b.Instr.Text[(addr-b.Instr.TextBase)/4]
+			if isa.IsBranch(w) && w>>26 == isa.OpBNE {
+				at = addr
+			}
+		}
+	}
+	if at == 0 {
+		t.Fatal("no bne found in instrumented text")
+	}
+	w := b.Instr.Text[(at-b.Instr.TextBase)/4]
+	b.Instr.Text[(at-b.Instr.TextBase)/4] = w&0xffff0000 | (w+1)&0xffff
+
+	d := assertFires(t, mustLint(t, b.Instr), dataflow.LintInterior)
+	if !strings.Contains(d.Msg, "interior") {
+		t.Errorf("wrong diagnostic: %s", d.Msg)
+	}
+}
+
+// TestLintStackBalance: a function that pushes a frame and returns
+// without popping it.
+func TestLintStackBalance(t *testing.T) {
+	a := asm.New("leak")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, uint16(0x10000-32)))
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 1))
+	a.I(isa.SW(isa.RegT0, isa.RegSP, 0))
+	a.I(isa.JR(isa.RegRA)) // frame never popped
+	a.I(isa.NOP)
+	b := buildAsm(t, a.MustFinish())
+	d := assertFires(t, mustLint(t, b.Instr), dataflow.LintStackBalance)
+	if !strings.Contains(d.Msg, "-32 bytes") {
+		t.Errorf("wrong diagnostic: %s", d.Msg)
+	}
+}
+
+// TestLintWildStore: stores through provably constant wild addresses.
+func TestLintWildStore(t *testing.T) {
+	a := asm.New("wild")
+	a.Func("main", 0)
+	a.I(isa.LUI(isa.RegT0, 0))
+	a.I(isa.SW(isa.RegZero, isa.RegT0, 0x10)) // null page
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	b := buildAsm(t, a.MustFinish())
+	d := assertFires(t, mustLint(t, b.Instr), dataflow.LintWildStore)
+	if !strings.Contains(d.Msg, "null page") {
+		t.Errorf("wrong diagnostic: %s", d.Msg)
+	}
+}
+
+// TestRunCorpusSingle drives the CLI end to end on one workload.
+func TestRunCorpusSingle(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "sed", "-runtime", "bare"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "sed/bare:") {
+		t.Errorf("missing summary line: %q", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "sed", "-runtime", "bare", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var reports []report
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || reports[0].Runtime != "bare" || !reports[0].Clean() {
+		t.Errorf("unexpected reports: %+v", reports)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	if code := run([]string{"-runtime", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown runtime: exit %d, want 2", code)
+	}
+}

@@ -200,7 +200,9 @@ func (a *Assembler) DataAddrRaw(target string) {
 	a.data = append(a.data, 0, 0, 0, 0)
 }
 
-// DataWordSym emits a data word holding the address of another symbol.
+// DataWordSym emits a data word holding the address of another symbol
+// plus addend (the linker applies the addend for every reloc kind, so
+// jump-table slots may name interior labels as sym+offset).
 func (a *Assembler) DataWordSym(sym string, target string, addend int32) {
 	for len(a.data)%8 != 0 {
 		a.data = append(a.data, 0)
@@ -209,7 +211,7 @@ func (a *Assembler) DataWordSym(sym string, target string, addend int32) {
 		a.syms.AddSym(obj.Symbol{Name: sym, Section: obj.SecData, Off: uint32(len(a.data)), Defined: true})
 	}
 	si := a.syms.AddSym(obj.Symbol{Name: target, Section: obj.SecText})
-	a.drelocs = append(a.drelocs, obj.Reloc{Off: uint32(len(a.data)), Kind: obj.RelWord, Sym: si})
+	a.drelocs = append(a.drelocs, obj.Reloc{Off: uint32(len(a.data)), Kind: obj.RelWord, Sym: si, Addend: addend})
 	a.data = append(a.data, 0, 0, 0, 0)
 }
 

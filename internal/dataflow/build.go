@@ -86,20 +86,46 @@ func AnalyzeObjects(objs []*obj.File) (*Program, error) {
 			// Function symbol not on a block boundary: its code is
 			// attributed to the surrounding blocks; stay conservative.
 			p.fns[fi].retAll = true
+			p.fns[fi].escaped = true
 		}
+	}
+
+	// blockContaining finds the block index covering text offset off in
+	// object oi (blocks are in layout order), or -1.
+	blockContaining := func(oi int, off uint32) int {
+		bs := objs[oi].Blocks
+		j := sort.Search(len(bs), func(j int) bool { return bs[j].Off > off })
+		if j == 0 {
+			return -1
+		}
+		bb := &bs[j-1]
+		if off >= bb.Off+uint32(bb.NInstr)*4 {
+			return -1
+		}
+		return p.byKey[key(oi, bb.Off)]
 	}
 
 	// Address-taken scan: any relocation that is not a J26 jump field
 	// and resolves to a function symbol is an address escaping into
-	// data or a register.
+	// data or a register. For the value analysis the same scan is
+	// block-grained: the escaped address may be an indirect jump
+	// target, so the block holding it is poisoned (entered with ⊤).
 	markTaken := func(f *obj.File, r obj.Reloc) {
 		if r.Sym < 0 || r.Sym >= len(f.Syms) {
 			return
 		}
-		if l, ok := gsym[f.Syms[r.Sym].Name]; ok && l.isFn {
+		l, ok := gsym[f.Syms[r.Sym].Name]
+		if !ok {
+			return
+		}
+		if l.isFn {
 			if fi, ok := fnByEntry[key(l.obj, l.off)]; ok {
 				p.fns[fi].retAll = true
+				p.fns[fi].escaped = true
 			}
+		}
+		if bi := blockContaining(l.obj, l.off+uint32(r.Addend)); bi >= 0 {
+			p.blocks[bi].poisoned = true
 		}
 	}
 	for _, f := range objs {
@@ -110,6 +136,22 @@ func AnalyzeObjects(objs []*obj.File) (*Program, error) {
 		}
 		for _, r := range f.DataRelocs {
 			markTaken(f, r)
+		}
+	}
+
+	// Relocation-patched words: their encoded immediates are not final,
+	// so the value transfer must not constant-fold them.
+	for oi, f := range objs {
+		for _, r := range f.Relocs {
+			bi := blockContaining(oi, r.Off)
+			if bi < 0 {
+				continue
+			}
+			b := &p.blocks[bi]
+			if b.relocd == nil {
+				b.relocd = make([]bool, len(b.words))
+			}
+			b.relocd[(r.Off-uint32(b.key))/4] = true
 		}
 	}
 
@@ -169,6 +211,13 @@ type ExeConfig struct {
 	// table). The data-section scan below catches the common cases on
 	// its own; this widens it.
 	AddrTaken []uint32
+	// Poison lists text addresses whose containing blocks must be
+	// entered with ⊤ by the value analysis: interior jump-table
+	// targets from the rewriter's relocation view (FlowStats
+	// EscapedText). The data scan catches addresses that appear as
+	// literal data words; this covers ones materialized through
+	// lui/ori immediate pairs, which it cannot see.
+	Poison []uint32
 }
 
 // AnalyzeExecutable builds and solves the CFG of a linked image. Jump
@@ -239,6 +288,7 @@ func AnalyzeExecutable(e *obj.Executable, cfg ExeConfig) (*Facts, error) {
 			p.fns[fi].entry = bi
 		} else {
 			p.fns[fi].retAll = true
+			p.fns[fi].escaped = true
 		}
 	}
 
@@ -247,12 +297,35 @@ func AnalyzeExecutable(e *obj.Executable, cfg ExeConfig) (*Facts, error) {
 	// pointers initialized in data). Computed addresses that never
 	// appear literally can escape this scan; the rewriter's relocation
 	// view in cfg.AddrTaken is the sound source, this is the backstop.
+	// For the value analysis, a text address appearing in data is a
+	// potential indirect jump target: poison the containing block so it
+	// is entered with ⊤ (function entries are exempt — the entry seed
+	// already covers indirect entry).
 	mark := func(addr uint32) {
 		if fi, ok := fnByEntry[uint64(addr)]; ok {
 			p.fns[fi].retAll = true
+			p.fns[fi].escaped = true
+		}
+		if addr < e.TextBase || addr >= e.TextEnd() || addr%4 != 0 {
+			return
+		}
+		bs := e.Blocks
+		j := sort.Search(len(bs), func(j int) bool { return bs[j].Addr > addr })
+		if j == 0 {
+			return
+		}
+		bb := &bs[j-1]
+		if addr >= bb.Addr+uint32(bb.NInstr)*4 {
+			return
+		}
+		if bi, ok := p.byKey[uint64(bb.Addr)]; ok {
+			p.blocks[bi].poisoned = true
 		}
 	}
 	for _, a := range cfg.AddrTaken {
+		mark(a)
+	}
+	for _, a := range cfg.Poison {
 		mark(a)
 	}
 	for i := 0; i+4 <= len(e.Data); i += 4 {

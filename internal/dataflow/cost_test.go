@@ -1,0 +1,116 @@
+package dataflow
+
+import (
+	"testing"
+
+	"systrace/internal/asm"
+	"systrace/internal/isa"
+)
+
+// TestLoopDepths checks the iterated-SCC nesting estimate on a doubly
+// nested counting loop: the entry and exit blocks sit outside any
+// cycle, the outer loop body is depth 1, and the self-looping inner
+// block is depth 2.
+func TestLoopDepths(t *testing.T) {
+	a := asm.New("t")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 10)) // entry: depth 0
+	a.Label("outer")
+	a.I(isa.ADDIU(isa.RegT1, isa.RegZero, 10)) // outer preheader of inner
+	a.Label("inner")
+	a.I(isa.ADDIU(isa.RegT1, isa.RegT1, 0xffff)) // t1--
+	a.Br(isa.BNE(isa.RegT1, isa.RegZero, 0), "inner")
+	a.I(isa.NOP)
+	a.I(isa.ADDIU(isa.RegT0, isa.RegT0, 0xffff)) // t0--
+	a.Br(isa.BNE(isa.RegT0, isa.RegZero, 0), "outer")
+	a.I(isa.NOP)
+	a.I(isa.JR(isa.RegRA)) // exit: depth 0
+	a.I(isa.NOP)
+	f := a.MustFinish()
+
+	p := analyze(t, f)
+	depths := loopDepths(p)
+	count := map[int]int{}
+	max := 0
+	for _, d := range depths {
+		count[d]++
+		if d > max {
+			max = d
+		}
+	}
+	if max != 2 {
+		t.Fatalf("max loop depth = %d, want 2 (depths %v)", max, depths)
+	}
+	if count[2] != 1 {
+		t.Errorf("%d blocks at depth 2, want exactly the inner block (depths %v)", count[2], depths)
+	}
+	// Outer body: the inner preheader and the decrement/back-branch
+	// block both sit in the outer cycle only.
+	if count[1] != 2 {
+		t.Errorf("%d blocks at depth 1, want 2 (depths %v)", count[1], depths)
+	}
+	if count[0] < 2 {
+		t.Errorf("%d blocks at depth 0, want entry and exit (depths %v)", count[0], depths)
+	}
+}
+
+// TestWeightCap: the frequency weight grows by costLoopBase per level
+// and saturates at costDepthCap.
+func TestWeightCap(t *testing.T) {
+	if w := weight(0); w != 1 {
+		t.Errorf("weight(0) = %v, want 1", w)
+	}
+	if w := weight(1); w != costLoopBase {
+		t.Errorf("weight(1) = %v, want %v", w, costLoopBase)
+	}
+	capW := weight(costDepthCap)
+	if w := weight(costDepthCap + 5); w != capW {
+		t.Errorf("weight beyond cap = %v, want saturated %v", w, capW)
+	}
+}
+
+// TestCostModelMerge checks the fold used when a kernel and a user
+// image feed one trace stream, and the derived ratios.
+func TestCostModelMerge(t *testing.T) {
+	a := &CostModel{
+		Name: "a", Blocks: 3, MaxDepth: 1,
+		Words: 30, Instrs: 100, WeightSum: 10,
+		AddedInstr: 12, OrigInstr: 48,
+		Funcs: []FuncCost{{Name: "f", Blocks: 3, Words: 30, Instrs: 100, Added: 12}},
+	}
+	b := &CostModel{
+		Name: "b", Blocks: 2, MaxDepth: 3,
+		Words: 20, Instrs: 50, WeightSum: 5,
+		AddedInstr: 6, OrigInstr: 12,
+		Funcs: []FuncCost{{Name: "g", Blocks: 2, Words: 20, Instrs: 50, Added: 6}},
+	}
+	a.Merge(b)
+	if a.Blocks != 5 || a.MaxDepth != 3 || a.Words != 50 || a.Instrs != 150 ||
+		a.WeightSum != 15 || a.AddedInstr != 18 || a.OrigInstr != 60 {
+		t.Errorf("merged model wrong: %+v", a)
+	}
+	if len(a.Funcs) != 2 {
+		t.Errorf("merged %d func rows, want 2", len(a.Funcs))
+	}
+	if got, want := a.WordsPerInstr(), 50.0/150.0; got != want {
+		t.Errorf("WordsPerInstr = %v, want %v", got, want)
+	}
+	if got, want := a.WordsPerBlock(), 50.0/15.0; got != want {
+		t.Errorf("WordsPerBlock = %v, want %v", got, want)
+	}
+	if got, want := a.AddedPerInstr(), 18.0/60.0; got != want {
+		t.Errorf("AddedPerInstr = %v, want %v", got, want)
+	}
+
+	var zero CostModel
+	if zero.WordsPerInstr() != 0 || zero.WordsPerBlock() != 0 || zero.AddedPerInstr() != 0 {
+		t.Error("empty model ratios should be 0, not NaN")
+	}
+}
+
+// TestStaticCostErrors: the model requires an instrumented image.
+func TestStaticCostErrors(t *testing.T) {
+	if _, err := StaticCostTraced(nil); err == nil {
+		t.Error("StaticCostTraced(nil) succeeded")
+	}
+}

@@ -63,8 +63,21 @@ type block struct {
 
 	// transparent marks words modeled as having no register effect at
 	// all (the rewriter's jal bbtrace / jal memtrace calls, which save
-	// and restore everything they touch). nil when no word is.
+	// and restore everything they touch). nil when no word is. The
+	// forward value transfer is stricter: it clobbers ra, at, and the
+	// two scratch xregs at a transparent call (see valTransferWord).
 	transparent []bool
+
+	// relocd marks words whose immediate or target field carries a
+	// pending relocation (object front end only): their encoded bits
+	// are not what will execute, so the value transfer treats any
+	// value they produce as ⊤.
+	relocd []bool
+
+	// poisoned marks blocks whose address escapes into data or a
+	// non-jump relocation: an indirect jump may enter them with any
+	// state, so their value-in joins ⊤.
+	poisoned bool
 
 	liveIn, liveOut isa.RegSet
 
@@ -72,10 +85,9 @@ type block struct {
 	// must be revisited when it grows.
 	deps []int
 
-	// stack-height lattice: unset until reached, then a known byte
-	// delta from function entry or top (unknown).
-	heightState uint8 // 0 unset, 1 known, 2 top
-	height      int32
+	// valIn is the abstract register state on entry (nil = ⊥,
+	// unreached by the forward value analysis).
+	valIn *RegVals
 }
 
 // fn is one function: a maximal run of blocks under a function-entry
@@ -89,6 +101,14 @@ type fn struct {
 	// callers, if any, are invisible to the analysis).
 	retAll bool
 
+	// escaped records that the function's address genuinely escapes —
+	// it is address-taken through a relocation or data word, or its
+	// entry symbol is not on a block boundary. Unlike retAll (which
+	// wire() also sets for pure liveness conservatism, e.g. "no known
+	// call sites"), escaped means computed control flow really can
+	// enter the function's interior.
+	escaped bool
+
 	// afters are the blocks execution resumes at after each known call
 	// to this function; the return summary is the union of their
 	// live-ins.
@@ -101,9 +121,10 @@ type fn struct {
 
 // Stats summarizes an analysis run.
 type Stats struct {
-	Blocks int // CFG nodes analyzed
-	Funcs  int // functions
-	Passes int // worklist pops until fixpoint
+	Blocks    int // CFG nodes analyzed
+	Funcs     int // functions
+	Passes    int // backward (liveness) worklist pops until fixpoint
+	ValPasses int // forward (value) worklist pops until fixpoint
 }
 
 // Program is the analyzed CFG with its liveness solution.
@@ -174,13 +195,18 @@ func (f *Facts) LiveAt(off uint32, k int) (isa.RegSet, bool) {
 // function entry on entry to the block at off (negative once a frame
 // has been pushed). The second result is false when the height is
 // unknown — the block is unreachable, joins disagree, or sp is
-// modified in a way the analysis does not track.
+// modified in a way the analysis does not track. It is a projection
+// of the forward value analysis: the height is known exactly when
+// sp's abstract value is sp+δ (see stack.go).
 func (f *Facts) StackHeight(off uint32) (int32, bool) {
 	b := f.lookup(off)
-	if b == nil || b.heightState != 1 {
+	if b == nil || b.valIn == nil {
 		return 0, false
 	}
-	return b.height, true
+	if v := b.valIn[isa.RegSP]; v.Kind == VSP {
+		return v.Off, true
+	}
+	return 0, false
 }
 
 // transferWord applies one instruction's backward liveness transfer.
@@ -367,7 +393,7 @@ func (p *Program) wire() {
 func (p *Program) finish() *Program {
 	p.wire()
 	p.solve()
-	p.solveHeights()
+	p.solveValues()
 	return p
 }
 

@@ -1,109 +1,22 @@
 package dataflow
 
-import "systrace/internal/isa"
-
-// Reaching stack-height: a forward analysis computing, for each block,
-// the stack pointer's byte displacement from function entry. The
-// lattice per block is unset → known(delta) → top; a join of two
-// different known deltas, or any sp write the transfer cannot model
-// (anything but `addiu sp, sp, imm`), goes to top. Function entries
-// start at zero; the block after a call resumes at the call site's
-// exit height (the ABI restores sp across calls).
-
-const (
-	hUnset = iota
-	hKnown
-	hTop
-)
-
-// heightTransfer runs a block forward from an entry delta. ok=false
-// means sp was modified unrecognizably.
-func heightTransfer(b *block, h int32) (int32, bool) {
-	for i, w := range b.words {
-		if isTransparent(b, i) {
-			continue
-		}
-		d := isa.Decode(w)
-		if d.Op == isa.OpADDIU && d.Rt == isa.RegSP && d.Rs == isa.RegSP {
-			h += int32(isa.SignExt16(d.Imm))
-			continue
-		}
-		if isa.DefsMask(w).Has(isa.RegSP) {
-			return 0, false
-		}
-	}
-	return h, true
-}
-
-// joinHeight merges a reaching delta into a block's lattice value and
-// reports whether it changed.
-func (p *Program) joinHeight(bi int, h int32, top bool) bool {
-	b := &p.blocks[bi]
-	switch {
-	case top || b.heightState == hKnown && b.height != h:
-		if b.heightState == hTop {
-			return false
-		}
-		b.heightState = hTop
-		return true
-	case b.heightState == hUnset:
-		b.heightState, b.height = hKnown, h
-		return true
-	}
-	return false
-}
-
-// solveHeights runs the forward worklist after liveness has been
-// solved (it reuses the CFG, not the liveness solution).
-func (p *Program) solveHeights() {
-	n := len(p.blocks)
-	inWL := make([]bool, n)
-	var wl []int
-	push := func(i int) {
-		if i >= 0 && !inWL[i] {
-			inWL[i] = true
-			wl = append(wl, i)
-		}
-	}
-	for _, f := range p.fns {
-		if f.entry >= 0 && p.joinHeight(f.entry, 0, false) {
-			push(f.entry)
-		}
-	}
-	for len(wl) > 0 {
-		bi := wl[len(wl)-1]
-		wl = wl[:len(wl)-1]
-		inWL[bi] = false
-		b := &p.blocks[bi]
-		if b.heightState == hUnset {
-			continue
-		}
-		out, ok := int32(0), false
-		if b.heightState == hKnown {
-			out, ok = heightTransfer(b, b.height)
-		}
-		top := !ok || b.heightState == hTop
-		flow := func(ti int, h int32, isTop bool) {
-			if ti >= 0 && p.joinHeight(ti, h, isTop) {
-				push(ti)
-			}
-		}
-		switch b.kind {
-		case termFall:
-			flow(b.next, out, top)
-		case termBranch:
-			flow(b.target, out, top)
-			flow(b.next, out, top)
-		case termJump:
-			flow(b.target, out, top)
-		case termCall:
-			// The callee starts its own frame at zero (seeded above via
-			// its entry); the return point resumes at this site's exit
-			// height because the callee restores sp before returning.
-			flow(b.next, out, top)
-		case termCallUnknown:
-			// Unknown callee, same ABI assumption for the return point.
-			flow(b.next, out, top)
-		}
-	}
-}
+// Reaching stack-height, as a projection of the forward value
+// analysis (absint.go): the height on entry to a block is known
+// exactly when the abstract value of sp there is sp+δ — δ is the byte
+// displacement from function entry. Facts.StackHeight (dataflow.go)
+// reads it straight out of the block's value-in state.
+//
+// The projection strictly generalizes the dedicated height pass it
+// replaced, which went to ⊤ on any sp write other than
+// `addiu sp, sp, imm`. Through the value lattice, epilogues that
+// restore a frame pointer (`move sp, fp` where fp was materialized as
+// sp+δ) and constant-stepped adjustments (`addu sp, sp, rK` with rK a
+// known constant) keep the height known, while genuinely dynamic
+// adjustments (alloca-style `subu sp, sp, rN` with rN unknown)
+// degrade to ⊤ as before — until a later instruction rebuilds sp from
+// a value still anchored to the entry frame.
+//
+// The interprocedural convention is unchanged: function entries start
+// at height zero, the block after a call resumes at the call site's
+// exit height (the ABI restores sp across calls), and syscall/break
+// are assumed to preserve sp.

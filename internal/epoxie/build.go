@@ -2,6 +2,7 @@ package epoxie
 
 import (
 	"fmt"
+	"sort"
 
 	"systrace/internal/dataflow"
 	"systrace/internal/link"
@@ -60,6 +61,9 @@ func BuildInstrumented(objs []*obj.File, lopt link.Options, cfg Config, kind Run
 		flow.SavesElided += rw.Flow.SavesElided
 		flow.Fallbacks += rw.Flow.Fallbacks
 		flow.BytesSaved += rw.Flow.BytesSaved
+		flow.EASites += rw.Flow.EASites
+		flow.EARebased += rw.Flow.EARebased
+		flow.EASpecial += rw.Flow.EASpecial
 	}
 	newObjs = append(newObjs, RuntimeObj(kind))
 
@@ -101,6 +105,15 @@ func BuildInstrumented(objs []*obj.File, lopt link.Options, cfg Config, kind Run
 		st := prog.Stats()
 		ii.Flow.Blocks, ii.Flow.Funcs, ii.Flow.Passes = st.Blocks, st.Funcs, st.Passes
 		ii.Flow.AddrTaken = addrTaken(objs, instExe)
+		ii.Flow.EscapedText = escapedText(rews, instExe)
+		// Rebase records carry object-relative slot offsets; translate
+		// them to instrumented addresses for the verifier.
+		for oi, rw := range rews {
+			for _, reb := range rw.Flow.EARebases {
+				reb.Addr += lopt.TextBase + instLay.TextOff[oi]
+				ii.Flow.EARebases = append(ii.Flow.EARebases, reb)
+			}
+		}
 	}
 	instExe.Instr = ii
 	return &Build{Orig: origExe, Instr: instExe}, nil
@@ -134,5 +147,44 @@ func addrTaken(objs []*obj.File, inst *obj.Executable) []uint32 {
 			out = append(out, s.Off)
 		}
 	}
+	return out
+}
+
+// escapedText lists every instrumented text address that escapes
+// through a non-jump relocation in the rewritten objects — including
+// interior jump-table targets (sym+addend), whose blocks the
+// verifier's value analysis must poison. Addresses materialized
+// through lui/ori immediate pairs never appear as literal data words,
+// so the verifier's data-section scan cannot find them on its own.
+// Rewritten-object addends are already remapped to the instrumented
+// layout, which is what makes this resolution exact.
+func escapedText(rews []*Rewritten, inst *obj.Executable) []uint32 {
+	seen := map[uint32]bool{}
+	add := func(f *obj.File, rl obj.Reloc) {
+		if rl.Kind == obj.RelJ26 || rl.Sym < 0 || rl.Sym >= len(f.Syms) {
+			return
+		}
+		a, ok := inst.Symbol(f.Syms[rl.Sym].Name)
+		if !ok {
+			return
+		}
+		addr := uint32(int64(a) + int64(rl.Addend))
+		if addr >= inst.TextBase && addr < inst.TextEnd() {
+			seen[addr] = true
+		}
+	}
+	for _, rw := range rews {
+		for _, rl := range rw.File.Relocs {
+			add(rw.File, rl)
+		}
+		for _, rl := range rw.File.DataRelocs {
+			add(rw.File, rl)
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

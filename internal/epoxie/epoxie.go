@@ -116,6 +116,7 @@ type rw struct {
 	newRelocs []obj.Reloc
 	symBB     int    // symbol index of bbtrace
 	symMT     int    // symbol index of memtrace
+	symMTSP   int    // symbol index of memtrace_sp
 	curBlock  uint32 // original offset of the block being rewritten
 	flow      obj.FlowStats
 	err       error
@@ -158,6 +159,7 @@ func Rewrite(f *obj.File, cfg Config) (*Rewritten, error) {
 	}
 	r.symBB = nf.AddSym(obj.Symbol{Name: "bbtrace", Section: obj.SecText})
 	r.symMT = nf.AddSym(obj.Symbol{Name: "memtrace", Section: obj.SecText})
+	r.symMTSP = nf.AddSym(obj.Symbol{Name: "memtrace_sp", Section: obj.SecText})
 
 	for bi := range f.Blocks {
 		r.block(&f.Blocks[bi], nf)
@@ -373,21 +375,126 @@ func (r *rw) instruction(oldOff uint32, w isa.Word, instrument bool) {
 	}
 }
 
+// memHazard reports whether w cannot sit live in the jal delay slot:
+// its base is ra (clobbered by the call convention) or it is a load
+// overwriting its own base before memtrace decodes it.
+func memHazard(w isa.Word) bool {
+	i := isa.Decode(w)
+	return isa.Touches(w, isa.RegRA) || (isa.IsLoad(w) && i.Rt == i.Rs)
+}
+
 // memRef emits the memtrace call for a memory instruction.
 func (r *rw) memRef(oldOff uint32, w isa.Word) {
 	if r.cfg.Orig {
 		r.instrNew[oldOff] = r.emitOrigMemRef(w)
 		return
 	}
-	i := isa.Decode(w)
-	hazard := isa.Touches(w, isa.RegRA) || (isa.IsLoad(w) && i.Rt == i.Rs)
+	r.flow.EASites++
+	w2, reb := r.rebaseEA(oldOff, w)
+	i2 := isa.Decode(w2)
+
+	if r.cfg.Flow == FlowPadded {
+		// Layout parity with FlowOff: the group keeps the pre-rebase
+		// hazard shape and the general memtrace entry; only the
+		// addressing operand carries the rebase, so the differential
+		// oracle proves each rebased EA dynamically without moving a
+		// single address.
+		if reb != nil {
+			r.flow.EARebased++
+		}
+		jal := r.emit(isa.JAL(0))
+		r.newRelocs = append(r.newRelocs, obj.Reloc{Off: jal, Kind: obj.RelJ26, Sym: r.symMT})
+		if memHazard(w) {
+			r.emit(isa.EANop(i2.Rs, i2.Imm, isa.MemSize(w2)))
+		}
+		r.instrNew[oldOff] = r.emit(w2)
+		return
+	}
+
+	// FlowOn (or no facts, where w2 == w): the group takes the
+	// post-rebase hazard shape, and a slot whose base is sp routes to
+	// the specialized memtrace_sp entry — sp is never stolen and never
+	// touched by instrumentation, so that entry skips the 32-way base
+	// dispatch.
+	hazard := memHazard(w2)
+	sym := r.symMT
+	if i2.Rs == isa.RegSP && r.cfg.facts != nil && r.cfg.Flow == FlowOn {
+		sym = r.symMTSP
+		r.flow.EASpecial++
+	}
 	jal := r.emit(isa.JAL(0))
-	r.newRelocs = append(r.newRelocs, obj.Reloc{Off: jal, Kind: obj.RelJ26, Sym: r.symMT})
+	r.newRelocs = append(r.newRelocs, obj.Reloc{Off: jal, Kind: obj.RelJ26, Sym: sym})
+	var slot uint32
 	if hazard {
 		// EA no-op in the slot; real instruction after the call.
-		r.emit(isa.EANop(i.Rs, i.Imm, isa.MemSize(w)))
+		slot = r.emit(isa.EANop(i2.Rs, i2.Imm, isa.MemSize(w2)))
+		r.instrNew[oldOff] = r.emit(w2)
+	} else {
+		slot = r.emit(w2)
+		r.instrNew[oldOff] = slot
 	}
-	r.instrNew[oldOff] = r.emit(w)
+	if reb != nil {
+		r.flow.EARebased++
+		reb.Addr = slot
+		r.flow.EARebases = append(r.flow.EARebases, *reb)
+	}
+}
+
+// rebaseEA rewrites w's addressing operand onto a provably equal
+// anchor register when that strengthens the trace group: routing it to
+// the specialized sp runtime entry, or clearing a hazard so the EA
+// no-op word disappears. Requires value facts proving the original
+// base equals the anchor plus a 16-bit displacement at this point.
+func (r *rw) rebaseEA(oldOff uint32, w isa.Word) (isa.Word, *obj.EARebase) {
+	if r.cfg.facts == nil || r.cfg.Flow == FlowOff || r.cfg.Orig {
+		return w, nil
+	}
+	op := isa.Decode(r.in.Text[oldOff/4])
+	i := isa.Decode(w)
+	if i.Rs != op.Rs {
+		// Register stealing moved the base onto a shadow load; the
+		// facts describe the guest register, not the replacement.
+		return w, nil
+	}
+	switch op.Rs {
+	case isa.RegAT, isa.RegRA, isa.RegK0, isa.RegK1, xr1, xr2, xr3:
+		// Registers whose instrumented-image value at the slot is not
+		// the guest's: the verifier's redundant-ea rule could never
+		// re-prove the equality there.
+		return w, nil
+	}
+	st, ok := r.cfg.facts.ValuesAt(r.curBlock, int(oldOff-r.curBlock)/4)
+	if !ok {
+		return w, nil
+	}
+	v := st.Reg(op.Rs)
+	for _, nb := range [2]int{isa.RegSP, isa.RegGP} {
+		if nb == op.Rs {
+			break // already anchored; nothing to gain
+		}
+		d, ok := v.Diff(st.Reg(nb))
+		if !ok {
+			continue
+		}
+		newImm := int32(int16(i.Imm)) + d
+		if newImm < -0x8000 || newImm > 0x7fff {
+			continue
+		}
+		if isa.IsLoad(w) && i.Rt == nb {
+			continue // would recreate the load hazard on the new base
+		}
+		w2 := w&^isa.Word(0x03e0ffff) | isa.Word(nb)<<21 | isa.Word(uint16(newImm))
+		// Benefit test: the sp anchor enables memtrace_sp; the gp
+		// anchor pays off only when it clears a hazard form.
+		if nb != isa.RegSP && !(memHazard(w) && !memHazard(w2)) {
+			continue
+		}
+		return w2, &obj.EARebase{
+			OrigBase: uint8(op.Rs), NewBase: uint8(nb),
+			OrigImm: i.Imm, NewImm: uint16(newImm),
+		}
+	}
+	return w, nil
 }
 
 // terminatorPair rewrites a control transfer and its delay slot. Both

@@ -3,8 +3,11 @@ package epoxie_test
 import (
 	"testing"
 
+	"systrace/internal/asm"
 	"systrace/internal/cpu"
+	"systrace/internal/dataflow"
 	"systrace/internal/epoxie"
+	"systrace/internal/isa"
 	"systrace/internal/link"
 	m "systrace/internal/mahler"
 	"systrace/internal/obj"
@@ -91,7 +94,14 @@ func buildPair(t *testing.T, mod *m.Module, cfg epoxie.Config) *epoxie.Build {
 // against the interpreter reference, event for event.
 func checkTrace(t *testing.T, mod *m.Module, cfg epoxie.Config) (origV, instV uint32) {
 	t.Helper()
-	b := buildPair(t, mod, cfg)
+	return checkBuildTrace(t, buildPair(t, mod, cfg))
+}
+
+// checkBuildTrace runs both images of a finished build and compares the
+// parsed epoxie trace against the interpreter reference, event for
+// event.
+func checkBuildTrace(t *testing.T, b *epoxie.Build) (origV, instV uint32) {
+	t.Helper()
 
 	// Reference: uninstrumented run under the observer.
 	mach := sim.NewBareMachine(b.Orig)
@@ -468,5 +478,179 @@ func TestVerifyWorkloadCorpus(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// eaAsmObj hand-writes an fp-anchored frame — which the compiler never
+// emits — so the EA strength reduction (rebasing provably sp-relative
+// operands onto sp and routing them to the specialized memtrace_sp
+// entry) is exercised and proven against the simulator reference. The
+// second rebase candidate is a hazard load (rt == base) that the
+// rebase dissolves.
+func eaAsmObj(t *testing.T) *obj.File {
+	t.Helper()
+	a := asm.New("eaprog")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, uint16(0x10000-32)))
+	a.I(isa.ADDU(isa.RegFP, isa.RegSP, isa.RegZero)) // fp := sp
+	a.I(isa.ADDIU(isa.RegT0, isa.RegZero, 0x1234))
+	a.I(isa.SW(isa.RegT0, isa.RegFP, 8))  // rebased: sw t0,8(sp)
+	a.I(isa.SW(isa.RegT0, isa.RegSP, 16)) // direct memtrace_sp
+	a.I(isa.LW(isa.RegT1, isa.RegSP, 8))  // direct memtrace_sp
+	a.I(isa.ADDU(isa.RegT3, isa.RegFP, isa.RegZero))
+	a.I(isa.LW(isa.RegT3, isa.RegT3, 16)) // hazard, dissolved by rebase to 16(sp)
+	a.I(isa.ADDU(isa.RegV0, isa.RegT1, isa.RegZero))
+	a.I(isa.ADDU(isa.RegV0, isa.RegV0, isa.RegT3))
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, 32))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEAStrengthReduction(t *testing.T) {
+	build := func(fl epoxie.FlowMode) *epoxie.Build {
+		b, err := epoxie.BuildInstrumented(
+			[]*obj.File{sim.TracedStartObj(), eaAsmObj(t)},
+			link.Options{Name: "ea", TextBase: sim.BareTextBase, DataBase: sim.BareDataBase},
+			epoxie.Config{Flow: fl}, epoxie.BareRuntime)
+		if err != nil {
+			t.Fatalf("instrument (flow %d): %v", fl, err)
+		}
+		return b
+	}
+	runTraced := func(b *epoxie.Build) uint64 {
+		tm := sim.NewBareMachine(b.Instr)
+		if err := tm.Run(400_000_000); err != nil {
+			t.Fatalf("traced run: %v", err)
+		}
+		return tm.CPU.Stat.Instret
+	}
+
+	on := build(epoxie.FlowOn)
+	fl := on.Instr.Instr.Flow
+	if fl.EARebased < 2 {
+		t.Errorf("EARebased = %d, want >= 2 (plain store + hazard load)", fl.EARebased)
+	}
+	if fl.EASpecial < 4 {
+		t.Errorf("EASpecial = %d, want >= 4", fl.EASpecial)
+	}
+	if len(fl.EARebases) != fl.EARebased {
+		t.Errorf("EARebases records %d != EARebased %d", len(fl.EARebases), fl.EARebased)
+	}
+	if _, ok := on.Instr.Symbol("memtrace_sp"); !ok {
+		t.Fatal("memtrace_sp missing from instrumented image")
+	}
+	var store, load bool
+	for _, w := range on.Instr.Text {
+		store = store || w == isa.SW(isa.RegT0, isa.RegSP, 8)
+		load = load || w == isa.LW(isa.RegT3, isa.RegSP, 16)
+	}
+	if !store || !load {
+		t.Errorf("rebased slots missing in FlowOn text (store %v, load %v)", store, load)
+	}
+	// Dynamic proof: trace events identical to the simulator reference.
+	if _, v := checkBuildTrace(t, on); v != 0x2468 {
+		t.Errorf("traced v0 = %#x, want 0x2468", v)
+	}
+	requireCleanVerify(t, on.Instr)
+
+	// Layout parity: FlowPadded keeps FlowOff's exact text size and
+	// block addresses while carrying the rebased operands, so the
+	// differential oracle can prove the rebases with layout held fixed.
+	off, pad := build(epoxie.FlowOff), build(epoxie.FlowPadded)
+	if len(off.Instr.Text) != len(pad.Instr.Text) {
+		t.Fatalf("text size: FlowOff %d words, FlowPadded %d", len(off.Instr.Text), len(pad.Instr.Text))
+	}
+	if len(off.Instr.Blocks) != len(pad.Instr.Blocks) {
+		t.Fatalf("blocks: FlowOff %d, FlowPadded %d", len(off.Instr.Blocks), len(pad.Instr.Blocks))
+	}
+	for i := range off.Instr.Blocks {
+		if off.Instr.Blocks[i].Addr != pad.Instr.Blocks[i].Addr {
+			t.Fatalf("block %d: FlowOff head 0x%08x, FlowPadded 0x%08x",
+				i, off.Instr.Blocks[i].Addr, pad.Instr.Blocks[i].Addr)
+		}
+	}
+	if pad.Instr.Instr.Flow.EARebased < 2 {
+		t.Errorf("FlowPadded EARebased = %d, want >= 2", pad.Instr.Instr.Flow.EARebased)
+	}
+	checkBuildTrace(t, off)
+	checkBuildTrace(t, pad)
+
+	// The specialized runtime path must actually be cheaper.
+	onN, offN := runTraced(on), runTraced(off)
+	if onN >= offN {
+		t.Errorf("FlowOn retired %d instructions, FlowOff %d: specialization saved nothing", onN, offN)
+	}
+}
+
+// requireCleanVerify asserts the image passes the static verifier.
+func requireCleanVerify(t *testing.T, e *obj.Executable) {
+	t.Helper()
+	res, err := verify.Executable(e)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("verifier diagnostic: %s", d)
+	}
+}
+
+// TestStaticCostModel runs the dataflow trace-cost model over an
+// instrumented doubly nested loop and checks its structural facts:
+// full coverage of the recorded blocks, the nesting detected, the
+// per-entry cost bounded by the real block costs, and the
+// instrumentation growth accounted per function.
+func TestStaticCostModel(t *testing.T) {
+	b := buildPair(t, growthWorkload(), epoxie.Config{})
+	c, err := dataflow.StaticCostTraced(b.Instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Blocks != len(b.Instr.Instr.Blocks) {
+		t.Errorf("model covers %d blocks, image records %d", c.Blocks, len(b.Instr.Instr.Blocks))
+	}
+	if c.MaxDepth < 2 {
+		t.Errorf("max loop depth %d, want >= 2 for a doubly nested loop", c.MaxDepth)
+	}
+	// Per-entry cost is a weighted mean of 1+|Mem| over blocks, so it
+	// must sit inside the per-block extremes.
+	lo, hi := 1<<30, 0
+	for i := range b.Instr.Instr.Blocks {
+		w := 1 + len(b.Instr.Instr.Blocks[i].Mem)
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if wpb := c.WordsPerBlock(); wpb < float64(lo) || wpb > float64(hi) {
+		t.Errorf("words/block %.2f outside block-cost range [%d,%d]", wpb, lo, hi)
+	}
+	if c.AddedInstr <= 0 || c.AddedPerInstr() <= 0 {
+		t.Errorf("no instrumentation growth accounted: %+v", c)
+	}
+	var mainFn *dataflow.FuncCost
+	for i := range c.Funcs {
+		if c.Funcs[i].Name == "main" {
+			mainFn = &c.Funcs[i]
+		}
+	}
+	if mainFn == nil {
+		t.Fatal("no per-function row for main")
+	}
+	if mainFn.Depth < 2 || mainFn.Blocks == 0 || mainFn.WordsPerInstr() <= 0 {
+		t.Errorf("main row implausible: %+v", mainFn)
+	}
+
+	// The inner loop must dominate the weighted mix: the model's
+	// words/instr should be closer to the hot inner blocks' ratio than
+	// an unweighted average would be. Sanity-bound it to (0, 2].
+	if wpi := c.WordsPerInstr(); wpi <= 0 || wpi > 2 {
+		t.Errorf("words/instr %.3f implausible", wpi)
 	}
 }

@@ -71,6 +71,8 @@ func Figure2() Figure2Output {
 				s = "jal    bbtrace"
 			case b.Instr.MustSymbol("memtrace"):
 				s = "jal    memtrace"
+			case b.Instr.MustSymbol("memtrace_sp"):
+				s = "jal    memtrace_sp"
 			case b.Instr.MustSymbol("_findiop"):
 				s = "jal    _findiop"
 			}

@@ -136,6 +136,32 @@ func RuntimeObj(kind RuntimeKind) *obj.File {
 	a.I(isa.JR(xr2))
 	a.I(isa.NOP)
 
+	// ---- memtrace_sp ----
+	// Specialized entry for references whose base register is sp (the
+	// dominant class): sp is never stolen and never touched by the
+	// instrumentation, so the 32-way dispatch and the BookImm round trip
+	// collapse into a direct add off the live register. The rewriter
+	// routes a group here only when the (possibly rebased) slot
+	// instruction's base is sp; hazard groups qualify too, since their
+	// EA no-op slot encodes the same base and displacement. Same
+	// register contract as memtrace: clobbers xreg1/xreg2, preserves
+	// `at`, restores ra from the bookkeeping area.
+	a.Func("memtrace_sp", asm.NoInstrument)
+	a.I(isa.SW(isa.RegRA, xr3, trace.BookBusy)) // in-flight
+	a.I(isa.LW(xr1, isa.RegRA, uint16(0xfffc))) // delay-slot instruction
+	a.I(isa.SLL(xr1, xr1, 16))
+	a.I(isa.SRA(xr1, xr1, 16))         // sign-extended displacement
+	a.I(isa.ADDU(xr1, isa.RegSP, xr1)) // effective address
+	a.I(isa.LW(xr2, xr3, trace.BookBufPtr))
+	a.I(isa.SW(xr1, xr2, 0)) // one store records the entry
+	a.I(isa.ADDIU(xr2, xr2, 4))
+	a.I(isa.SW(xr2, xr3, trace.BookBufPtr))
+	a.I(isa.SW(isa.RegZero, xr3, trace.BookBusy))
+	a.I(isa.OR(xr2, isa.RegRA, isa.RegZero))
+	a.I(isa.LW(isa.RegRA, xr3, trace.BookSavedRA))
+	a.I(isa.JR(xr2))
+	a.I(isa.NOP)
+
 	return a.MustFinish()
 }
 

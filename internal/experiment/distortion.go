@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"systrace/internal/dataflow"
 	"systrace/internal/kernel"
 	"systrace/internal/obj"
 	"systrace/internal/telemetry"
@@ -49,6 +50,17 @@ type Distortion struct {
 	// how many prologue/scratch save sites the liveness analysis
 	// proved elidable.
 	Flow obj.FlowStats
+
+	// Cost is the static trace-cost model merged over the same images:
+	// predicted trace words per original instruction from the rewritten
+	// image and its CFG alone, no execution.
+	Cost *dataflow.CostModel
+	// StaticModelErr is the cost model's table validated against the
+	// measured stream: the signed relative error of Σ counts·(1+|Mem|)
+	// over observed block entries vs. the words the parser consumed.
+	// The structural mix estimate (Cost.WordsPerInstr vs.
+	// TraceWordsPerInstr) carries the frequency-guessing error on top.
+	StaticModelErr float64
 
 	Meas *Measured
 	Pred *Predicted
@@ -102,6 +114,15 @@ func Distort(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 	instr := uint64(kexe.Instr.TextSize) + uint64(prog.Instr.Instr.TextSize)
 	d.addFlow(kexe.Instr.Flow)
 	d.addFlow(prog.Instr.Instr.Flow)
+	cost, err := dataflow.StaticCostTraced(kexe)
+	if err != nil {
+		return nil, err
+	}
+	progCost, err := dataflow.StaticCostTraced(prog.Instr)
+	if err != nil {
+		return nil, err
+	}
+	cost.Merge(progCost)
 	nprocs := uint64(1)
 	if flavor == kernel.Mach {
 		srv, err := server()
@@ -111,8 +132,15 @@ func Distort(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 		orig += uint64(srv.Instr.Instr.OrigTextSize)
 		instr += uint64(srv.Instr.Instr.TextSize)
 		d.addFlow(srv.Instr.Instr.Flow)
+		srvCost, err := dataflow.StaticCostTraced(srv.Instr)
+		if err != nil {
+			return nil, err
+		}
+		cost.Merge(srvCost)
 		nprocs = 2
 	}
+	d.Cost = cost
+	d.StaticModelErr = pred.StaticWordErr()
 	d.UntracedTextBytes = orig
 	d.TracedTextBytes = instr
 	d.BufferBytes = trace.DefaultKernelBufBytes +
@@ -150,6 +178,18 @@ func Distort(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 		reg.Gauge("dataflow_fallbacks",
 			"save sites kept conservative (register live or analysis inconclusive)", lab...).
 			Set(float64(d.Flow.Fallbacks))
+		reg.Gauge("dataflow_static_trace_words_per_instr",
+			"cost model: predicted trace words per original instruction (static)", lab...).
+			Set(d.Cost.WordsPerInstr())
+		reg.Gauge("dataflow_static_trace_words_per_block",
+			"cost model: predicted trace words per recorded block entry (static)", lab...).
+			Set(d.Cost.WordsPerBlock())
+		reg.Gauge("dataflow_static_added_instr_per_instr",
+			"cost model: instrumentation text words added per original text word", lab...).
+			Set(d.Cost.AddedPerInstr())
+		reg.Gauge("dataflow_static_model_error_pct",
+			"cost table error: static per-block words vs. words the parser consumed (%)", lab...).
+			Set(d.StaticModelErr * 100)
 	}
 	return d, nil
 }
@@ -188,6 +228,13 @@ func (d *Distortion) Format() string {
 			d.Flow.BytesSaved, d.Flow.Fallbacks)
 		fmt.Fprintf(&b, "  dataflow coverage:    %d blocks in %d functions analyzed\n",
 			d.Flow.Blocks, d.Flow.Funcs)
+	}
+	if d.Cost != nil {
+		fmt.Fprintf(&b, "  static cost model:    %6.2f words/instr predicted vs %.2f measured (%+.1f%% mix error, max loop depth %d)\n",
+			d.Cost.WordsPerInstr(), d.TraceWordsPerInstr,
+			100*(d.Cost.WordsPerInstr()/d.TraceWordsPerInstr-1), d.Cost.MaxDepth)
+		fmt.Fprintf(&b, "  static cost table:    %d words from observed mix vs %d consumed (%+.2f%% model error)\n",
+			d.Pred.StaticWords(), d.Pred.Parser.Words, 100*d.StaticModelErr)
 	}
 	return b.String()
 }

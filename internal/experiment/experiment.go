@@ -411,6 +411,34 @@ type Predicted struct {
 	// stream the parser consumed. Diagnostics are reported, not fatal:
 	// the prediction is still computed from whatever parsed.
 	Conformance *tracecheck.Result
+	// BlockCost maps each recorded block's original address to its
+	// static per-entry trace cost in words (1 + |Mem|), from the same
+	// side tables the parser decodes with. With Parser.BlockCounts it
+	// validates the static cost model's table against the stream.
+	BlockCost map[uint32]uint32
+}
+
+// StaticWords applies the static per-block cost table to the observed
+// per-block entry counts: Σ counts(b)·(1+|Mem(b)|). This is the
+// dataflow cost model's prediction of the stream size given only the
+// execution mix; the residual against Parser.Words is stream overhead
+// the table does not model (epoch markers, resynchronization dirt,
+// blocks interrupted mid-record by exceptions).
+func (p *Predicted) StaticWords() uint64 {
+	var sum uint64
+	for addr, n := range p.Parser.BlockCounts() {
+		sum += n * uint64(p.BlockCost[addr])
+	}
+	return sum
+}
+
+// StaticWordErr is the signed relative error of the static cost table
+// against the words the parser actually consumed, as a fraction.
+func (p *Predicted) StaticWordErr() float64 {
+	if p.Parser == nil || p.Parser.Words == 0 {
+		return 0
+	}
+	return float64(p.StaticWords())/float64(p.Parser.Words) - 1
 }
 
 // Predict runs the traced system, streams the trace through the
@@ -460,9 +488,21 @@ func predictWith(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 
 	// Side tables: kernel + every traced process image.
 	p := trace.NewParser(trace.NewSideTable(sys.Kernel.Instr.Blocks))
+	// Per-block entry counts feed the static cost model's validation
+	// (predicted words per entry × observed entries vs. words seen).
+	p.CountBlocks()
+	costWords := map[uint32]uint32{}
+	for bi := range sys.Kernel.Instr.Blocks {
+		b := &sys.Kernel.Instr.Blocks[bi]
+		costWords[b.OrigAddr] = uint32(1 + len(b.Mem))
+	}
 	for i, bp := range sys.Procs {
 		if bp.Exe.Instr != nil {
 			p.AddProcess(i+1, trace.NewSideTable(bp.Exe.Instr.Blocks))
+			for bi := range bp.Exe.Instr.Blocks {
+				b := &bp.Exe.Instr.Blocks[bi]
+				costWords[b.OrigAddr] = uint32(1 + len(b.Mem))
+			}
 		}
 	}
 	policy := memsys.PolicySequential
@@ -561,6 +601,7 @@ func predictWith(spec workload.Spec, flavor kernel.Flavor, seed uint32,
 		Sim:            sim,
 		Parser:         p,
 		Conformance:    conf,
+		BlockCost:      costWords,
 	}, nil
 }
 

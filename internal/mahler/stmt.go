@@ -194,8 +194,13 @@ func (c *cg) stmt(s Stmt) {
 		c.a.Br(isa.BEQ(cond.reg, isa.RegZero, 0), els)
 		c.a.I(isa.NOP)
 		c.stmts(x.then)
-		c.a.Jmp(end)
-		c.a.I(isa.NOP)
+		// The jump over the else arm is dead when the then arm already
+		// left unconditionally (break/continue/return); emitting it
+		// anyway creates an unreachable block guestlint flags.
+		if !terminal(x.then) {
+			c.a.Jmp(end)
+			c.a.I(isa.NOP)
+		}
 		c.a.Label(els)
 		c.stmts(x.els)
 		c.a.Label(end)
@@ -209,8 +214,10 @@ func (c *cg) stmt(s Stmt) {
 		c.loops = append(c.loops, loopLabels{cont: top, brk: end})
 		c.stmts(x.body)
 		c.loops = c.loops[:len(c.loops)-1]
-		c.a.Jmp(top)
-		c.a.I(isa.NOP)
+		if !terminal(x.body) {
+			c.a.Jmp(top)
+			c.a.I(isa.NOP)
+		}
 		c.a.Label(end)
 	case breakStmt:
 		if len(c.loops) == 0 {
@@ -271,4 +278,21 @@ func (c *cg) stmt(s Stmt) {
 	default:
 		cerr("%s: unhandled statement %T", c.f.Name, s)
 	}
+}
+
+// terminal reports whether a statement list always leaves by an
+// unconditional transfer (break, continue, or return), so any code
+// emitted directly after it would be unreachable. An if is terminal
+// only when both arms exist and are terminal.
+func terminal(stmts []Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch x := stmts[len(stmts)-1].(type) {
+	case breakStmt, continueStmt, returnStmt:
+		return true
+	case ifStmt:
+		return x.els != nil && terminal(x.then) && terminal(x.els)
+	}
+	return false
 }

@@ -58,6 +58,39 @@ type FlowStats struct {
 	// verifier feeds these into its own analysis so both sides agree
 	// on which functions have invisible callers.
 	AddrTaken []uint32
+
+	// EscapedText lists instrumented text addresses (beyond function
+	// entries) that escape through non-jump relocations — interior
+	// jump-table targets. The verifier poisons these blocks in its own
+	// value analysis; a data-section scan alone misses addresses
+	// materialized through lui/ori immediate pairs.
+	EscapedText []uint32
+
+	// EA strength reduction (the forward value analysis's rewriter
+	// consumer): how many traced memory groups were considered, how
+	// many had their addressing operand rebased onto a provably equal
+	// anchor, and how many were routed to the specialized sp runtime
+	// entry.
+	EASites   int
+	EARebased int
+	EASpecial int
+	// EARebases holds one record per rebased operand so the verifier's
+	// redundant-ea rule can re-prove each equality with its own
+	// exe-side analysis.
+	EARebases []EARebase
+}
+
+// EARebase records one effective-address strength reduction: the slot
+// word at Addr encodes NewBase+NewImm where the original program
+// computed OrigBase+OrigImm; the rewriter's value analysis proved the
+// two equal at that point. Within a Rewritten object Addr is a text
+// offset; BuildInstrumented translates it to an instrumented address.
+type EARebase struct {
+	Addr     uint32
+	OrigBase uint8
+	NewBase  uint8
+	OrigImm  uint16
+	NewImm   uint16
 }
 
 // InstrInfo is the static side table produced by instrumentation.

@@ -120,8 +120,9 @@ type CFG struct {
 	// block can leave behind (§4.3's resynchronization "dirt").
 	MaxMem int
 
-	bb, mt uint32
-	memo   map[uint32]*ReachSet
+	bb, mt, mtsp uint32
+	hasSP        bool
+	memo         map[uint32]*ReachSet
 }
 
 // reachCap bounds the instruction closure of one Reach query; silent
@@ -150,12 +151,15 @@ func NewCFG(e *obj.Executable) (*CFG, error) {
 		return nil, fmt.Errorf("verify: %s: tracing runtime symbols missing (bbtrace %v, memtrace %v)",
 			e.Name, okBB, okMT)
 	}
+	mtsp, okSP := e.Symbol("memtrace_sp")
 	g := &CFG{
 		Exe:      e,
 		Nodes:    make(map[uint32]*CFGNode, len(e.Instr.Blocks)),
 		ByRecord: make(map[uint32]*CFGNode, len(e.Instr.Blocks)),
 		bb:       bb,
 		mt:       mt,
+		mtsp:     mtsp,
+		hasSP:    okSP,
 		memo:     make(map[uint32]*ReachSet),
 	}
 	for i := range e.Instr.Blocks {
@@ -196,7 +200,8 @@ func (g *CFG) classify(n *CFGNode) {
 	// blocks need at least their prologue before the pair.
 	minPair := int(prologueBytes(b.Flags))/4 + 2
 	if cnt < minPair || !isa.HasDelaySlot(ws[cnt-2]) ||
-		jalTarget(ws[cnt-2], g.mt) || jalTarget(ws[cnt-2], g.bb) {
+		jalTarget(ws[cnt-2], g.mt) || jalTarget(ws[cnt-2], g.bb) ||
+		(g.hasSP && jalTarget(ws[cnt-2], g.mtsp)) {
 		// No pair. A trailing lone break never resumes in the traced
 		// image; a trailing syscall resumes at the next instruction.
 		if cnt > 0 {
@@ -286,7 +291,7 @@ func (g *CFG) reach(start uint32) *ReachSet {
 		}
 		w := e.Text[(a-e.TextBase)/4]
 		switch {
-		case jalTarget(w, g.bb) || jalTarget(w, g.mt):
+		case jalTarget(w, g.bb) || jalTarget(w, g.mt) || (g.hasSP && jalTarget(w, g.mtsp)):
 			// A trace-runtime call in code we thought silent; give up
 			// on this path rather than guess its record.
 			s.Top = true

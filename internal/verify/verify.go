@@ -64,12 +64,23 @@ const (
 	// load is legal only when the scratch is dead once the rewritten
 	// group ends.
 	RuleLiveClobber = "live-clobber"
+	// RuleAddrClass: when the verifier's own value analysis proves a
+	// traced effective address constant, the address must be plausible
+	// — not in the null page, not a store into text, not misaligned
+	// for its access width. A group routed to the specialized
+	// memtrace_sp entry must really have sp as its slot base.
+	RuleAddrClass = "addr-class"
+	// RuleRedundantEA: every EA rebase the rewriter performed (its
+	// claim that base+imm was provably equal to anchor+imm') must be
+	// re-provable by the verifier's own, independently derived value
+	// analysis over the rewritten image.
+	RuleRedundantEA = "redundant-ea"
 )
 
 // Rules lists every rule identifier in report order.
 var Rules = []string{
 	RuleBBHead, RuleMemTrace, RuleSteal, RuleBranchTarget, RuleHoist, RuleSideTable,
-	RuleDeadReg, RuleLiveClobber,
+	RuleDeadReg, RuleLiveClobber, RuleAddrClass, RuleRedundantEA,
 }
 
 // Diag is one verification finding.
@@ -125,21 +136,29 @@ func Executable(e *obj.Executable) (*Result, error) {
 		return nil, fmt.Errorf("verify: %s: tracing runtime symbols missing (bbtrace %v, memtrace %v)",
 			e.Name, okBB, okMT)
 	}
+	mtsp, okSP := e.Symbol("memtrace_sp")
 
-	w := newWalker(e, bb, mt)
-	// The verifier's own liveness over the rewritten image, for the
-	// flow rules. Trace-runtime calls are transparent (they save and
-	// restore what they touch, except the deliberately unmodeled ra
-	// restore); the rewriter's relocation-level address-taken view
-	// rides in the side table. If the image is too damaged to analyze,
-	// the structural rules still run and report the damage.
+	w := newWalker(e, bb, mt, mtsp, okSP)
+	// The verifier's own liveness and value analysis over the rewritten
+	// image, for the flow rules. Trace-runtime calls are transparent
+	// (they save and restore what they touch, except the deliberately
+	// unmodeled ra restore); the rewriter's relocation-level
+	// address-taken and interior-escape views ride in the side table.
+	// If the image is too damaged to analyze, the structural rules
+	// still run and report the damage.
+	transparent := []uint32{bb, mt}
+	if okSP {
+		transparent = append(transparent, mtsp)
+	}
 	if facts, err := dataflow.AnalyzeExecutable(e, dataflow.ExeConfig{
-		Transparent: []uint32{bb, mt},
+		Transparent: transparent,
 		AddrTaken:   e.Instr.Flow.AddrTaken,
+		Poison:      e.Instr.Flow.EscapedText,
 	}); err == nil {
 		w.flow = facts
 	}
 	w.sideTable()
+	w.rebases()
 	for i := range e.Blocks {
 		b := &e.Blocks[i]
 		if b.Flags&(obj.BBNoInstrument|obj.BBHandTraced) != 0 {

@@ -93,6 +93,7 @@ func cloneExe(e *obj.Executable) *obj.Executable {
 	ne.Text = append([]isa.Word(nil), e.Text...)
 	ii := *e.Instr
 	ii.Blocks = append([]obj.InstrBlock(nil), e.Instr.Blocks...)
+	ii.Flow.EARebases = append([]obj.EARebase(nil), e.Instr.Flow.EARebases...)
 	ne.Instr = &ii
 	return &ne
 }
@@ -505,5 +506,108 @@ func TestRegisterMetrics(t *testing.T) {
 	}
 	if mb, ok := snap.Get("verify_blocks_total", telemetry.L("image", e.Name)); !ok || mb.Value < 1 {
 		t.Fatal("verify_blocks_total missing")
+	}
+}
+
+// eaObj hand-writes an fp-anchored frame — which the compiler never
+// emits — so the rewriter provably rebases a memory operand onto sp,
+// plus an sp-based reference (specialized to memtrace_sp) and an
+// unknown-base reference (general memtrace) for targeted mutations.
+func eaObj(t *testing.T) *obj.File {
+	t.Helper()
+	a := asm.New("eaprog")
+	a.Func("main", 0)
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, uint16(0x10000-32)))
+	a.I(isa.ADDU(isa.RegFP, isa.RegSP, isa.RegZero)) // fp := sp
+	a.I(isa.SW(isa.RegT0, isa.RegFP, 8))             // rebased to 8(sp), routed to memtrace_sp
+	a.I(isa.LW(isa.RegT1, isa.RegSP, 16))            // already sp-based: memtrace_sp
+	a.I(isa.LW(isa.RegT2, isa.RegA0, 0))             // unknown base: general memtrace
+	a.I(isa.ADDIU(isa.RegSP, isa.RegSP, 32))
+	a.I(isa.JR(isa.RegRA))
+	a.I(isa.NOP)
+	f, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func buildEA(t *testing.T) *epoxie.Build {
+	t.Helper()
+	return buildObjs(t, "ea", []*obj.File{sim.TracedStartObj(), eaObj(t)}, epoxie.BareRuntime)
+}
+
+func TestVerifyCleanEARebase(t *testing.T) {
+	b := buildEA(t)
+	res := requireClean(t, b.Instr)
+	fl := b.Instr.Instr.Flow
+	if fl.EARebased < 1 || len(fl.EARebases) != fl.EARebased {
+		t.Fatalf("EARebased = %d with %d records, want >= 1 and equal", fl.EARebased, len(fl.EARebases))
+	}
+	if fl.EASpecial < 2 {
+		t.Fatalf("EASpecial = %d, want >= 2 (rebased store + direct sp load)", fl.EASpecial)
+	}
+	if res.Checks[verify.RuleAddrClass] == 0 {
+		t.Error("addr-class rule never checked")
+	}
+	if res.Checks[verify.RuleRedundantEA] == 0 {
+		t.Error("redundant-ea rule never checked")
+	}
+	reb := fl.EARebases[0]
+	if got := b.Instr.Text[(reb.Addr-b.Instr.TextBase)/4]; got != isa.SW(isa.RegT0, isa.RegSP, 8) {
+		t.Errorf("rebased slot word = %#x, want sw t0,8(sp)", uint32(got))
+	}
+	if reb.OrigBase != isa.RegFP || reb.NewBase != isa.RegSP {
+		t.Errorf("rebase record %s -> %s, want fp -> sp",
+			isa.RegName(int(reb.OrigBase)), isa.RegName(int(reb.NewBase)))
+	}
+}
+
+func TestMutationRedundantEAEncoding(t *testing.T) {
+	b := buildEA(t)
+	e := cloneExe(b.Instr)
+	reb := e.Instr.Flow.EARebases[0]
+	setWord(t, e, reb.Addr, isa.SW(isa.RegT0, isa.RegSP, 12))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleRedundantEA)
+	if !strings.Contains(d.Msg, "does not encode") {
+		t.Errorf("wrong redundant-ea diagnostic: %s", d.Msg)
+	}
+}
+
+func TestMutationRedundantEAUnprovable(t *testing.T) {
+	b := buildEA(t)
+	e := cloneExe(b.Instr)
+	// Claim the rebase proved t5+8 == sp+8; t5 is unknown there, so the
+	// verifier's independent re-proof must fail.
+	e.Instr.Flow.EARebases[0].OrigBase = isa.RegT5
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleRedundantEA)
+	if !strings.Contains(d.Msg, "re-prove") {
+		t.Errorf("wrong redundant-ea diagnostic: %s", d.Msg)
+	}
+}
+
+func TestMutationAddrClassSPRoute(t *testing.T) {
+	b := buildEA(t)
+	e := cloneExe(b.Instr)
+	slot := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w == isa.LW(isa.RegT1, isa.RegSP, 16)
+	})
+	setWord(t, e, slot, isa.LW(isa.RegT1, isa.RegT0, 16))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleAddrClass)
+	if !strings.Contains(d.Msg, "not sp") {
+		t.Errorf("wrong addr-class diagnostic: %s", d.Msg)
+	}
+}
+
+func TestMutationAddrClassNullPage(t *testing.T) {
+	b := buildEA(t)
+	e := cloneExe(b.Instr)
+	slot := findWord(t, e, func(_ uint32, w isa.Word) bool {
+		return w == isa.LW(isa.RegT2, isa.RegA0, 0)
+	})
+	setWord(t, e, slot, isa.LW(isa.RegT2, isa.RegZero, 256))
+	d := assertRuleFires(t, mustVerify(t, e), verify.RuleAddrClass)
+	if !strings.Contains(d.Msg, "null page") {
+		t.Errorf("wrong addr-class diagnostic: %s", d.Msg)
 	}
 }

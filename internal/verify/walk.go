@@ -36,22 +36,27 @@ type walker struct {
 	e        *obj.Executable
 	res      *Result
 	bb, mt   uint32          // bbtrace / memtrace entry addresses
+	mtsp     uint32          // memtrace_sp entry address (when present)
+	hasSP    bool            // runtime provides memtrace_sp
 	heads    map[uint32]bool // every post-rewrite block head
 	instrSet map[uint32]bool // heads of instrumented blocks
 	byRecord map[uint32]*obj.InstrBlock
 	scratch  map[int]bool // registers the steal idiom may borrow
-	// flow is the verifier's own liveness over the rewritten image
-	// (trace-runtime calls modeled transparent); nil when the image is
-	// too damaged to analyze — the structural rules still run.
+	// flow is the verifier's own liveness and value analysis over the
+	// rewritten image (trace-runtime calls modeled transparent); nil
+	// when the image is too damaged to analyze — the structural rules
+	// still run.
 	flow *dataflow.Facts
 }
 
-func newWalker(e *obj.Executable, bb, mt uint32) *walker {
+func newWalker(e *obj.Executable, bb, mt, mtsp uint32, hasSP bool) *walker {
 	w := &walker{
 		e:        e,
 		res:      &Result{Name: e.Name, Checks: make(map[string]int)},
 		bb:       bb,
 		mt:       mt,
+		mtsp:     mtsp,
+		hasSP:    hasSP,
 		heads:    make(map[uint32]bool, len(e.Blocks)),
 		instrSet: make(map[uint32]bool),
 		byRecord: make(map[uint32]*obj.InstrBlock, len(e.Instr.Blocks)),
@@ -184,7 +189,7 @@ func (w *walker) block(b *obj.ExeBlock) {
 	// Terminator pair: the last two words, when the penultimate word
 	// is a control transfer that is not itself a memtrace call.
 	bodyEnd := n
-	hasPair := n >= pw+2 && isa.HasDelaySlot(ws[n-2]) && !w.jalTo(ws[n-2], w.mt)
+	hasPair := n >= pw+2 && isa.HasDelaySlot(ws[n-2]) && !w.memJal(ws[n-2])
 	if hasPair {
 		bodyEnd = n - 2
 	}
@@ -219,7 +224,7 @@ func (w *walker) block(b *obj.ExeBlock) {
 		addr := b.Addr + uint32(i)*4
 		bookItem := false
 		switch {
-		case w.jalTo(word, w.mt):
+		case w.memJal(word):
 			i += w.memGroup(b, ib, ws, i, bodyEnd, &memSeen, &lastMem)
 		case w.jalTo(word, w.bb):
 			w.diag(addr, b.Addr, RuleBBHead, "stray jal bbtrace inside block body")
@@ -299,10 +304,18 @@ func (w *walker) block(b *obj.ExeBlock) {
 	}
 }
 
-// memGroup consumes one `jal memtrace` call sequence starting at ws[i]
+// memJal reports whether word calls one of the memory-trace entries
+// (the general memtrace or the specialized memtrace_sp).
+func (w *walker) memJal(word isa.Word) bool {
+	return w.jalTo(word, w.mt) || (w.hasSP && w.jalTo(word, w.mtsp))
+}
+
+// memGroup consumes one memory-trace call sequence starting at ws[i]
 // and returns the number of words consumed. The group is either
 // [jal, mem] (the reference in the delay slot) or [jal, ea-nop, mem]
-// (the hazard form, §3.2).
+// (the hazard form, §3.2). A group routed to memtrace_sp must have sp
+// as its slot base — that entry skips the 32-way dispatch and adds the
+// displacement straight to the live sp.
 func (w *walker) memGroup(b *obj.ExeBlock, ib *obj.InstrBlock, ws []isa.Word, i, limit int, memSeen *int, lastMem *isa.Word) int {
 	w.check(RuleMemTrace)
 	addr := b.Addr + uint32(i)*4
@@ -342,6 +355,15 @@ func (w *walker) memGroup(b *obj.ExeBlock, ib *obj.InstrBlock, ws []isa.Word, i,
 				"hazard instruction traced in delay-slot form (memtrace would decode a stale base)")
 		}
 	}
+	if w.hasSP && w.jalTo(ws[i], w.mtsp) {
+		w.check(RuleAddrClass)
+		if sb := isa.Decode(ws[i+1]).Rs; sb != isa.RegSP {
+			w.diag(addr+4, b.Addr, RuleAddrClass,
+				"memtrace_sp group whose slot base is %s, not sp (the runtime would add the wrong register)",
+				isa.RegName(sb))
+		}
+	}
+	w.addrClass(addr+4, b, i+1, ws[i+1], mem)
 	w.xregCheck(addr+uint32(size-1)*4, b.Addr, mem)
 	*memSeen++
 	*lastMem = mem
@@ -353,6 +375,79 @@ func (w *walker) memGroup(b *obj.ExeBlock, ib *obj.InstrBlock, ws []isa.Word, i,
 		}
 	}
 	return size
+}
+
+// addrClass checks a traced reference whose effective address the
+// verifier's own value analysis proves constant: the address must not
+// fall in the null page, a store must not target text, and the access
+// must be aligned for its width. slot is the word encoding base+imm
+// (the reference itself or its EA no-op) at index k of block b; mem is
+// the real memory instruction.
+func (w *walker) addrClass(addr uint32, b *obj.ExeBlock, k int, slot, mem isa.Word) {
+	if w.flow == nil {
+		return
+	}
+	st, ok := w.flow.ValuesAt(b.Addr, k)
+	if !ok {
+		return
+	}
+	ea := dataflow.EA(st, slot)
+	if ea.Kind != dataflow.VConst {
+		return
+	}
+	w.check(RuleAddrClass)
+	a := uint32(ea.Off)
+	sz := uint32(isa.MemSize(mem))
+	switch {
+	case a < 0x1000:
+		w.diag(addr, b.Addr, RuleAddrClass,
+			"traced reference through provably constant address 0x%08x in the null page", a)
+	case !isa.IsLoad(mem) && a >= w.e.TextBase && a < w.e.TextEnd():
+		w.diag(addr, b.Addr, RuleAddrClass,
+			"traced store through provably constant address 0x%08x inside text", a)
+	case sz > 1 && a%sz != 0:
+		w.diag(addr, b.Addr, RuleAddrClass,
+			"traced %d-byte reference through provably constant address 0x%08x is misaligned", sz, a)
+	}
+}
+
+// rebases re-proves every EA strength reduction the rewriter recorded:
+// the slot word at each record must encode the rebased operand, and
+// the verifier's own value analysis must prove the original and
+// rebased forms compute the same address at that point.
+func (w *walker) rebases() {
+	for _, reb := range w.e.Instr.Flow.EARebases {
+		w.check(RuleRedundantEA)
+		b := w.e.BlockFor(reb.Addr)
+		if b == nil {
+			w.diag(reb.Addr, reb.Addr, RuleRedundantEA, "rebase record points outside every block")
+			continue
+		}
+		word := w.e.Text[(reb.Addr-w.e.TextBase)/4]
+		d := isa.Decode(word)
+		if !isa.IsMem(word) || d.Rs != int(reb.NewBase) || d.Imm != reb.NewImm {
+			w.diag(reb.Addr, b.Addr, RuleRedundantEA,
+				"slot word does not encode the recorded rebased operand %s%+d",
+				isa.RegName(int(reb.NewBase)), int32(int16(reb.NewImm)))
+			continue
+		}
+		if w.flow == nil {
+			continue
+		}
+		st, ok := w.flow.ValuesAt(b.Addr, int(reb.Addr-b.Addr)/4)
+		if !ok {
+			w.diag(reb.Addr, b.Addr, RuleRedundantEA, "no value state at the rebased slot")
+			continue
+		}
+		oldEA := st.Reg(int(reb.OrigBase)).Add(int32(int16(reb.OrigImm)))
+		newEA := st.Reg(int(reb.NewBase)).Add(int32(int16(reb.NewImm)))
+		if diff, ok := oldEA.Diff(newEA); !ok || diff != 0 {
+			w.diag(reb.Addr, b.Addr, RuleRedundantEA,
+				"cannot re-prove %s%+d == %s%+d at the rebased slot",
+				isa.RegName(int(reb.OrigBase)), int32(int16(reb.OrigImm)),
+				isa.RegName(int(reb.NewBase)), int32(int16(reb.NewImm)))
+		}
+	}
 }
 
 // bookkeeping reports whether word is part of the register-stealing

@@ -218,8 +218,17 @@ func TestDataflowDifferentialOracle(t *testing.T) {
 				t.Errorf("FlowOn retired %d instructions, conservative build %d: elision saved nothing",
 					on.stat.Instret, off.stat.Instret)
 			}
-			if of := osys.Procs[len(osys.Procs)-1].Exe.Instr.Flow; of.SavesElided == 0 || of.BytesSaved == 0 {
+			of := osys.Procs[len(osys.Procs)-1].Exe.Instr.Flow
+			if of.SavesElided == 0 || of.BytesSaved == 0 {
 				t.Errorf("FlowOn build records no elision (%+v)", of)
+			}
+			// The compiler only emits sp-based frame references, so the
+			// EA strength reduction must at least route them to the
+			// specialized memtrace_sp entry (rebasing proper is covered
+			// by hand-written fp-frame unit tests).
+			if of.EASites == 0 || of.EASpecial == 0 {
+				t.Errorf("FlowOn build specialized no EA sites (%d sites, %d specialized)",
+					of.EASites, of.EASpecial)
 			}
 		})
 	}

@@ -33,6 +33,9 @@ go run ./cmd/tracelint -q
 echo "== tracelint -compress (same corpus over the compressed epoch-ring drain) =="
 go run ./cmd/tracelint -q -compress
 
+echo "== guestlint (whole-binary value-fact lints, all workloads x runtime kinds) =="
+go run ./cmd/guestlint -q
+
 echo "== fuzz smoke (10s each) =="
 go test -run='^$' -fuzz=FuzzDisasm -fuzztime=10s ./internal/isa/
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/trace/
@@ -40,6 +43,7 @@ go test -run='^$' -fuzz=FuzzStreamCodec -fuzztime=10s ./internal/trace/
 go test -run='^$' -fuzz=FuzzConformance -fuzztime=10s ./internal/tracecheck/
 go test -run='^$' -fuzz=FuzzExecEquivalence -fuzztime=10s ./internal/cpu/
 go test -run='^$' -fuzz=FuzzLiveness -fuzztime=10s ./internal/dataflow/
+go test -run='^$' -fuzz=FuzzAbsInt -fuzztime=10s ./internal/dataflow/
 
 if [ "${SKIP_LINT:-0}" != "1" ]; then
 	./scripts/lint.sh

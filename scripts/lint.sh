@@ -6,7 +6,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== vet-tracer (lockheld, telemetryname, spanbalance) =="
+echo "== vet-tracer (lockheld, telemetryname, spanbalance, nilness, unusedwrite) =="
 go run ./cmd/vet-tracer ./internal ./cmd ./tools
 
 echo "== staticcheck (if installed) =="

@@ -4,7 +4,7 @@
 // findings — but are built on the standard library's go/ast and
 // go/parser only, so the gate needs nothing outside the toolchain.
 //
-// Three passes are registered:
+// Five passes are registered:
 //
 //   - lockheld: no build/simulate-class call while a mutex is held.
 //     Build results are cached precisely so the table lock is never
@@ -17,6 +17,10 @@
 //   - spanbalance: every obs.Begin/BeginDetail phase span is ended on
 //     all paths (defer-aware), so a leaked span can never corrupt the
 //     observability timeline's nesting.
+//   - nilness: no dereference of a variable inside a branch where a
+//     nil comparison proved it nil.
+//   - unusedwrite: no write to a field or element of a local copy
+//     that nothing ever reads afterwards.
 package analyzers
 
 import (
@@ -49,7 +53,9 @@ type Analyzer struct {
 }
 
 // All returns every registered analyzer.
-func All() []*Analyzer { return []*Analyzer{LockHeld, TelemetryName, SpanBalance} }
+func All() []*Analyzer {
+	return []*Analyzer{LockHeld, TelemetryName, SpanBalance, Nilness, UnusedWrite}
+}
 
 // CheckDir parses every non-test .go file under root (skipping hidden
 // directories, testdata, and vendor) and runs the given analyzers,

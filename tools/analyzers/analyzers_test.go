@@ -344,3 +344,164 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 }
+
+func TestNilnessFlagsDerefInNilBranch(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad(e *Exe) int {
+	if e == nil {
+		return e.Entry
+	}
+	return 0
+}
+`), "nilness")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "dereference of e") || fs[0].Pos.Line != 5 {
+		t.Errorf("finding = %v", fs[0])
+	}
+}
+
+func TestNilnessFlagsElseOfNotNil(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad(p *T) {
+	if p != nil {
+		use(p)
+	} else {
+		p.close()
+	}
+}
+`), "nilness")
+	if len(fs) != 1 || fs[0].Pos.Line != 7 {
+		t.Fatalf("findings = %v, want one at line 7", fs)
+	}
+}
+
+func TestNilnessFlagsSwitchCaseNil(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad(w io.Writer) {
+	switch w {
+	case nil:
+		w.Write(nil)
+	}
+}
+`), "nilness")
+	if len(fs) != 1 || fs[0].Pos.Line != 6 {
+		t.Fatalf("findings = %v, want one at line 6", fs)
+	}
+}
+
+func TestNilnessRepairStopsTracking(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good(e *Exe) int {
+	if e == nil {
+		e = defaultExe()
+		return e.Entry
+	}
+	return e.Entry
+}
+
+func star(p *int) int {
+	if p == nil {
+		fix(&p)
+		return *p
+	}
+	return *p
+}
+`), "nilness")
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestNilnessStarDeref(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad(p *int) int {
+	if nil == p {
+		return *p
+	}
+	return 0
+}
+`), "nilness")
+	if len(fs) != 1 || fs[0].Pos.Line != 5 {
+		t.Fatalf("findings = %v, want one at line 5", fs)
+	}
+}
+
+func TestUnusedWriteFlagsDeadFieldWrite(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() int {
+	c := Config{Depth: 1}
+	n := c.Depth
+	c.Depth = 2
+	return n
+}
+`), "unusedwrite")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "write to c is never read") || fs[0].Pos.Line != 6 {
+		t.Errorf("finding = %v", fs[0])
+	}
+}
+
+func TestUnusedWriteVarDeclAndIndex(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func bad() {
+	var buf [4]byte
+	buf[0] = 1
+}
+`), "unusedwrite")
+	if len(fs) != 1 || fs[0].Pos.Line != 5 {
+		t.Fatalf("findings = %v, want one at line 5", fs)
+	}
+}
+
+func TestUnusedWriteSkipsReadAfter(t *testing.T) {
+	fs := byAnalyzer(checkSrc(t, `package p
+
+func good() int {
+	c := Config{}
+	c.Depth = 2
+	return c.Depth
+}
+
+func pointer(p *Config) {
+	p.Depth = 2 // write through a pointer: not a local copy
+}
+
+func escapes() *Config {
+	c := Config{}
+	c.Depth = 2
+	return &c
+}
+
+func slices() {
+	s := []int{0}
+	s[0] = 1 // []T aliases shared storage
+}
+
+func looped() {
+	c := Config{}
+	for i := 0; i < 2; i++ {
+		c.Depth = i // next iteration may read it
+	}
+}
+
+func captured() func() int {
+	c := Config{}
+	c.Depth = 2
+	return func() int { return c.Depth }
+}
+`), "unusedwrite")
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}

@@ -1,0 +1,159 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Nilness is a syntactic look-alike of x/tools' nilness pass, built on
+// go/ast only: inside a branch where a variable is known to be nil —
+// the body of `if x == nil`, the else arm of `if x != nil`, or a
+// `case nil:` clause switching on x — any dereference of x (a field
+// or method selection `x.f`, or an explicit `*x`) must panic at
+// runtime. Tracking is conservative: it stops at the first statement
+// that reassigns x or captures it in a closure, so a branch that
+// repairs the nil before using it is not flagged. Only identifiers
+// compared against the predeclared nil are considered, which in
+// compiling code restricts the check to pointer, interface, map,
+// slice, channel, and function values.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "no dereference of a variable on a path where it is known to be nil",
+	Run:  runNilness,
+}
+
+func runNilness(fset *token.FileSet, f *ast.File) []Finding {
+	var findings []Finding
+	flag := func(at token.Pos, name string) {
+		findings = append(findings, Finding{
+			Pos:      fset.Position(at),
+			Analyzer: "nilness",
+			Msg:      "dereference of " + name + ", which is nil on this path",
+		})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if name, eq := nilCompare(x.Cond); name != "" {
+				if eq {
+					checkNilBody(x.Body.List, name, flag)
+				} else if blk, ok := x.Else.(*ast.BlockStmt); ok {
+					checkNilBody(blk.List, name, flag)
+				}
+			}
+		case *ast.SwitchStmt:
+			id, isIdent := x.Tag.(*ast.Ident)
+			if !isIdent || x.Init != nil {
+				return true
+			}
+			for _, c := range x.Body.List {
+				cc, isCase := c.(*ast.CaseClause)
+				if !isCase {
+					continue
+				}
+				for _, e := range cc.List {
+					if lit, ok := e.(*ast.Ident); ok && lit.Name == "nil" {
+						checkNilBody(cc.Body, id.Name, flag)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// nilCompare matches `x == nil` / `nil == x` (eq true) and the !=
+// forms (eq false), for a plain identifier x.
+func nilCompare(cond ast.Expr) (name string, eq bool) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return "", false
+	}
+	xi, xIsIdent := bin.X.(*ast.Ident)
+	yi, yIsIdent := bin.Y.(*ast.Ident)
+	switch {
+	case xIsIdent && yIsIdent && yi.Name == "nil" && xi.Name != "nil":
+		return xi.Name, bin.Op == token.EQL
+	case xIsIdent && yIsIdent && xi.Name == "nil" && yi.Name != "nil":
+		return yi.Name, bin.Op == token.EQL
+	}
+	return "", false
+}
+
+// checkNilBody walks the statements of a known-nil branch in source
+// order, flagging dereferences of name until something reassigns it or
+// captures it in a closure.
+func checkNilBody(list []ast.Stmt, name string, flag func(token.Pos, string)) {
+	for _, s := range list {
+		if reassigns(s, name) {
+			return
+		}
+		live := true
+		ast.Inspect(s, func(n ast.Node) bool {
+			if !live {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				// The closure may run later with a different value; and
+				// if it captures and assigns name, tracking is unsound.
+				if mentions(x.Body, name) {
+					live = false
+				}
+				return false
+			case *ast.SelectorExpr:
+				if id, ok := x.X.(*ast.Ident); ok && id.Name == name {
+					flag(x.Pos(), name)
+					return false
+				}
+			case *ast.StarExpr:
+				if id, ok := x.X.(*ast.Ident); ok && id.Name == name {
+					flag(x.Pos(), name)
+					return false
+				}
+			}
+			return true
+		})
+		if !live {
+			return
+		}
+	}
+}
+
+// reassigns reports whether the statement (at any depth) assigns to
+// the named identifier, ending the known-nil region.
+func reassigns(s ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// &x lets anything repair it.
+			if x.Op == token.AND {
+				if id, ok := x.X.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentions reports whether the identifier appears anywhere under n.
+func mentions(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,197 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// UnusedWrite is a syntactic look-alike of x/tools' unusedwrite pass,
+// built on go/ast only: it flags a write to a field or element of a
+// local value-typed variable (`v.f = e`, `v[i] = e`) when the
+// variable is provably a local copy and is never mentioned again
+// afterwards — the write lands in storage nothing will ever read.
+// Without type information "provably a copy" is syntactic: v must be
+// declared in the same function as a value, via `v := T{...}` (not
+// &T{...}), `var v T` with a non-pointer type expression, or
+// `v := *p`. Writes through pointers, into captured variables, or
+// inside loops (where a later read at an earlier source position is
+// possible) are never flagged.
+var UnusedWrite = &Analyzer{
+	Name: "unusedwrite",
+	Doc:  "no write to a field or element of a local copy that is never read afterwards",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(fset *token.FileSet, f *ast.File) []Finding {
+	var findings []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		fd, isFunc := n.(*ast.FuncDecl)
+		if !isFunc || fd.Body == nil {
+			return true
+		}
+		values := valueLocals(fd.Body)
+		if len(values) == 0 {
+			return true
+		}
+		// Collect candidate writes outside loops and closures, plus
+		// every other mention of each candidate variable.
+		type write struct {
+			name string
+			pos  token.Pos
+			end  token.Pos
+		}
+		var writes []write
+		walkOutsideLoops(fd.Body, func(s ast.Stmt) {
+			as, isAssign := s.(*ast.AssignStmt)
+			if !isAssign || len(as.Lhs) != 1 || as.Tok != token.ASSIGN {
+				return
+			}
+			var base *ast.Ident
+			switch l := as.Lhs[0].(type) {
+			case *ast.SelectorExpr:
+				base, _ = l.X.(*ast.Ident)
+			case *ast.IndexExpr:
+				base, _ = l.X.(*ast.Ident)
+			}
+			if base == nil || !values[base.Name] {
+				return
+			}
+			writes = append(writes, write{base.Name, as.Pos(), as.End()})
+		})
+		for _, w := range writes {
+			if mentionedAfter(fd.Body, w.name, w.end) || capturedByClosure(fd.Body, w.name) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos:      fset.Position(w.pos),
+				Analyzer: "unusedwrite",
+				Msg:      "write to " + w.name + " is never read: the variable is a local copy and is not used after this point",
+			})
+		}
+		return true
+	})
+	return findings
+}
+
+// valueLocals finds variables declared in the body that are
+// syntactically value-typed locals: `v := T{...}`, `v := *p`, or
+// `var v T` with a non-pointer, non-reference type expression.
+func valueLocals(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	drop := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE && len(x.Lhs) == len(x.Rhs) {
+				for i, l := range x.Lhs {
+					id, ok := l.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					switch r := x.Rhs[i].(type) {
+					case *ast.CompositeLit:
+						if valueType(r.Type) {
+							out[id.Name] = true
+						}
+					case *ast.StarExpr:
+						out[id.Name] = true
+					}
+				}
+			} else if x.Tok == token.DEFINE || x.Tok == token.ASSIGN {
+				// Re-binding (v = other, or v, err := f()) makes the
+				// provenance unclear; drop the name entirely.
+				for _, l := range x.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						drop[id.Name] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil || len(vs.Values) > 0 {
+					continue
+				}
+				if valueType(vs.Type) {
+					for _, id := range vs.Names {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// &v: the address escapes, writes may be observed.
+			if x.Op == token.AND {
+				if id, ok := x.X.(*ast.Ident); ok {
+					drop[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	for name := range drop {
+		delete(out, name)
+	}
+	return out
+}
+
+// valueType reports whether a type expression is syntactically a
+// value: a named type or array, not a pointer, map, slice, or chan
+// (writes through those alias shared storage).
+func valueType(t ast.Expr) bool {
+	switch x := t.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.ArrayType:
+		return x.Len != nil // [N]T is a value, []T aliases
+	}
+	return false
+}
+
+// walkOutsideLoops visits statements of the function body that are not
+// inside any for/range statement or function literal.
+func walkOutsideLoops(body *ast.BlockStmt, visit func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case ast.Stmt:
+			visit(n.(ast.Stmt))
+		}
+		return true
+	})
+}
+
+// mentionedAfter reports whether the identifier appears anywhere in
+// the body at a position strictly after pos.
+func mentionedAfter(body *ast.BlockStmt, name string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && id.Pos() >= pos {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// capturedByClosure reports whether the identifier appears inside any
+// function literal in the body (the closure may read it later).
+func capturedByClosure(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if mentions(lit.Body, name) {
+				found = true
+			}
+			return false
+		}
+		return !found
+	})
+	return found
+}
