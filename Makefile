@@ -41,8 +41,9 @@ test:
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...
 
-# bench-cpu measures raw interpreter speed (reference vs predecoded
-# engine over untraced sed + lisp boots) and rewrites BENCH_cpu.json.
+# bench-cpu measures raw interpreter speed (reference vs predecode vs
+# superblock engine over untraced and traced sed + lisp boots) and
+# rewrites BENCH_cpu.json.
 bench-cpu:
 	$(GO) run ./cmd/benchcpu -out BENCH_cpu.json
 

@@ -1,9 +1,10 @@
 // benchcpu measures raw interpreter speed — simulated instructions
-// per wall-clock second — for the reference word-at-a-time core and
-// the predecoded-page core, over full untraced kernel boots of the
-// paper's sed + lisp workload pair. It writes the result as
-// BENCH_cpu.json in the same shape as BENCH_runner.json so the two
-// sit side by side in the repo root.
+// per wall-clock second — for the reference word-at-a-time core, the
+// predecoded-page core, and the superblock tier, over full kernel
+// boots of the paper's sed + lisp workload pair, both untraced and
+// traced (instrumented images writing the in-guest trace buffer). It
+// writes the result as BENCH_cpu.json in the same shape as
+// BENCH_runner.json so the two sit side by side in the repo root.
 //
 //	go run ./cmd/benchcpu -out BENCH_cpu.json
 package main
@@ -31,6 +32,7 @@ type hostInfo struct {
 type row struct {
 	Workload string  `json:"workload"`
 	Engine   string  `json:"engine"`
+	Run      string  `json:"run"`
 	Instret  uint64  `json:"instructions"`
 	Seconds  float64 `json:"seconds"`
 	MIPS     float64 `json:"mips"`
@@ -49,29 +51,43 @@ type report struct {
 
 var workloads = []string{"sed", "lisp"}
 
-// run boots wl untraced, flips the interpreter engine, runs the boot
-// to completion, and reports retired instructions and wall time.
-func run(wl string, predecode bool) (row, error) {
-	name := "reference"
-	if predecode {
-		name = "predecode"
+var engines = []kernel.Engine{
+	kernel.EngineReference, kernel.EnginePredecode, kernel.EngineSuperblock,
+}
+
+// run boots wl (traced boots run the instrumented images and drain the
+// in-guest trace buffer, exactly the paper's configuration), pins the
+// interpreter tier, runs the boot to completion, and reports retired
+// instructions and wall time.
+func run(wl string, engine kernel.Engine, traced bool) (row, error) {
+	mode := "untraced"
+	if traced {
+		mode = "traced"
 	}
-	r := row{Workload: wl, Engine: name}
+	r := row{Workload: wl, Engine: engine.String(), Run: mode}
 	spec, ok := workload.ByName(wl)
 	if !ok {
 		return r, fmt.Errorf("no workload %q", wl)
 	}
-	sys, _, err := experiment.Boot(spec, kernel.Ultrix, false, 1)
+	sys, _, err := experiment.Boot(spec, kernel.Ultrix, traced, 1)
 	if err != nil {
 		return r, err
 	}
-	sys.M.CPU.SetPredecode(predecode)
+	// Pin the tier the same way kernel.Boot applies BootConfig.Engine
+	// (experiment.Boot's image cache shares the boot path, so the tier
+	// is set on the booted machine directly).
+	switch engine {
+	case kernel.EngineReference:
+		sys.M.CPU.SetPredecode(false)
+	case kernel.EnginePredecode:
+		sys.M.CPU.SetSuperblocks(false)
+	}
 	// Collect the previous run's machine before the timed region so GC
 	// pauses (this host has one vCPU) don't land inside it.
 	runtime.GC()
 	start := time.Now()
 	if err := sys.Run(experiment.RunBudget); err != nil {
-		return r, fmt.Errorf("%s/%s: %w", wl, name, err)
+		return r, fmt.Errorf("%s/%s/%s: %w", wl, engine, mode, err)
 	}
 	r.Seconds = time.Since(start).Seconds()
 	r.Instret = sys.M.CPU.Stat.Instret
@@ -81,7 +97,7 @@ func run(wl string, predecode bool) (row, error) {
 
 func main() {
 	out := flag.String("out", "BENCH_cpu.json", "output JSON path")
-	count := flag.Int("count", 5, "runs per workload/engine pair (best is kept)")
+	count := flag.Int("count", 5, "runs per workload/engine/mode cell (best is kept)")
 	mode := flag.String("mode", "cpu", "cpu (engine comparison) or obs (observability overhead)")
 	baseline := flag.String("baseline", "BENCH_cpu.json", "CPU baseline to compare against in -mode obs")
 	flag.Parse()
@@ -103,40 +119,53 @@ func main() {
 		Speedup: map[string]float64{},
 	}
 
-	best := map[string]row{} // "wl/engine" → fastest run
+	best := map[string]row{} // "wl/engine/run" → fastest run
 	for _, wl := range workloads {
-		for _, pd := range []bool{false, true} {
-			key := wl + "/" + map[bool]string{false: "reference", true: "predecode"}[pd]
-			for i := 0; i < *count; i++ {
-				r, err := run(wl, pd)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "benchcpu:", err)
-					os.Exit(1)
+		for _, traced := range []bool{false, true} {
+			for _, eng := range engines {
+				key := wl + "/" + eng.String() + "/" + map[bool]string{false: "untraced", true: "traced"}[traced]
+				for i := 0; i < *count; i++ {
+					r, err := run(wl, eng, traced)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "benchcpu:", err)
+						os.Exit(1)
+					}
+					fmt.Printf("%-28s run %d: %8.2f MIPS (%d instructions in %.3fs)\n",
+						key, i+1, r.MIPS, r.Instret, r.Seconds)
+					if b, ok := best[key]; !ok || r.MIPS > b.MIPS {
+						best[key] = r
+					}
 				}
-				fmt.Printf("%-16s run %d: %8.2f MIPS (%d instructions in %.3fs)\n",
-					key, i+1, r.MIPS, r.Instret, r.Seconds)
-				if b, ok := best[key]; !ok || r.MIPS > b.MIPS {
-					best[key] = r
-				}
+				rep.Results = append(rep.Results, best[key])
+				rep.MIPS[key] = round2(best[key].MIPS)
 			}
-			rep.Results = append(rep.Results, best[key])
-			rep.MIPS[key] = round2(best[key].MIPS)
 		}
 	}
 
-	var worst float64
+	// Traced boots retire the same instruction stream on every engine
+	// (identical instrumented images), so MIPS ratios are wall-clock
+	// ratios. The traced superblock-vs-reference ratio is the headline:
+	// the reference engine's traced loop is the legacy per-Step
+	// burst-64 path this PR replaces.
+	var worstTraced float64
 	for _, wl := range workloads {
-		s := best[wl+"/predecode"].MIPS / best[wl+"/reference"].MIPS
-		rep.Speedup[wl] = round2(s)
-		if worst == 0 || s < worst {
-			worst = s
+		rep.Speedup[wl+"/predecode"] = round2(
+			best[wl+"/predecode/untraced"].MIPS / best[wl+"/reference/untraced"].MIPS)
+		rep.Speedup[wl+"/superblock"] = round2(
+			best[wl+"/superblock/untraced"].MIPS / best[wl+"/reference/untraced"].MIPS)
+		s := best[wl+"/superblock/traced"].MIPS / best[wl+"/reference/traced"].MIPS
+		rep.Speedup[wl+"/traced"] = round2(s)
+		if worstTraced == 0 || s < worstTraced {
+			worstTraced = s
 		}
 	}
 	rep.Notes = []string{
-		"MIPS = simulated (retired) instructions per wall-clock second over a full untraced kernel boot of the workload; best of -count runs per cell.",
-		"reference = word-at-a-time decode in exec(); predecode = per-physical-frame micro-op arrays dispatched by Step's fast path (internal/cpu/predecode.go).",
-		"Both engines produce bit-identical architectural state and observer event streams (oracle_test.go, internal/cpu lockstep + fuzz).",
-		fmt.Sprintf("Worst-case speedup across workloads on this host: %.2fx.", worst),
+		"MIPS = simulated (retired) instructions per wall-clock second over a full kernel boot of the workload; best of -count runs per cell.",
+		"reference = word-at-a-time decode in exec(); predecode = per-physical-frame micro-op arrays dispatched by StepN's batched loop (internal/cpu/predecode.go); superblock = predecode plus cross-frame chains dispatched by execSB with chain-to-chain linking (internal/cpu/superblock.go).",
+		"untraced boots run the original images; traced boots run the instrumented images and drain the in-guest trace buffer through the TraceCtl device, the paper's tracing configuration.",
+		"All engines produce bit-identical architectural state and trace streams (oracle_test.go three-way differential, internal/cpu lockstep + fuzz).",
+		"speedup[wl/traced] compares the superblock engine's traced boot against the reference engine's traced boot — the legacy per-Step burst-64 loop; the >=2x target applies to this ratio.",
+		fmt.Sprintf("Worst-case traced speedup across workloads on this host: %.2fx.", worstTraced),
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -149,9 +178,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcpu:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (worst-case speedup %.2fx)\n", *out, worst)
-	if worst < 2 {
-		fmt.Fprintf(os.Stderr, "benchcpu: speedup %.2fx below the 2x target\n", worst)
+	fmt.Printf("wrote %s (worst-case traced speedup %.2fx)\n", *out, worstTraced)
+	if worstTraced < 2 {
+		fmt.Fprintf(os.Stderr, "benchcpu: traced speedup %.2fx below the 2x target\n", worstTraced)
 		os.Exit(1)
 	}
 }

@@ -251,6 +251,10 @@ type CPU struct {
 	// or device-event state mid-batch.
 	pdExit bool
 
+	// Superblock engine state: linearized multi-block chains built on
+	// top of the predecode cache (see superblock.go).
+	sb sbState
+
 	// prof is the guest-PC sampling profiler hook (see SetProfiler in
 	// obs.go); zero when no sampler is attached.
 	prof profiler

@@ -279,13 +279,30 @@ func (c *CPU) StepN(max uint64) uint64 {
 	if c.prof.fn != nil {
 		max = c.profClamp(max)
 	}
+	c.pdExit = false
+	var n uint64
+	// Superblock entry: a hot batch head may open straight into a
+	// linearized chain (superblock.go). The chain exits with the
+	// architectural state of the equivalent per-uop execution; a
+	// pdExit-class exit ends the batch below, anything else falls
+	// through to the generic loop. sbEnterable may build (and in the
+	// worst case roll the frame cache over), so ipd is re-read after.
+	if !c.inDelay && c.PC&3 == 0 {
+		if s := c.sbEnterable(c.PC); s != nil {
+			n = c.execSB(s, max)
+		}
+		ipd = c.ipd
+	}
 	// The frame pointer and instruction page are loop invariants: the
 	// only thing that can change them mid-batch is a store into the
 	// executing frame, and dropFrame raises pdExit for exactly that.
 	vpage := c.icache.vpage
 	g := &c.GPR
-	c.pdExit = false
-	var n uint64
+	if ipd == nil || c.pdExit || c.Halted {
+		// The superblock ended the batch (or rolled the frame cache
+		// over while building); the per-uop loop must not run.
+		goto done
+	}
 	for n < max {
 		pc := c.PC
 		if pc&EntryHiVPN != vpage || pc&3 != 0 {
@@ -293,10 +310,12 @@ func (c *CPU) StepN(max uint64) uint64 {
 		}
 		u := &ipd.ops[pc>>2&(pdFrameWords-1)]
 		nextPC := pc + 4
+		jumped := false
 		if c.inDelay {
 			nextPC = c.delayTarget
 			c.inDelay = false
 			c.execInSlot = true
+			jumped = nextPC != pc+4
 		}
 		if c.CP0.Random <= TLBWired {
 			c.CP0.Random = NTLB - 1
@@ -509,7 +528,18 @@ func (c *CPU) StepN(max uint64) uint64 {
 		if c.pdExit || c.Halted {
 			break
 		}
+		if jumped && !c.inDelay {
+			// A taken jump may land on a hot superblock head; chain
+			// straight into it without surrendering the batch.
+			if s := c.sbEnterable(c.PC); s != nil && n < max {
+				n += c.execSB(s, max-n)
+			}
+			if c.pdExit || c.Halted || ipd != c.ipd {
+				break
+			}
+		}
 	}
+done:
 	c.pd.hits += n
 	if c.prof.fn != nil && c.Stat.Instret >= c.prof.next {
 		c.profSample()

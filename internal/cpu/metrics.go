@@ -39,4 +39,31 @@ func (c *CPU) RegisterMetrics(r *telemetry.Registry, labels ...telemetry.Label) 
 	r.Sample("cpu_predecode_invalidations_total",
 		"predecoded frames dropped after stores or DMA into their page",
 		func() uint64 { return c.pd.invalidations }, labels...)
+	r.Sample("cpu_superblocks_built_total",
+		"superblocks linearized from hot predecoded frames",
+		func() uint64 { return c.sb.built }, labels...)
+	r.Sample("cpu_superblock_invalidations_total",
+		"superblocks dropped after a store, DMA, or flush hit a chained frame",
+		func() uint64 { return c.sb.invalidated }, labels...)
+	r.Sample("cpu_superblock_entry_rejects_total",
+		"dispatch entries refused by the guard (delay slot, TLB generation, pending state)",
+		func() uint64 { return c.sb.entryRejects }, labels...)
+	for _, e := range []struct {
+		reason string
+		n      *uint64
+	}{
+		{"end", &c.sb.exitEnd},
+		{"mispredict", &c.sb.exitMispred},
+		{"budget", &c.sb.exitBudget},
+		{"pdexit", &c.sb.exitPDExit},
+		{"exception", &c.sb.exitExc},
+	} {
+		n := e.n
+		r.Sample("cpu_superblock_exits_total",
+			"superblock dispatch exits, split by reason",
+			func() uint64 { return *n },
+			append([]telemetry.Label{telemetry.L("reason", e.reason)}, labels...)...)
+	}
+	c.sb.chainHist = r.Histogram("cpu_superblock_chain_instructions",
+		"chain length at superblock build time, in instructions", labels...)
 }

@@ -234,6 +234,7 @@ func (c *CPU) dropFrame(fn uint32) {
 		c.pdExit = true
 		executing = 1
 	}
+	c.sbInvalidateFrame(fn)
 	obs.Emit(evFrameDrop, uint64(fn), executing)
 }
 
@@ -246,6 +247,8 @@ func (c *CPU) dropAllFrames() {
 		c.pd.bitmap[i] = 0
 	}
 	c.ipd = nil
+	// Superblocks are built from decoded frames; none may outlive them.
+	c.sbDropAll()
 }
 
 // decodeUop translates one machine word into a micro-op. The case

@@ -106,7 +106,7 @@ func randInstr(r *rand.Rand) uint32 {
 	reg := func() int { return r.Intn(32) }
 	off := func() uint16 { return uint16(r.Intn(64) * 4) }
 	boff := func() int16 { return int16(r.Intn(16) - 8) }
-	switch r.Intn(20) {
+	switch r.Intn(22) {
 	case 0, 1, 2, 3:
 		return r.Uint32()
 	case 4:
@@ -139,6 +139,16 @@ func randInstr(r *rand.Rand) uint32 {
 		return uint32(isa.MTC1(reg(), reg()))
 	case 18:
 		return uint32(isa.FADD(r.Intn(32), r.Intn(32), r.Intn(32)))
+	case 19:
+		// Direct jumps stay inside the three text pages so chains keep
+		// chaining; JR targets come from the pointer-seeded registers.
+		t := (0x80001000 + uint32(r.Intn(0x2000))&^3) >> 2 & 0x03ffffff
+		if r.Intn(2) == 0 {
+			return uint32(isa.J(t))
+		}
+		return uint32(isa.JAL(t))
+	case 20:
+		return uint32(isa.JR(reg()))
 	default:
 		return uint32(isa.MFC0(reg(), r.Intn(16)))
 	}
@@ -266,6 +276,104 @@ func TestLockstepStepNRandomPrograms(t *testing.T) {
 	}
 }
 
+// TestLockstepSuperblockRandomPrograms covers the superblock tier:
+// with the build threshold forced to 1, every repeated batch head and
+// taken-jump target chains into a superblock, so the random programs
+// execute almost entirely through execSB. The reference engine runs
+// per-Step; state is compared at 100-instruction checkpoints so a
+// divergence is localized to the chain that caused it.
+func TestLockstepSuperblockRandomPrograms(t *testing.T) {
+	var built uint64
+	for seed := int64(1); seed <= 40; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			words := make([]uint32, 0x3000/4)
+			for i := range words {
+				words[i] = randInstr(r)
+			}
+			ref, fast, _, _ := lockstepPair(r, words)
+			ref.CPU.Obs = nil
+			fast.CPU.Obs = nil
+			fast.CPU.SetSuperblockThreshold(1)
+			const target = 3000
+			for chk := uint64(100); chk <= target; chk += 100 {
+				for ref.CPU.Stat.Instret < chk {
+					if !ref.CPU.Step() {
+						break
+					}
+				}
+				runBatched(fast.CPU, chk)
+				if d := diffState(ref.CPU, fast.CPU); d != "" {
+					t.Fatalf("after %d instructions: %s", ref.CPU.Stat.Instret, d)
+				}
+				if ref.CPU.Halted {
+					break
+				}
+			}
+			built += fast.CPU.SuperblockStats().Built
+		})
+	}
+	// Many seeds are chain-ender soup (random words), but across the
+	// corpus the tier must actually have run.
+	if built == 0 {
+		t.Fatal("no superblocks built over any seed: the tier was not exercised")
+	}
+}
+
+// TestSuperblockChainEndsAtJumpTarget pins the walk's exit PC when a
+// chained direct jump lands on a chain-ender: the builder appends the
+// (J, slot) pair and then stops because the target's first instruction
+// (an MFC0 here) cannot join the chain. Dispatch must leave through
+// the slot's delayTarget; falling off the end to lastPC+4 silently
+// diverts the jump onto its fall-through path — exactly the shape of
+// the kernel's exception prologue, where J over the vector region
+// lands on an MFC0 and the wrong exit skips the whole Status capture.
+func TestSuperblockChainEndsAtJumpTarget(t *testing.T) {
+	T0, T1, T2, T3 := isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3
+	T5, T6, T7 := 13, 14, 15
+	words := make([]uint32, 0x3000/4)
+	put := func(va uint32, w isa.Word) { words[(va-0x80000000)/4] = uint32(w) }
+	put(0x80001000, isa.ORI(T6, 0, 0)) // iteration counter
+	// loop head (superblock entry after the first backward branch):
+	put(0x80001004, isa.ORI(T0, 0, 1))
+	put(0x80001008, isa.ORI(T1, 0, 2))
+	put(0x8000100c, isa.ADDU(T2, T0, T1))
+	put(0x80001010, isa.J(0x80001100>>2&0x03ffffff))
+	put(0x80001014, isa.NOP)
+	put(0x80001018, isa.ORI(T5, 0, 0xBAD)) // jump fall-through: must never run
+	put(0x8000101c, isa.BREAK(0))
+	put(0x80001100, isa.MFC0(T3, isa.C0Status)) // chain-ender at the jump target
+	put(0x80001104, isa.ADDIU(T6, T6, 1))
+	put(0x80001108, isa.SLTI(T7, T6, 8))
+	put(0x8000110c, isa.BNE(T7, 0, -67)) // back to 0x80001004
+	put(0x80001110, isa.NOP)
+	put(0x80001114, isa.BREAK(0))
+
+	r := rand.New(rand.NewSource(7))
+	ref, fast, _, _ := lockstepPair(r, words)
+	ref.CPU.Obs = nil
+	fast.CPU.Obs = nil
+	fast.CPU.SetSuperblockThreshold(1)
+	const cap = 10000
+	for ref.CPU.Stat.Instret < cap && !ref.CPU.Halted {
+		ref.CPU.Step()
+	}
+	runBatched(fast.CPU, cap)
+	if !ref.CPU.Halted || !fast.CPU.Halted {
+		t.Fatalf("halted: reference=%v superblock=%v (instret %d vs %d)",
+			ref.CPU.Halted, fast.CPU.Halted, ref.CPU.Stat.Instret, fast.CPU.Stat.Instret)
+	}
+	if d := diffState(ref.CPU, fast.CPU); d != "" {
+		t.Fatalf("after %d instructions: %s", ref.CPU.Stat.Instret, d)
+	}
+	if fast.CPU.GPR[T5] == 0xBAD {
+		t.Fatal("fall-through path after the jump executed")
+	}
+	if fast.CPU.SuperblockStats().Built == 0 {
+		t.Fatal("no superblock built: the chained-jump exit was not exercised")
+	}
+}
+
 // FuzzExecEquivalence is the fuzz face of the oracle: arbitrary bytes
 // become an instruction stream and both engines must agree on every
 // step of it.
@@ -312,6 +420,24 @@ func FuzzExecEquivalence(f *testing.F) {
 		runBatched(fast2.CPU, target)
 		if d := diffState(ref2.CPU, fast2.CPU); d != "" {
 			t.Fatalf("batched run diverges: %s", d)
+		}
+
+		// Third face: the superblock tier, threshold forced to 1 so
+		// every repeated batch head chains immediately — any fuzz
+		// input that builds a wrong chain diverges here.
+		r = rand.New(rand.NewSource(seed))
+		ref3, fast3, _, _ := lockstepPair(r, words)
+		ref3.CPU.Obs = nil
+		fast3.CPU.Obs = nil
+		fast3.CPU.SetSuperblockThreshold(1)
+		for ref3.CPU.Stat.Instret < target {
+			if !ref3.CPU.Step() {
+				break
+			}
+		}
+		runBatched(fast3.CPU, target)
+		if d := diffState(ref3.CPU, fast3.CPU); d != "" {
+			t.Fatalf("superblock run diverges: %s", d)
 		}
 	})
 }

@@ -1,0 +1,1228 @@
+package cpu
+
+// Superblock tier: when a jump target keeps appearing at the head of a
+// StepN batch, the builder walks the predecoded micro-ops from that
+// address, chaining fall-through edges and statically predicted direct
+// branches across basic-block (and frame) boundaries into one
+// linearized step array. Dispatch runs that array in a dense
+// jump-table loop with the per-instruction work of StepN hoisted out:
+// the PC is implicit in the step index (materialized only at exits),
+// CP0.Random and Stat.Instret advance once per exit instead of once
+// per instruction, and runs of same-base word loads/stores are fused
+// into single micro-ops that pay one translation-cache check for the
+// whole run.
+//
+// Soundness leans on the same two pillars as the predecode cache:
+//
+//   - Nothing inside a superblock can change the fetch translation:
+//     COP0 ops (the only way to write the TLB, Status, or EntryHi) and
+//     SYSCALL/BREAK terminate chains at build time, and every
+//     exception exits at dispatch time. A superblock whose pages are
+//     TLB-mapped additionally carries the tcGen it was validated
+//     under; entry under a newer generation revalidates every page
+//     guard against the live TLB (current ASID, V set, N clear, same
+//     frame) before the hoisted translations may be reused.
+//
+//   - Writes into chained text invalidate: every frame a superblock
+//     draws micro-ops from is registered in a frame→superblocks
+//     dependency map, and dropFrame (guest stores via the bitmap,
+//     host writes via the RAM write hook, device DMA via the machine's
+//     WriteNotifier) invalidates the dependents — raising pdExit if
+//     one of them is currently executing, so the dispatch loop bails
+//     after the in-flight instruction exactly like StepN does.
+//
+// Branch prediction is static backward-taken/forward-not-taken (plus
+// always-taken for unconditional jumps and compare-equal BEQ r,r);
+// a mispredicted branch retires normally and then bails with the
+// architectural inDelay/delayTarget state set, so the generic path
+// executes the delay slot. The engine is proven bit-identical to the
+// reference interpreter by the lockstep/fuzz oracle in this package
+// and the whole-workload oracle at the repo root.
+
+import (
+	"systrace/internal/isa"
+	"systrace/internal/telemetry"
+)
+
+const (
+	// sbIndexBits sizes the direct-mapped entry-point table.
+	sbIndexBits = 12
+	sbIndexSize = 1 << sbIndexBits
+
+	// sbDefaultThreshold is how many times an address must head a
+	// batch (or be the target of a taken jump inside one) before a
+	// superblock is built over it.
+	sbDefaultThreshold = 16
+
+	// sbMaxSteps bounds one superblock's linearized chain.
+	sbMaxSteps = 256
+	// sbMinSteps is the smallest chain worth the entry guards.
+	sbMinSteps = 3
+	// sbMaxPages bounds the page guards one superblock may carry.
+	sbMaxPages = 8
+	// sbMaxRunLen bounds one fused load/store run.
+	sbMaxRunLen = 64
+	// sbMaxBlocks is a runaway backstop on resident superblocks.
+	sbMaxBlocks = 1024
+)
+
+// Fused micro-ops, produced only by the superblock builder (decodeUop
+// never emits them, so the pdOp spaces cannot collide).
+const (
+	sbLWRun pdOp = 128 + iota
+	sbSWRun
+)
+
+// sbStep flags.
+const (
+	// sbSlot marks a branch delay slot. Dispatch does not track
+	// inDelay while inside a superblock (the chain already encodes the
+	// control flow); the flag exists so budget exits that stop just
+	// before a slot can reconstruct the architectural inDelay state,
+	// and so slow-path memory ops in a slot set execInSlot for exact
+	// BD/EPC semantics.
+	sbSlot uint8 = 1 << iota
+	// sbPredTaken marks a conditional branch predicted taken.
+	sbPredTaken
+)
+
+// sbStep is one dispatch step: a widened uop with its own PC (for
+// exits and exceptions), the absolute predicted-taken target baked
+// into imm for branches and jumps, and a retirement weight (1, or the
+// sub-access count for fused runs).
+type sbStep struct {
+	op    pdOp
+	rs    uint8
+	rt    uint8
+	rd    uint8
+	sh    uint8
+	flags uint8
+	wt    uint8
+	cls   Class
+	imm   uint32
+	pc    uint32
+}
+
+// sbMemSub is one access of a fused load/store run.
+type sbMemSub struct {
+	rt  uint8
+	off uint32 // sign-extended displacement from the shared base
+}
+
+// sbRun is the side table of a fused run: the displacement envelope
+// (for the single same-page check) and the per-access list.
+type sbRun struct {
+	lo, hi uint32
+	subs   []sbMemSub
+}
+
+// sbPage is one TLB-mapped page guard: entry under a new translation
+// generation must re-resolve vpage to exactly ppage.
+type sbPage struct {
+	vpage uint32
+	ppage uint32
+}
+
+type superblock struct {
+	entryVA uint32
+	steps   []sbStep
+	runs    []sbRun
+	// pages holds guards for the TLB-mapped pages the chain fetches
+	// from (kseg0 pages have fixed translations and need none).
+	pages []sbPage
+	// frames are the physical frames the micro-ops were drawn from;
+	// dropFrame on any of them invalidates the superblock.
+	frames []uint32
+	gen    uint64 // tcGen the page guards were last validated under
+	mapped bool   // any page guard present
+	kernel bool   // chain touches a kernel-only segment
+	loop   bool   // chain ends with a predicted branch back to entryVA
+	// exitSlot: the final step is the delay slot of a chain-ending
+	// branch, so the fall-off-the-end PC is the branch's delayTarget
+	// (set by the branch step) rather than lastPC+4.
+	exitSlot bool
+	valid    bool
+}
+
+// sbHeat is one slot of the direct-mapped hotness table.
+type sbHeat struct {
+	va uint32
+	n  uint32
+}
+
+// sbState is the per-CPU superblock engine state.
+type sbState struct {
+	off bool
+
+	// idx is the direct-mapped dispatch table (entry VA → superblock);
+	// all is the dedupe map behind it, deps the frame→dependents map
+	// for invalidation. All lazily allocated on first use.
+	idx   []*superblock
+	heat  []sbHeat
+	all   map[uint32]*superblock
+	deps  map[uint32][]*superblock
+	cur   *superblock // superblock currently being dispatched
+	count int         // valid superblocks resident
+
+	threshold uint32 // build threshold; 0 means sbDefaultThreshold
+
+	built        uint64
+	invalidated  uint64
+	entryRejects uint64
+	exitEnd      uint64
+	exitMispred  uint64
+	exitBudget   uint64
+	exitPDExit   uint64
+	exitExc      uint64
+
+	chainHist *telemetry.Histogram // chain length at build, in instructions
+}
+
+// SuperblockStats are the engine counters, exported for tests and
+// benchmarks (telemetry reads the fields directly via RegisterMetrics).
+type SuperblockStats struct {
+	Built        uint64
+	Invalidated  uint64
+	EntryRejects uint64
+	ExitEnd      uint64
+	ExitMispred  uint64
+	ExitBudget   uint64
+	ExitPDExit   uint64
+	ExitExc      uint64
+}
+
+// SetSuperblocks selects the superblock tier on top of the predecode
+// engine (on by default). Turning it off drops every superblock and
+// leaves the plain per-uop StepN dispatch — the mid-tier baseline the
+// benchmark's "predecode" column measures.
+func (c *CPU) SetSuperblocks(on bool) {
+	c.sb.off = !on
+	c.sbDropAll()
+}
+
+// SuperblocksActive reports whether the superblock tier can run (it
+// also requires the predecode engine, which feeds it micro-ops).
+func (c *CPU) SuperblocksActive() bool { return !c.sb.off && !c.pd.off }
+
+// SetSuperblockThreshold overrides the build threshold (0 restores the
+// default). Tests set 1 so single executions form superblocks.
+func (c *CPU) SetSuperblockThreshold(n uint32) { c.sb.threshold = n }
+
+// SuperblockStats returns the engine counters.
+func (c *CPU) SuperblockStats() SuperblockStats {
+	return SuperblockStats{
+		Built:        c.sb.built,
+		Invalidated:  c.sb.invalidated,
+		EntryRejects: c.sb.entryRejects,
+		ExitEnd:      c.sb.exitEnd,
+		ExitMispred:  c.sb.exitMispred,
+		ExitBudget:   c.sb.exitBudget,
+		ExitPDExit:   c.sb.exitPDExit,
+		ExitExc:      c.sb.exitExc,
+	}
+}
+
+// sbDropAll invalidates and forgets every superblock (engine switch,
+// predecode cache flush, or the sbMaxBlocks backstop).
+func (c *CPU) sbDropAll() {
+	for _, s := range c.sb.all {
+		if s.valid {
+			s.valid = false
+			c.sb.invalidated++
+		}
+	}
+	c.sb.idx = nil
+	c.sb.heat = nil
+	c.sb.all = nil
+	c.sb.deps = nil
+	c.sb.count = 0
+	if c.sb.cur != nil {
+		// Dispatch is in flight (a store rolled the whole cache over):
+		// bail after the current instruction like any invalidation.
+		c.pdExit = true
+	}
+}
+
+// sbInvalidateFrame invalidates every superblock that drew micro-ops
+// from physical frame fn; called from dropFrame so all three write
+// paths (guest store bitmap, RAM write hook, device DMA) flow here.
+func (c *CPU) sbInvalidateFrame(fn uint32) {
+	deps := c.sb.deps[fn]
+	if deps == nil {
+		return
+	}
+	for _, s := range deps {
+		if s.valid {
+			s.valid = false
+			c.sb.invalidated++
+			c.sb.count--
+		}
+		if s == c.sb.cur {
+			c.pdExit = true
+		}
+	}
+	delete(c.sb.deps, fn)
+}
+
+// sbEnterable returns the superblock at va if one exists and its entry
+// guards pass; a miss feeds the hotness table and may trigger a build.
+// The caller must ensure no delay slot is pending and no observer is
+// attached (StepN already guarantees both).
+func (c *CPU) sbEnterable(va uint32) *superblock {
+	if c.sb.idx == nil {
+		if c.sb.off || c.pd.off {
+			return nil
+		}
+		c.sb.idx = make([]*superblock, sbIndexSize)
+		c.sb.heat = make([]sbHeat, sbIndexSize)
+	}
+	s := c.sb.idx[va>>2&(sbIndexSize-1)]
+	if s == nil || s.entryVA != va || !s.valid {
+		c.sbMiss(va)
+		return nil
+	}
+	if s.kernel && !c.KernelMode() {
+		c.sb.entryRejects++
+		return nil
+	}
+	if s.mapped && s.gen != c.tcGen && !c.sbRevalidate(s) {
+		c.sb.entryRejects++
+		return nil
+	}
+	return s
+}
+
+// sbMiss accounts one lookup miss at va and builds a superblock once
+// the address crosses the threshold.
+func (c *CPU) sbMiss(va uint32) {
+	slot := va >> 2 & (sbIndexSize - 1)
+	if s := c.sb.idx[slot]; s != nil && !s.valid {
+		c.sb.idx[slot] = nil
+		if c.sb.all[s.entryVA] == s {
+			delete(c.sb.all, s.entryVA)
+		}
+	}
+	h := &c.sb.heat[slot]
+	if h.va != va {
+		h.va = va
+		h.n = 1
+		return
+	}
+	h.n++
+	th := c.sb.threshold
+	if th == 0 {
+		th = sbDefaultThreshold
+	}
+	if h.n < th {
+		return
+	}
+	h.n = 0
+	if s := c.sb.all[va]; s != nil && s.valid {
+		// Still resident, just evicted from the direct-mapped table by
+		// a colliding entry point: re-install instead of rebuilding.
+		c.sb.idx[slot] = s
+		return
+	}
+	c.sbBuild(va)
+}
+
+// sbRevalidate re-checks every page guard against the live TLB under
+// the current ASID. On success the superblock is re-stamped with the
+// current generation so subsequent entries are O(1) again.
+func (c *CPU) sbRevalidate(s *superblock) bool {
+	for _, p := range s.pages {
+		i := c.lookupTLB(p.vpage)
+		if i < 0 {
+			return false
+		}
+		lo := c.TLB[i].Lo
+		if lo&EloV == 0 || lo&EloN != 0 || lo&EloPFN != p.ppage {
+			return false
+		}
+	}
+	s.gen = c.tcGen
+	return true
+}
+
+// sbProbeText resolves the text page holding va for the builder
+// without raising exceptions or touching the translation caches.
+// Uncached segments and device space are refused (the predecode cache
+// has the same requirement).
+func (c *CPU) sbProbeText(va uint32) (ppage uint32, ram []byte, mapped, kernel, ok bool) {
+	switch {
+	case va < KUSegEnd:
+		mapped = true
+	case va < KSeg1Base:
+		kernel = true
+	case va < KSeg2Base:
+		return 0, nil, false, false, false // kseg1: uncached
+	default:
+		mapped = true
+		kernel = true
+	}
+	if mapped {
+		i := c.lookupTLB(va)
+		if i < 0 {
+			return 0, nil, false, false, false
+		}
+		lo := c.TLB[i].Lo
+		if lo&EloV == 0 || lo&EloN != 0 {
+			return 0, nil, false, false, false
+		}
+		ppage = lo & EloPFN
+	} else {
+		ppage = (va - KSeg0Base) & EntryHiVPN
+	}
+	ram = c.Bus.RAMPage(ppage)
+	if ram == nil {
+		return 0, nil, false, false, false
+	}
+	return ppage, ram, mapped, kernel, true
+}
+
+// sbChainEnder reports whether a micro-op must terminate a chain: ops
+// that set pdExit or raise by design (COP0, SYSCALL, BREAK, reserved)
+// and the FP condition branch, which the builder does not predict.
+func sbChainEnder(u *uop) bool {
+	switch u.op {
+	case pdCOP0, pdSYSCALL, pdBREAK, pdReserved:
+		return true
+	case pdCOP1:
+		return uint32(u.rs) == isa.Cop1BC // FP condition branch
+	}
+	return false
+}
+
+// sbIsBranch reports whether a micro-op is a control transfer (with a
+// delay slot).
+func sbIsBranch(u *uop) bool {
+	switch u.op {
+	case pdBEQ, pdBNE, pdBLEZ, pdBGTZ, pdBLTZ, pdBGEZ, pdJ, pdJAL, pdJR, pdJALR:
+		return true
+	}
+	return false
+}
+
+// sbBuild walks the predecoded micro-ops from entry, linearizing
+// predicted control flow into one superblock, and installs it.
+func (c *CPU) sbBuild(entry uint32) {
+	if entry&3 != 0 {
+		return
+	}
+	if c.sb.count >= sbMaxBlocks {
+		c.sbDropAll()
+		// sbDropAll released the tables; the caller's next miss
+		// reallocates them and heat re-accumulates.
+		return
+	}
+	s := &superblock{entryVA: entry}
+
+	// Page cursor for the walk. Fetching from a new page resolves its
+	// translation, records the guards, and binds the decoded frame.
+	var curVP uint32 = 1
+	var frame *pdFrame
+	fetch := func(va uint32) (*uop, bool) {
+		if va&EntryHiVPN != curVP {
+			ppage, ram, mapped, kernel, ok := c.sbProbeText(va)
+			if !ok {
+				return nil, false
+			}
+			fn := ppage >> PageShift
+			seen := false
+			for _, f := range s.frames {
+				if f == fn {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				if len(s.frames) >= sbMaxPages {
+					return nil, false
+				}
+				s.frames = append(s.frames, fn)
+				if mapped {
+					s.pages = append(s.pages, sbPage{vpage: va & EntryHiVPN, ppage: ppage})
+					s.mapped = true
+				}
+				if kernel {
+					s.kernel = true
+				}
+			} else if mapped {
+				// The same frame can be re-entered under a different
+				// virtual page (aliases); guard the new vpage too.
+				guarded := false
+				for _, p := range s.pages {
+					if p.vpage == va&EntryHiVPN {
+						guarded = true
+						break
+					}
+				}
+				if !guarded {
+					if len(s.pages) >= sbMaxPages {
+						return nil, false
+					}
+					s.pages = append(s.pages, sbPage{vpage: va & EntryHiVPN, ppage: ppage})
+					s.mapped = true
+				}
+			}
+			frame = c.pdFrameFor(ppage, ram)
+			curVP = va & EntryHiVPN
+		}
+		return &frame.ops[va>>2&(pdFrameWords-1)], true
+	}
+
+	mkStep := func(u *uop, pc uint32, flags uint8) sbStep {
+		return sbStep{
+			op: u.op, rs: u.rs, rt: u.rt, rd: u.rd, sh: u.sh,
+			flags: flags, wt: 1, cls: u.cls, imm: u.imm, pc: pc,
+		}
+	}
+
+	va := entry
+	// viaJump is true while va names the target of a predicted-taken
+	// branch whose (branch, slot) pair is already appended but from
+	// whose block nothing is yet. If the walk stops here, the chain's
+	// continuation is that target — dispatch must exit through the
+	// slot's delayTarget, not fall off the end to lastPC+4.
+	viaJump := false
+walk:
+	for len(s.steps) < sbMaxSteps {
+		u, ok := fetch(va)
+		if !ok || sbChainEnder(u) {
+			s.exitSlot = viaJump
+			break
+		}
+		if !sbIsBranch(u) {
+			s.steps = append(s.steps, mkStep(u, va, 0))
+			va += 4
+			viaJump = false
+			continue
+		}
+		if len(s.steps)+2 > sbMaxSteps {
+			s.exitSlot = viaJump
+			break
+		}
+		slot, ok := fetch(va + 4)
+		if !ok || sbChainEnder(slot) || sbIsBranch(slot) {
+			// A slot the dispatcher can't run linearized (or can't
+			// fetch): end the chain before the branch.
+			s.exitSlot = viaJump
+			break
+		}
+		viaJump = false
+		st := mkStep(u, va, 0)
+		var target uint32
+		chain := false // predicted-taken chains continue at target
+		ends := false  // branch ends the chain after its slot
+		switch u.op {
+		case pdJ, pdJAL:
+			target = va&0xf0000000 | u.imm
+			st.imm = target
+			st.flags |= sbPredTaken
+			chain = true
+		case pdJR, pdJALR:
+			// Dynamic target: always chain-ending; dispatch sets
+			// delayTarget from the register.
+			ends = true
+		default:
+			target = va + 4 + u.imm
+			st.imm = target
+			taken := target < va // backward-taken/forward-not-taken
+			if u.op == pdBEQ && u.rs == u.rt {
+				taken = true // unconditional in disguise
+			}
+			if taken {
+				st.flags |= sbPredTaken
+				chain = true
+			}
+		}
+		s.steps = append(s.steps, st)
+		s.steps = append(s.steps, mkStep(slot, va+4, sbSlot))
+		switch {
+		case ends:
+			s.exitSlot = true
+			break walk
+		case chain:
+			if target == entry {
+				// Self-loop: dispatch wraps to step 0 instead of
+				// exiting, re-entry guards not needed (nothing inside
+				// can change them — that is the chain-ender rule).
+				s.loop = true
+				break walk
+			}
+			if target < va {
+				// Backward branch into other code: stop here rather
+				// than unrolling; the target gets its own superblock.
+				s.exitSlot = true
+				break walk
+			}
+			if len(s.steps) >= sbMaxSteps {
+				// No room to keep walking past the jump: the chain
+				// must exit through the slot's delayTarget, not fall
+				// off the end to lastPC+4 (a self-spin J unrolls to
+				// exactly this shape).
+				s.exitSlot = true
+				break walk
+			}
+			va = target
+			viaJump = true
+		default:
+			va += 8 // predicted not-taken: fall through past the slot
+		}
+	}
+
+	if len(s.steps) < sbMinSteps {
+		return
+	}
+	c.sbFuseRuns(s)
+
+	// pdFrameFor above may have tripped the pdMaxFrames backstop and
+	// dropped the whole predecode cache mid-walk; a superblock whose
+	// source frames are gone would never see their invalidations.
+	for _, fn := range s.frames {
+		if _, ok := c.pd.frames[fn]; !ok {
+			return
+		}
+	}
+
+	if c.sb.idx == nil {
+		// pdFrameFor tripped a cache rollover mid-walk and sbDropAll
+		// released the tables; let the next miss start fresh.
+		return
+	}
+	s.gen = c.tcGen
+	s.valid = true
+	if c.sb.all == nil {
+		c.sb.all = make(map[uint32]*superblock)
+		c.sb.deps = make(map[uint32][]*superblock)
+	}
+	if old := c.sb.all[entry]; old != nil && old.valid {
+		old.valid = false
+		c.sb.count--
+	}
+	c.sb.all[entry] = s
+	c.sb.idx[entry>>2&(sbIndexSize-1)] = s
+	for _, fn := range s.frames {
+		c.sb.deps[fn] = append(c.sb.deps[fn], s)
+	}
+	c.sb.count++
+	c.sb.built++
+	if c.sb.chainHist != nil {
+		var instrs uint64
+		for i := range s.steps {
+			instrs += uint64(s.steps[i].wt)
+		}
+		c.sb.chainHist.Observe(instrs)
+	}
+}
+
+// sbFuseRuns rewrites maximal runs of consecutive non-slot word
+// loads (or stores) off one base register into single fused micro-ops.
+// Within a run the only register hazard is a load clobbering the base:
+// such a load may be the final member (it still reads the old base)
+// but nothing may follow it. Displacements must be word-aligned with
+// an envelope under a page so one endpoints-on-page check covers every
+// access.
+func (c *CPU) sbFuseRuns(s *superblock) {
+	steps := s.steps
+	out := steps[:0:0]
+	for i := 0; i < len(steps); {
+		st := steps[i]
+		if (st.op != pdLW && st.op != pdSW) || st.flags != 0 {
+			out = append(out, st)
+			i++
+			continue
+		}
+		base := st.rs
+		j := i
+		lo, hi := st.imm, st.imm
+		for j < len(steps) && j-i < sbMaxRunLen {
+			s2 := &steps[j]
+			if s2.op != st.op || s2.flags != 0 || s2.rs != base || s2.imm&3 != 0 {
+				break
+			}
+			nlo, nhi := lo, hi
+			if int32(s2.imm) < int32(nlo) {
+				nlo = s2.imm
+			}
+			if int32(s2.imm) > int32(nhi) {
+				nhi = s2.imm
+			}
+			if uint32(int32(nhi)-int32(nlo)) >= PageSize {
+				break
+			}
+			lo, hi = nlo, nhi
+			j++
+			if st.op == pdLW && s2.rt == base {
+				break // base clobbered: include the load, stop the run
+			}
+		}
+		if j-i < 2 {
+			out = append(out, st)
+			i++
+			continue
+		}
+		run := sbRun{lo: lo, hi: hi}
+		for k := i; k < j; k++ {
+			run.subs = append(run.subs, sbMemSub{rt: steps[k].rt, off: steps[k].imm})
+		}
+		fop := sbLWRun
+		if st.op == pdSW {
+			fop = sbSWRun
+		}
+		out = append(out, sbStep{
+			op: fop, rs: base, wt: uint8(j - i), cls: st.cls,
+			imm: uint32(len(s.runs)), pc: st.pc,
+		})
+		s.runs = append(s.runs, run)
+		i = j
+	}
+	s.steps = out
+}
+
+// advanceRandom applies n iterations of the per-instruction Random
+// decrement (8..63 cycling with period 56) in O(1). Dispatch batches
+// the update because nothing inside a superblock can read Random —
+// MFC0 and TLBWR are chain enders.
+func advanceRandom(r uint32, n uint64) uint32 {
+	if n == 0 {
+		return r
+	}
+	const period = NTLB - TLBWired
+	if r <= TLBWired || r > NTLB-1 {
+		// One step normalizes into the cycle.
+		r = NTLB - 1
+		n--
+		if n == 0 {
+			return r
+		}
+	}
+	pos := (uint64(NTLB-1-r) + n) % period
+	return NTLB - 1 - uint32(pos)
+}
+
+// execSB dispatches one superblock for up to max instructions and
+// returns the number retired. On return the architectural state is
+// exactly what the reference interpreter would hold after the same
+// retirement count; c.pdExit is set when the caller must leave the
+// batch (exception, device access, invalidation), exactly as after a
+// StepN step.
+func (c *CPU) execSB(s *superblock, max uint64) uint64 {
+	steps := s.steps
+	g := &c.GPR
+	c.sb.cur = s
+	r0 := c.CP0.Random
+	var n, flushed uint64
+	// Per-class retirement accumulates in registers and lands on
+	// c.Stat in one flush at exit: nothing inside a dispatch reads
+	// Classes, and machine time is Instret-based (flushed separately
+	// at every slow-path boundary for device timestamps).
+	var clsAcc [NClass]uint64
+	// linkPending marks a mispredicted branch whose delay slot is about
+	// to run inline; after the slot retires, dispatch leaves this chain
+	// and tries to link into the superblock at the real target.
+	linkPending := false
+	i := 0
+dispatch:
+	for {
+		if n >= max {
+			st := &steps[i]
+			if st.flags&sbSlot != 0 {
+				// Stopping between a branch and its slot: the branch
+				// already set delayTarget; restore the architectural
+				// in-delay state for the generic path.
+				c.inDelay = true
+			}
+			c.PC = st.pc
+			c.sb.exitBudget++
+			goto out
+		}
+		st := &steps[i]
+		k := uint64(1)
+		switch st.op {
+		case pdADDU:
+			g[st.rd] = g[st.rs] + g[st.rt]
+			g[0] = 0
+		case pdADDIU:
+			g[st.rt] = g[st.rs] + st.imm
+			g[0] = 0
+		case pdLW:
+			va := g[st.rs] + st.imm
+			if va&EntryHiVPN == c.dcache.vpage && va&3 == 0 && c.dcache.ram != nil {
+				r := c.dcache.ram
+				off := va & (PageSize - 1)
+				g[st.rt] = uint32(r[off])<<24 | uint32(r[off+1])<<16 | uint32(r[off+2])<<8 | uint32(r[off+3])
+				g[0] = 0
+			} else {
+				c.PC = st.pc
+				if st.flags&sbSlot != 0 {
+					c.execInSlot = true
+				}
+				c.Stat.Instret += n - flushed
+				flushed = n
+				v, lok := c.load(va, 4)
+				c.execInSlot = false
+				if !lok {
+					n++
+					clsAcc[st.cls]++
+					c.sb.exitExc++
+					goto out
+				}
+				g[st.rt] = uint32(v)
+				g[0] = 0
+			}
+		case pdSW:
+			va := g[st.rs] + st.imm
+			if va&EntryHiVPN == c.wcache.vpage && va&3 == 0 && c.wcache.ram != nil {
+				if fn := c.wcache.ppage >> PageShift; int(fn>>6) < len(c.pd.bitmap) && c.pd.bitmap[fn>>6]&(1<<(fn&63)) != 0 {
+					c.dropFrame(fn)
+				}
+				r := c.wcache.ram
+				off := va & (PageSize - 1)
+				v := g[st.rt]
+				r[off] = byte(v >> 24)
+				r[off+1] = byte(v >> 16)
+				r[off+2] = byte(v >> 8)
+				r[off+3] = byte(v)
+			} else {
+				c.PC = st.pc
+				if st.flags&sbSlot != 0 {
+					c.execInSlot = true
+				}
+				c.Stat.Instret += n - flushed
+				flushed = n
+				sok := c.store(va, 4, uint64(g[st.rt]))
+				c.execInSlot = false
+				if !sok {
+					n++
+					clsAcc[st.cls]++
+					c.sb.exitExc++
+					goto out
+				}
+			}
+		case sbLWRun:
+			run := &s.runs[st.imm]
+			k = uint64(st.wt)
+			if n+k > max {
+				c.PC = st.pc
+				c.sb.exitBudget++
+				goto out
+			}
+			base := g[st.rs]
+			if base&3 == 0 && (base+run.lo)&EntryHiVPN == c.dcache.vpage &&
+				(base+run.hi)&EntryHiVPN == c.dcache.vpage && c.dcache.ram != nil {
+				r := c.dcache.ram
+				for _, sub := range run.subs {
+					off := (base + sub.off) & (PageSize - 1)
+					g[sub.rt] = uint32(r[off])<<24 | uint32(r[off+1])<<16 | uint32(r[off+2])<<8 | uint32(r[off+3])
+				}
+				g[0] = 0
+			} else {
+				// Slow run: per-access load() with exact PC, exception,
+				// and device-exit behavior. No sub before the last can
+				// write the base register (build rule), so the shared
+				// base read stays valid.
+				for j := range run.subs {
+					sub := run.subs[j]
+					c.PC = st.pc + uint32(j)*4
+					c.Stat.Instret += n - flushed
+					flushed = n
+					v, lok := c.load(base+sub.off, 4)
+					n++
+					clsAcc[st.cls]++
+					if !lok {
+						c.sb.exitExc++
+						goto out
+					}
+					g[sub.rt] = uint32(v)
+					g[0] = 0
+					if c.pdExit {
+						c.PC = st.pc + uint32(j+1)*4
+						c.sb.exitPDExit++
+						goto out
+					}
+				}
+				i++
+				if i == len(steps) {
+					goto chainEnd
+				}
+				continue
+			}
+		case sbSWRun:
+			run := &s.runs[st.imm]
+			k = uint64(st.wt)
+			if n+k > max {
+				c.PC = st.pc
+				c.sb.exitBudget++
+				goto out
+			}
+			base := g[st.rs]
+			if base&3 == 0 && (base+run.lo)&EntryHiVPN == c.wcache.vpage &&
+				(base+run.hi)&EntryHiVPN == c.wcache.vpage && c.wcache.ram != nil {
+				if fn := c.wcache.ppage >> PageShift; int(fn>>6) < len(c.pd.bitmap) && c.pd.bitmap[fn>>6]&(1<<(fn&63)) != 0 {
+					c.dropFrame(fn)
+					if c.pdExit {
+						// The run stores into live decoded text (the
+						// executing frame or one chained into this
+						// superblock): retire only the first store and
+						// bail so the generic path refetches fresh code,
+						// exactly like the per-instruction engines.
+						sub := run.subs[0]
+						r := c.wcache.ram
+						off := (base + sub.off) & (PageSize - 1)
+						v := g[sub.rt]
+						r[off] = byte(v >> 24)
+						r[off+1] = byte(v >> 16)
+						r[off+2] = byte(v >> 8)
+						r[off+3] = byte(v)
+						n++
+						clsAcc[st.cls]++
+						c.PC = st.pc + 4
+						c.sb.exitPDExit++
+						goto out
+					}
+				}
+				r := c.wcache.ram
+				for _, sub := range run.subs {
+					off := (base + sub.off) & (PageSize - 1)
+					v := g[sub.rt]
+					r[off] = byte(v >> 24)
+					r[off+1] = byte(v >> 16)
+					r[off+2] = byte(v >> 8)
+					r[off+3] = byte(v)
+				}
+			} else {
+				for j := range run.subs {
+					sub := run.subs[j]
+					c.PC = st.pc + uint32(j)*4
+					c.Stat.Instret += n - flushed
+					flushed = n
+					sok := c.store(base+sub.off, 4, uint64(g[sub.rt]))
+					n++
+					clsAcc[st.cls]++
+					if !sok {
+						c.sb.exitExc++
+						goto out
+					}
+					if c.pdExit {
+						c.PC = st.pc + uint32(j+1)*4
+						c.sb.exitPDExit++
+						goto out
+					}
+				}
+				i++
+				if i == len(steps) {
+					goto chainEnd
+				}
+				continue
+			}
+		case pdBEQ, pdBNE, pdBLEZ, pdBGTZ, pdBLTZ, pdBGEZ:
+			var taken bool
+			switch st.op {
+			case pdBEQ:
+				taken = g[st.rs] == g[st.rt]
+			case pdBNE:
+				taken = g[st.rs] != g[st.rt]
+			case pdBLEZ:
+				taken = int32(g[st.rs]) <= 0
+			case pdBGTZ:
+				taken = int32(g[st.rs]) > 0
+			case pdBLTZ:
+				taken = int32(g[st.rs]) < 0
+			default:
+				taken = int32(g[st.rs]) >= 0
+			}
+			g[0] = 0
+			t := st.pc + 8
+			if taken {
+				t = st.imm
+			}
+			c.delayTarget = t
+			// A mispredicted branch no longer surrenders the batch: the
+			// very next step IS its delay slot (the builder appends them
+			// as a pair), so the slot runs inline with full slow-path
+			// handling, and the tail then links to the real target —
+			// possibly straight into another superblock.
+			linkPending = taken != (st.flags&sbPredTaken != 0)
+		case pdJ:
+			c.delayTarget = st.imm
+			g[0] = 0
+		case pdJAL:
+			g[31] = st.pc + 8
+			c.delayTarget = st.imm
+			g[0] = 0
+		case pdJR:
+			c.delayTarget = g[st.rs]
+			g[0] = 0
+		case pdJALR:
+			t := g[st.rs]
+			g[st.rd] = st.pc + 8
+			c.delayTarget = t
+			g[0] = 0
+		case pdSLL:
+			g[st.rd] = g[st.rt] << st.sh
+			g[0] = 0
+		case pdSRL:
+			g[st.rd] = g[st.rt] >> st.sh
+			g[0] = 0
+		case pdSRA:
+			g[st.rd] = uint32(int32(g[st.rt]) >> st.sh)
+			g[0] = 0
+		case pdSLLV:
+			g[st.rd] = g[st.rt] << (g[st.rs] & 31)
+			g[0] = 0
+		case pdSRLV:
+			g[st.rd] = g[st.rt] >> (g[st.rs] & 31)
+			g[0] = 0
+		case pdSRAV:
+			g[st.rd] = uint32(int32(g[st.rt]) >> (g[st.rs] & 31))
+			g[0] = 0
+		case pdSUBU:
+			g[st.rd] = g[st.rs] - g[st.rt]
+			g[0] = 0
+		case pdAND:
+			g[st.rd] = g[st.rs] & g[st.rt]
+			g[0] = 0
+		case pdOR:
+			g[st.rd] = g[st.rs] | g[st.rt]
+			g[0] = 0
+		case pdXOR:
+			g[st.rd] = g[st.rs] ^ g[st.rt]
+			g[0] = 0
+		case pdNOR:
+			g[st.rd] = ^(g[st.rs] | g[st.rt])
+			g[0] = 0
+		case pdSLT:
+			if int32(g[st.rs]) < int32(g[st.rt]) {
+				g[st.rd] = 1
+			} else {
+				g[st.rd] = 0
+			}
+			g[0] = 0
+		case pdSLTU:
+			if g[st.rs] < g[st.rt] {
+				g[st.rd] = 1
+			} else {
+				g[st.rd] = 0
+			}
+			g[0] = 0
+		case pdSLTI:
+			if int32(g[st.rs]) < int32(st.imm) {
+				g[st.rt] = 1
+			} else {
+				g[st.rt] = 0
+			}
+			g[0] = 0
+		case pdSLTIU:
+			if g[st.rs] < st.imm {
+				g[st.rt] = 1
+			} else {
+				g[st.rt] = 0
+			}
+			g[0] = 0
+		case pdANDI:
+			g[st.rt] = g[st.rs] & st.imm
+			g[0] = 0
+		case pdORI:
+			g[st.rt] = g[st.rs] | st.imm
+			g[0] = 0
+		case pdXORI:
+			g[st.rt] = g[st.rs] ^ st.imm
+			g[0] = 0
+		case pdLUI:
+			g[st.rt] = st.imm
+			g[0] = 0
+		case pdMFHI:
+			g[st.rd] = c.HI
+			g[0] = 0
+		case pdMTHI:
+			c.HI = g[st.rs]
+			g[0] = 0
+		case pdMFLO:
+			g[st.rd] = c.LO
+			g[0] = 0
+		case pdMTLO:
+			c.LO = g[st.rs]
+			g[0] = 0
+		case pdMULT:
+			p := int64(int32(g[st.rs])) * int64(int32(g[st.rt]))
+			c.LO = uint32(p)
+			c.HI = uint32(p >> 32)
+			g[0] = 0
+		case pdMULTU:
+			p := uint64(g[st.rs]) * uint64(g[st.rt])
+			c.LO = uint32(p)
+			c.HI = uint32(p >> 32)
+			g[0] = 0
+		case pdDIV:
+			if g[st.rt] != 0 {
+				c.LO = uint32(int32(g[st.rs]) / int32(g[st.rt]))
+				c.HI = uint32(int32(g[st.rs]) % int32(g[st.rt]))
+			}
+			g[0] = 0
+		case pdDIVU:
+			if g[st.rt] != 0 {
+				c.LO = g[st.rs] / g[st.rt]
+				c.HI = g[st.rs] % g[st.rt]
+			}
+			g[0] = 0
+		case pdLB:
+			va := g[st.rs] + st.imm
+			if va&EntryHiVPN == c.dcache.vpage && c.dcache.ram != nil {
+				g[st.rt] = uint32(int32(int8(c.dcache.ram[va&(PageSize-1)])))
+				g[0] = 0
+			} else {
+				c.PC = st.pc
+				if st.flags&sbSlot != 0 {
+					c.execInSlot = true
+				}
+				c.Stat.Instret += n - flushed
+				flushed = n
+				v, lok := c.load(va, 1)
+				c.execInSlot = false
+				if !lok {
+					n++
+					clsAcc[st.cls]++
+					c.sb.exitExc++
+					goto out
+				}
+				g[st.rt] = uint32(int32(int8(v)))
+				g[0] = 0
+			}
+		case pdLBU:
+			va := g[st.rs] + st.imm
+			if va&EntryHiVPN == c.dcache.vpage && c.dcache.ram != nil {
+				g[st.rt] = uint32(c.dcache.ram[va&(PageSize-1)])
+				g[0] = 0
+			} else {
+				c.PC = st.pc
+				if st.flags&sbSlot != 0 {
+					c.execInSlot = true
+				}
+				c.Stat.Instret += n - flushed
+				flushed = n
+				v, lok := c.load(va, 1)
+				c.execInSlot = false
+				if !lok {
+					n++
+					clsAcc[st.cls]++
+					c.sb.exitExc++
+					goto out
+				}
+				g[st.rt] = uint32(v)
+				g[0] = 0
+			}
+		case pdSB:
+			va := g[st.rs] + st.imm
+			if va&EntryHiVPN == c.wcache.vpage && c.wcache.ram != nil {
+				if fn := c.wcache.ppage >> PageShift; int(fn>>6) < len(c.pd.bitmap) && c.pd.bitmap[fn>>6]&(1<<(fn&63)) != 0 {
+					c.dropFrame(fn)
+				}
+				c.wcache.ram[va&(PageSize-1)] = byte(g[st.rt])
+			} else {
+				c.PC = st.pc
+				if st.flags&sbSlot != 0 {
+					c.execInSlot = true
+				}
+				c.Stat.Instret += n - flushed
+				flushed = n
+				sok := c.store(va, 1, uint64(g[st.rt]&0xff))
+				c.execInSlot = false
+				if !sok {
+					n++
+					clsAcc[st.cls]++
+					c.sb.exitExc++
+					goto out
+				}
+			}
+		default:
+			// pdLH/pdLHU/pdSH/pdLWC1/pdSWC1/pdCOP1(non-BC): the slow
+			// helpers, with the PC materialized for exceptions and
+			// machine time flushed for device timestamps.
+			c.PC = st.pc
+			if st.flags&sbSlot != 0 {
+				c.execInSlot = true
+			}
+			c.Stat.Instret += n - flushed
+			flushed = n
+			u := uop{op: st.op, rs: st.rs, rt: st.rt, rd: st.rd, sh: st.sh, cls: st.cls, imm: st.imm}
+			eok := c.execU(&u)
+			c.execInSlot = false
+			if !eok {
+				n++
+				clsAcc[st.cls]++
+				c.sb.exitExc++
+				goto out
+			}
+		}
+		n += k
+		clsAcc[st.cls] += k
+		i++
+		if linkPending && st.flags&sbSlot != 0 {
+			// The slot of a mispredicted branch just retired; resume at
+			// the branch's real target. This check must precede the
+			// pdExit one: if the slot itself forced an exit, the resume
+			// PC is still the branch target, not the chained successor.
+			linkPending = false
+			c.PC = c.delayTarget
+			c.sb.exitMispred++
+			goto link
+		}
+		if c.pdExit || c.Halted {
+			if i == len(steps) {
+				goto chainEnd
+			}
+			c.PC = steps[i].pc
+			c.sb.exitPDExit++
+			goto out
+		}
+		if i == len(steps) {
+			if s.loop {
+				i = 0
+				continue
+			}
+			goto chainEnd
+		}
+	}
+
+chainEnd:
+	if s.exitSlot {
+		c.PC = c.delayTarget
+	} else {
+		last := &steps[len(steps)-1]
+		c.PC = last.pc + uint32(last.wt)*4
+	}
+	if c.pdExit || c.Halted {
+		c.sb.exitPDExit++
+		goto out
+	}
+	c.sb.exitEnd++
+
+link:
+	// Chain-to-chain linking: the dispatch is at a clean instruction
+	// boundary with c.PC naming the continuation, so if a superblock
+	// starts there, enter it without surrendering the batch. The lookup
+	// may build (and a cache rollover mid-build drops every superblock
+	// and raises pdExit, because cur is non-nil), so pdExit is
+	// re-checked after it.
+	if !c.pdExit && !c.Halted && n < max {
+		if s2 := c.sbEnterable(c.PC); s2 != nil && !c.pdExit {
+			s = s2
+			steps = s.steps
+			c.sb.cur = s
+			i = 0
+			goto dispatch
+		}
+	}
+
+out:
+	c.CP0.Random = advanceRandom(r0, n)
+	c.Stat.Instret += n - flushed
+	for ci, v := range clsAcc {
+		if v != 0 {
+			c.Stat.Classes[ci] += v
+		}
+	}
+	c.sb.cur = nil
+	return n
+}

@@ -40,6 +40,40 @@ type BootConfig struct {
 	// Stream enables the epoch-ring streaming drain (see stream.go);
 	// the zero value keeps the legacy stop-the-world two-phase drain.
 	Stream StreamConfig
+	// Engine pins the CPU execution tier for the whole boot. The zero
+	// value keeps the machine default (predecode + superblocks); the
+	// benchmark grid and the differential oracle pin specific tiers.
+	Engine Engine
+}
+
+// Engine selects the CPU execution tier a boot runs on.
+type Engine int
+
+const (
+	// EngineAuto is the machine default: predecode with the
+	// superblock tier on top.
+	EngineAuto Engine = iota
+	// EngineReference disables predecode entirely — per-instruction
+	// fetch and full decode, the legacy burst-64 baseline.
+	EngineReference
+	// EnginePredecode runs the predecode cache with the superblock
+	// tier off — the mid-tier the PR-5 benchmarks measured.
+	EnginePredecode
+	// EngineSuperblock is EngineAuto stated explicitly.
+	EngineSuperblock
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineReference:
+		return "reference"
+	case EnginePredecode:
+		return "predecode"
+	case EngineSuperblock:
+		return "superblock"
+	default:
+		return "auto"
+	}
 }
 
 // DefaultBoot returns a standard configuration for the flavor: Ultrix
@@ -232,6 +266,12 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 		return nil, fmt.Errorf("kernel: %d boot processes (1..%d allowed)", len(procs), MaxProcs)
 	}
 	mach := machine.New(cfg.RAMBytes, cfg.DiskImage)
+	switch cfg.Engine {
+	case EngineReference:
+		mach.CPU.SetPredecode(false)
+	case EnginePredecode:
+		mach.CPU.SetSuperblocks(false)
+	}
 	if err := mach.LoadKernel(kernelExe); err != nil {
 		return nil, err
 	}
@@ -273,10 +313,8 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 		}
 		return (pa + uint32(len(data)) + 4095) &^ 4095
 	}
-	anyTraced := false
 	for i, p := range procs {
 		e := p.Exe
-		anyTraced = anyTraced || e.Traced
 		rec := biPA + BiProcBase + uint32(i)*BiProcStride
 		textBytes := make([]byte, len(e.Text)*4)
 		for wi, w := range e.Text {
@@ -306,13 +344,6 @@ func Boot(kernelExe *obj.Executable, procs []BootProc, cfg BootConfig) (*System,
 		return nil, segErr
 	}
 	put(biPA+BiFramePool, alloc)
-
-	// With no traced process the kernel never produces trace words, so
-	// the doorbell handler below can only ever return zero analysis
-	// cycles: machine time cannot jump mid-burst and the machine may
-	// run long instruction bursts. Traced boots keep short bursts so
-	// analysis phases dilate time with the same granularity as always.
-	mach.HandlerInert = !anyTraced
 
 	// The analysis program: drain the in-kernel buffer when the
 	// kernel rings the doorbell.

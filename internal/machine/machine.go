@@ -45,13 +45,6 @@ type Machine struct {
 	stall         Staller
 	nextEvent     uint64
 
-	// HandlerInert declares that the attached TraceCtl.Handler always
-	// returns zero analysis cycles (e.g. a boot with no traced
-	// process), so machine time cannot jump mid-burst and Run may use
-	// long instruction bursts. Run still verifies the promise each
-	// burst and delivers overdue events immediately if it is broken.
-	HandlerInert bool
-
 	Halted     bool
 	ExitStatus uint32
 }
@@ -193,13 +186,19 @@ func (m *Machine) Run(maxInstr uint64) error {
 	limit := c.Stat.Instret + maxInstr
 	m.refreshNextEvent()
 	// Step in bursts between device events to keep the per-instruction
-	// loop overhead low. Without a stall model or an analysis doorbell
-	// handler, machine time is exactly instructions retired, so a burst
-	// can run all the way to the next device event; with either
-	// attached, time can jump mid-burst and the burst must stay short
-	// so events are not delivered late.
+	// loop overhead low. Without a stall model, machine time advances
+	// in instruction-sized steps except at doorbell writes (an active
+	// analysis handler adds cycles there), and the long-burst loop's
+	// mid-burst checks deliver any overdue event immediately after the
+	// jump — so traced boots run long bursts too, which is what lets
+	// the batched StepN path and the superblock tier stretch their
+	// dispatches. This replaces the legacy traced configuration that
+	// pinned bursts at 64 instructions and delivered events up to a
+	// burst late after an analysis jump. A stall model still forces
+	// short bursts: it adds time on every instruction, so only the
+	// burst bound keeps event delivery close.
 	maxBurst := uint64(64)
-	if m.stall == nil && (m.TraceCtl.Handler == nil || m.HandlerInert) {
+	if m.stall == nil {
 		maxBurst = 16384
 	}
 	for !m.Halted && !c.Halted && c.Stat.Instret < limit {
@@ -215,9 +214,34 @@ func (m *Machine) Run(maxInstr uint64) error {
 			burst = limit - c.Stat.Instret
 		}
 		if maxBurst == 64 {
-			for i := uint64(0); i < burst; i++ {
-				if !c.Step() {
-					break
+			if c.PredecodeActive() && c.Obs == nil {
+				// Short-burst batched loop: the traced path's
+				// replacement for the legacy per-Step loop. Neither
+				// loop checks device events mid-burst — delivery
+				// happens after the burst in both — so batching
+				// through StepN (and the superblock tier under it)
+				// retires the identical instruction sequence at the
+				// identical event instants: the guest's instrumented
+				// stores land in the trace buffer byte-for-byte as
+				// before, just without per-instruction loop overhead.
+				// Doorbell writes and exceptions end a batch (pdExit),
+				// and the single Step makes progress over whatever the
+				// batch refused, exactly like the long-burst loop.
+				for i := uint64(0); i < burst; {
+					i += c.StepN(burst - i)
+					if i >= burst {
+						break
+					}
+					if !c.Step() {
+						break
+					}
+					i++
+				}
+			} else {
+				for i := uint64(0); i < burst; i++ {
+					if !c.Step() {
+						break
+					}
 				}
 			}
 		} else {
@@ -229,9 +253,8 @@ func (m *Machine) Run(maxInstr uint64) error {
 			// device access); a single Step then makes progress over
 			// whatever the batch refused before the batch resumes.
 			// The m.Cycles() checks catch analysis time added by a
-			// doorbell mid-burst (a HandlerInert promise broken):
-			// overdue events are then delivered immediately instead
-			// of up to a burst late.
+			// doorbell mid-burst: overdue events are then delivered
+			// immediately instead of up to a burst late.
 			ne := m.nextEvent
 			if c.PredecodeActive() && c.Obs == nil {
 				for i := uint64(0); i < burst; {

@@ -66,14 +66,17 @@ type engineResult struct {
 	stat      cpu.Stats
 	eventHash uint64
 	events    uint64
+	traceHash uint64
+	traceN    uint64
 	console   string
 	exit      uint32
 	drained   uint64
 	doorbells uint64
 	cycles    uint64
+	sbBuilt   uint64
 }
 
-func runEngine(t *testing.T, wl string, predecode, traced bool) engineResult {
+func runEngine(t *testing.T, wl string, engine kernel.Engine, traced bool) engineResult {
 	t.Helper()
 	spec, ok := workload.ByName(wl)
 	if !ok {
@@ -83,26 +86,49 @@ func runEngine(t *testing.T, wl string, predecode, traced bool) engineResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.M.CPU.SetPredecode(predecode)
+	// Pin the execution tier the same way kernel.Boot applies
+	// BootConfig.Engine (experiment.Boot's cache shares the images, so
+	// the tier is set on the booted machine directly).
+	switch engine {
+	case kernel.EngineReference:
+		sys.M.CPU.SetPredecode(false)
+	case kernel.EnginePredecode:
+		sys.M.CPU.SetSuperblocks(false)
+	}
 	obs := &streamObs{}
-	if traced {
-		// Traced runs also compare the full Observer event stream.
-		// Untraced runs leave the observer detached so the predecoded
-		// engine goes through the batched StepN fast path — the same
-		// configuration BENCH_cpu.json measures.
+	if traced && engine != kernel.EngineSuperblock {
+		// Traced reference and predecode runs also compare the full
+		// Observer event stream. The superblock face runs with the
+		// observer detached — the batched dispatch requires it (an
+		// attached observer forces per-Step execution) — and is
+		// instead pinned by the drained trace-word hash below, the
+		// byte-level identity the paper's analyses depend on.
+		// Untraced runs always leave the observer detached so the
+		// predecoded engine goes through the batched fast path — the
+		// same configuration BENCH_cpu.json measures.
 		sys.M.CPU.Obs = obs
 	}
+	// Hash every drained trace word in order: the emitted stream,
+	// not just its length, must be identical across engines.
+	tr := &streamObs{}
+	sys.OnTrace = func(words []uint32) {
+		for _, w := range words {
+			tr.mix(w)
+		}
+	}
 	if err := sys.Run(experiment.RunBudget); err != nil {
-		t.Fatalf("%s predecode=%v: %v", wl, predecode, err)
+		t.Fatalf("%s engine=%v: %v", wl, engine, err)
 	}
 	c := sys.M.CPU
 	res := engineResult{
 		gpr: c.GPR, hi: c.HI, lo: c.LO, pc: c.PC,
 		cp0: c.CP0, tlb: c.TLB, stat: c.Stat,
 		eventHash: obs.h, events: obs.n,
+		traceHash: tr.h, traceN: tr.n,
 		console: sys.Console(), exit: sys.ExitStatus(pid),
 		drained: sys.DrainedWords, doorbells: sys.Doorbells,
-		cycles: sys.M.Cycles(),
+		cycles:  sys.M.Cycles(),
+		sbBuilt: c.SuperblockStats().Built,
 	}
 	for i, f := range c.FPR {
 		res.fprBits[i] = math.Float64bits(f)
@@ -234,6 +260,53 @@ func TestDataflowDifferentialOracle(t *testing.T) {
 	}
 }
 
+// compareFace checks one fast engine's run against the reference run.
+// The observer stream is compared only when both runs attached one
+// (the superblock face runs observer-detached by construction).
+func compareFace(t *testing.T, name string, ref, fast engineResult) {
+	t.Helper()
+	if fast.events != 0 && (ref.events != fast.events || ref.eventHash != fast.eventHash) {
+		t.Errorf("observer streams diverge: %d events hash %x (reference) vs %d events hash %x (%s)",
+			ref.events, ref.eventHash, fast.events, fast.eventHash, name)
+	}
+	if ref.gpr != fast.gpr {
+		t.Errorf("final GPR state diverges (%s)", name)
+	}
+	if ref.fprBits != fast.fprBits {
+		t.Errorf("final FPR state diverges (%s)", name)
+	}
+	if ref.hi != fast.hi || ref.lo != fast.lo || ref.pc != fast.pc {
+		t.Errorf("HI/LO/PC diverge (%s): %x/%x/%x vs %x/%x/%x",
+			name, ref.hi, ref.lo, ref.pc, fast.hi, fast.lo, fast.pc)
+	}
+	if ref.cp0 != fast.cp0 {
+		t.Errorf("CP0 diverges (%s): %+v vs %+v", name, ref.cp0, fast.cp0)
+	}
+	if ref.tlb != fast.tlb {
+		t.Errorf("TLB contents diverge (%s)", name)
+	}
+	if ref.stat != fast.stat {
+		t.Errorf("Stat diverges (%s): %+v vs %+v", name, ref.stat, fast.stat)
+	}
+	if ref.console != fast.console {
+		t.Errorf("console output diverges (%s): %q vs %q", name, ref.console, fast.console)
+	}
+	if ref.exit != fast.exit {
+		t.Errorf("exit status diverges (%s): %d vs %d", name, ref.exit, fast.exit)
+	}
+	if ref.drained != fast.drained || ref.doorbells != fast.doorbells {
+		t.Errorf("trace stream diverges (%s): %d words/%d doorbells vs %d/%d",
+			name, ref.drained, ref.doorbells, fast.drained, fast.doorbells)
+	}
+	if ref.traceN != fast.traceN || ref.traceHash != fast.traceHash {
+		t.Errorf("drained trace words diverge (%s): %d words hash %x vs %d words hash %x",
+			name, ref.traceN, ref.traceHash, fast.traceN, fast.traceHash)
+	}
+	if ref.cycles != fast.cycles {
+		t.Errorf("machine time diverges (%s): %d vs %d cycles", name, ref.cycles, fast.cycles)
+	}
+}
+
 func TestWorkloadDifferentialOracle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full traced workload boots")
@@ -246,53 +319,26 @@ func TestWorkloadDifferentialOracle(t *testing.T) {
 				name = wl + "/traced"
 			}
 			t.Run(name, func(t *testing.T) {
-				ref := runEngine(t, wl, false, traced)
-				fast := runEngine(t, wl, true, traced)
-				if ref.events != fast.events || ref.eventHash != fast.eventHash {
-					t.Errorf("observer streams diverge: %d events hash %x (reference) vs %d events hash %x (predecode)",
-						ref.events, ref.eventHash, fast.events, fast.eventHash)
-				}
-				if ref.gpr != fast.gpr {
-					t.Error("final GPR state diverges")
-				}
-				if ref.fprBits != fast.fprBits {
-					t.Error("final FPR state diverges")
-				}
-				if ref.hi != fast.hi || ref.lo != fast.lo || ref.pc != fast.pc {
-					t.Errorf("HI/LO/PC diverge: %x/%x/%x vs %x/%x/%x",
-						ref.hi, ref.lo, ref.pc, fast.hi, fast.lo, fast.pc)
-				}
-				if ref.cp0 != fast.cp0 {
-					t.Errorf("CP0 diverges: %+v vs %+v", ref.cp0, fast.cp0)
-				}
-				if ref.tlb != fast.tlb {
-					t.Error("TLB contents diverge")
-				}
-				if ref.stat != fast.stat {
-					t.Errorf("Stat diverges: %+v vs %+v", ref.stat, fast.stat)
-				}
-				if ref.console != fast.console {
-					t.Errorf("console output diverges: %q vs %q", ref.console, fast.console)
-				}
-				if ref.exit != fast.exit {
-					t.Errorf("exit status diverges: %d vs %d", ref.exit, fast.exit)
-				}
-				if ref.drained != fast.drained || ref.doorbells != fast.doorbells {
-					t.Errorf("trace stream diverges: %d words/%d doorbells vs %d/%d",
-						ref.drained, ref.doorbells, fast.drained, fast.doorbells)
-				}
-				if ref.cycles != fast.cycles {
-					t.Errorf("machine time diverges: %d vs %d cycles", ref.cycles, fast.cycles)
-				}
+				ref := runEngine(t, wl, kernel.EngineReference, traced)
+				pd := runEngine(t, wl, kernel.EnginePredecode, traced)
+				sb := runEngine(t, wl, kernel.EngineSuperblock, traced)
+				compareFace(t, "predecode", ref, pd)
+				compareFace(t, "superblock", ref, sb)
 				if ref.stat.Instret == 0 {
 					t.Error("workload retired no instructions")
+				}
+				if pd.sbBuilt != 0 {
+					t.Errorf("predecode face built %d superblocks: tier separation broken", pd.sbBuilt)
+				}
+				if sb.sbBuilt == 0 {
+					t.Error("superblock face built no superblocks: the tier was not exercised")
 				}
 				if t.Failed() {
 					// An oracle mismatch is a flight-recorder dump
 					// trigger: the recorded exception/TLB/doorbell
 					// stream of the diverging runs is the first clue.
 					obspkg.Failure("oracle_mismatch",
-						name+": reference and predecode engines diverged")
+						name+": engines diverged")
 				}
 			})
 		}

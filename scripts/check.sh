@@ -21,8 +21,11 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (cpu core, kernel epoch ring, experiment runner, telemetry, obs, rewriter, verifiers) =="
+echo "== go test -race (cpu core incl. superblock tier, kernel epoch ring, experiment runner, telemetry, obs, rewriter, verifiers) =="
 go test -race ./internal/cpu/ ./internal/kernel/ ./internal/experiment/ ./internal/telemetry/ ./internal/obs/ ./internal/epoxie/ ./internal/verify/ ./internal/tracecheck/ ./internal/dataflow/
+
+echo "== differential oracle (reference vs predecode vs superblock, traced + untraced boots, uncached) =="
+go test -run '^TestWorkloadDifferentialOracle$' -count=1 .
 
 echo "== obs smoke (traced sed boot: span nesting + folded guest-PC profile) =="
 go test -run '^TestObsSmoke$' -count=1 .
